@@ -1,0 +1,129 @@
+// Command mcbench regenerates the paper's tables and figures on the
+// simulated systems.
+//
+// Usage:
+//
+//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] <id>...|all|list
+//
+// Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multicore/internal/experiments"
+	"multicore/internal/report"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "problem scale: quick or full (paper sizes)")
+	format := flag.String("format", "text", "output format: text, md, csv, or plot")
+	outDir := flag.String("out", "", "directory to write per-experiment files (default: stdout)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fatalf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	render := renderer(*format)
+
+	var ids []string
+	for _, arg := range flag.Args() {
+		switch arg {
+		case "list":
+			for _, e := range experiments.All() {
+				fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			}
+			return
+		case "all":
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		default:
+			ids = append(ids, arg)
+		}
+	}
+
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fatalf("unknown experiment %q (try `mcbench list`)", id)
+		}
+		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		tables := e.Run(sc)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# %s — %s\n\nPaper: %s\n\n", e.ID, e.Title, e.Paper)
+		for _, t := range tables {
+			b.WriteString(render(t))
+			b.WriteString("\n")
+		}
+		if *outDir == "" {
+			fmt.Print(b.String())
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *outDir, err)
+		}
+		path := filepath.Join(*outDir, e.ID+ext(*format))
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func renderer(format string) func(*report.Table) string {
+	switch format {
+	case "text":
+		return (*report.Table).Text
+	case "md":
+		return (*report.Table).Markdown
+	case "csv":
+		return (*report.Table).CSV
+	case "plot":
+		return func(t *report.Table) string { return t.Chart(16) }
+	}
+	fatalf("unknown format %q (want text, md, csv, or plot)", format)
+	return nil
+}
+
+func ext(format string) string {
+	switch format {
+	case "md":
+		return ".md"
+	case "csv":
+		return ".csv"
+	}
+	return ".txt"
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `mcbench regenerates the paper's tables and figures.
+
+usage: mcbench [flags] <id>...|all|list
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcbench: "+format+"\n", args...)
+	os.Exit(1)
+}

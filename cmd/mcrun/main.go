@@ -1,0 +1,246 @@
+// Command mcrun executes a single workload on a simulated system with an
+// explicit placement configuration — the equivalent of the paper's
+// `numactl ... mpirun -np N <benchmark>` invocations.
+//
+// Usage:
+//
+//	mcrun -system longs -ranks 8 -scheme localalloc -impl mpich2 -workload cg
+//
+// Workloads: stream, daxpy, dgemm, fft, ra, ptrans, hpl, cg, ft, ep, mg,
+// lmbench, amber:<bench>, lammps:<lj|chain|eam>, pop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multicore/internal/affinity"
+	"multicore/internal/apps/amber"
+	"multicore/internal/apps/lammps"
+	"multicore/internal/apps/pop"
+	"multicore/internal/core"
+	"multicore/internal/kernels/blas"
+	"multicore/internal/kernels/cg"
+	"multicore/internal/kernels/fft"
+	"multicore/internal/kernels/hpl"
+	"multicore/internal/kernels/lmbench"
+	"multicore/internal/kernels/ptrans"
+	"multicore/internal/kernels/rnda"
+	"multicore/internal/kernels/stream"
+	"multicore/internal/machine"
+	"multicore/internal/mpi"
+	"multicore/internal/npb"
+	"multicore/internal/units"
+)
+
+func impls(name string) *mpi.Impl {
+	switch name {
+	case "mpich2":
+		return mpi.MPICH2()
+	case "lam":
+		return mpi.LAM()
+	case "lam-sysv":
+		return mpi.LAM().WithSublayer(mpi.SysV())
+	case "lam-usysv":
+		return mpi.LAM().WithSublayer(mpi.USysV())
+	case "openmpi":
+		return mpi.OpenMPI()
+	}
+	return nil
+}
+
+func main() {
+	system := flag.String("system", "dmz", "system: tiger, dmz, longs")
+	machineFile := flag.String("machine", "", "JSON machine-spec file overriding -system (see machine.LoadSpec)")
+	ranks := flag.Int("ranks", 2, "MPI task count")
+	scheme := flag.String("scheme", "default", "placement: default, localalloc, membind, 2mpi-localalloc, 2mpi-membind, interleave")
+	impl := flag.String("impl", "mpich2", "MPI profile: mpich2, lam, lam-sysv, lam-usysv, openmpi")
+	workload := flag.String("workload", "stream", "workload (see doc comment)")
+	util := flag.Bool("util", false, "print per-resource utilization after the run")
+	trace := flag.Bool("trace", false, "print the recorded phase timeline")
+	nodes := flag.Int("nodes", 1, "number of cluster nodes (ranks are per node)")
+	netName := flag.String("net", "rapidarray", "inter-node fabric: rapidarray or gige")
+	flag.Parse()
+
+	sch, err := affinity.ParseScheme(*scheme)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	im := impls(*impl)
+	if im == nil {
+		fatalf("unknown impl %q", *impl)
+	}
+
+	body, metrics, err := workloadBody(*workload)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var net *mpi.NetSpec
+	switch *netName {
+	case "rapidarray":
+		net = mpi.RapidArray()
+	case "gige":
+		net = mpi.GigE()
+	default:
+		fatalf("unknown net %q", *netName)
+	}
+	job := core.Job{
+		System: *system,
+		Ranks:  *ranks,
+		Scheme: sch,
+		Impl:   im,
+		Nodes:  *nodes,
+		Net:    net,
+	}
+	if *machineFile != "" {
+		spec, err := machine.LoadSpec(*machineFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		job.Spec = spec
+		*system = spec.Topo.Name
+	}
+	res, err := core.Run(job, body)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *nodes > 1 {
+		fmt.Printf("%s on %d x %s (%s), %d ranks/node, %s, %s\n",
+			*workload, *nodes, *system, net.Name, *ranks, *scheme, im.Name)
+	} else {
+		fmt.Printf("%s on %s, %d ranks, %s, %s\n", *workload, *system, *ranks, *scheme, im.Name)
+	}
+	fmt.Printf("  makespan: %s\n", units.Duration(res.Time))
+	fmt.Printf("  messages: %d (%s)\n", res.Messages, units.Bytes(res.Bytes))
+	for _, m := range metrics {
+		if vs := res.Values[m.key]; len(vs) > 0 {
+			fmt.Printf("  %s: max %s, mean %s\n", m.label, m.fmt(res.Max(m.key)), m.fmt(res.Mean(m.key)))
+		}
+	}
+	if len(res.RankCompute) > 0 {
+		maxC, maxM := 0.0, 0.0
+		for i := range res.RankCompute {
+			if res.RankCompute[i] > maxC {
+				maxC = res.RankCompute[i]
+			}
+			if res.RankMemBytes[i] > maxM {
+				maxM = res.RankMemBytes[i]
+			}
+		}
+		fmt.Printf("  per-rank max: %s compute, %s DRAM traffic\n",
+			units.Duration(maxC), units.Bytes(maxM))
+	}
+	hot := res.Machine.HottestResource(res.Time)
+	fmt.Printf("  bottleneck: %s at %.0f%% utilization (%s served)\n",
+		hot.Name, 100*hot.Utilization, units.Bytes(hot.BytesServed))
+	if *trace && len(res.Timeline) > 0 {
+		fmt.Println("  phase timeline (first 40 spans):")
+		for i, span := range res.Timeline {
+			if i >= 40 {
+				fmt.Printf("    ... %d more\n", len(res.Timeline)-40)
+				break
+			}
+			fmt.Printf("    rank %2d %-14s %12s .. %12s\n", span.Rank, span.Name,
+				units.Duration(span.Start), units.Duration(span.End))
+		}
+	}
+	if *util {
+		fmt.Println("  resource utilization:")
+		for _, u := range res.Machine.Utilizations(res.Time) {
+			if u.BytesServed == 0 {
+				continue
+			}
+			fmt.Printf("    %-24s %6.1f%%  %s\n", u.Name, 100*u.Utilization, units.Bytes(u.BytesServed))
+		}
+	}
+}
+
+type metric struct {
+	key   string
+	label string
+	fmt   func(float64) string
+}
+
+func secs(v float64) string { return units.Duration(v) }
+func rate(v float64) string { return units.Rate(v) }
+func flps(v float64) string { return units.Flops(v) }
+func gups(v float64) string { return fmt.Sprintf("%.4f GUPS", v) }
+func gfs(v float64) string  { return fmt.Sprintf("%.2f GFlop/s", v) }
+
+func workloadBody(name string) (func(*mpi.Rank), []metric, error) {
+	switch {
+	case name == "stream":
+		return func(r *mpi.Rank) { stream.RunTriad(r, stream.Params{}) },
+			[]metric{{stream.MetricBandwidth, "triad bandwidth", rate}}, nil
+	case name == "daxpy":
+		return func(r *mpi.Rank) { blas.RunDaxpy(r, blas.DaxpyParams{N: 1 << 22, Variant: blas.ACML}) },
+			[]metric{{blas.MetricDaxpyFlops, "DAXPY", flps}}, nil
+	case name == "dgemm":
+		return func(r *mpi.Rank) { blas.RunDgemm(r, blas.DgemmParams{N: 800, Variant: blas.ACML}) },
+			[]metric{{blas.MetricDgemmFlops, "DGEMM", flps}}, nil
+	case name == "fft":
+		return func(r *mpi.Rank) { fft.RunDist(r, fft.DistParams{TotalN: 1 << 22}) },
+			[]metric{{fft.MetricFlops, "FFT", flps}}, nil
+	case name == "ra":
+		return func(r *mpi.Rank) { rnda.Run(r, rnda.Params{MPI: true}) },
+			[]metric{{rnda.MetricGUPS, "RandomAccess", gups}}, nil
+	case name == "ptrans":
+		return func(r *mpi.Rank) { ptrans.Run(r, ptrans.Params{N: 2048}) },
+			[]metric{{ptrans.MetricBandwidth, "PTRANS", rate}}, nil
+	case name == "hpl":
+		return func(r *mpi.Rank) { hpl.Run(r, hpl.Params{N: 2048}) },
+			[]metric{{hpl.MetricGFlops, "HPL", gfs}}, nil
+	case name == "cg":
+		body, err := npb.RunCG(npb.ClassA)
+		return body, []metric{{cg.MetricTime, "CG time", secs}}, err
+	case name == "ft":
+		body, err := npb.RunFT(npb.ClassA)
+		return body, []metric{{npb.MetricFTTime, "FT time", secs}}, err
+	case name == "ep":
+		body, err := npb.RunEP(npb.ClassA)
+		return body, []metric{{npb.MetricEPTime, "EP time", secs}}, err
+	case name == "mg":
+		body, err := npb.RunMG(npb.ClassW)
+		return body, []metric{{npb.MetricMGTime, "MG time", secs}}, err
+	case name == "lmbench":
+		return func(r *mpi.Rank) {
+				for _, pt := range lmbench.Run(r, lmbench.Params{}) {
+					r.Report(fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, pt.WorkingSetBytes), pt.LatencySeconds)
+				}
+			},
+			nil, nil
+	case strings.HasPrefix(name, "amber:"):
+		bench, err := amber.ByName(strings.TrimPrefix(name, "amber:"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(r *mpi.Rank) { amber.Run(r, amber.Params{Bench: bench, Steps: 10}) },
+			[]metric{
+				{amber.MetricTotalTime, "MD loop time", secs},
+				{amber.MetricFFTTime, "FFT phase time", secs},
+			}, nil
+	case strings.HasPrefix(name, "lammps:"):
+		bench, err := lammps.ByName(strings.TrimPrefix(name, "lammps:"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(r *mpi.Rank) { lammps.Run(r, lammps.Params{Bench: bench}) },
+			[]metric{{lammps.MetricTime, "MD loop time", secs}}, nil
+	case name == "pop":
+		return func(r *mpi.Rank) { pop.Run(r, pop.Params{Steps: 10}) },
+			[]metric{
+				{pop.MetricBaroclinic, "baroclinic time", secs},
+				{pop.MetricBarotropic, "barotropic time", secs},
+			}, nil
+	}
+	return nil, nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcrun: "+format+"\n", args...)
+	os.Exit(1)
+}

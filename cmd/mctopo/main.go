@@ -1,0 +1,84 @@
+// Command mctopo inspects the simulated systems: core/socket layout, link
+// topology, hop-distance matrices, and the calibrated machine parameters.
+//
+// Usage:
+//
+//	mctopo [tiger|dmz|longs|<spec>]...
+//
+// A <spec> builds a hypothetical machine with Longs-like parameters on a
+// custom fabric: ladder:RxC[xK], ring:N[xK], xbar:N[xK], line:N[xK].
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multicore/internal/machine"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+func main() {
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = []string{"tiger", "dmz", "longs"}
+	}
+	for i, name := range names {
+		spec := machine.ByName(name)
+		if spec == nil {
+			topo, err := topology.Parse(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mctopo: unknown system %q (want tiger, dmz, longs, or a spec like ladder:4x2)\n", name)
+				os.Exit(1)
+			}
+			spec = machine.Longs()
+			spec.Topo = topo
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		describe(spec)
+	}
+}
+
+func describe(spec *machine.Spec) {
+	topo := spec.Topo
+	fmt.Printf("%s: %d sockets x %d cores = %d cores @ %.1f GHz (peak %s/core)\n",
+		topo.Name, topo.NumSockets, topo.CoresPerSock, topo.NumCores(),
+		spec.FreqHz/1e9, units.Flops(spec.PeakFlops()))
+	fmt.Printf("  memory: %s/socket effective, %s/core issue, %.0f KiB cache/core\n",
+		units.Rate(spec.MCBandwidth), units.Rate(spec.CoreIssueBW), spec.CacheBytes/1024)
+	fmt.Printf("  links: %s per direction, latency %s local / +%s per hop\n",
+		units.Rate(spec.LinkBandwidth), units.Duration(spec.LocalLatency), units.Duration(spec.HopLatency))
+
+	fmt.Println("  links:")
+	for i, l := range topo.Links {
+		fmt.Printf("    link %d: socket %d <-> socket %d\n", i, l.A, l.B)
+	}
+
+	fmt.Println("  hop-distance matrix (sockets):")
+	fmt.Print("      ")
+	for s := 0; s < topo.NumSockets; s++ {
+		fmt.Printf("%3d", s)
+	}
+	fmt.Println()
+	for a := 0; a < topo.NumSockets; a++ {
+		fmt.Printf("    %2d", a)
+		for b := 0; b < topo.NumSockets; b++ {
+			fmt.Printf("%3d", topo.Hops(topology.SocketID(a), topology.SocketID(b)))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("  memory latency by distance:")
+	seen := map[int]bool{}
+	for s := 0; s < topo.NumSockets; s++ {
+		h := topo.Hops(0, topology.SocketID(s))
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		lat := spec.LocalLatency + float64(h)*spec.HopLatency
+		fmt.Printf("    %d hop(s): %s\n", h, units.Duration(lat))
+	}
+}

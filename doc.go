@@ -1,0 +1,21 @@
+// Package multicore is a simulation-based reproduction of "Characterization
+// of Scientific Workloads on Systems with Multi-Core Processors" (Alam,
+// Barrett, Kuehn, Roth, Vetter — ORNL, IISWC 2006).
+//
+// The library models the paper's three AMD Opteron evaluation systems
+// (Tiger, DMZ, and the eight-socket Longs/Iwill H8501 ladder), a
+// numactl-style processor/memory affinity layer, and an MPI runtime with
+// shared-memory transport sub-layers, then runs the paper's full workload
+// stack on them: STREAM, BLAS, the HPC Challenge suite, the Intel MPI
+// Benchmarks, NAS CG/FT, and application models of AMBER, LAMMPS, and POP.
+//
+// Entry points:
+//
+//   - internal/core: run any workload on any system under any placement.
+//   - internal/experiments: regenerate every table and figure in the paper.
+//   - cmd/mcbench, cmd/mcrun, cmd/mctopo: command-line tools.
+//   - examples/: runnable demonstrations of the public API.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package multicore

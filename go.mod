@@ -1,0 +1,3 @@
+module multicore
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package affinity implements the paper's processor/memory placement
+// schemes (Table 5): combinations of an MPI task layout (one or two tasks
+// per socket, or the OS default) with a numactl memory policy (localalloc,
+// membind, interleave, or the first-touch default).
+package affinity
+
+import (
+	"fmt"
+	"sort"
+
+	"multicore/internal/mem"
+	"multicore/internal/topology"
+)
+
+// Scheme is one row of the paper's Table 5.
+type Scheme int
+
+const (
+	// Default runs without numactl: the OS spreads tasks across sockets
+	// and places pages by first touch, but early balancing migrations
+	// leave a fraction of pages on the wrong node.
+	Default Scheme = iota
+	// OneMPILocalAlloc pins one task per socket with local allocation.
+	OneMPILocalAlloc
+	// OneMPIMembind pins one task per socket with explicit memory
+	// binding per core. The paper bound memory to fixed *nodes*, which
+	// ends up remote from the task — the worst performer in its tables.
+	OneMPIMembind
+	// TwoMPILocalAlloc pins two tasks per socket with local allocation.
+	TwoMPILocalAlloc
+	// TwoMPIMembind pins two tasks per socket with explicit (wrong-node)
+	// memory binding.
+	TwoMPIMembind
+	// Interleave uses the OS task layout with pages interleaved across
+	// all nodes.
+	Interleave
+)
+
+// Schemes lists all Table 5 schemes in the paper's column order.
+var Schemes = []Scheme{Default, OneMPILocalAlloc, OneMPIMembind, TwoMPILocalAlloc, TwoMPIMembind, Interleave}
+
+func (s Scheme) String() string {
+	switch s {
+	case Default:
+		return "Default"
+	case OneMPILocalAlloc:
+		return "One MPI + Local Alloc"
+	case OneMPIMembind:
+		return "One MPI + Membind"
+	case TwoMPILocalAlloc:
+		return "Two MPI + Local Alloc"
+	case TwoMPIMembind:
+		return "Two MPI + Membind"
+	case Interleave:
+		return "Interleave"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// DefaultMisplacedFrac is the fraction of a rank's pages that land on a
+// neighbouring node under the unbound OS default, modeling first-touch
+// during early scheduler migrations.
+const DefaultMisplacedFrac = 0.25
+
+// Binding is the placement decision for one MPI rank.
+type Binding struct {
+	Core      topology.CoreID
+	MemPolicy mem.Policy
+	// BindNodes is the membind target set (nil otherwise).
+	BindNodes []int
+	// MisplacedFrac is the fraction of first-touch pages placed on
+	// MisplacedNode instead of the local node (OS default only).
+	MisplacedFrac float64
+	MisplacedNode int
+}
+
+// Placement resolves the binding into a page distribution for a region
+// allocated by this rank on a system with numNodes memory nodes.
+func (b Binding) Placement(topo *topology.System, numNodes int) mem.Placement {
+	home := int(topo.SocketOf(b.Core))
+	switch b.MemPolicy {
+	case mem.Membind:
+		return mem.Place(mem.Membind, numNodes, home, b.BindNodes)
+	case mem.Interleave:
+		return mem.Place(mem.Interleave, numNodes, home, nil)
+	case mem.LocalAlloc:
+		return mem.Place(mem.LocalAlloc, numNodes, home, nil)
+	default: // FirstTouch, possibly with misplacement
+		d := mem.Place(mem.FirstTouch, numNodes, home, nil)
+		if b.MisplacedFrac > 0 && b.MisplacedNode != home {
+			d[home] -= b.MisplacedFrac
+			d[b.MisplacedNode] += b.MisplacedFrac
+		}
+		return d
+	}
+}
+
+// ErrInfeasible reports that a scheme cannot host the rank count on the
+// system (the dashes in the paper's tables, e.g. one task per socket with
+// 16 tasks on 8 sockets).
+type ErrInfeasible struct {
+	Scheme Scheme
+	Ranks  int
+	System string
+}
+
+func (e *ErrInfeasible) Error() string {
+	return fmt.Sprintf("affinity: %v cannot place %d ranks on %s", e.Scheme, e.Ranks, e.System)
+}
+
+// Layout computes per-rank bindings for a scheme on a topology.
+func Layout(scheme Scheme, topo *topology.System, nranks int) ([]Binding, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("affinity: rank count %d must be positive", nranks)
+	}
+	if nranks > topo.NumCores() {
+		return nil, &ErrInfeasible{Scheme: scheme, Ranks: nranks, System: topo.Name}
+	}
+	n := topo.NumSockets
+	switch scheme {
+	case OneMPILocalAlloc, OneMPIMembind:
+		if nranks > n {
+			return nil, &ErrInfeasible{Scheme: scheme, Ranks: nranks, System: topo.Name}
+		}
+		sockets := compactSockets(topo, nranks)
+		out := make([]Binding, nranks)
+		for i := range out {
+			sock := sockets[i]
+			out[i] = Binding{Core: topo.CoresOn(sock)[0], MemPolicy: mem.LocalAlloc}
+			if scheme == OneMPIMembind {
+				out[i].MemPolicy = mem.Membind
+				out[i].BindNodes = []int{membindTarget(int(sock), n)}
+			}
+		}
+		return out, nil
+
+	case TwoMPILocalAlloc, TwoMPIMembind:
+		if topo.CoresPerSock < 2 || nranks > 2*n {
+			return nil, &ErrInfeasible{Scheme: scheme, Ranks: nranks, System: topo.Name}
+		}
+		nsock := (nranks + 1) / 2
+		sockets := compactSockets(topo, nsock)
+		out := make([]Binding, nranks)
+		for i := range out {
+			sock := sockets[i/2]
+			out[i] = Binding{Core: topo.CoresOn(sock)[i%2], MemPolicy: mem.LocalAlloc}
+			if scheme == TwoMPIMembind {
+				out[i].MemPolicy = mem.Membind
+				out[i].BindNodes = []int{membindTarget(int(sock), n)}
+			}
+		}
+		return out, nil
+
+	case Default, Interleave:
+		// OS default: balance across sockets in id order (no ladder
+		// awareness), first core of each socket before second cores.
+		out := make([]Binding, nranks)
+		for i := range out {
+			var core topology.CoreID
+			if i < n {
+				core = topo.CoresOn(topology.SocketID(i))[0]
+			} else {
+				if topo.CoresPerSock < 2 {
+					return nil, &ErrInfeasible{Scheme: scheme, Ranks: nranks, System: topo.Name}
+				}
+				core = topo.CoresOn(topology.SocketID(i - n))[1]
+			}
+			home := int(topo.SocketOf(core))
+			if scheme == Interleave {
+				out[i] = Binding{Core: core, MemPolicy: mem.Interleave}
+			} else {
+				out[i] = Binding{
+					Core:          core,
+					MemPolicy:     mem.FirstTouch,
+					MisplacedFrac: DefaultMisplacedFrac,
+					MisplacedNode: (home + 1) % n,
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("affinity: unknown scheme %v", scheme)
+}
+
+// membindTarget is the node the paper's (mis)configured membind scheme
+// binds a socket's memory to: the node half-way across the system, so
+// every access is remote and the binding routes cross each other on the
+// ladder.
+func membindTarget(sock, n int) int {
+	if n < 2 {
+		return sock
+	}
+	return (sock + n/2) % n
+}
+
+// compactSockets picks nsock sockets minimizing total pairwise hop count,
+// modeling the paper's choice to "minimize the effect of the HT ladder"
+// (they used sockets 2–5 for four-socket runs on Longs). Ties break toward
+// the lexicographically smallest set.
+func compactSockets(topo *topology.System, nsock int) []topology.SocketID {
+	n := topo.NumSockets
+	if nsock >= n {
+		out := make([]topology.SocketID, n)
+		for i := range out {
+			out[i] = topology.SocketID(i)
+		}
+		return out
+	}
+	best := make([]int, 0, nsock)
+	bestCost := -1
+	cur := make([]int, 0, nsock)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == nsock {
+			cost := 0
+			for i := 0; i < nsock; i++ {
+				for j := i + 1; j < nsock; j++ {
+					cost += topo.Hops(topology.SocketID(cur[i]), topology.SocketID(cur[j]))
+				}
+			}
+			if bestCost == -1 || cost < bestCost {
+				bestCost = cost
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		for s := start; s < n; s++ {
+			cur = append(cur, s)
+			rec(s + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	sort.Ints(best)
+	out := make([]topology.SocketID, nsock)
+	for i, s := range best {
+		out[i] = topology.SocketID(s)
+	}
+	return out
+}
+
+// ParseScheme resolves a scheme's CLI name. Accepted names: default,
+// localalloc, membind, 2mpi-localalloc, 2mpi-membind, interleave.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "default":
+		return Default, nil
+	case "localalloc":
+		return OneMPILocalAlloc, nil
+	case "membind":
+		return OneMPIMembind, nil
+	case "2mpi-localalloc":
+		return TwoMPILocalAlloc, nil
+	case "2mpi-membind":
+		return TwoMPIMembind, nil
+	case "interleave":
+		return Interleave, nil
+	}
+	return 0, fmt.Errorf("affinity: unknown scheme %q", name)
+}

@@ -1,0 +1,195 @@
+package affinity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"multicore/internal/mem"
+	"multicore/internal/topology"
+)
+
+func TestOneMPISpreadsAcrossSockets(t *testing.T) {
+	topo := topology.DMZ()
+	b, err := Layout(OneMPILocalAlloc, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.SocketOf(b[0].Core) == topo.SocketOf(b[1].Core) {
+		t.Fatal("one-MPI-per-socket placed both ranks on one socket")
+	}
+	for _, bb := range b {
+		if bb.MemPolicy != mem.LocalAlloc {
+			t.Fatalf("policy = %v", bb.MemPolicy)
+		}
+	}
+}
+
+func TestOneMPIInfeasibleBeyondSockets(t *testing.T) {
+	topo := topology.Longs()
+	_, err := Layout(OneMPILocalAlloc, topo, 16)
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestTwoMPIPacksPairs(t *testing.T) {
+	topo := topology.Longs()
+	b, err := Layout(TwoMPILocalAlloc, topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 ranks on 4 sockets, pairs sharing sockets.
+	used := map[topology.SocketID]int{}
+	for _, bb := range b {
+		used[topo.SocketOf(bb.Core)]++
+	}
+	if len(used) != 4 {
+		t.Fatalf("two-per-socket used %d sockets, want 4", len(used))
+	}
+	for s, c := range used {
+		if c != 2 {
+			t.Fatalf("socket %d has %d ranks", s, c)
+		}
+	}
+}
+
+func TestTwoMPIInfeasibleOnSingleCoreSockets(t *testing.T) {
+	topo := topology.Tiger()
+	_, err := Layout(TwoMPILocalAlloc, topo, 2)
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("expected ErrInfeasible on Tiger, got %v", err)
+	}
+}
+
+func TestMembindBindsToNeighborNode(t *testing.T) {
+	topo := topology.DMZ()
+	b, err := Layout(OneMPIMembind, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bb := range b {
+		home := int(topo.SocketOf(bb.Core))
+		d := bb.Placement(topo, topo.NumSockets)
+		if d[home] != 0 {
+			t.Fatalf("membind left pages on home node: %v", d)
+		}
+	}
+}
+
+func TestDefaultHasMisplacedPages(t *testing.T) {
+	topo := topology.DMZ()
+	b, err := Layout(Default, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b[0].Placement(topo, topo.NumSockets)
+	home := int(topo.SocketOf(b[0].Core))
+	if math.Abs(d[home]-(1-DefaultMisplacedFrac)) > 1e-12 {
+		t.Fatalf("default placement = %v", d)
+	}
+	sum := 0.0
+	for _, f := range d {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("placement sums to %v", sum)
+	}
+}
+
+func TestInterleaveDistribution(t *testing.T) {
+	topo := topology.Longs()
+	b, err := Layout(Interleave, topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b[0].Placement(topo, topo.NumSockets)
+	for _, f := range d {
+		if math.Abs(f-0.125) > 1e-12 {
+			t.Fatalf("interleave placement = %v", d)
+		}
+	}
+}
+
+func TestCompactSocketsPicksLadderBlock(t *testing.T) {
+	topo := topology.Longs()
+	got := compactSockets(topo, 4)
+	// A 2x2 block (e.g. {0,1,2,3} or {2,3,4,5}) has pairwise cost
+	// 1+1+1+1+2+2 = 8; a 1x4 rail run costs 1+2+3+1+2+1 = 10.
+	cost := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			cost += topo.Hops(got[i], got[j])
+		}
+	}
+	if cost != 8 {
+		t.Fatalf("compactSockets(4) = %v with cost %d, want a 2x2 block (cost 8)", got, cost)
+	}
+}
+
+func TestLayoutAllSchemesOnAllSystems(t *testing.T) {
+	for _, topo := range []*topology.System{topology.Tiger(), topology.DMZ(), topology.Longs()} {
+		for _, sch := range Schemes {
+			for nranks := 1; nranks <= topo.NumCores(); nranks++ {
+				b, err := Layout(sch, topo, nranks)
+				if err != nil {
+					var inf *ErrInfeasible
+					if !errors.As(err, &inf) {
+						t.Fatalf("%s/%v/%d: unexpected error %v", topo.Name, sch, nranks, err)
+					}
+					continue
+				}
+				if len(b) != nranks {
+					t.Fatalf("%s/%v/%d: got %d bindings", topo.Name, sch, nranks, len(b))
+				}
+				seen := map[topology.CoreID]bool{}
+				for _, bb := range b {
+					if seen[bb.Core] {
+						t.Fatalf("%s/%v/%d: core %d double-booked", topo.Name, sch, nranks, bb.Core)
+					}
+					seen[bb.Core] = true
+					d := bb.Placement(topo, topo.NumSockets)
+					sum := 0.0
+					for _, f := range d {
+						if f < -1e-12 {
+							t.Fatalf("%s/%v/%d: negative placement %v", topo.Name, sch, nranks, d)
+						}
+						sum += f
+					}
+					if math.Abs(sum-1) > 1e-9 {
+						t.Fatalf("%s/%v/%d: placement sums to %v", topo.Name, sch, nranks, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZeroRanksError(t *testing.T) {
+	if _, err := Layout(Default, topology.DMZ(), 0); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+}
+
+func TestParseSchemeRoundTrip(t *testing.T) {
+	names := []string{"default", "localalloc", "membind", "2mpi-localalloc", "2mpi-membind", "interleave"}
+	seen := map[Scheme]bool{}
+	for _, n := range names {
+		s, err := ParseScheme(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate scheme for %q", n)
+		}
+		seen[s] = true
+	}
+	if len(seen) != len(Schemes) {
+		t.Fatalf("parsed %d schemes, registry has %d", len(seen), len(Schemes))
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,198 @@
+// Package amber models the AMBER 8 sander molecular-dynamics workloads the
+// paper evaluates (Section 4.1, Tables 6-9): the five benchmark systems
+// (dhfr, factor_ix, gb_cox2, gb_mb, JAC) using either the Particle Mesh
+// Ewald (PME) method — direct-space pair interactions plus a reciprocal
+// 3-D FFT — or the compute-bound Generalized Born (GB) method.
+//
+// sander's classic parallelization replicates coordinates: every step ends
+// in an all-reduce of the force array, which is what limits PME scaling on
+// many cores, while GB's O(N^2) compute keeps scaling near-linear.
+package amber
+
+import (
+	"fmt"
+	"math"
+
+	"multicore/internal/kernels/fft"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// Method is the MD force method.
+type Method int
+
+// PME uses Particle Mesh Ewald (direct + reciprocal FFT); GB uses the
+// Generalized Born implicit-solvent model.
+const (
+	PME Method = iota
+	GB
+)
+
+func (m Method) String() string {
+	if m == GB {
+		return "GB"
+	}
+	return "PME"
+}
+
+// Benchmark describes one AMBER benchmark system (paper Table 6).
+type Benchmark struct {
+	Name   string
+	Atoms  int
+	Method Method
+}
+
+// Benchmarks returns the paper's five AMBER benchmarks.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Name: "dhfr", Atoms: 22930, Method: PME},
+		{Name: "factor_ix", Atoms: 90906, Method: PME},
+		{Name: "gb_cox2", Atoms: 18056, Method: GB},
+		{Name: "gb_mb", Atoms: 2492, Method: GB},
+		{Name: "JAC", Atoms: 23558, Method: PME},
+	}
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("amber: unknown benchmark %q", name)
+}
+
+// Report keys.
+const (
+	MetricTotalTime = "amber.total" // per-rank total MD loop time (s)
+	MetricFFTTime   = "amber.fft"   // per-rank time in the reciprocal FFT (s)
+)
+
+// Params configures a simulated sander run.
+type Params struct {
+	Bench Benchmark
+	Steps int // MD steps (default 10)
+}
+
+// Tuning constants for the cost model.
+const (
+	// neighborsPerAtom is the average pair-list length within the
+	// direct-space cutoff for explicit solvent (half-counted).
+	neighborsPerAtom = 190
+	// flopsPerPair is the cost of one nonbonded pair interaction
+	// (distance, erfc, LJ terms).
+	flopsPerPair = 55
+	// gridPerAtom scales the PME mesh size with system size (~11 grid
+	// points per atom reproduces JAC's 64^3 grid).
+	gridPerAtom = 11
+	// gbFlopsPerPair is the per-pair cost of the GB pairwise terms; GB
+	// touches all pairs within a generous cutoff twice (radii + forces).
+	gbNeighbors   = 420
+	gbFlopsPerGBP = 90
+)
+
+// Run executes the simulated sander MD loop on one rank of an SPMD job.
+func Run(r *mpi.Rank, p Params) {
+	if p.Bench.Atoms <= 0 {
+		panic("amber: benchmark has no atoms")
+	}
+	if p.Steps == 0 {
+		p.Steps = 10
+	}
+	atoms := float64(p.Bench.Atoms)
+	size := float64(r.Size())
+
+	// Replicated coordinate/force arrays (sander's classic layout) plus
+	// this rank's pair list slice.
+	crd := r.Alloc("amber.crd", 24*atoms)
+	frc := r.Alloc("amber.frc", 24*atoms)
+	pairs := r.Alloc("amber.pairs", atoms*neighborsPerAtom*4/size)
+	var grid, scratch *mem.Region
+	gridPts := 0.0
+	if p.Bench.Method == PME {
+		gridPts = pow2Near(atoms * gridPerAtom)
+		grid = r.Alloc("amber.grid", 16*gridPts/size)
+		scratch = r.Alloc("amber.scratch", 16*gridPts/size)
+	}
+
+	r.Barrier()
+	start := r.Now()
+	fftTime := 0.0
+	for step := 0; step < p.Steps; step++ {
+		if p.Bench.Method == PME {
+			directSpace(r, crd, frc, pairs, atoms, size)
+			fftTime += reciprocal(r, grid, scratch, crd, gridPts, atoms, size)
+		} else {
+			gbStep(r, crd, frc, atoms, size)
+		}
+		// Force all-reduce over the replicated array, then integrate.
+		if r.Size() > 1 {
+			r.Allreduce(24 * atoms)
+		}
+		r.Overlap(9*atoms/size, 0.4,
+			mem.Access{Region: crd, Pattern: mem.StreamWrite, Bytes: 24 * atoms / size})
+	}
+	r.Report(MetricTotalTime, r.Now()-start)
+	if p.Bench.Method == PME {
+		r.Report(MetricFFTTime, fftTime)
+	}
+}
+
+// directSpace models the nonbonded pair loop over this rank's pair list.
+func directSpace(r *mpi.Rank, crd, frc, pairs *mem.Region, atoms, size float64) {
+	pairCount := atoms * neighborsPerAtom / size
+	r.Overlap(pairCount*flopsPerPair, 0.30,
+		// Pair list streams; coordinates are gathered but mostly cache
+		// resident (they fit for these systems).
+		mem.Access{Region: pairs, Pattern: mem.Stream, Bytes: pairs.Bytes},
+		mem.Access{Region: crd, Pattern: mem.Random, Touches: pairCount / 8},
+		mem.Access{Region: frc, Pattern: mem.Stream, Bytes: 24 * atoms / size},
+	)
+}
+
+// reciprocal models the PME reciprocal-space part: charge spreading, a
+// distributed 3-D FFT (forward + inverse) with transpose alltoalls, the
+// k-space energy sweep, and force interpolation. It returns the time
+// spent.
+func reciprocal(r *mpi.Rank, grid, scratch, crd *mem.Region, gridPts, atoms, size float64) float64 {
+	begin := r.Now()
+	bytes := 16 * gridPts / size
+
+	// Charge spreading: 4x4x4 B-spline per atom, scattered writes.
+	r.Overlap(64*10*atoms/size, 0.25,
+		mem.Access{Region: grid, Pattern: mem.Random, Touches: 64 * atoms / size / 8})
+
+	// Forward + inverse 3-D FFT (2 transposes each).
+	for pass := 0; pass < 2; pass++ {
+		r.Overlap(fft.Flops(gridPts)/size, 0.22,
+			mem.Access{Region: grid, Pattern: mem.Stream, Bytes: 2 * bytes},
+			mem.Access{Region: scratch, Pattern: mem.StreamWrite, Bytes: 2 * bytes})
+		if r.Size() > 1 {
+			r.Alltoall(bytes / size)
+			r.Alltoall(bytes / size)
+		}
+	}
+
+	// Convolution with the influence function + force interpolation.
+	r.Overlap(8*gridPts/size+64*8*atoms/size, 0.25,
+		mem.Access{Region: scratch, Pattern: mem.Stream, Bytes: bytes},
+		mem.Access{Region: crd, Pattern: mem.Random, Touches: 64 * atoms / size / 8})
+	return r.Now() - begin
+}
+
+// gbStep models one Generalized Born step: effective Born radii plus
+// pairwise GB forces — heavily compute bound.
+func gbStep(r *mpi.Rank, crd, frc *mem.Region, atoms, size float64) {
+	pairCount := atoms * gbNeighbors / size
+	r.Overlap(2*pairCount*gbFlopsPerGBP, 0.45,
+		mem.Access{Region: crd, Pattern: mem.Random, Touches: pairCount / 16},
+		mem.Access{Region: frc, Pattern: mem.Stream, Bytes: 24 * atoms / size},
+	)
+}
+
+// pow2Near rounds up to the next power of two (PME grids are chosen for
+// FFT friendliness).
+func pow2Near(v float64) float64 {
+	return math.Pow(2, math.Ceil(math.Log2(v)))
+}

@@ -1,0 +1,127 @@
+package amber
+
+import (
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/core"
+	"multicore/internal/mpi"
+)
+
+func TestBenchmarksMatchTable6(t *testing.T) {
+	want := map[string]struct {
+		atoms  int
+		method Method
+	}{
+		"dhfr":      {22930, PME},
+		"factor_ix": {90906, PME},
+		"gb_cox2":   {18056, GB},
+		"gb_mb":     {2492, GB},
+		"JAC":       {23558, PME},
+	}
+	bs := Benchmarks()
+	if len(bs) != len(want) {
+		t.Fatalf("want %d benchmarks, got %d", len(want), len(bs))
+	}
+	for _, b := range bs {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Fatalf("unexpected benchmark %q", b.Name)
+		}
+		if b.Atoms != w.atoms || b.Method != w.method {
+			t.Fatalf("%s = %+v, want %+v", b.Name, b, w)
+		}
+	}
+	if _, err := ByName("JAC"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func runAmber(t *testing.T, name, system string, ranks int, scheme affinity.Scheme) (total, fftT float64) {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Job{System: system, Ranks: ranks, Scheme: scheme}, func(r *mpi.Rank) {
+		Run(r, Params{Bench: b, Steps: 4})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Max(MetricTotalTime), res.Max(MetricFFTTime)
+}
+
+func TestJACSpeedupShapeDMZ(t *testing.T) {
+	t1, _ := runAmber(t, "JAC", "dmz", 1, affinity.Default)
+	t2, _ := runAmber(t, "JAC", "dmz", 2, affinity.Default)
+	t4, _ := runAmber(t, "JAC", "dmz", 4, affinity.Default)
+	s2, s4 := t1/t2, t1/t4
+	// Paper Table 8: JAC on DMZ: 1.96x at 2, 3.63x at 4.
+	if s2 < 1.7 || s2 > 2.1 {
+		t.Fatalf("JAC 2-core speedup = %.2f, want ~1.96", s2)
+	}
+	if s4 < 3.0 || s4 > 4.1 {
+		t.Fatalf("JAC 4-core speedup = %.2f, want ~3.6", s4)
+	}
+}
+
+func TestPMESaturatesOnLongs16(t *testing.T) {
+	t1, _ := runAmber(t, "JAC", "longs", 1, affinity.Default)
+	t8, _ := runAmber(t, "JAC", "longs", 8, affinity.Default)
+	t16, _ := runAmber(t, "JAC", "longs", 16, affinity.Default)
+	s8, s16 := t1/t8, t1/t16
+	// Paper Table 8: JAC on Longs: 6.22x at 8, 7.97x at 16 — the force
+	// allreduce caps scaling.
+	if s8 < 4.5 || s8 > 7.9 {
+		t.Fatalf("JAC 8-core speedup = %.2f, want ~6.2", s8)
+	}
+	if s16 > 11 {
+		t.Fatalf("JAC 16-core speedup = %.2f, should saturate well below 16", s16)
+	}
+	if s16 < s8 {
+		t.Fatalf("16-core speedup %.2f fell below 8-core %.2f", s16, s8)
+	}
+}
+
+func TestGBScalesNearLinearly(t *testing.T) {
+	t1, _ := runAmber(t, "gb_mb", "longs", 1, affinity.Default)
+	t16, _ := runAmber(t, "gb_mb", "longs", 16, affinity.Default)
+	s16 := t1 / t16
+	// Paper Table 8: gb_mb 14.93x at 16 cores.
+	if s16 < 11 || s16 > 16.5 {
+		t.Fatalf("gb_mb 16-core speedup = %.2f, want ~15", s16)
+	}
+}
+
+func TestGBScalesBetterThanPME(t *testing.T) {
+	p1, _ := runAmber(t, "JAC", "longs", 1, affinity.Default)
+	p16, _ := runAmber(t, "JAC", "longs", 16, affinity.Default)
+	g1, _ := runAmber(t, "gb_cox2", "longs", 1, affinity.Default)
+	g16, _ := runAmber(t, "gb_cox2", "longs", 16, affinity.Default)
+	if g1/g16 <= p1/p16 {
+		t.Fatalf("GB speedup %.2f should exceed PME speedup %.2f", g1/g16, p1/p16)
+	}
+}
+
+func TestFFTPhaseRespondsToMembind(t *testing.T) {
+	// Paper Table 7: the JAC FFT phase degrades under membind on Longs.
+	_, local := runAmber(t, "JAC", "longs", 8, affinity.TwoMPILocalAlloc)
+	_, membind := runAmber(t, "JAC", "longs", 8, affinity.TwoMPIMembind)
+	if membind <= local {
+		t.Fatalf("membind FFT time %.4f should exceed localalloc %.4f", membind, local)
+	}
+}
+
+func TestDefaultNearOptimalOnDMZ(t *testing.T) {
+	// Paper: "the default option on the DMZ system is sufficient to
+	// obtain near optimal runtimes".
+	def, _ := runAmber(t, "JAC", "dmz", 4, affinity.Default)
+	best, _ := runAmber(t, "JAC", "dmz", 4, affinity.TwoMPILocalAlloc)
+	if def > 1.25*best {
+		t.Fatalf("DMZ default %.4f should be within ~25%% of localalloc %.4f", def, best)
+	}
+}

@@ -1,0 +1,83 @@
+package lammps
+
+import (
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/core"
+	"multicore/internal/mpi"
+)
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"lj", "chain", "eam"} {
+		b, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != n {
+			t.Fatalf("round trip %q -> %v", n, b)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func runLammps(t *testing.T, b Benchmark, system string, ranks int, scheme affinity.Scheme) float64 {
+	t.Helper()
+	res, err := core.Run(core.Job{System: system, Ranks: ranks, Scheme: scheme}, func(r *mpi.Rank) {
+		Run(r, Params{Bench: b, Steps: 20})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Max(MetricTime)
+}
+
+func TestLJScalingShape(t *testing.T) {
+	t1 := runLammps(t, LJ, "longs", 1, affinity.Default)
+	t4 := runLammps(t, LJ, "longs", 4, affinity.Default)
+	t16 := runLammps(t, LJ, "longs", 16, affinity.Default)
+	s4, s16 := t1/t4, t1/t16
+	// Paper Table 10: LJ on Longs: 3.51x at 4, 10.65x at 16.
+	if s4 < 2.8 || s4 > 4.3 {
+		t.Fatalf("LJ 4-core speedup = %.2f, want ~3.5", s4)
+	}
+	if s16 < 7 || s16 > 16 {
+		t.Fatalf("LJ 16-core speedup = %.2f, want ~10.7", s16)
+	}
+}
+
+func TestChainScalesBestOfThree(t *testing.T) {
+	// Paper Table 10 on Longs at 16 cores: chain 19.95x (superlinear)
+	// vs LJ 10.65x and EAM 12.54x. Assert the ordering.
+	sp := func(b Benchmark) float64 {
+		return runLammps(t, b, "longs", 1, affinity.Default) /
+			runLammps(t, b, "longs", 16, affinity.Default)
+	}
+	lj, chain, eam := sp(LJ), sp(Chain), sp(EAM)
+	if !(chain > eam && chain > lj) {
+		t.Fatalf("chain (%.1f) should scale best (lj %.1f, eam %.1f)", chain, lj, eam)
+	}
+}
+
+func TestScalingConsistentAcrossSystems(t *testing.T) {
+	// Paper: "The scaling behavior is consistent across different
+	// dual-core Opteron system configurations."
+	for _, sys := range []string{"dmz", "tiger"} {
+		t1 := runLammps(t, LJ, sys, 1, affinity.Default)
+		t2 := runLammps(t, LJ, sys, 2, affinity.Default)
+		if s := t1 / t2; s < 1.5 || s > 2.3 {
+			t.Fatalf("%s LJ 2-core speedup = %.2f", sys, s)
+		}
+	}
+}
+
+func TestMembindHurtsLJ(t *testing.T) {
+	// Paper Table 11: membind schemes degrade LJ on Longs.
+	local := runLammps(t, LJ, "longs", 8, affinity.TwoMPILocalAlloc)
+	membind := runLammps(t, LJ, "longs", 8, affinity.TwoMPIMembind)
+	if membind <= local {
+		t.Fatalf("membind %.4f should be slower than localalloc %.4f", membind, local)
+	}
+}

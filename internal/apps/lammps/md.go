@@ -1,0 +1,133 @@
+package lammps
+
+import "math"
+
+// Real molecular-dynamics numerics: a small velocity-Verlet integrator
+// over the Lennard-Jones potential. The simulated benchmark drivers model
+// cost; this code validates the physics structure they stand for (energy
+// conservation, force symmetry) in the test suite and host benchmarks.
+
+// System is a small real MD system in reduced LJ units.
+type System struct {
+	N         int
+	Box       float64 // cubic periodic box edge
+	Cutoff    float64
+	Pos, Vel  []float64 // 3N coordinates
+	Force     []float64
+	potential float64
+}
+
+// NewLattice builds an n^3-site cubic lattice with the given spacing and
+// zero initial velocities.
+func NewLattice(n int, spacing float64) *System {
+	count := n * n * n
+	s := &System{
+		N:      count,
+		Box:    float64(n) * spacing,
+		Cutoff: 2.5,
+		Pos:    make([]float64, 3*count),
+		Vel:    make([]float64, 3*count),
+		Force:  make([]float64, 3*count),
+	}
+	i := 0
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				s.Pos[3*i] = (float64(x) + 0.5) * spacing
+				s.Pos[3*i+1] = (float64(y) + 0.5) * spacing
+				s.Pos[3*i+2] = (float64(z) + 0.5) * spacing
+				i++
+			}
+		}
+	}
+	return s
+}
+
+// minimumImage wraps a displacement into the nearest periodic image.
+func (s *System) minimumImage(d float64) float64 {
+	for d > s.Box/2 {
+		d -= s.Box
+	}
+	for d < -s.Box/2 {
+		d += s.Box
+	}
+	return d
+}
+
+// ComputeForces evaluates LJ forces and potential energy over all pairs
+// within the cutoff (O(N^2); the real code is for validation, not speed).
+func (s *System) ComputeForces() {
+	for i := range s.Force {
+		s.Force[i] = 0
+	}
+	s.potential = 0
+	rc2 := s.Cutoff * s.Cutoff
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			dx := s.minimumImage(s.Pos[3*i] - s.Pos[3*j])
+			dy := s.minimumImage(s.Pos[3*i+1] - s.Pos[3*j+1])
+			dz := s.minimumImage(s.Pos[3*i+2] - s.Pos[3*j+2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			// LJ: U = 4 (r^-12 - r^-6); F = 24 (2 r^-12 - r^-6) / r^2 * dr
+			s.potential += 4 * (inv6*inv6 - inv6)
+			f := 24 * (2*inv6*inv6 - inv6) * inv2
+			s.Force[3*i] += f * dx
+			s.Force[3*i+1] += f * dy
+			s.Force[3*i+2] += f * dz
+			s.Force[3*j] -= f * dx
+			s.Force[3*j+1] -= f * dy
+			s.Force[3*j+2] -= f * dz
+		}
+	}
+}
+
+// Step advances the system by dt with velocity Verlet.
+func (s *System) Step(dt float64) {
+	half := dt / 2
+	for i := range s.Pos {
+		s.Vel[i] += half * s.Force[i]
+		s.Pos[i] += dt * s.Vel[i]
+		// Wrap into the box.
+		if s.Pos[i] < 0 {
+			s.Pos[i] += s.Box
+		} else if s.Pos[i] >= s.Box {
+			s.Pos[i] -= s.Box
+		}
+	}
+	s.ComputeForces()
+	for i := range s.Vel {
+		s.Vel[i] += half * s.Force[i]
+	}
+}
+
+// Kinetic returns the kinetic energy (unit masses).
+func (s *System) Kinetic() float64 {
+	k := 0.0
+	for _, v := range s.Vel {
+		k += v * v
+	}
+	return k / 2
+}
+
+// Potential returns the last computed potential energy.
+func (s *System) Potential() float64 { return s.potential }
+
+// TotalEnergy returns kinetic + potential.
+func (s *System) TotalEnergy() float64 { return s.Kinetic() + s.Potential() }
+
+// NetForce returns the magnitude of the total force vector; Newton's
+// third law demands it be ~0.
+func (s *System) NetForce() float64 {
+	var fx, fy, fz float64
+	for i := 0; i < s.N; i++ {
+		fx += s.Force[3*i]
+		fy += s.Force[3*i+1]
+		fz += s.Force[3*i+2]
+	}
+	return math.Sqrt(fx*fx + fy*fy + fz*fz)
+}

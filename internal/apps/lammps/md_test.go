@@ -1,0 +1,92 @@
+package lammps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func thermalize(s *System, temp float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range s.Vel {
+		s.Vel[i] = rng.NormFloat64() * math.Sqrt(temp)
+	}
+}
+
+func TestForcesObeyNewtonsThirdLaw(t *testing.T) {
+	s := NewLattice(4, 1.2)
+	thermalize(s, 0.5, 1)
+	s.ComputeForces()
+	if nf := s.NetForce(); nf > 1e-9 {
+		t.Fatalf("net force = %v, want ~0", nf)
+	}
+}
+
+func TestLatticeForcesBalanced(t *testing.T) {
+	// A perfect lattice is a stationary point: every per-atom force
+	// cancels by symmetry (up to roundoff).
+	s := NewLattice(3, 1.1)
+	s.ComputeForces()
+	for i := 0; i < s.N; i++ {
+		f := math.Abs(s.Force[3*i]) + math.Abs(s.Force[3*i+1]) + math.Abs(s.Force[3*i+2])
+		if f > 1e-8 {
+			t.Fatalf("atom %d force %v on a symmetric lattice", i, f)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s := NewLattice(4, 1.2)
+	thermalize(s, 0.05, 2)
+	s.ComputeForces()
+	e0 := s.TotalEnergy()
+	for step := 0; step < 200; step++ {
+		s.Step(0.002)
+	}
+	e1 := s.TotalEnergy()
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 5e-3 {
+		t.Fatalf("energy drifted %.2f%% over 200 steps (%v -> %v)", 100*drift, e0, e1)
+	}
+}
+
+func TestMinimumImage(t *testing.T) {
+	s := NewLattice(2, 2.0) // box = 4
+	if d := s.minimumImage(3.5); math.Abs(d+0.5) > 1e-12 {
+		t.Fatalf("minimumImage(3.5) = %v, want -0.5", d)
+	}
+	if d := s.minimumImage(-3.5); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("minimumImage(-3.5) = %v, want 0.5", d)
+	}
+	if d := s.minimumImage(1.0); d != 1.0 {
+		t.Fatalf("minimumImage(1.0) = %v", d)
+	}
+}
+
+func TestPotentialIsNegativeNearEquilibrium(t *testing.T) {
+	// Lattice spacing near the LJ minimum (2^(1/6) ~ 1.12) binds.
+	s := NewLattice(3, 1.12)
+	s.ComputeForces()
+	if s.Potential() >= 0 {
+		t.Fatalf("potential = %v, want negative (bound state)", s.Potential())
+	}
+}
+
+func TestHotSystemExpandsKinetically(t *testing.T) {
+	s := NewLattice(3, 1.2)
+	thermalize(s, 2.0, 3)
+	k0 := s.Kinetic()
+	if k0 <= 0 {
+		t.Fatal("no kinetic energy after thermalize")
+	}
+	s.ComputeForces()
+	for step := 0; step < 50; step++ {
+		s.Step(0.001)
+	}
+	// The system stays finite (no integrator blow-up).
+	for _, p := range s.Pos {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatal("integrator blew up")
+		}
+	}
+}

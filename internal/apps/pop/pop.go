@@ -1,0 +1,149 @@
+// Package pop models the Parallel Ocean Program (Section 4.2, Tables
+// 12-14): the x1 benchmark configuration (320x384 horizontal grid, 40
+// vertical levels) split into its two characteristic phases. The
+// baroclinic phase is a 3-D stencil sweep with nearest-neighbor halo
+// exchanges (scales well); the barotropic phase is a 2-D implicit solve by
+// conjugate gradients whose small allreduces make it latency sensitive.
+package pop
+
+import (
+	"math"
+
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// Report keys.
+const (
+	MetricBaroclinic = "pop.baroclinic" // per-rank baroclinic time (s)
+	MetricBarotropic = "pop.barotropic" // per-rank barotropic time (s)
+)
+
+// Params configures a simulated POP run. The defaults are the paper's x1
+// benchmark: 320x384x40, 50 time steps (a 2-day simulation).
+type Params struct {
+	NX, NY, NZ int
+	Steps      int
+	// CGIters is the barotropic solver's iteration count per step
+	// (x1 converges in roughly 150 iterations).
+	CGIters int
+}
+
+func (p *Params) setDefaults() {
+	if p.NX == 0 {
+		p.NX, p.NY, p.NZ = 320, 384, 40
+	}
+	if p.Steps == 0 {
+		p.Steps = 50
+	}
+	if p.CGIters == 0 {
+		p.CGIters = 150
+	}
+}
+
+// X1 returns the paper's benchmark configuration.
+func X1() Params {
+	var p Params
+	p.setDefaults()
+	return p
+}
+
+// tuning constants for the cost model.
+const (
+	// fields3D is the number of 3-D fields the baroclinic sweep streams
+	// per step. The balance against flopsPerPoint3D is calibrated so a
+	// local-memory run is (just) compute bound — hence the paper's
+	// near-linear scaling — while membind's reduced remote stream rate
+	// tips the phase into memory-bound territory (Table 13's ~2x).
+	fields3D = 10
+	// flopsPerPoint3D is the stencil cost per grid point per step.
+	flopsPerPoint3D = 150
+	// flopsPerPoint2D is the barotropic operator cost per 2-D point per
+	// CG iteration.
+	flopsPerPoint2D = 18
+)
+
+// Run executes the simulated POP time-stepping loop on one rank. Ranks
+// decompose the horizontal grid into near-square tiles.
+func Run(r *mpi.Rank, p Params) {
+	p.setDefaults()
+	size := float64(r.Size())
+	nx, ny, nz := float64(p.NX), float64(p.NY), float64(p.NZ)
+
+	pts3D := nx * ny * nz / size
+	pts2D := nx * ny / size
+
+	state := r.Alloc("pop.state", fields3D*8*pts3D)
+	// The barotropic solver's working set splits into the CG vectors
+	// (hot: reused every iteration, cache-resident once tiles shrink)
+	// and the operator coefficients/right-hand side (cold: streamed).
+	hot2d := r.Alloc("pop.2d.vec", 2*8*pts2D)
+	cold2d := r.Alloc("pop.2d.coef", 4*8*pts2D)
+
+	// Tile edge length for halo sizing (near-square decomposition).
+	tileEdge := math.Sqrt(nx * ny / size)
+
+	r.Barrier()
+	start := r.Now()
+	var tClinic, tTropic float64
+	for step := 0; step < p.Steps; step++ {
+		t0 := r.Now()
+		r.Phase("baroclinic", func() {
+			baroclinic(r, state, pts3D, tileEdge, nz)
+		})
+		t1 := r.Now()
+		r.Phase("barotropic", func() {
+			barotropic(r, hot2d, cold2d, pts2D, tileEdge, p.CGIters)
+		})
+		tTropic += r.Now() - t1
+		tClinic += t1 - t0
+	}
+	_ = start
+	r.Report(MetricBaroclinic, tClinic)
+	r.Report(MetricBarotropic, tTropic)
+}
+
+// baroclinic is the 3-D phase: stencil sweeps over the state fields with
+// one halo exchange per step.
+func baroclinic(r *mpi.Rank, state *mem.Region, pts3D, tileEdge, nz float64) {
+	// Halo exchange: four lateral faces of the 3-D tile.
+	if r.Size() > 1 {
+		n := r.Size()
+		haloBytes := 4 * tileEdge * nz * 8 * 2 // two field groups
+		up := (r.ID() + 1) % n
+		down := (r.ID() - 1 + n) % n
+		r.Sendrecv(up, haloBytes, down)
+		r.Sendrecv(down, haloBytes, up)
+	}
+	// Stencil sweep: stream all fields, write the prognostic ones.
+	r.Overlap(pts3D*flopsPerPoint3D, 0.28,
+		mem.Access{Region: state, Pattern: mem.Stream, Bytes: state.Bytes},
+		mem.Access{Region: state, Pattern: mem.StreamWrite, Bytes: state.Bytes / 3},
+	)
+}
+
+// barotropic is the 2-D implicit solve: CG iterations, each a 9-point
+// operator on the 2-D tile plus a halo swap and two global dot products.
+// The tiny allreduces dominate at scale, which is why the paper calls this
+// phase network-latency sensitive.
+func barotropic(r *mpi.Rank, hot2d, cold2d *mem.Region, pts2D, tileEdge float64, iters int) {
+	n := r.Size()
+	for it := 0; it < iters; it++ {
+		// 9-point operator + vector updates over the 2-D tile: sweep
+		// the coefficients (cold) and the CG vectors (hot).
+		r.Overlap(pts2D*flopsPerPoint2D, 0.3,
+			mem.Access{Region: cold2d, Pattern: mem.Stream, Bytes: cold2d.Bytes},
+			mem.Access{Region: hot2d, Pattern: mem.Stream, Bytes: hot2d.Bytes},
+			mem.Access{Region: hot2d, Pattern: mem.StreamWrite, Bytes: hot2d.Bytes / 2},
+		)
+		if n > 1 {
+			haloBytes := 4 * tileEdge * 8
+			up := (r.ID() + 1) % n
+			down := (r.ID() - 1 + n) % n
+			r.Sendrecv(up, haloBytes, down)
+			// Two dot products per CG iteration.
+			r.Allreduce(8)
+			r.Allreduce(8)
+		}
+	}
+}

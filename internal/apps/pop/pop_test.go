@@ -1,0 +1,95 @@
+package pop
+
+import (
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/core"
+	"multicore/internal/mpi"
+)
+
+func runPOP(t *testing.T, system string, ranks int, scheme affinity.Scheme, steps int) (clinic, tropic float64) {
+	t.Helper()
+	res, err := core.Run(core.Job{System: system, Ranks: ranks, Scheme: scheme}, func(r *mpi.Rank) {
+		Run(r, Params{Steps: steps})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Max(MetricBaroclinic), res.Max(MetricBarotropic)
+}
+
+func TestX1Defaults(t *testing.T) {
+	p := X1()
+	if p.NX != 320 || p.NY != 384 || p.NZ != 40 || p.Steps != 50 {
+		t.Fatalf("x1 = %+v", p)
+	}
+}
+
+func TestBothPhasesScaleOnDMZ(t *testing.T) {
+	c1, b1 := runPOP(t, "dmz", 1, affinity.Default, 5)
+	c4, b4 := runPOP(t, "dmz", 4, affinity.Default, 5)
+	sc, sb := c1/c4, b1/b4
+	// Paper Table 12: DMZ at 4 cores: baroclinic 3.87x, barotropic 3.99x.
+	if sc < 3.0 || sc > 4.6 {
+		t.Fatalf("baroclinic 4-core speedup = %.2f, want ~3.9", sc)
+	}
+	if sb < 2.8 || sb > 4.6 {
+		t.Fatalf("barotropic 4-core speedup = %.2f, want ~4.0", sb)
+	}
+}
+
+func TestLongsScalesTo16(t *testing.T) {
+	c1, b1 := runPOP(t, "longs", 1, affinity.Default, 3)
+	c16, b16 := runPOP(t, "longs", 16, affinity.Default, 3)
+	sc, sb := c1/c16, b1/b16
+	// Paper Table 12: Longs at 16: baroclinic 16.11x, barotropic 14.85x.
+	if sc < 9 || sc > 18 {
+		t.Fatalf("baroclinic 16-core speedup = %.2f, want ~16", sc)
+	}
+	if sb < 6 || sb > 17 {
+		t.Fatalf("barotropic 16-core speedup = %.2f, want ~15", sb)
+	}
+	if sb > sc {
+		t.Fatalf("barotropic (%.1f) should scale no better than baroclinic (%.1f)", sb, sc)
+	}
+}
+
+func TestBaroclinicDominatesRuntime(t *testing.T) {
+	// Paper: "the baroclinic process is relatively more computationally
+	// expensive than the barotropic process".
+	c, b := runPOP(t, "dmz", 2, affinity.Default, 5)
+	if c <= b {
+		t.Fatalf("baroclinic %.3f should exceed barotropic %.3f", c, b)
+	}
+}
+
+func TestMembindHurtsBaroclinic(t *testing.T) {
+	// Paper Table 13: membind degrades the (bandwidth-bound) baroclinic
+	// phase on Longs.
+	cl, _ := runPOP(t, "longs", 8, affinity.TwoMPILocalAlloc, 3)
+	cm, _ := runPOP(t, "longs", 8, affinity.TwoMPIMembind, 3)
+	if cm <= cl {
+		t.Fatalf("membind baroclinic %.4f should be slower than localalloc %.4f", cm, cl)
+	}
+}
+
+func TestBarotropicSensitiveToSysV(t *testing.T) {
+	// The barotropic CG is allreduce-bound, so a slow lock sub-layer
+	// shows up directly.
+	run := func(impl *mpi.Impl) float64 {
+		res, err := core.Run(core.Job{System: "longs", Ranks: 8,
+			Scheme: affinity.OneMPILocalAlloc, Impl: impl}, func(r *mpi.Rank) {
+			Run(r, Params{Steps: 3})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Max(MetricBarotropic)
+	}
+	usysv := run(mpi.LAM().WithSublayer(mpi.USysV()))
+	sysv := run(mpi.LAM().WithSublayer(mpi.SysV()))
+	if sysv < 1.5*usysv {
+		t.Fatalf("SysV barotropic %.3f should far exceed USysV %.3f", sysv, usysv)
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+
+	"multicore/internal/affinity"
+	"multicore/internal/core"
+	"multicore/internal/kernels/imb"
+	"multicore/internal/kernels/rnda"
+	"multicore/internal/kernels/stream"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/npb"
+	"multicore/internal/report"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+// Ablations probe the model's load-bearing design choices and the paper's
+// forward-looking claims: what happens if the coherence overhead the paper
+// blames is removed, if the HT ladder is replaced by a full crossbar, or
+// as the lock sub-layer's latency sweeps between spin locks and kernel
+// semaphores. ext-hybrid quantifies the paper's proposed three-class
+// communication hierarchy.
+func init() {
+	register(Experiment{
+		ID:    "ablate-coherence",
+		Title: "Longs without the coherence bandwidth derating",
+		Paper: "The paper expects future processors to recover the bandwidth the 8-socket probe scheme costs; this ablation restores it.",
+		Run:   runAblateCoherence,
+	})
+	register(Experiment{
+		ID:    "ablate-topology",
+		Title: "HT ladder vs fully-connected 8-socket fabric",
+		Paper: "Quantifies how much of the Longs communication cost is the 2x4 ladder itself.",
+		Run:   runAblateTopology,
+	})
+	register(Experiment{
+		ID:    "ablate-sublayer",
+		Title: "Lock sub-layer latency sweep",
+		Paper: "Interpolates between USysV spin locks and SysV semaphores to locate the latency cliff for small-message workloads.",
+		Run:   runAblateSublayer,
+	})
+	register(Experiment{
+		ID:    "ext-hybrid",
+		Title: "Three communication classes on Longs (paper Section 3.4 proposal)",
+		Paper: "Intra-socket, neighbor-socket, and cross-ladder channels differ enough to justify a hierarchy-aware programming model.",
+		Run:   runExtHybrid,
+	})
+}
+
+// longsNoCoherence restores the DDR-400 controller to its two-socket
+// efficiency and drops the probe latency to DMZ-like values.
+func longsNoCoherence() *machine.Spec {
+	spec := machine.Longs()
+	spec.MCBandwidth = 3.4 * units.Giga
+	spec.LocalLatency = 100 * units.Nanosecond
+	return spec
+}
+
+func runAblateCoherence(s Scale) []*report.Table {
+	vec := 16.0 * units.MB
+	t := report.New("Coherence ablation: STREAM triad and NAS CG on Longs",
+		"Metric", "Calibrated (paper-like)", "No coherence derating", "Gain")
+
+	triad := func(spec *machine.Spec) float64 {
+		res, err := core.Run(core.Job{Spec: spec, Ranks: 1, Scheme: affinity.OneMPILocalAlloc},
+			func(r *mpi.Rank) {
+				stream.RunTriad(r, stream.Params{VectorBytes: vec, Iters: 2})
+			})
+		if err != nil {
+			panic(err)
+		}
+		return res.Max(stream.MetricBandwidth) / units.Giga
+	}
+	base := triad(machine.Longs())
+	fixed := triad(longsNoCoherence())
+	t.AddRow("1-core STREAM GB/s", report.F(base), report.F(fixed), report.F(fixed/base))
+
+	cgTime := func(spec *machine.Spec) float64 {
+		body, err := npb.RunCG(npbClass(s))
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.Run(core.Job{Spec: spec, Ranks: 8, Scheme: affinity.OneMPILocalAlloc,
+			Impl: mpi.MPICH2()}, body)
+		if err != nil {
+			panic(err)
+		}
+		return res.Max(npb.MetricCGTime)
+	}
+	baseCG := cgTime(machine.Longs())
+	fixedCG := cgTime(longsNoCoherence())
+	t.AddRow("NAS CG 8 ranks (s)", report.Seconds(baseCG), report.Seconds(fixedCG), report.F(baseCG/fixedCG))
+	return []*report.Table{t}
+}
+
+// longsCrossbar keeps the Longs cores and memory but links every socket
+// pair directly.
+func longsCrossbar() *machine.Spec {
+	spec := machine.Longs()
+	var links []topology.Link
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			links = append(links, topology.Link{A: topology.SocketID(a), B: topology.SocketID(b)})
+		}
+	}
+	spec.Topo = topology.New("Longs-xbar", 8, 2, links)
+	return spec
+}
+
+func runAblateTopology(s Scale) []*report.Table {
+	t := report.New("Topology ablation: 2x4 ladder vs full crossbar (Longs, 16 ranks)",
+		"Metric", "Ladder", "Crossbar", "Ladder cost")
+
+	ftTime := func(spec *machine.Spec) float64 {
+		body, err := npb.RunFT(npb.ClassA)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.Run(core.Job{Spec: spec, Ranks: 16, Impl: mpi.MPICH2()}, body)
+		if err != nil {
+			panic(err)
+		}
+		return res.Max(npb.MetricFTTime)
+	}
+	ladder := ftTime(machine.Longs())
+	xbar := ftTime(longsCrossbar())
+	t.AddRow("NAS FT 16 ranks (s)", report.Seconds(ladder), report.Seconds(xbar), report.F(ladder/xbar))
+
+	ringLat := func(spec *machine.Spec) float64 {
+		b, err := affinity.Layout(affinity.Default, spec.Topo, 16)
+		if err != nil {
+			panic(err)
+		}
+		pt := imb.Ring(mpi.Config{Spec: spec, Impl: mpi.LAM().WithSublayer(mpi.USysV()), Bindings: b}, 8, 30)
+		return pt.Latency / units.Microsecond
+	}
+	lr := ringLat(machine.Longs())
+	xr := ringLat(longsCrossbar())
+	t.AddRow("Ring latency 8 B (us)", report.F(lr), report.F(xr), report.F(lr/xr))
+	return []*report.Table{t}
+}
+
+func runAblateSublayer(s Scale) []*report.Table {
+	t := report.New("Sub-layer latency sweep: MPI RandomAccess, 16 ranks on Longs",
+		"Lock+wake latency (us)", "MPI GUPS per core", "PingPong latency (us)")
+	for _, lockUS := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		sub := mpi.Sublayer{
+			Name:        fmt.Sprintf("sweep-%g", lockUS),
+			LockLatency: lockUS / 3 * units.Microsecond,
+			WakeLatency: lockUS * 2 / 3 * units.Microsecond,
+		}
+		impl := mpi.LAM().WithSublayer(sub)
+		spec := machine.Longs()
+		b, err := affinity.Layout(affinity.Default, spec.Topo, 16)
+		if err != nil {
+			panic(err)
+		}
+		res := mpi.Run(mpi.Config{Spec: spec, Impl: impl, Bindings: b}, func(r *mpi.Rank) {
+			rnda.Run(r, rnda.Params{TableBytes: 32 << 20, Updates: 8e5, MPI: true})
+		})
+		b2 := []affinity.Binding{
+			{Core: 0, MemPolicy: mem.LocalAlloc},
+			{Core: 2, MemPolicy: mem.LocalAlloc},
+		}
+		pt := imb.PingPong(mpi.Config{Spec: spec, Impl: impl, Bindings: b2}, 8, 30)
+		t.AddRow(report.F(lockUS),
+			report.F(res.Mean(rnda.MetricGUPS)),
+			report.F(pt.Latency/units.Microsecond))
+	}
+	return []*report.Table{t}
+}
+
+func runExtHybrid(s Scale) []*report.Table {
+	t := report.New("Three communication classes on Longs (OpenMPI PingPong)",
+		"Channel", "Latency 8 B (us)", "Bandwidth 1 MiB (MB/s)")
+	spec := machine.Longs()
+	cases := []struct {
+		name  string
+		cores [2]topology.CoreID
+	}{
+		{"within a socket (cores 0,1)", [2]topology.CoreID{0, 1}},
+		{"neighbor sockets (1 hop)", [2]topology.CoreID{0, 2}},
+		{"across the ladder (4 hops)", [2]topology.CoreID{0, 14}},
+	}
+	for _, c := range cases {
+		b := []affinity.Binding{
+			{Core: c.cores[0], MemPolicy: mem.LocalAlloc},
+			{Core: c.cores[1], MemPolicy: mem.LocalAlloc},
+		}
+		cfg := mpi.Config{Spec: spec, Impl: mpi.OpenMPI(), Bindings: b}
+		lat := imb.PingPong(cfg, 8, 30)
+		bw := imb.PingPong(cfg, units.MB, 15)
+		t.AddRow(c.name, report.F(lat.Latency/units.Microsecond), report.F(bw.Bandwidth/units.Mega))
+	}
+	return []*report.Table{t}
+}
+
+// Collective-algorithm ablation: quantifies why the runtime switches
+// algorithms by payload size.
+func init() {
+	register(Experiment{
+		ID:    "ablate-collectives",
+		Title: "Allreduce/Bcast algorithm crossover (Longs, 8 ranks)",
+		Paper: "Justifies the size-adaptive collective selection: latency-optimal trees for small payloads, bandwidth-optimal rings for large ones.",
+		Run:   runAblateCollectives,
+	})
+}
+
+func runAblateCollectives(s Scale) []*report.Table {
+	t := report.New("Collective algorithms by payload (seconds, 8 ranks on Longs)",
+		"Payload", "Allreduce doubling", "Allreduce ring", "Bcast binomial", "Bcast scatter+allgather")
+	spec := machine.Longs()
+	b, err := affinity.Layout(affinity.OneMPILocalAlloc, spec.Topo, 8)
+	if err != nil {
+		panic(err)
+	}
+	timeOf := func(body func(*mpi.Rank)) float64 {
+		return mpi.Run(mpi.Config{Spec: spec, Impl: mpi.MPICH2(), Bindings: b}, body).Time
+	}
+	sizes := []float64{64, 4 * units.KB, 64 * units.KB, units.MB, 8 * units.MB}
+	if s == Quick {
+		sizes = sizes[:4]
+	}
+	for _, bytes := range sizes {
+		bytes := bytes
+		t.AddRow(units.Bytes(bytes),
+			report.Seconds(timeOf(func(r *mpi.Rank) { r.AllreduceRecursiveDoubling(bytes) })),
+			report.Seconds(timeOf(func(r *mpi.Rank) { r.AllreduceRing(bytes) })),
+			report.Seconds(timeOf(func(r *mpi.Rank) { r.BcastBinomial(0, bytes) })),
+			report.Seconds(timeOf(func(r *mpi.Rank) { r.BcastScatterAllgather(0, bytes) })))
+	}
+	return []*report.Table{t}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"multicore/internal/affinity"
+	"multicore/internal/apps/amber"
+	"multicore/internal/apps/lammps"
+	"multicore/internal/apps/pop"
+	"multicore/internal/mpi"
+	"multicore/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table7",
+		Title: "FFT time in the AMBER JAC benchmark vs numactl options",
+		Paper: "The PME reciprocal FFT phase responds to placement like NAS FT: membind and interleave hurt on Longs.",
+		Run:   runTable7,
+	})
+	register(Experiment{
+		ID:    "table8",
+		Title: "AMBER multi-core speedup (no numactl)",
+		Paper: "PME near-linear to 4 cores, saturating at ~6-8x by 16; GB scales to ~14-15x.",
+		Run:   runTable8,
+	})
+	register(Experiment{
+		ID:    "table9",
+		Title: "Overall AMBER JAC runtime vs numactl options",
+		Paper: "Placement shifts full-application runtime 10-20% on Longs; DMZ default is near-optimal.",
+		Run:   runTable9,
+	})
+	register(Experiment{
+		ID:    "table10",
+		Title: "LAMMPS multi-core speedup (LJ, Chain, EAM)",
+		Paper: "Chain superlinear (19.95x at 16), EAM 12.5x, LJ 10.7x; consistent across systems.",
+		Run:   runTable10,
+	})
+	register(Experiment{
+		ID:    "table11",
+		Title: "LAMMPS LJ runtime vs numactl options",
+		Paper: "Same placement sensitivities as AMBER: membind worst, localalloc best.",
+		Run:   runTable11,
+	})
+	register(Experiment{
+		ID:    "table12",
+		Title: "POP multi-core speedup (baroclinic, barotropic)",
+		Paper: "Both phases scale nearly linearly on all three systems (baroclinic slightly better at 16).",
+		Run:   runTable12,
+	})
+	register(Experiment{
+		ID:    "table13",
+		Title: "POP baroclinic time vs numactl options",
+		Paper: "Localalloc best; membind up to ~2x worse at 8 tasks on Longs.",
+		Run:   runTable13,
+	})
+	register(Experiment{
+		ID:    "table14",
+		Title: "POP barotropic time vs numactl options",
+		Paper: "Latency-sensitive solver: placement matters at middling core counts, washes out at 16.",
+		Run:   runTable14,
+	})
+}
+
+func amberSteps(s Scale) int {
+	if s == Full {
+		return 50
+	}
+	return 4
+}
+
+// amberRun runs one AMBER benchmark and returns (total, fft) times.
+func amberRun(name, system string, ranks int, scheme affinity.Scheme, steps int) (total, fft float64, err error) {
+	bench, err := amber.ByName(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+		amber.Run(r, amber.Params{Bench: bench, Steps: steps})
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Max(amber.MetricTotalTime), res.Max(amber.MetricFFTTime), nil
+}
+
+var appSweep = []sysRanks{
+	{System: "longs", Ranks: []int{2, 4, 8, 16}},
+	{System: "dmz", Ranks: []int{2, 4}},
+}
+
+func runTable7(s Scale) []*report.Table {
+	t := numactlTable("Table 7: FFT time in the JAC benchmark (seconds)",
+		appSweep,
+		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
+			_, fft, err := amberRun("JAC", system, ranks, scheme, amberSteps(s))
+			return fft, err
+		})
+	return []*report.Table{t}
+}
+
+func runTable8(s Scale) []*report.Table {
+	names := []string{"dhfr", "factor_ix", "gb_cox2", "gb_mb", "JAC"}
+	t := speedupTable("Table 8: AMBER multi-core speedup (no numactl)",
+		[]sysRanks{
+			{System: "dmz", Ranks: []int{2, 4}},
+			{System: "longs", Ranks: []int{2, 4, 8, 16}},
+		},
+		names,
+		func(system string, ranks int, which int) (float64, error) {
+			total, _, err := amberRun(names[which], system, ranks, affinity.Default, amberSteps(s))
+			return total, err
+		})
+	return []*report.Table{t}
+}
+
+func runTable9(s Scale) []*report.Table {
+	t := numactlTable("Table 9: overall JAC runtime (seconds)",
+		appSweep,
+		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
+			total, _, err := amberRun("JAC", system, ranks, scheme, amberSteps(s))
+			return total, err
+		})
+	return []*report.Table{t}
+}
+
+func lammpsSteps(s Scale) int {
+	if s == Full {
+		return 100
+	}
+	return 20
+}
+
+func lammpsRun(b lammps.Benchmark, system string, ranks int, scheme affinity.Scheme, steps int) (float64, error) {
+	res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+		lammps.Run(r, lammps.Params{Bench: b, Steps: steps})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Max(lammps.MetricTime), nil
+}
+
+func runTable10(s Scale) []*report.Table {
+	benches := []lammps.Benchmark{lammps.LJ, lammps.Chain, lammps.EAM}
+	t := speedupTable("Table 10: LAMMPS multi-core speedup (no numactl)",
+		[]sysRanks{
+			{System: "dmz", Ranks: []int{2, 4}},
+			{System: "longs", Ranks: []int{2, 4, 8, 16}},
+			{System: "tiger", Ranks: []int{2}},
+		},
+		[]string{"LJ", "Chain", "EAM"},
+		func(system string, ranks int, which int) (float64, error) {
+			return lammpsRun(benches[which], system, ranks, affinity.Default, lammpsSteps(s))
+		})
+	return []*report.Table{t}
+}
+
+func runTable11(s Scale) []*report.Table {
+	t := numactlTable("Table 11: LAMMPS LJ runtime vs numactl options (seconds)",
+		appSweep,
+		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
+			return lammpsRun(lammps.LJ, system, ranks, scheme, lammpsSteps(s))
+		})
+	return []*report.Table{t}
+}
+
+func popSteps(s Scale) int {
+	if s == Full {
+		return 50
+	}
+	return 3
+}
+
+func popRun(system string, ranks int, scheme affinity.Scheme, steps int) (clinic, tropic float64, err error) {
+	res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+		pop.Run(r, pop.Params{Steps: steps})
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Max(pop.MetricBaroclinic), res.Max(pop.MetricBarotropic), nil
+}
+
+func runTable12(s Scale) []*report.Table {
+	t := speedupTable("Table 12: POP multi-core speedup",
+		[]sysRanks{
+			{System: "dmz", Ranks: []int{2, 4}},
+			{System: "tiger", Ranks: []int{2}},
+			{System: "longs", Ranks: []int{2, 4, 8, 16}},
+		},
+		[]string{"Baroclinic", "Barotropic"},
+		func(system string, ranks int, which int) (float64, error) {
+			clinic, tropic, err := popRun(system, ranks, affinity.Default, popSteps(s))
+			if which == 0 {
+				return clinic, err
+			}
+			return tropic, err
+		})
+	return []*report.Table{t}
+}
+
+func runTable13(s Scale) []*report.Table {
+	t := numactlTable("Table 13: POP baroclinic execution time (seconds)",
+		appSweep,
+		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
+			clinic, _, err := popRun(system, ranks, scheme, popSteps(s))
+			return clinic, err
+		})
+	return []*report.Table{t}
+}
+
+func runTable14(s Scale) []*report.Table {
+	t := numactlTable("Table 14: POP barotropic execution time (seconds)",
+		appSweep,
+		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
+			_, tropic, err := popRun(system, ranks, scheme, popSteps(s))
+			return tropic, err
+		})
+	return []*report.Table{t}
+}

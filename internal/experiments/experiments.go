@@ -1,0 +1,163 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: each experiment is a registered runner that executes the
+// relevant workloads on the simulated systems and emits tables shaped like
+// the paper's artifacts. The cmd/mcbench tool and the repository's
+// benchmark harness both drive this registry.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multicore/internal/affinity"
+	"multicore/internal/core"
+	"multicore/internal/mpi"
+	"multicore/internal/report"
+)
+
+// Scale selects problem sizes: Quick runs in seconds per experiment and is
+// what tests and the default bench harness use; Full uses the paper's
+// problem sizes (class B and the complete 100-step runs).
+type Scale int
+
+// Quick and Full scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the artifact name: "fig2".."fig17", "table2".."table14".
+	ID string
+	// Title summarizes the artifact.
+	Title string
+	// Paper states the headline result the paper reports for it.
+	Paper string
+	// Run executes the experiment and returns its tables.
+	Run func(s Scale) []*report.Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the experiments in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sysRanks describes which rank counts a table sweeps per system.
+type sysRanks struct {
+	System string
+	Ranks  []int
+}
+
+// numactlColumns is the paper's Table 5 column order.
+var numactlColumns = []affinity.Scheme{
+	affinity.Default,
+	affinity.OneMPILocalAlloc,
+	affinity.OneMPIMembind,
+	affinity.TwoMPILocalAlloc,
+	affinity.TwoMPIMembind,
+	affinity.Interleave,
+}
+
+// numactlTable builds a paper-style placement table: rows are
+// (ranks, system), columns the six schemes; infeasible cells show the
+// paper's dash.
+func numactlTable(title string, sweep []sysRanks, run func(system string, ranks int, scheme affinity.Scheme) (float64, error)) *report.Table {
+	t := report.New(title,
+		"MPI tasks", "System", "Default", "One MPI + Local Alloc", "One MPI + Membind",
+		"Two MPI + Local Alloc", "Two MPI + Membind", "Interleave")
+	for _, sr := range sweep {
+		for _, ranks := range sr.Ranks {
+			cells := []string{fmt.Sprint(ranks), sr.System}
+			for _, scheme := range numactlColumns {
+				v, err := run(sr.System, ranks, scheme)
+				if err != nil {
+					var inf *affinity.ErrInfeasible
+					if errors.As(err, &inf) {
+						cells = append(cells, report.NA)
+						continue
+					}
+					panic(fmt.Sprintf("experiments: %s: %v", title, err))
+				}
+				cells = append(cells, report.Seconds(v))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// speedupTable builds a multi-core speedup table: rows are (cores, system)
+// with one column per labelled workload.
+func speedupTable(title string, sweep []sysRanks, labels []string,
+	run func(system string, ranks int, which int) (float64, error)) *report.Table {
+	cols := append([]string{"Number of cores", "System"}, labels...)
+	t := report.New(title, cols...)
+	base := map[[2]interface{}]float64{}
+	for _, sr := range sweep {
+		for w := range labels {
+			v, err := run(sr.System, 1, w)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %s baseline: %v", title, err))
+			}
+			base[[2]interface{}{sr.System, w}] = v
+		}
+		for _, ranks := range sr.Ranks {
+			cells := []string{fmt.Sprint(ranks), sr.System}
+			for w := range labels {
+				v, err := run(sr.System, ranks, w)
+				if err != nil {
+					var inf *affinity.ErrInfeasible
+					if errors.As(err, &inf) {
+						cells = append(cells, report.NA)
+						continue
+					}
+					panic(fmt.Sprintf("experiments: %s: %v", title, err))
+				}
+				cells = append(cells, report.F(base[[2]interface{}{sr.System, w}]/v))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// runJob is the shared job helper: MPICH2 (the paper's NPB/application
+// stack) on the named system under a scheme.
+func runJob(system string, ranks int, scheme affinity.Scheme, body func(*mpi.Rank)) (*mpi.Result, error) {
+	return core.Run(core.Job{
+		System: system,
+		Ranks:  ranks,
+		Scheme: scheme,
+		Impl:   mpi.MPICH2(),
+	}, body)
+}

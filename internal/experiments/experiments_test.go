@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"multicore/internal/report"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"table2", "table3", "table4", "table7", "table8", "table9",
+		"table10", "table11", "table12", "table13", "table14",
+		"ablate-coherence", "ablate-topology", "ablate-sublayer", "ext-hybrid",
+		"ext-latency", "ext-openmp", "ext-npb", "ext-cluster", "ablate-collectives", "ablate-migration",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	tabs := mustRun(t, "ablate-coherence")
+	// Removing the derating must raise single-core STREAM substantially.
+	if gain := cell(t, tabs[0].Cell(0, 3)); gain < 1.3 {
+		t.Fatalf("coherence ablation STREAM gain = %v, want > 1.3", gain)
+	}
+	tabs = mustRun(t, "ext-hybrid")
+	// Latency must grow monotonically across the three channel classes.
+	l0 := cell(t, tabs[0].Cell(0, 1))
+	l1 := cell(t, tabs[0].Cell(1, 1))
+	l2 := cell(t, tabs[0].Cell(2, 1))
+	if !(l0 < l1 && l1 < l2) {
+		t.Fatalf("channel latencies not ordered: %v %v %v", l0, l1, l2)
+	}
+	// Intra-socket bandwidth must beat the 4-hop path.
+	b0 := cell(t, tabs[0].Cell(0, 2))
+	b2 := cell(t, tabs[0].Cell(2, 2))
+	if b0 <= b2 {
+		t.Fatalf("intra-socket bandwidth %v should beat cross-ladder %v", b0, b2)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("fig99 should not exist")
+	}
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2Shape(t *testing.T) {
+	tabs := mustRun(t, "fig2")
+	tab := tabs[0]
+	// Longs column: 16 rows; bandwidth at 8 active cores (all first
+	// cores) must far exceed 1 core.
+	var bw1, bw8 float64
+	for i := 0; i < tab.NumRows(); i++ {
+		switch tab.Cell(i, 0) {
+		case "1":
+			bw1 = cell(t, tab.Cell(i, 3))
+		case "8":
+			bw8 = cell(t, tab.Cell(i, 3))
+		}
+	}
+	if bw8 < 6*bw1 {
+		t.Fatalf("Longs bandwidth should scale across first cores: 1=%v 8=%v", bw1, bw8)
+	}
+	// Tiger has only 2 cores: row 3 shows a dash.
+	found := false
+	for i := 0; i < tab.NumRows(); i++ {
+		if tab.Cell(i, 0) == "3" && tab.Cell(i, 1) == "-" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Tiger should be dashed beyond 2 cores")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tabs := mustRun(t, "fig10")
+	tab := tabs[0]
+	// At least the localalloc row must show Single:Star > 2.
+	for i := 0; i < tab.NumRows(); i++ {
+		if tab.Cell(i, 0) == "localalloc" {
+			if ratio := cell(t, tab.Cell(i, 3)); ratio <= 2 {
+				t.Fatalf("localalloc Single:Star = %v, want > 2", ratio)
+			}
+			return
+		}
+	}
+	t.Fatal("localalloc row missing")
+}
+
+func TestTable4Shape(t *testing.T) {
+	tabs := mustRun(t, "table4")
+	tab := tabs[0]
+	// Longs CG at 16 must show poor efficiency (speedup well below 16).
+	for i := 0; i < tab.NumRows(); i++ {
+		if tab.Cell(i, 0) == "16" && tab.Cell(i, 1) == "longs" {
+			cg := cell(t, tab.Cell(i, 2))
+			if cg > 10 {
+				t.Fatalf("Longs CG speedup at 16 = %v, paper shows collapse (4.0)", cg)
+			}
+			return
+		}
+	}
+	t.Fatal("Longs/16 row missing")
+}
+
+func TestTable2HasDashesAt16OneMPI(t *testing.T) {
+	tabs := mustRun(t, "table2")
+	for _, tab := range tabs {
+		found := false
+		for i := 0; i < tab.NumRows(); i++ {
+			if tab.Cell(i, 0) == "16" {
+				if tab.Cell(i, 3) != "-" || tab.Cell(i, 4) != "-" {
+					t.Fatalf("16-rank One-MPI cells should be dashes, got %q %q",
+						tab.Cell(i, 3), tab.Cell(i, 4))
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("missing 16-rank row")
+		}
+	}
+}
+
+// mustRun executes an experiment at Quick scale.
+func mustRun(t *testing.T, id string) []*report.Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %q", id)
+	}
+	tabs := e.Run(Quick)
+	if len(tabs) == 0 {
+		t.Fatalf("%s returned no tables", id)
+	}
+	for _, tab := range tabs {
+		if tab.NumRows() == 0 {
+			t.Fatalf("%s produced an empty table", id)
+		}
+		if !strings.Contains(tab.Markdown(), "|") {
+			t.Fatalf("%s markdown looks wrong", id)
+		}
+	}
+	return tabs
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tabs := e.Run(Quick)
+			if len(tabs) == 0 {
+				t.Fatalf("%s returned no tables", e.ID)
+			}
+			for _, tab := range tabs {
+				if tab.NumRows() == 0 {
+					t.Fatalf("%s produced an empty table", e.ID)
+				}
+				if tab.CSV() == "" || tab.Markdown() == "" || tab.Text() == "" {
+					t.Fatalf("%s rendering failed", e.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+
+	"multicore/internal/affinity"
+	"multicore/internal/apps/lammps"
+	"multicore/internal/core"
+	"multicore/internal/kernels/lmbench"
+	"multicore/internal/machine"
+	"multicore/internal/mpi"
+	"multicore/internal/npb"
+	"multicore/internal/report"
+	"multicore/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-latency",
+		Title: "LMbench lat_mem_rd load-latency curves",
+		Paper: "Companion to the Section 3.1 LMbench STREAM runs: cache plateaus, the capacity cliff, and NUMA distance per system.",
+		Run:   runExtLatency,
+	})
+	register(Experiment{
+		ID:    "ext-openmp",
+		Title: "Hybrid OpenMP+MPI vs pure MPI on NAS FT (Longs)",
+		Paper: "Tests the Section 3.4 proposal: OpenMP within each multi-core processor, MPI between sockets.",
+		Run:   runExtOpenMP,
+	})
+}
+
+func runExtLatency(s Scale) []*report.Table {
+	t := report.New("LMbench-style dependent-load latency (ns)",
+		"Working set", "Tiger local", "DMZ local", "DMZ remote", "Longs local", "Longs 4-hop")
+	type cfg struct {
+		system string
+		policy int // mem.Policy as int to avoid import cycle noise
+		bind   []int
+	}
+	curves := make(map[string][]lmbench.Point)
+	collect := func(name, system string, scheme affinity.Scheme, bindNodes []int) {
+		res, err := core.Run(core.Job{System: system, Ranks: 1, Scheme: scheme}, func(r *mpi.Rank) {
+			pts := lmbench.Run(r, lmbench.Params{})
+			for _, p := range pts {
+				r.Report(fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, p.WorkingSetBytes), p.LatencySeconds)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		var pts []lmbench.Point
+		for size := 4.0 * 1024; size <= 64*1024*1024; size *= 4 {
+			key := fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, size)
+			pts = append(pts, lmbench.Point{WorkingSetBytes: size, LatencySeconds: res.Max(key)})
+		}
+		curves[name] = pts
+	}
+	collect("tiger-local", "tiger", affinity.OneMPILocalAlloc, nil)
+	collect("dmz-local", "dmz", affinity.OneMPILocalAlloc, nil)
+	collect("dmz-remote", "dmz", affinity.OneMPIMembind, nil)
+	collect("longs-local", "longs", affinity.OneMPILocalAlloc, nil)
+	collect("longs-far", "longs", affinity.OneMPIMembind, nil)
+
+	ref := curves["dmz-local"]
+	for i, p := range ref {
+		row := []string{units.Bytes(p.WorkingSetBytes)}
+		for _, name := range []string{"tiger-local", "dmz-local", "dmz-remote", "longs-local", "longs-far"} {
+			row = append(row, report.F(curves[name][i].LatencySeconds/units.Nanosecond))
+		}
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}
+}
+
+func runExtOpenMP(s Scale) []*report.Table {
+	class := npb.ClassA
+	if s == Full {
+		class = npb.ClassB
+	}
+	t := report.New("NAS FT on Longs: pure MPI vs hybrid OpenMP+MPI",
+		"Configuration", "Ranks x threads", "FT time (s)")
+
+	run := func(name string, ranks, threads int, scheme affinity.Scheme) {
+		body, err := npb.RunFTHybrid(class, threads)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.Run(core.Job{System: "longs", Ranks: ranks, Scheme: scheme,
+			Impl: mpi.MPICH2()}, body)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, fmt.Sprintf("%dx%d", ranks, threads), report.Seconds(res.Max(npb.MetricFTTime)))
+	}
+	run("pure MPI, all cores", 16, 1, affinity.Default)
+	run("pure MPI, one rank/socket", 8, 1, affinity.OneMPILocalAlloc)
+	run("hybrid, one rank/socket + 2 threads", 8, 2, affinity.OneMPILocalAlloc)
+	return []*report.Table{t}
+}
+
+// Scheduler-jitter ablation.
+func init() {
+	register(Experiment{
+		ID:    "ablate-migration",
+		Title: "Scheduler jitter (migration/preemption) period sweep",
+		Paper: "Models the unbound OS run's hidden cost: each migration evicts a task's working set; cache-resident workloads feel it most.",
+		Run:   runAblateMigration,
+	})
+}
+
+func runAblateMigration(s Scale) []*report.Table {
+	t := report.New("Migration-period sweep: LAMMPS chain (cache-friendly) vs LJ (streaming), 8 ranks on Longs",
+		"Migration period", "Chain time (s)", "LJ time (s)")
+	spec := machine.Longs()
+	timeFor := func(bench lammps.Benchmark, period float64) float64 {
+		b, err := affinity.Layout(affinity.TwoMPILocalAlloc, spec.Topo, 8)
+		if err != nil {
+			panic(err)
+		}
+		cfg := mpi.Config{Spec: spec, Impl: mpi.MPICH2(), Bindings: b,
+			OSMigrationPeriod: period}
+		res := mpi.Run(cfg, func(r *mpi.Rank) {
+			lammps.Run(r, lammps.Params{Bench: bench, Steps: 20})
+		})
+		return res.Max(lammps.MetricTime)
+	}
+	periods := []float64{0, 10e-3, 1e-3, 100e-6}
+	for _, p := range periods {
+		label := "off"
+		if p > 0 {
+			label = units.Duration(p)
+		}
+		t.AddRow(label,
+			report.Seconds(timeFor(lammps.Chain, p)),
+			report.Seconds(timeFor(lammps.LJ, p)))
+	}
+	return []*report.Table{t}
+}
+
+// ext-npb: the EP and MG kernels complete the NAS picture.
+func init() {
+	register(Experiment{
+		ID:    "ext-npb",
+		Title: "NAS EP and MG: the scaling envelope around CG/FT",
+		Paper: "EP bounds scaling from above (pure compute); MG from below (multigrid bandwidth + latency at every level).",
+		Run:   runExtNPB,
+	})
+}
+
+func runExtNPB(s Scale) []*report.Table {
+	class := npb.ClassW
+	if s == Full {
+		class = npb.ClassA
+	}
+	t := report.New("NAS EP and MG on Longs: speedup and placement sensitivity",
+		"Kernel", "Speedup @8", "Speedup @16", "Membind penalty @8")
+	for _, k := range []string{"ep", "mg"} {
+		timeFor := func(ranks int, scheme affinity.Scheme) float64 {
+			var (
+				body func(*mpi.Rank)
+				key  string
+				err  error
+			)
+			if k == "ep" {
+				body, err = npb.RunEP(class)
+				key = npb.MetricEPTime
+			} else {
+				body, err = npb.RunMG(class)
+				key = npb.MetricMGTime
+			}
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.Run(core.Job{System: "longs", Ranks: ranks, Scheme: scheme,
+				Impl: mpi.MPICH2()}, body)
+			if err != nil {
+				panic(err)
+			}
+			return res.Max(key)
+		}
+		t1 := timeFor(1, affinity.Default)
+		local8 := timeFor(8, affinity.OneMPILocalAlloc)
+		membind8 := timeFor(8, affinity.OneMPIMembind)
+		t.AddRow(k,
+			report.F(t1/timeFor(8, affinity.Default)),
+			report.F(t1/timeFor(16, affinity.Default)),
+			report.F(membind8/local8))
+	}
+	return []*report.Table{t}
+}
+
+// ext-cluster: leave the single node, as the paper's terminology section
+// anticipates ("a computing system is a collection of nodes").
+func init() {
+	register(Experiment{
+		ID:    "ext-cluster",
+		Title: "Scaling beyond the node: NAS CG across DMZ nodes",
+		Paper: "The fourth communication class — the system interconnect — joins the paper's three; fabric quality decides whether leaving the node pays.",
+		Run:   runExtCluster,
+	})
+}
+
+func runExtCluster(s Scale) []*report.Table {
+	class := npb.ClassA
+	if s == Full {
+		class = npb.ClassB
+	}
+	body, err := npb.RunCG(class)
+	if err != nil {
+		panic(err)
+	}
+	t := report.New("NAS CG on DMZ nodes (4 ranks per node)",
+		"Configuration", "Total ranks", "CG time (s)")
+	run := func(name string, nodes int, net *mpi.NetSpec) {
+		res, err := core.Run(core.Job{System: "dmz", Ranks: 4,
+			Scheme: affinity.TwoMPILocalAlloc, Impl: mpi.MPICH2(),
+			Nodes: nodes, Net: net}, body)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, fmt.Sprint(4*max(1, nodes)), report.Seconds(res.Max(npb.MetricCGTime)))
+	}
+	run("1 node", 1, nil)
+	run("2 nodes, RapidArray", 2, mpi.RapidArray())
+	run("4 nodes, RapidArray", 4, mpi.RapidArray())
+	run("2 nodes, GigE", 2, mpi.GigE())
+	run("4 nodes, GigE", 4, mpi.GigE())
+	return []*report.Table{t}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"multicore/internal/affinity"
+	"multicore/internal/kernels/blas"
+	"multicore/internal/kernels/stream"
+	"multicore/internal/machine"
+	"multicore/internal/mpi"
+	"multicore/internal/report"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Memory bandwidth scaling (STREAM triad)",
+		Paper: "Bandwidth rises almost linearly while first cores activate; second cores are flat or degrade it; the 8-socket system starts far lower.",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Memory bandwidth per core (STREAM triad)",
+		Paper: "Per-core bandwidth halves (or worse) when the second core of each socket joins.",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "BLAS-1 DAXPY performance, ACML (aggregate and per core)",
+		Paper: "In-cache DAXPY scales with cores; out-of-cache runs collide on the memory link.",
+		Run:   func(s Scale) []*report.Table { return runDaxpy(s, blas.ACML) },
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "BLAS-1 DAXPY performance per core, vanilla",
+		Paper: "One vs two MPI tasks per socket: the second task gains little once vectors leave cache.",
+		Run:   func(s Scale) []*report.Table { return runDaxpyPerSocket(s, blas.Vanilla) },
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "BLAS-3 DGEMM performance, ACML",
+		Paper: "DGEMM is cache-friendly: near-peak rates, aggregate scales with core count.",
+		Run:   func(s Scale) []*report.Table { return runDgemm(s, blas.ACML) },
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "BLAS-3 DGEMM performance per core, vanilla",
+		Paper: "Per-core DGEMM holds up with two tasks per socket even for the unoptimized code.",
+		Run:   func(s Scale) []*report.Table { return runDgemmPerSocket(s, blas.Vanilla) },
+	})
+}
+
+// streamCores lists the paper's activation order: first core of each
+// socket, then second cores.
+func streamCores(spec *machine.Spec) []topology.CoreID {
+	var order []topology.CoreID
+	for c := 0; c < spec.Topo.CoresPerSock; c++ {
+		for s := 0; s < spec.Topo.NumSockets; s++ {
+			cores := spec.Topo.CoresOn(topology.SocketID(s))
+			if c < len(cores) {
+				order = append(order, cores[c])
+			}
+		}
+	}
+	return order
+}
+
+// triadAggregate runs the triad on the first n cores of the activation
+// order and returns aggregate bandwidth in GB/s.
+func triadAggregate(spec *machine.Spec, n int, vecBytes float64) float64 {
+	order := streamCores(spec)[:n]
+	bindings := make([]affinity.Binding, n)
+	for i, c := range order {
+		bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
+	}
+	res := mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, func(r *mpi.Rank) {
+		stream.RunTriad(r, stream.Params{VectorBytes: vecBytes, Iters: 2})
+	})
+	return res.Sum(stream.MetricBandwidth) / units.Giga
+}
+
+func figSystems() []*machine.Spec {
+	return []*machine.Spec{machine.Tiger(), machine.DMZ(), machine.Longs()}
+}
+
+func runFig2(s Scale) []*report.Table {
+	vec := 16.0 * units.MB
+	if s == Full {
+		vec = 64 * units.MB
+	}
+	t := report.New("Figure 2: aggregate STREAM triad bandwidth (GB/s)",
+		"Active cores", "Tiger", "DMZ", "Longs")
+	maxCores := 16
+	for n := 1; n <= maxCores; n++ {
+		cells := []string{fmt.Sprint(n)}
+		for _, spec := range figSystems() {
+			if n > spec.Topo.NumCores() {
+				cells = append(cells, report.NA)
+				continue
+			}
+			cells = append(cells, report.F(triadAggregate(spec, n, vec)))
+		}
+		t.AddRow(cells...)
+	}
+	return []*report.Table{t}
+}
+
+func runFig3(s Scale) []*report.Table {
+	vec := 16.0 * units.MB
+	if s == Full {
+		vec = 64 * units.MB
+	}
+	t := report.New("Figure 3: per-core STREAM triad bandwidth (GB/s)",
+		"Active cores", "Tiger", "DMZ", "Longs")
+	for n := 1; n <= 16; n++ {
+		cells := []string{fmt.Sprint(n)}
+		for _, spec := range figSystems() {
+			if n > spec.Topo.NumCores() {
+				cells = append(cells, report.NA)
+				continue
+			}
+			cells = append(cells, report.F(triadAggregate(spec, n, vec)/float64(n)))
+		}
+		t.AddRow(cells...)
+	}
+	return []*report.Table{t}
+}
+
+// daxpySizes is the vector-length sweep (elements).
+func daxpySizes(s Scale) []int {
+	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22}
+	if s == Full {
+		sizes = append(sizes, 1<<23, 1<<24)
+	}
+	return sizes
+}
+
+// runTasksOnDMZ runs body on n tasks placed like the paper's DMZ runs
+// (spread across sockets first) and returns the result.
+func runTasksOnDMZ(n int, body func(*mpi.Rank)) *mpi.Result {
+	spec := machine.DMZ()
+	order := streamCores(spec)[:n]
+	bindings := make([]affinity.Binding, n)
+	for i, c := range order {
+		bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
+	}
+	return mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, body)
+}
+
+func runDaxpy(s Scale, v blas.Variant) []*report.Table {
+	t := report.New(
+		fmt.Sprintf("Figure 4: DAXPY (%s) on DMZ — aggregate and per-core MFlop/s", v),
+		"Vector length", "Total (1)", "Total (2)", "Per core (2)", "Total (4)", "Per core (4)")
+	for _, n := range daxpySizes(s) {
+		row := []string{fmt.Sprint(n)}
+		for _, tasks := range []int{1, 2, 4} {
+			res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
+				blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
+			})
+			total := res.Sum(blas.MetricDaxpyFlops) / units.Mega
+			if tasks == 1 {
+				row = append(row, report.F(total))
+			} else {
+				row = append(row, report.F(total), report.F(total/float64(tasks)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}
+}
+
+func runDaxpyPerSocket(s Scale, v blas.Variant) []*report.Table {
+	t := report.New(
+		fmt.Sprintf("Figure 5: DAXPY (%s) per-core MFlop/s — one vs two tasks per socket (DMZ)", v),
+		"Vector length", "1 task/socket (2 tasks)", "2 tasks/socket (2 tasks)")
+	for _, n := range daxpySizes(s) {
+		spread := runTasksOnDMZ(2, func(r *mpi.Rank) { // cores 0 and 2
+			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
+		}).Mean(blas.MetricDaxpyFlops)
+		packed := runPackedOnDMZ(2, func(r *mpi.Rank) { // cores 0 and 1
+			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
+		}).Mean(blas.MetricDaxpyFlops)
+		t.AddRow(fmt.Sprint(n), report.F(spread/units.Mega), report.F(packed/units.Mega))
+	}
+	return []*report.Table{t}
+}
+
+// runPackedOnDMZ packs n tasks onto as few sockets as possible.
+func runPackedOnDMZ(n int, body func(*mpi.Rank)) *mpi.Result {
+	spec := machine.DMZ()
+	bindings := make([]affinity.Binding, n)
+	for i := 0; i < n; i++ {
+		bindings[i] = affinity.Binding{Core: topology.CoreID(i), MemPolicy: 1}
+	}
+	return mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, body)
+}
+
+func dgemmSizes(s Scale) []int {
+	sizes := []int{64, 128, 256, 512, 1024}
+	if s == Full {
+		sizes = append(sizes, 2048)
+	}
+	return sizes
+}
+
+func runDgemm(s Scale, v blas.Variant) []*report.Table {
+	t := report.New(
+		fmt.Sprintf("Figure 6: DGEMM (%s) on DMZ — aggregate and per-core GFlop/s", v),
+		"Matrix order", "Total (1)", "Total (2)", "Per core (2)", "Total (4)", "Per core (4)")
+	for _, n := range dgemmSizes(s) {
+		row := []string{fmt.Sprint(n)}
+		for _, tasks := range []int{1, 2, 4} {
+			res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
+				blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
+			})
+			total := res.Sum(blas.MetricDgemmFlops) / units.Giga
+			if tasks == 1 {
+				row = append(row, report.F(total))
+			} else {
+				row = append(row, report.F(total), report.F(total/float64(tasks)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}
+}
+
+func runDgemmPerSocket(s Scale, v blas.Variant) []*report.Table {
+	t := report.New(
+		fmt.Sprintf("Figure 7: DGEMM (%s) per-core GFlop/s — one vs two tasks per socket (DMZ)", v),
+		"Matrix order", "1 task/socket (2 tasks)", "2 tasks/socket (2 tasks)")
+	for _, n := range dgemmSizes(s) {
+		spread := runTasksOnDMZ(2, func(r *mpi.Rank) {
+			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
+		}).Mean(blas.MetricDgemmFlops)
+		packed := runPackedOnDMZ(2, func(r *mpi.Rank) {
+			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
+		}).Mean(blas.MetricDgemmFlops)
+		t.AddRow(fmt.Sprint(n), report.F(spread/units.Giga), report.F(packed/units.Giga))
+	}
+	return []*report.Table{t}
+}

@@ -1,0 +1,208 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/units"
+)
+
+func TestDaxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Daxpy(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDdot(t *testing.T) {
+	if got := Ddot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("ddot = %v, want 32", got)
+	}
+}
+
+func randMat(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestDgemmIdentity(t *testing.T) {
+	n := 8
+	eye := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		eye[i*n+i] = 1
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := randMat(rng, n)
+	c := make([]float64, n*n)
+	Dgemm(1, eye, b, 0, c, n)
+	for i := range b {
+		if math.Abs(c[i]-b[i]) > 1e-12 {
+			t.Fatalf("I*B != B at %d: %v vs %v", i, c[i], b[i])
+		}
+	}
+}
+
+func TestDgemmBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 16, 33} {
+		for _, block := range []int{1, 4, 8, 64} {
+			a := randMat(rng, n)
+			b := randMat(rng, n)
+			c1 := randMat(rng, n)
+			c2 := append([]float64(nil), c1...)
+			Dgemm(1.5, a, b, 0.5, c1, n)
+			DgemmBlocked(1.5, a, b, 0.5, c2, n, block)
+			for i := range c1 {
+				if math.Abs(c1[i]-c2[i]) > 1e-9*(1+math.Abs(c1[i])) {
+					t.Fatalf("n=%d block=%d mismatch at %d: %v vs %v", n, block, i, c1[i], c2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDgemmAlphaBetaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a, b := randMat(rng, n), randMat(rng, n)
+		// C = 0*A*B + 1*C leaves C unchanged.
+		c := randMat(rng, n)
+		c2 := append([]float64(nil), c...)
+		Dgemm(0, a, b, 1, c2, n)
+		for i := range c {
+			if c[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runOne(spec *machine.Spec, body func(*mpi.Rank)) *mpi.Result {
+	return mpi.Run(mpi.Config{
+		Spec:     spec,
+		Bindings: []affinity.Binding{{Core: 0, MemPolicy: mem.LocalAlloc}},
+	}, body)
+}
+
+func TestSimDgemmACMLNearPeak(t *testing.T) {
+	spec := machine.DMZ() // 4.4 GFlop/s peak
+	res := runOne(spec, func(r *mpi.Rank) {
+		RunDgemm(r, DgemmParams{N: 1000, Variant: ACML})
+	})
+	gf := res.Max(MetricDgemmFlops)
+	if gf < 0.75*spec.PeakFlops() {
+		t.Fatalf("ACML DGEMM = %s, want >= 75%% of peak %s",
+			units.Flops(gf), units.Flops(spec.PeakFlops()))
+	}
+}
+
+func TestSimDgemmVanillaMuchSlower(t *testing.T) {
+	spec := machine.DMZ()
+	rate := func(v Variant) float64 {
+		res := runOne(spec, func(r *mpi.Rank) {
+			RunDgemm(r, DgemmParams{N: 600, Variant: v})
+		})
+		return res.Max(MetricDgemmFlops)
+	}
+	acml, vanilla := rate(ACML), rate(Vanilla)
+	if acml < 4*vanilla {
+		t.Fatalf("ACML %s should be >= 4x vanilla %s", units.Flops(acml), units.Flops(vanilla))
+	}
+}
+
+func TestSimDaxpyCacheCliff(t *testing.T) {
+	spec := machine.DMZ()
+	rate := func(n int) float64 {
+		res := runOne(spec, func(r *mpi.Rank) {
+			RunDaxpy(r, DaxpyParams{N: n, Variant: ACML})
+		})
+		return res.Max(MetricDaxpyFlops)
+	}
+	inCache := rate(16 << 10)  // 16K elements: 256 KB, fits in L2
+	inMemory := rate(16 << 20) // 16M elements: 256 MB, memory bound
+	if inCache < 2*inMemory {
+		t.Fatalf("in-cache DAXPY %s should far exceed out-of-cache %s",
+			units.Flops(inCache), units.Flops(inMemory))
+	}
+}
+
+func TestSimDgemmStarScalesPerSocket(t *testing.T) {
+	// Star-mode DGEMM: both cores of a socket run the kernel; the paper
+	// found per-core DGEMM nearly unchanged (Fig 9).
+	spec := machine.DMZ()
+	single := runOne(spec, func(r *mpi.Rank) {
+		RunDgemm(r, DgemmParams{N: 800, Variant: ACML})
+	}).Max(MetricDgemmFlops)
+	star := mpi.Run(mpi.Config{
+		Spec: spec,
+		Bindings: []affinity.Binding{
+			{Core: 0, MemPolicy: mem.LocalAlloc},
+			{Core: 1, MemPolicy: mem.LocalAlloc},
+		},
+	}, func(r *mpi.Rank) {
+		RunDgemm(r, DgemmParams{N: 800, Variant: ACML})
+	})
+	perCore := star.Mean(MetricDgemmFlops)
+	if perCore < 0.9*single {
+		t.Fatalf("star DGEMM per-core %s degraded vs single %s",
+			units.Flops(perCore), units.Flops(single))
+	}
+}
+
+func TestSimDaxpySecondCoreContends(t *testing.T) {
+	// Out-of-cache DAXPY is STREAM-like: the second core on a socket
+	// gains little.
+	spec := machine.DMZ()
+	single := runOne(spec, func(r *mpi.Rank) {
+		RunDaxpy(r, DaxpyParams{N: 8 << 20, Variant: ACML})
+	}).Sum(MetricDaxpyFlops)
+	pair := mpi.Run(mpi.Config{
+		Spec: spec,
+		Bindings: []affinity.Binding{
+			{Core: 0, MemPolicy: mem.LocalAlloc},
+			{Core: 1, MemPolicy: mem.LocalAlloc},
+		},
+	}, func(r *mpi.Rank) {
+		RunDaxpy(r, DaxpyParams{N: 8 << 20, Variant: ACML})
+	}).Sum(MetricDaxpyFlops)
+	if gain := pair / single; gain > 1.35 {
+		t.Fatalf("second-core DAXPY gain %.2fx, want ~flat", gain)
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { Daxpy(1, make([]float64, 2), make([]float64, 3)) },
+		func() { Dgemm(1, make([]float64, 3), make([]float64, 9), 0, make([]float64, 9), 3) },
+		func() { DgemmBlocked(1, make([]float64, 9), make([]float64, 9), 0, make([]float64, 9), 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

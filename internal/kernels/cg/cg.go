@@ -1,0 +1,165 @@
+// Package cg implements conjugate-gradient kernels: a real sparse CG
+// solver (CSR matrix, SpMV) for correctness testing, and a simulated
+// driver with the NAS CG benchmark's computation and communication
+// structure (paper Section 3.5) that POP's barotropic solver also reuses.
+package cg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CSR is a compressed-sparse-row square matrix.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the stored nonzero count.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A*x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) < m.N || len(y) < m.N {
+		panic("cg: vector length mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		sum := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// RandomSPD builds a sparse symmetric positive-definite matrix of order n
+// with roughly nnzPerRow off-diagonal entries per row, in the spirit of
+// the NAS CG generator (random pattern, diagonally dominant shift).
+func RandomSPD(n, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	// Collect symmetric off-diagonal entries.
+	type entry struct {
+		j int
+		v float64
+	}
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		rows[i] = map[int]float64{}
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow/2; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			rows[i][j] += v
+			rows[j][i] += v
+		}
+	}
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		// Diagonal dominance guarantees positive definiteness.
+		rowSum := 0.0
+		cols := make([]int, 0, len(rows[i]))
+		for j := range rows[i] {
+			cols = append(cols, j)
+		}
+		sortInts(cols)
+		for _, j := range cols {
+			rowSum += math.Abs(rows[i][j])
+		}
+		diag := rowSum + 1 + rng.Float64()
+		inserted := false
+		for _, j := range cols {
+			if !inserted && j > i {
+				m.Col = append(m.Col, i)
+				m.Val = append(m.Val, diag)
+				inserted = true
+			}
+			m.Col = append(m.Col, j)
+			m.Val = append(m.Val, rows[i][j])
+		}
+		if !inserted {
+			m.Col = append(m.Col, i)
+			m.Val = append(m.Val, diag)
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Solve runs conjugate gradients on the SPD system A*x = b until the
+// residual norm falls below tol or maxIter iterations pass. It returns
+// the solution, the iteration count, and the final residual norm.
+func Solve(a *CSR, b []float64, tol float64, maxIter int) ([]float64, int, float64) {
+	n := a.N
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+	rr := dot(r, r)
+	iter := 0
+	for ; iter < maxIter && math.Sqrt(rr) > tol; iter++ {
+		a.MulVec(p, ap)
+		alpha := rr / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return x, iter, math.Sqrt(rr)
+}
+
+func dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+func (m *CSR) String() string {
+	return fmt.Sprintf("CSR(n=%d nnz=%d)", m.N, m.NNZ())
+}
+
+// EstimateEigen runs the NAS CG outer iteration: a shifted inverse power
+// method that estimates the largest eigenvalue of A as
+// zeta = shift + 1/(x.z) where z solves A z = x. It returns the zeta
+// sequence (one per outer iteration); NAS verifies the final value.
+func EstimateEigen(a *CSR, shift float64, outer, inner int) []float64 {
+	n := a.N
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	zetas := make([]float64, 0, outer)
+	for it := 0; it < outer; it++ {
+		z, _, _ := Solve(a, x, 1e-12, inner)
+		xz := dot(x, z)
+		zetas = append(zetas, shift+1/xz)
+		// x = z / ||z||
+		norm := math.Sqrt(dot(z, z))
+		for i := range x {
+			x[i] = z[i] / norm
+		}
+	}
+	return zetas
+}

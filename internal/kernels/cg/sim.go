@@ -1,0 +1,114 @@
+package cg
+
+import (
+	"math"
+
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// spmvRate is the per-rank ceiling on CSR SpMV matrix traffic (B/s):
+// indexed loads and short dependent bursts keep a single Opteron core
+// around 1.6 GB/s even from local memory.
+const spmvRate = 1.6e9
+
+// Report keys for simulated CG runs.
+const (
+	MetricTime = "cg.time" // per-rank benchmark time (s)
+)
+
+// Params configures a simulated NAS-CG-structured run.
+type Params struct {
+	N          int // matrix order
+	NNZPerRow  int // nonzeros per row
+	OuterIters int // outer iterations (NAS: 75 for class B)
+	InnerIters int // CG iterations per outer step (NAS: 25)
+}
+
+// Run executes the simulated CG benchmark. The rank grid follows NAS CG:
+// a 2D decomposition with power-of-two rows/cols; per inner iteration one
+// SpMV (matrix stream + vector gather), a row-group reduction, two global
+// dot products, and three vector updates.
+func Run(r *mpi.Rank, p Params) {
+	if p.N <= 0 || p.NNZPerRow <= 0 {
+		panic("cg: size parameters must be positive")
+	}
+	if p.OuterIters == 0 {
+		p.OuterIters = 5
+	}
+	if p.InnerIters == 0 {
+		p.InnerIters = 25
+	}
+	size := r.Size()
+	nrows, ncols := grid(size)
+
+	n := float64(p.N)
+	nnzLocal := n * float64(p.NNZPerRow) / float64(size)
+	// Matrix slice: 8-byte values + 4-byte column indices, plus row
+	// pointers (negligible).
+	matBytes := nnzLocal * 12
+	vecLocal := 8 * n / float64(nrows) // x segment this rank gathers from
+
+	mat := r.Alloc("cg.mat", matBytes)
+	xseg := r.Alloc("cg.x", vecLocal)
+	vecs := r.Alloc("cg.vecs", 4*8*n/float64(size)) // r, p, q, z slices
+
+	r.Barrier()
+	start := r.Now()
+	for outer := 0; outer < p.OuterIters; outer++ {
+		for inner := 0; inner < p.InnerIters; inner++ {
+			iteration(r, p, mat, xseg, vecs, matBytes, vecLocal, n, nrows, ncols)
+		}
+	}
+	r.Report(MetricTime, r.Now()-start)
+}
+
+func iteration(r *mpi.Rank, p Params, mat, xseg, vecs *mem.Region, matBytes, vecLocal, n float64, nrows, ncols int) {
+	size := float64(r.Size())
+	nnzLocal := n * float64(p.NNZPerRow) / size
+
+	// SpMV: stream the matrix slice, gather from the x segment (the
+	// cache model decides how much of the segment stays resident). The
+	// CSR value/index walk is an indexed stream that a single core
+	// cannot drive at full issue rate.
+	r.Overlap(2*nnzLocal, 0.12,
+		mem.Access{Region: mat, Pattern: mem.Stream, Bytes: matBytes, RateCeiling: spmvRate},
+		mem.Access{Region: xseg, Pattern: mem.Random, Touches: nnzLocal},
+	)
+
+	// Row-group reduction of partial SpMV results (NAS CG's transpose
+	// exchange): log2(ncols) stages of sendrecv within the row.
+	if ncols > 1 {
+		row := r.ID() / ncols
+		colIdx := r.ID() % ncols
+		for stage := 1; stage < ncols; stage <<= 1 {
+			partner := row*ncols + (colIdx ^ stage)
+			r.Sendrecv(partner, vecLocal/float64(ncols), partner)
+		}
+	}
+
+	// Two dot products -> two small allreduces.
+	r.Allreduce(8)
+	r.Allreduce(8)
+
+	// Three vector updates (x, r, p): stream reads + writes over the
+	// local vector block.
+	blk := 8 * n / size
+	r.Overlap(6*n/size, 0.4,
+		mem.Access{Region: vecs, Pattern: mem.Stream, Bytes: 2 * blk},
+		mem.Access{Region: vecs, Pattern: mem.StreamWrite, Bytes: blk},
+	)
+}
+
+// grid returns the NAS CG process grid: for power-of-two sizes, rows x
+// cols with cols >= rows (e.g. 8 -> 2x4); non-power-of-two sizes fall
+// back to 1 x size.
+func grid(size int) (nrows, ncols int) {
+	if size&(size-1) != 0 {
+		return 1, size
+	}
+	log := int(math.Round(math.Log2(float64(size))))
+	nrows = 1 << (log / 2)
+	ncols = size / nrows
+	return nrows, ncols
+}

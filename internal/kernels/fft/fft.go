@@ -1,0 +1,81 @@
+// Package fft implements the fast Fourier transform kernels used by the
+// paper's workloads: a real radix-2 complex FFT for correctness testing,
+// plus simulated drivers for the HPCC single/star FFT and the distributed
+// transpose-based FFT that NAS FT and AMBER PME build on.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes the in-place forward FFT of x (len must be a power of
+// two) using the iterative radix-2 Cooley-Tukey algorithm.
+func Forward(x []complex128) { transform(x, -1) }
+
+// Inverse computes the in-place inverse FFT of x, including the 1/n
+// normalization.
+func Inverse(x []complex128) {
+	transform(x, +1)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, sign float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("fft: length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// NaiveDFT computes the forward DFT directly in O(n^2); it is the test
+// oracle for Forward.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Flops returns the standard operation-count estimate for a complex FFT
+// of length n: 5 n log2 n.
+func Flops(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 5 * n * math.Log2(n)
+}

@@ -1,0 +1,94 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestForward3DImpulse(t *testing.T) {
+	nx, ny, nz := 8, 4, 2
+	data := make([]complex128, nx*ny*nz)
+	data[0] = 1
+	Forward3D(data, nx, ny, nz)
+	for i, v := range data {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nx, ny, nz := 16, 8, 4
+	data := make([]complex128, nx*ny*nz)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	orig := append([]complex128(nil), data...)
+	Forward3D(data, nx, ny, nz)
+	Inverse3D(data, nx, ny, nz)
+	for i := range data {
+		if cmplx.Abs(data[i]-orig[i]) > 1e-9*(1+cmplx.Abs(orig[i])) {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, data[i], orig[i])
+		}
+	}
+}
+
+func TestForward3DMatchesNaivePlanewave(t *testing.T) {
+	// A single plane wave exp(2*pi*i*(k.x)/n) transforms to one spike.
+	nx, ny, nz := 8, 8, 8
+	kx, ky, kz := 3, 5, 1
+	data := make([]complex128, nx*ny*nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				phase := 2 * math.Pi * (float64(kx*x)/float64(nx) +
+					float64(ky*y)/float64(ny) + float64(kz*z)/float64(nz))
+				data[z*nx*ny+y*nx+x] = cmplx.Exp(complex(0, phase))
+			}
+		}
+	}
+	Forward3D(data, nx, ny, nz)
+	n := float64(nx * ny * nz)
+	spike := kz*nx*ny + ky*nx + kx
+	for i, v := range data {
+		want := complex(0, 0)
+		if i == spike {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-8*n {
+			t.Fatalf("plane wave spectrum wrong at %d: %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestParseval3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nx, ny, nz := 8, 16, 4
+	data := make([]complex128, nx*ny*nz)
+	timeE := 0.0
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeE += real(data[i])*real(data[i]) + imag(data[i])*imag(data[i])
+	}
+	Forward3D(data, nx, ny, nz)
+	freqE := 0.0
+	for _, v := range data {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= float64(nx * ny * nz)
+	if math.Abs(timeE-freqE) > 1e-8*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", timeE, freqE)
+	}
+}
+
+func TestMismatched3DSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Forward3D(make([]complex128, 10), 4, 4, 4)
+}

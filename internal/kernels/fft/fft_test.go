@@ -1,0 +1,162 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"multicore/internal/topology"
+	"testing"
+	"testing/quick"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/units"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randSignal(rng, n)
+		want := NaiveDFT(x)
+		Forward(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-want[i]) > 1e-8*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d: FFT[%d] = %v, DFT = %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9))
+		x := randSignal(rng, n)
+		orig := append([]complex128(nil), x...)
+		Forward(x)
+		Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9*(1+cmplx.Abs(orig[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 512
+	x := randSignal(rng, n)
+	timeEnergy := 0.0
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	Forward(x)
+	freqEnergy := 0.0
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	n := 16
+	x := make([]complex128, n)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Forward(make([]complex128, 3))
+}
+
+func TestFlopsFormula(t *testing.T) {
+	if Flops(1) != 0 {
+		t.Fatal("Flops(1) should be 0")
+	}
+	if got, want := Flops(1024), 5.0*1024*10; got != want {
+		t.Fatalf("Flops(1024) = %v, want %v", got, want)
+	}
+}
+
+func bindingsOn(cores ...int) []affinity.Binding {
+	b := make([]affinity.Binding, len(cores))
+	for i, c := range cores {
+		b[i] = affinity.Binding{Core: topology.CoreID(c), MemPolicy: mem.LocalAlloc}
+	}
+	return b
+}
+
+func TestSimLocalFFTRate(t *testing.T) {
+	spec := machine.DMZ()
+	res := mpi.Run(mpi.Config{Spec: spec, Bindings: bindingsOn(0)}, func(r *mpi.Rank) {
+		RunLocal(r, LocalParams{N: 1 << 20})
+	})
+	gf := res.Max(MetricFlops)
+	// FFT sustains a modest fraction of peak; sanity-check the range.
+	if gf < 0.05*spec.PeakFlops() || gf > 0.4*spec.PeakFlops() {
+		t.Fatalf("FFT rate = %s (peak %s), outside plausible band",
+			units.Flops(gf), units.Flops(spec.PeakFlops()))
+	}
+}
+
+func TestSimStarFFTNearlyMatchesSingle(t *testing.T) {
+	// Paper Fig 9: FFT is cache-friendly enough that Star mode is only
+	// slightly below Single mode.
+	spec := machine.DMZ()
+	single := mpi.Run(mpi.Config{Spec: spec, Bindings: bindingsOn(0)}, func(r *mpi.Rank) {
+		RunLocal(r, LocalParams{N: 1 << 20})
+	}).Max(MetricFlops)
+	star := mpi.Run(mpi.Config{Spec: spec, Bindings: bindingsOn(0, 1, 2, 3)}, func(r *mpi.Rank) {
+		RunLocal(r, LocalParams{N: 1 << 20})
+	}).Mean(MetricFlops)
+	ratio := star / single
+	if ratio < 0.6 || ratio > 1.02 {
+		t.Fatalf("star/single FFT ratio = %.2f, want slightly under 1", ratio)
+	}
+}
+
+func TestSimDistFFTScales(t *testing.T) {
+	spec := machine.DMZ()
+	timeFor := func(cores ...int) float64 {
+		res := mpi.Run(mpi.Config{Spec: spec, Bindings: bindingsOn(cores...)}, func(r *mpi.Rank) {
+			RunDist(r, DistParams{TotalN: 1 << 22, Iters: 1})
+		})
+		return res.Time
+	}
+	t1 := timeFor(0)
+	t4 := timeFor(0, 1, 2, 3)
+	speedup := t1 / t4
+	// FT-like: sublinear but real speedup on 4 cores (paper Table 4:
+	// ~0.64 efficiency at 4 cores on DMZ).
+	if speedup < 1.5 || speedup > 4 {
+		t.Fatalf("dist FFT speedup on 4 cores = %.2f", speedup)
+	}
+}

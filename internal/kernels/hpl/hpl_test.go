@@ -1,0 +1,120 @@
+package hpl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/topology"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	x, err := Solve(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a0 := make([]float64, n*n)
+		for i := range a0 {
+			a0[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a0[i*n+i] += float64(n)
+		}
+		b0 := make([]float64, n)
+		for i := range b0 {
+			b0[i] = rng.NormFloat64()
+		}
+		a := append([]float64(nil), a0...)
+		b := append([]float64(nil), b0...)
+		x, err := Solve(a, b, n)
+		if err != nil {
+			return false
+		}
+		return Residual(a0, x, b0, n) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a0 := []float64{0, 1, 1, 0}
+	b0 := []float64{2, 3}
+	a := append([]float64(nil), a0...)
+	b := append([]float64(nil), b0...)
+	x, err := Solve(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	b := []float64{1, 2}
+	if _, err := Solve(a, b, 2); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func bind(cores ...int) []affinity.Binding {
+	b := make([]affinity.Binding, len(cores))
+	for i, c := range cores {
+		b[i] = affinity.Binding{Core: topology.CoreID(c), MemPolicy: mem.LocalAlloc}
+	}
+	return b
+}
+
+func TestSimHPLScalesWithRanks(t *testing.T) {
+	spec := machine.Longs()
+	rate := func(cores ...int) float64 {
+		res := mpi.Run(mpi.Config{Spec: spec, Bindings: bind(cores...)}, func(r *mpi.Rank) {
+			Run(r, Params{N: 2048, NB: 64})
+		})
+		return res.Max(MetricGFlops)
+	}
+	r1 := rate(0)
+	r4 := rate(0, 2, 4, 6)
+	if speedup := r4 / r1; speedup < 2 || speedup > 4.2 {
+		t.Fatalf("HPL 4-rank speedup = %.2f, want 2-4x", speedup)
+	}
+}
+
+func TestSimHPLSysVHurts(t *testing.T) {
+	// Paper Fig 8: the MPI sub-layer dominates the memory placement
+	// choice for HPL.
+	spec := machine.Longs()
+	cores := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	rate := func(impl *mpi.Impl) float64 {
+		res := mpi.Run(mpi.Config{Spec: spec, Impl: impl, Bindings: bind(cores...)}, func(r *mpi.Rank) {
+			Run(r, Params{N: 2048, NB: 64})
+		})
+		return res.Max(MetricGFlops)
+	}
+	usysv := rate(mpi.LAM().WithSublayer(mpi.USysV()))
+	sysv := rate(mpi.LAM().WithSublayer(mpi.SysV()))
+	if usysv <= sysv {
+		t.Fatalf("USysV HPL (%v GF) should beat SysV (%v GF)", usysv, sysv)
+	}
+}

@@ -1,0 +1,103 @@
+// Package lmbench implements the LMbench lat_mem_rd memory-latency probe
+// the paper's micro-benchmark section builds on (Section 3.1 uses the
+// LMbench STREAM implementation; lat_mem_rd is its companion): a pointer
+// chase over a working set swept from cache-resident to memory-resident
+// sizes, exposing each level of the hierarchy and the NUMA distance of the
+// backing node.
+package lmbench
+
+import (
+	"math/rand"
+
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// BuildChain creates a random cyclic pointer chain of n entries (the real
+// lat_mem_rd structure, used by the correctness tests and host-side
+// benchmarks).
+func BuildChain(n int, seed int64) []int {
+	if n <= 0 {
+		panic("lmbench: chain length must be positive")
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	next[perm[n-1]] = perm[0]
+	return next
+}
+
+// WalkChain follows the chain for `steps` hops starting at entry 0 and
+// returns the final index; the data dependency defeats any reordering.
+func WalkChain(next []int, steps int) int {
+	idx := 0
+	for i := 0; i < steps; i++ {
+		idx = next[idx]
+	}
+	return idx
+}
+
+// ChainIsCyclic reports whether the chain visits every entry exactly once
+// before returning to the start (the lat_mem_rd invariant).
+func ChainIsCyclic(next []int) bool {
+	seen := make([]bool, len(next))
+	idx := 0
+	for i := 0; i < len(next); i++ {
+		if seen[idx] {
+			return false
+		}
+		seen[idx] = true
+		idx = next[idx]
+	}
+	return idx == 0
+}
+
+// Point is one measured latency point.
+type Point struct {
+	WorkingSetBytes float64
+	LatencySeconds  float64 // per dependent load
+}
+
+// MetricPrefix prefixes per-size Report keys.
+const MetricPrefix = "lmbench.lat."
+
+// Params configures a simulated latency sweep.
+type Params struct {
+	// Sizes are the working-set sizes to probe (bytes). Default: 4 KiB
+	// to 64 MiB by powers of four.
+	Sizes []float64
+	// Touches per size (default 20000).
+	Touches float64
+}
+
+func (p *Params) setDefaults() {
+	if len(p.Sizes) == 0 {
+		for s := 4.0 * 1024; s <= 64*1024*1024; s *= 4 {
+			p.Sizes = append(p.Sizes, s)
+		}
+	}
+	if p.Touches == 0 {
+		p.Touches = 20000
+	}
+}
+
+// Run executes the simulated sweep on one rank and returns the latency
+// curve. Each size allocates a fresh region (placed by the rank's policy)
+// and chases a dependent chain through it twice: one warm-up pass, one
+// measured pass.
+func Run(r *mpi.Rank, p Params) []Point {
+	p.setDefaults()
+	out := make([]Point, 0, len(p.Sizes))
+	for _, size := range p.Sizes {
+		region := r.Alloc("lmbench.chain", size)
+		// Warm-up: populate the cache model's residency.
+		r.Access(mem.Access{Region: region, Pattern: mem.Chase, Touches: p.Touches})
+		start := r.Now()
+		r.Access(mem.Access{Region: region, Pattern: mem.Chase, Touches: p.Touches})
+		lat := (r.Now() - start) / p.Touches
+		out = append(out, Point{WorkingSetBytes: size, LatencySeconds: lat})
+	}
+	return out
+}

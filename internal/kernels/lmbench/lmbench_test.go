@@ -1,0 +1,94 @@
+package lmbench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/units"
+)
+
+func TestChainIsCyclicPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		return ChainIsCyclic(BuildChain(n, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkChainReturnsToStart(t *testing.T) {
+	n := 1024
+	chain := BuildChain(n, 7)
+	if idx := WalkChain(chain, n); idx != 0 {
+		t.Fatalf("walk of length n ended at %d, want 0", idx)
+	}
+	if idx := WalkChain(chain, 2*n); idx != 0 {
+		t.Fatalf("walk of length 2n ended at %d, want 0", idx)
+	}
+}
+
+func TestBadChainDetected(t *testing.T) {
+	chain := BuildChain(64, 1)
+	chain[5] = 5 // self-loop breaks the cycle
+	if ChainIsCyclic(chain) {
+		t.Fatal("corrupted chain not detected")
+	}
+}
+
+func runSweep(t *testing.T, spec *machine.Spec, pol mem.Policy, bind []int) []Point {
+	t.Helper()
+	var pts []Point
+	b := []affinity.Binding{{Core: 0, MemPolicy: pol, BindNodes: bind}}
+	mpi.Run(mpi.Config{Spec: spec, Bindings: b}, func(r *mpi.Rank) {
+		pts = Run(r, Params{})
+	})
+	return pts
+}
+
+func TestLatencyCurveShape(t *testing.T) {
+	pts := runSweep(t, machine.DMZ(), mem.LocalAlloc, nil)
+	// Monotone non-decreasing with working set, with a clear cache-to-
+	// memory transition around the 1.1 MiB capacity.
+	var inCache, inMem float64
+	for _, p := range pts {
+		if p.WorkingSetBytes <= 256*units.KB {
+			inCache = p.LatencySeconds
+		}
+		if p.WorkingSetBytes >= 16*units.MB {
+			inMem = p.LatencySeconds
+		}
+	}
+	if inMem < 10*inCache {
+		t.Fatalf("memory latency %v should dwarf cache latency %v", inMem, inCache)
+	}
+	// Memory plateau near the spec's local round trip (90 ns on DMZ).
+	if inMem < 60*units.Nanosecond || inMem > 120*units.Nanosecond {
+		t.Fatalf("memory-resident latency = %v, want ~90 ns", inMem)
+	}
+}
+
+func TestRemoteLatencyPlateauHigher(t *testing.T) {
+	local := runSweep(t, machine.DMZ(), mem.LocalAlloc, nil)
+	remote := runSweep(t, machine.DMZ(), mem.Membind, []int{1})
+	last := len(local) - 1
+	if remote[last].LatencySeconds <= local[last].LatencySeconds {
+		t.Fatalf("remote plateau %v should exceed local %v",
+			remote[last].LatencySeconds, local[last].LatencySeconds)
+	}
+}
+
+func TestLongsLatencyAboveDMZ(t *testing.T) {
+	dmz := runSweep(t, machine.DMZ(), mem.LocalAlloc, nil)
+	longs := runSweep(t, machine.Longs(), mem.LocalAlloc, nil)
+	last := len(dmz) - 1
+	// The 8-socket probe scheme raises even local latency.
+	if longs[last].LatencySeconds <= dmz[last].LatencySeconds {
+		t.Fatalf("Longs local latency %v should exceed DMZ %v",
+			longs[last].LatencySeconds, dmz[last].LatencySeconds)
+	}
+}

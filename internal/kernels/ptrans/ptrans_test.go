@@ -1,0 +1,109 @@
+package ptrans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/topology"
+)
+
+func TestAddTranspose(t *testing.T) {
+	n := 3
+	a := make([]float64, n*n)
+	b := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	AddTranspose(a, b, n)
+	want := []float64{
+		1, 4, 7,
+		2, 5, 8,
+		3, 6, 9,
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		b := make([]float64, n*n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		tt := Transpose(Transpose(b, n), n)
+		for i := range b {
+			if tt[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bind(cores ...int) []affinity.Binding {
+	b := make([]affinity.Binding, len(cores))
+	for i, c := range cores {
+		b[i] = affinity.Binding{Core: topology.CoreID(c), MemPolicy: mem.LocalAlloc}
+	}
+	return b
+}
+
+func TestSimPTRANSSysVPenalty(t *testing.T) {
+	// Paper Fig 12: PTRANS shows extreme SysV vs USysV differences, with
+	// spinlocks a clear win.
+	run := func(impl *mpi.Impl) float64 {
+		res := mpi.Run(mpi.Config{Spec: machine.Longs(), Impl: impl, Bindings: bind(0, 2, 4, 6, 8, 10, 12, 14)},
+			func(r *mpi.Rank) {
+				Run(r, Params{N: 1024, Iters: 1})
+			})
+		return res.Mean(MetricBandwidth)
+	}
+	usysv := run(mpi.LAM().WithSublayer(mpi.USysV()))
+	sysv := run(mpi.LAM().WithSublayer(mpi.SysV()))
+	if usysv <= sysv {
+		t.Fatalf("USysV PTRANS (%v) should beat SysV (%v)", usysv, sysv)
+	}
+}
+
+func TestSimPTRANSHotspotBufferHurts(t *testing.T) {
+	// Paper Fig 12: localalloc degrades the sub-layers on PTRANS (all
+	// segments land on one node).
+	run := func(mode mpi.BufferMode) float64 {
+		// 16 ranks with N=1024 keeps the exchanged blocks (8*N^2/p^2 =
+		// 32 KB) inside the shared-segment pool, where placement
+		// pathologies live.
+		cores := make([]int, 16)
+		for i := range cores {
+			cores[i] = i
+		}
+		cfg := mpi.Config{
+			Spec:     machine.Longs(),
+			Impl:     mpi.LAM().WithSublayer(mpi.USysV()),
+			Bindings: bind(cores...),
+			BufMode:  mode,
+		}
+		res := mpi.Run(cfg, func(r *mpi.Rank) {
+			Run(r, Params{N: 1024, Iters: 2})
+		})
+		return res.Time
+	}
+	spread := run(mpi.BufSpread)
+	hot := run(mpi.BufHotspot)
+	if hot <= spread {
+		t.Fatalf("hotspot segments (%v) should slow PTRANS vs spread (%v)", hot, spread)
+	}
+}

@@ -1,0 +1,130 @@
+// Package rnda implements the HPCC RandomAccess (GUPS) benchmark: real
+// table updates with the HPCC polynomial random stream for correctness
+// testing, and simulated local/MPI drivers that exercise the last level of
+// the memory hierarchy (paper Figure 11).
+package rnda
+
+import (
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// POLY is the primitive polynomial the HPCC random stream uses.
+const POLY = 0x0000000000000007
+
+// NextRandom advances the HPCC pseudo-random sequence.
+func NextRandom(v uint64) uint64 {
+	hi := int64(v) < 0
+	v <<= 1
+	if hi {
+		v ^= POLY
+	}
+	return v
+}
+
+// Table is a RandomAccess update table of power-of-two size.
+type Table struct {
+	Data []uint64
+	mask uint64
+}
+
+// NewTable creates a table of 2^logSize entries initialized to t[i] = i,
+// the HPCC starting state.
+func NewTable(logSize uint) *Table {
+	n := 1 << logSize
+	t := &Table{Data: make([]uint64, n), mask: uint64(n - 1)}
+	for i := range t.Data {
+		t.Data[i] = uint64(i)
+	}
+	return t
+}
+
+// Update applies `count` updates starting from the given stream value and
+// returns the final stream value. Updates are t[ran & mask] ^= ran, the
+// exact HPCC kernel.
+func (t *Table) Update(start uint64, count int) uint64 {
+	ran := start
+	for i := 0; i < count; i++ {
+		ran = NextRandom(ran)
+		t.Data[ran&t.mask] ^= ran
+	}
+	return ran
+}
+
+// Verify re-applies the same update stream (XOR is an involution) and
+// reports how many entries fail to return to the initial state. HPCC
+// tolerates up to 1% errors from races; a serial run must return 0.
+func (t *Table) Verify(start uint64, count int) int {
+	t.Update(start, count)
+	errors := 0
+	for i, v := range t.Data {
+		if v != uint64(i) {
+			errors++
+		}
+	}
+	return errors
+}
+
+// Report keys for simulated RandomAccess runs.
+const (
+	MetricGUPS = "rnda.gups" // per-rank giga-updates per second
+)
+
+// Params configures a simulated RandomAccess run.
+type Params struct {
+	TableBytes float64 // table size (well beyond cache)
+	Updates    float64 // number of updates
+	// MPI runs bucket updates and exchanges them with all ranks every
+	// BucketSize updates (HPCC MPI RandomAccess structure).
+	MPI        bool
+	BucketSize float64
+}
+
+func (p *Params) setDefaults() {
+	if p.TableBytes == 0 {
+		p.TableBytes = 64 << 20
+	}
+	if p.Updates == 0 {
+		p.Updates = 4 * p.TableBytes / 8
+	}
+	if p.BucketSize == 0 {
+		p.BucketSize = 1024
+	}
+}
+
+// Run executes the simulated RandomAccess on one rank (and, in MPI mode,
+// exchanges update buckets with all ranks). Reports GUPS per rank.
+func Run(r *mpi.Rank, p Params) {
+	p.setDefaults()
+	table := r.Alloc("rnda.table", p.TableBytes)
+
+	r.Barrier()
+	start := r.Now()
+	if !p.MPI || r.Size() == 1 {
+		// Local: independent random updates; read-modify-write means
+		// each update touches its line twice, but the second touch is
+		// a cache hit, so one latency-bound touch per update.
+		r.Access(mem.Access{Region: table, Pattern: mem.Random, Touches: p.Updates})
+	} else {
+		// MPI: rounds of local bucket fill + alltoall of updates bound
+		// for other ranks + application of received updates.
+		perRank := p.Updates / float64(r.Size())
+		rounds := int(perRank / p.BucketSize)
+		if rounds < 1 {
+			rounds = 1
+		}
+		perRound := perRank / float64(rounds)
+		own := 1.0 / float64(r.Size())
+		for i := 0; i < rounds; i++ {
+			// Updates destined for each peer: 8 bytes per update.
+			r.Alltoall(perRound * (1 - own) / float64(r.Size()-1) * 8)
+			r.Access(mem.Access{Region: table, Pattern: mem.Random, Touches: perRound})
+		}
+	}
+	elapsed := r.Now() - start
+	perRank := p.Updates
+	if p.MPI {
+		perRank = p.Updates / float64(r.Size())
+	}
+	r.Report(MetricGUPS, perRank/elapsed/1e9)
+}

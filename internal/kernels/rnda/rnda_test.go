@@ -1,0 +1,111 @@
+package rnda
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/topology"
+)
+
+func TestNextRandomIsNonTrivial(t *testing.T) {
+	seen := map[uint64]bool{}
+	v := uint64(1)
+	for i := 0; i < 1000; i++ {
+		v = NextRandom(v)
+		if seen[v] {
+			t.Fatalf("random stream cycled after %d steps", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUpdateVerifyRoundTrip(t *testing.T) {
+	tbl := NewTable(12)
+	end := tbl.Update(1, 50000)
+	if end == 1 {
+		t.Fatal("stream did not advance")
+	}
+	if errs := tbl.Verify(1, 50000); errs != 0 {
+		t.Fatalf("serial RandomAccess verify found %d errors", errs)
+	}
+}
+
+func TestVerifyPropertyAcrossSeeds(t *testing.T) {
+	f := func(seed uint64, countRaw uint16) bool {
+		if seed == 0 {
+			seed = 1
+		}
+		count := int(countRaw)%5000 + 1
+		tbl := NewTable(10)
+		tbl.Update(seed, count)
+		return tbl.Verify(seed, count) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionIsDetected(t *testing.T) {
+	tbl := NewTable(10)
+	tbl.Update(1, 10000)
+	tbl.Data[5] ^= 0xdeadbeef
+	if errs := tbl.Verify(1, 10000); errs == 0 {
+		t.Fatal("verify missed a corrupted entry")
+	}
+}
+
+func bind(cores ...int) []affinity.Binding {
+	b := make([]affinity.Binding, len(cores))
+	for i, c := range cores {
+		b[i] = affinity.Binding{Core: topology.CoreID(c), MemPolicy: mem.LocalAlloc}
+	}
+	return b
+}
+
+func TestSimLocalGUPSIsLatencyBound(t *testing.T) {
+	spec := machine.DMZ()
+	res := mpi.Run(mpi.Config{Spec: spec, Bindings: bind(0)}, func(r *mpi.Rank) {
+		Run(r, Params{TableBytes: 64 << 20, Updates: 1e6})
+	})
+	gups := res.Max(MetricGUPS)
+	// MLP 4 over ~90ns: ~0.044 GUPS ceiling.
+	if gups < 0.01 || gups > 0.08 {
+		t.Fatalf("local GUPS = %v, outside plausible band", gups)
+	}
+}
+
+func TestSimStarRAGainsPerSocket(t *testing.T) {
+	// Paper Fig 11: RandomAccess is latency bound, so the second core
+	// per socket yields a net gain (Single:Star ratio < 2).
+	spec := machine.Longs()
+	single := mpi.Run(mpi.Config{Spec: spec, Bindings: bind(0)}, func(r *mpi.Rank) {
+		Run(r, Params{TableBytes: 32 << 20, Updates: 4e5})
+	}).Sum(MetricGUPS)
+	star := mpi.Run(mpi.Config{Spec: spec, Bindings: bind(0, 1)}, func(r *mpi.Rank) {
+		Run(r, Params{TableBytes: 32 << 20, Updates: 4e5})
+	}).Sum(MetricGUPS)
+	if star <= single*1.2 {
+		t.Fatalf("second core should gain for latency-bound RA: single=%v star=%v", single, star)
+	}
+}
+
+func TestSimMPIRASysVPenalty(t *testing.T) {
+	// Paper: MPI RandomAccess sends small messages, so the SysV
+	// sub-layer's latency collapses its performance.
+	run := func(impl *mpi.Impl) float64 {
+		res := mpi.Run(mpi.Config{Spec: machine.Longs(), Impl: impl, Bindings: bind(0, 2, 4, 6)},
+			func(r *mpi.Rank) {
+				Run(r, Params{TableBytes: 32 << 20, Updates: 4e5, MPI: true})
+			})
+		return res.Max(MetricGUPS)
+	}
+	usysv := run(mpi.LAM().WithSublayer(mpi.USysV()))
+	sysv := run(mpi.LAM().WithSublayer(mpi.SysV()))
+	if sysv >= usysv*0.7 {
+		t.Fatalf("SysV MPI-RA (%v) should be far below USysV (%v)", sysv, usysv)
+	}
+}

@@ -1,0 +1,159 @@
+// Package stream implements the STREAM triad benchmark (McCalpin), both as
+// real array arithmetic for correctness testing and as a simulated driver
+// measuring sustainable memory bandwidth on a machine model (paper
+// Section 3.1, Figures 2-3; HPCC STREAM, Figure 10).
+package stream
+
+import (
+	"fmt"
+
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// Triad computes a[i] = b[i] + scalar*c[i] over real slices (the reference
+// kernel used by unit tests).
+func Triad(a, b, c []float64, scalar float64) {
+	if len(a) != len(b) || len(b) != len(c) {
+		panic("stream: mismatched slice lengths")
+	}
+	for i := range a {
+		a[i] = b[i] + scalar*c[i]
+	}
+}
+
+// Copy computes a[i] = b[i].
+func Copy(a, b []float64) {
+	if len(a) != len(b) {
+		panic("stream: mismatched slice lengths")
+	}
+	copy(a, b)
+}
+
+// Scale computes a[i] = scalar*b[i].
+func Scale(a, b []float64, scalar float64) {
+	if len(a) != len(b) {
+		panic("stream: mismatched slice lengths")
+	}
+	for i := range a {
+		a[i] = scalar * b[i]
+	}
+}
+
+// Add computes a[i] = b[i] + c[i].
+func Add(a, b, c []float64) {
+	if len(a) != len(b) || len(b) != len(c) {
+		panic("stream: mismatched slice lengths")
+	}
+	for i := range a {
+		a[i] = b[i] + c[i]
+	}
+}
+
+// Params configures a simulated STREAM run.
+type Params struct {
+	// VectorBytes is the size of each of the three vectors. STREAM
+	// requires vectors well beyond cache; the default is 32 MiB.
+	VectorBytes float64
+	// Iters is the number of triad sweeps (default 4).
+	Iters int
+}
+
+func (p *Params) setDefaults() {
+	if p.VectorBytes == 0 {
+		p.VectorBytes = 32 << 20
+	}
+	if p.Iters == 0 {
+		p.Iters = 4
+	}
+}
+
+// Report keys for per-rank bandwidth (B/s) of the four STREAM kernels,
+// using McCalpin's byte-counting convention (Copy/Scale move 16 B per
+// element, Add/Triad 24 B).
+const (
+	MetricBandwidth = "stream.triad.bw"
+	MetricCopy      = "stream.copy.bw"
+	MetricScale     = "stream.scale.bw"
+	MetricAdd       = "stream.add.bw"
+)
+
+// RunTriad executes the simulated triad on one rank and reports its
+// bandwidth. Use it as (part of) an mpi.Run body; ranks run independently
+// (STREAM has no communication).
+func RunTriad(r *mpi.Rank, p Params) {
+	p.setDefaults()
+	a := r.Alloc("stream.a", p.VectorBytes)
+	b := r.Alloc("stream.b", p.VectorBytes)
+	c := r.Alloc("stream.c", p.VectorBytes)
+
+	// Untimed first touch / warm-up sweep, as the real benchmark does.
+	sweep(r, a, b, c, p.VectorBytes)
+
+	start := r.Now()
+	for i := 0; i < p.Iters; i++ {
+		sweep(r, a, b, c, p.VectorBytes)
+	}
+	elapsed := r.Now() - start
+	moved := 3 * p.VectorBytes * float64(p.Iters)
+	r.Report(MetricBandwidth, moved/elapsed)
+}
+
+func sweep(r *mpi.Rank, a, b, c *mem.Region, bytes float64) {
+	// One triad pass: stream-read b and c, stream-write a, with the
+	// multiply-add overlapped under the memory traffic.
+	flops := 2 * bytes / 8
+	r.Overlap(flops, 1.0,
+		mem.Access{Region: b, Pattern: mem.Stream, Bytes: bytes},
+		mem.Access{Region: c, Pattern: mem.Stream, Bytes: bytes},
+		mem.Access{Region: a, Pattern: mem.StreamWrite, Bytes: bytes},
+	)
+}
+
+// RunAll executes the full STREAM suite (Copy, Scale, Add, Triad) the way
+// the real benchmark does, reporting each kernel's bandwidth with
+// McCalpin's byte counting.
+func RunAll(r *mpi.Rank, p Params) {
+	p.setDefaults()
+	a := r.Alloc("stream.a", p.VectorBytes)
+	b := r.Alloc("stream.b", p.VectorBytes)
+	c := r.Alloc("stream.c", p.VectorBytes)
+	bytes := p.VectorBytes
+	iters := float64(p.Iters)
+
+	run := func(metric string, counted float64, pass func()) {
+		pass() // warm-up
+		start := r.Now()
+		for i := 0; i < p.Iters; i++ {
+			pass()
+		}
+		r.Report(metric, counted*iters/(r.Now()-start))
+	}
+
+	// Copy: c = a (read + write, 16 B/element counted).
+	run(MetricCopy, 2*bytes, func() {
+		r.Overlap(0, 1,
+			mem.Access{Region: a, Pattern: mem.Stream, Bytes: bytes},
+			mem.Access{Region: c, Pattern: mem.StreamWrite, Bytes: bytes})
+	})
+	// Scale: b = s*c.
+	run(MetricScale, 2*bytes, func() {
+		r.Overlap(bytes/8, 1,
+			mem.Access{Region: c, Pattern: mem.Stream, Bytes: bytes},
+			mem.Access{Region: b, Pattern: mem.StreamWrite, Bytes: bytes})
+	})
+	// Add: c = a + b.
+	run(MetricAdd, 3*bytes, func() {
+		r.Overlap(bytes/8, 1,
+			mem.Access{Region: a, Pattern: mem.Stream, Bytes: bytes},
+			mem.Access{Region: b, Pattern: mem.Stream, Bytes: bytes},
+			mem.Access{Region: c, Pattern: mem.StreamWrite, Bytes: bytes})
+	})
+	// Triad: a = b + s*c.
+	run(MetricBandwidth, 3*bytes, func() { sweep(r, a, b, c, bytes) })
+}
+
+// String describes the params for reports.
+func (p Params) String() string {
+	return fmt.Sprintf("triad vectors=%.0fMB iters=%d", p.VectorBytes/(1<<20), p.Iters)
+}

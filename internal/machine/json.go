@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"multicore/internal/topology"
+)
+
+// specJSON is the serialized form of a Spec: the topology is referenced by
+// a parseable spec string (see topology.Parse) or a built-in system name.
+type specJSON struct {
+	Topology          string  `json:"topology"`
+	FreqGHz           float64 `json:"freq_ghz"`
+	FlopsPerCycle     float64 `json:"flops_per_cycle"`
+	MCBandwidthGBs    float64 `json:"mc_bandwidth_gbs"`
+	CoreIssueGBs      float64 `json:"core_issue_gbs"`
+	CacheKiB          float64 `json:"cache_kib"`
+	LineBytes         float64 `json:"line_bytes"`
+	L2BandwidthGBs    float64 `json:"l2_bandwidth_gbs"`
+	LinkBandwidthGBs  float64 `json:"link_bandwidth_gbs"`
+	LocalLatencyNs    float64 `json:"local_latency_ns"`
+	HopLatencyNs      float64 `json:"hop_latency_ns"`
+	ContentionPenalty float64 `json:"contention_penalty"`
+	MLPRandom         float64 `json:"mlp_random"`
+	PrefetchDepth     float64 `json:"prefetch_depth"`
+}
+
+// MarshalJSONSpec serializes a spec (topology as a spec string when it was
+// parseable; built-in names survive as-is).
+func MarshalJSONSpec(s *Spec) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	j := specJSON{
+		Topology:          s.Topo.Name,
+		FreqGHz:           s.FreqHz / 1e9,
+		FlopsPerCycle:     s.FlopsPerCycle,
+		MCBandwidthGBs:    s.MCBandwidth / 1e9,
+		CoreIssueGBs:      s.CoreIssueBW / 1e9,
+		CacheKiB:          s.CacheBytes / 1024,
+		LineBytes:         s.LineBytes,
+		L2BandwidthGBs:    s.L2Bandwidth / 1e9,
+		LinkBandwidthGBs:  s.LinkBandwidth / 1e9,
+		LocalLatencyNs:    s.LocalLatency * 1e9,
+		HopLatencyNs:      s.HopLatency * 1e9,
+		ContentionPenalty: s.ContentionPenalty,
+		MLPRandom:         s.MLPRandom,
+		PrefetchDepth:     s.PrefetchDepth,
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalJSONSpec builds a Spec from its serialized form. The topology
+// field accepts a built-in name (tiger/dmz/longs) or a topology.Parse spec
+// string (ladder:4x2, xbar:8, ...).
+func UnmarshalJSONSpec(data []byte) (*Spec, error) {
+	var j specJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("machine: parsing spec: %w", err)
+	}
+	var topo *topology.System
+	if builtin := ByName(j.Topology); builtin != nil {
+		topo = builtin.Topo
+	} else {
+		t, err := topology.Parse(j.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("machine: topology %q: %w", j.Topology, err)
+		}
+		topo = t
+	}
+	s := &Spec{
+		Topo:              topo,
+		FreqHz:            j.FreqGHz * 1e9,
+		FlopsPerCycle:     j.FlopsPerCycle,
+		MCBandwidth:       j.MCBandwidthGBs * 1e9,
+		CoreIssueBW:       j.CoreIssueGBs * 1e9,
+		CacheBytes:        j.CacheKiB * 1024,
+		LineBytes:         j.LineBytes,
+		L2Bandwidth:       j.L2BandwidthGBs * 1e9,
+		LinkBandwidth:     j.LinkBandwidthGBs * 1e9,
+		LocalLatency:      j.LocalLatencyNs / 1e9,
+		HopLatency:        j.HopLatencyNs / 1e9,
+		ContentionPenalty: j.ContentionPenalty,
+		MLPRandom:         j.MLPRandom,
+		PrefetchDepth:     j.PrefetchDepth,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads a machine spec from a JSON file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalJSONSpec(data)
+}

@@ -1,0 +1,314 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"multicore/internal/mem"
+	"multicore/internal/sim"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+// streamBandwidth runs one streaming read pass per listed core over a
+// fresh over-capacity region placed by dist, and returns the aggregate
+// bandwidth in B/s.
+func streamBandwidth(t *testing.T, spec *Spec, cores []topology.CoreID, distFor func(c topology.CoreID) mem.Placement) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	const bytesPer = 64 * units.MB
+	for _, core := range cores {
+		core := core
+		eng.Spawn("stream", func(p *sim.Proc) {
+			cpu := m.CPU(p, core)
+			r := cpu.Alloc("v", 8*units.MB, distFor(core))
+			// Stream the region repeatedly to reach steady state.
+			for i := 0; i < int(bytesPer/(8*units.MB)); i++ {
+				cpu.Access(mem.Access{Region: r, Pattern: mem.Stream, Bytes: 8 * units.MB})
+			}
+		})
+	}
+	eng.Run()
+	return float64(len(cores)) * bytesPer / eng.Now()
+}
+
+func localDist(spec *Spec) func(c topology.CoreID) mem.Placement {
+	return func(c topology.CoreID) mem.Placement {
+		return mem.Place(mem.LocalAlloc, spec.Topo.NumSockets, int(spec.Topo.SocketOf(c)), nil)
+	}
+}
+
+func TestDMZSingleCoreStream(t *testing.T) {
+	spec := DMZ()
+	bw := streamBandwidth(t, spec, []topology.CoreID{0}, localDist(spec))
+	// Single core is issue-limited at ~2.8 GB/s.
+	if math.Abs(bw-2.8*units.Giga)/units.Giga > 0.2 {
+		t.Fatalf("DMZ single-core stream = %s, want ~2.8 GB/s", units.Rate(bw))
+	}
+}
+
+func TestDMZSecondCoreOnSocketIsNearlyFlat(t *testing.T) {
+	spec := DMZ()
+	one := streamBandwidth(t, spec, []topology.CoreID{0}, localDist(spec))
+	two := streamBandwidth(t, spec, []topology.CoreID{0, 1}, localDist(spec))
+	gain := two / one
+	// Paper Fig 2/3: activating the second core per socket is flat or
+	// slightly degraded; the controller caps the pair.
+	if gain < 0.85 || gain > 1.25 {
+		t.Fatalf("second-core gain = %.2fx (one=%s two=%s), want ~1x",
+			gain, units.Rate(one), units.Rate(two))
+	}
+}
+
+func TestDMZSecondSocketScalesLinearly(t *testing.T) {
+	spec := DMZ()
+	one := streamBandwidth(t, spec, []topology.CoreID{0}, localDist(spec))
+	two := streamBandwidth(t, spec, []topology.CoreID{0, 2}, localDist(spec))
+	gain := two / one
+	if gain < 1.9 || gain > 2.1 {
+		t.Fatalf("second-socket gain = %.2fx, want ~2x", gain)
+	}
+}
+
+func TestLongsSingleCoreIsCoherenceLimited(t *testing.T) {
+	spec := Longs()
+	bw := streamBandwidth(t, spec, []topology.CoreID{0}, localDist(spec))
+	// Paper: best single-core bandwidth on the 8-socket box is below
+	// 2 GB/s, less than half the expected 4+ GB/s.
+	if bw > 2.1*units.Giga {
+		t.Fatalf("Longs single-core stream = %s, want <= ~2 GB/s", units.Rate(bw))
+	}
+	if bw < 1.5*units.Giga {
+		t.Fatalf("Longs single-core stream = %s, unreasonably low", units.Rate(bw))
+	}
+}
+
+func TestLongsSecondCorePerSocketDegrades(t *testing.T) {
+	spec := Longs()
+	one := streamBandwidth(t, spec, []topology.CoreID{0}, localDist(spec))
+	two := streamBandwidth(t, spec, []topology.CoreID{0, 1}, localDist(spec))
+	// Paper Fig 10: engaging the second core on STREAM loses per-socket
+	// bandwidth (Single:Star ratio > 2).
+	if two >= one {
+		t.Fatalf("Longs second core should degrade socket bandwidth: one=%s two=%s",
+			units.Rate(one), units.Rate(two))
+	}
+}
+
+func TestLongsAllSocketsScaleAcrossFirstCores(t *testing.T) {
+	spec := Longs()
+	cores := make([]topology.CoreID, 0, 8)
+	for s := 0; s < 8; s++ {
+		cores = append(cores, spec.Topo.CoresOn(topology.SocketID(s))[0])
+	}
+	one := streamBandwidth(t, spec, cores[:1], localDist(spec))
+	all := streamBandwidth(t, spec, cores, localDist(spec))
+	gain := all / one
+	if gain < 7 || gain > 8.5 {
+		t.Fatalf("Longs 8-socket scaling = %.2fx, want ~8x", gain)
+	}
+}
+
+func TestRemoteStreamIsSlowerThanLocal(t *testing.T) {
+	spec := DMZ()
+	local := streamBandwidth(t, spec, []topology.CoreID{0}, localDist(spec))
+	remote := streamBandwidth(t, spec, []topology.CoreID{0}, func(topology.CoreID) mem.Placement {
+		return mem.Place(mem.Membind, 2, 0, []int{1})
+	})
+	if remote >= local {
+		t.Fatalf("remote stream %s not slower than local %s", units.Rate(remote), units.Rate(local))
+	}
+}
+
+func TestInterleaveSplitsTraffic(t *testing.T) {
+	spec := DMZ()
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	eng.Spawn("il", func(p *sim.Proc) {
+		cpu := m.CPU(p, 0)
+		r := cpu.Alloc("v", 8*units.MB, mem.Place(mem.Interleave, 2, 0, nil))
+		cpu.Access(mem.Access{Region: r, Pattern: mem.Stream, Bytes: 8 * units.MB})
+	})
+	eng.Run()
+	b0 := m.MC(0).BytesServed()
+	b1 := m.MC(1).BytesServed()
+	if math.Abs(b0-b1) > 1 {
+		t.Fatalf("interleave traffic uneven: mc0=%v mc1=%v", b0, b1)
+	}
+	if b0 == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	spec := DMZ() // peak 4.4 GFlop/s
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	eng.Spawn("c", func(p *sim.Proc) {
+		cpu := m.CPU(p, 0)
+		cpu.Compute(4.4e9, 1.0) // one second of peak flops
+	})
+	eng.Run()
+	if math.Abs(eng.Now()-1.0) > 1e-9 {
+		t.Fatalf("compute time = %v, want 1.0", eng.Now())
+	}
+}
+
+func TestChaseIsLatencyBound(t *testing.T) {
+	spec := DMZ()
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	const touches = 10000
+	eng.Spawn("chase", func(p *sim.Proc) {
+		cpu := m.CPU(p, 0)
+		r := cpu.Alloc("list", 64*units.MB, localDist(spec)(0))
+		cpu.Access(mem.Access{Region: r, Pattern: mem.Chase, Touches: touches})
+	})
+	eng.Run()
+	perTouch := eng.Now() / touches
+	// Dependent chain: one local round trip per touch (90 ns).
+	if math.Abs(perTouch-90*units.Nanosecond)/units.Nanosecond > 20 {
+		t.Fatalf("chase per-touch latency = %s, want ~90 ns", units.Duration(perTouch))
+	}
+}
+
+func TestRandomHasMLPOverlap(t *testing.T) {
+	spec := DMZ()
+	timeFor := func(pat mem.Pattern) float64 {
+		eng := sim.NewEngine()
+		m := New(eng, spec)
+		eng.Spawn("r", func(p *sim.Proc) {
+			cpu := m.CPU(p, 0)
+			r := cpu.Alloc("tbl", 64*units.MB, localDist(spec)(0))
+			cpu.Access(mem.Access{Region: r, Pattern: pat, Touches: 10000})
+		})
+		eng.Run()
+		return eng.Now()
+	}
+	chase := timeFor(mem.Chase)
+	random := timeFor(mem.Random)
+	ratio := chase / random
+	if math.Abs(ratio-spec.MLPRandom)/spec.MLPRandom > 0.25 {
+		t.Fatalf("chase/random ratio = %.2f, want ~%v (MLP)", ratio, spec.MLPRandom)
+	}
+}
+
+func TestOverlapTakesMax(t *testing.T) {
+	spec := DMZ()
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	var tEnd float64
+	eng.Spawn("o", func(p *sim.Proc) {
+		cpu := m.CPU(p, 0)
+		r := cpu.Alloc("v", 8*units.MB, localDist(spec)(0))
+		// Memory: 8 MB at 2.8 GB/s ~= 3 ms. Compute: 44M flops at peak
+		// = 10 ms. Overlapped total should be ~10 ms, not ~13 ms.
+		cpu.Overlap(44e6, 1.0, mem.Access{Region: r, Pattern: mem.Stream, Bytes: 8 * units.MB})
+		tEnd = p.Now()
+	})
+	eng.Run()
+	if tEnd > 11e-3 || tEnd < 9.9e-3 {
+		t.Fatalf("overlap time = %s, want ~10 ms", units.Duration(tEnd))
+	}
+}
+
+func TestCopyChargesBothControllers(t *testing.T) {
+	spec := DMZ()
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	eng.Spawn("cp", func(p *sim.Proc) {
+		cpu := m.CPU(p, 0)
+		cpu.Copy(units.MB, 0, 1)
+	})
+	eng.Run()
+	if m.MC(0).BytesServed() < units.MB || m.MC(1).BytesServed() < units.MB {
+		t.Fatalf("copy traffic: mc0=%v mc1=%v, want >= 1 MB each",
+			m.MC(0).BytesServed(), m.MC(1).BytesServed())
+	}
+}
+
+func TestLongsRemoteLatencyGrowsWithHops(t *testing.T) {
+	spec := Longs()
+	m := New(sim.NewEngine(), spec)
+	l0 := m.RoundTrip(0, 0)
+	l1 := m.RoundTrip(0, 1)
+	l4 := m.RoundTrip(0, 7)
+	if !(l0 < l1 && l1 < l4) {
+		t.Fatalf("latency not monotone in hops: %v %v %v", l0, l1, l4)
+	}
+	if math.Abs(l4-(spec.LocalLatency+4*spec.HopLatency)) > 1e-12 {
+		t.Fatalf("4-hop latency = %v", l4)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"tiger", "dmz", "longs"} {
+		if ByName(n) == nil {
+			t.Fatalf("ByName(%q) = nil", n)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName(nope) should be nil")
+	}
+}
+
+func TestUtilizationsReport(t *testing.T) {
+	spec := DMZ()
+	eng := sim.NewEngine()
+	m := New(eng, spec)
+	eng.Spawn("w", func(p *sim.Proc) {
+		cpu := m.CPU(p, 0)
+		r := cpu.Alloc("v", 8*units.MB, localDist(spec)(0))
+		cpu.Access(mem.Access{Region: r, Pattern: mem.Stream, Bytes: 8 * units.MB})
+	})
+	eng.Run()
+	utils := m.Utilizations(eng.Now())
+	// 2 MCs + 2 link dirs + 4 issue ports + 4 L2... L2 not included: 2+2+4.
+	if len(utils) != 8 {
+		t.Fatalf("got %d resources, want 8", len(utils))
+	}
+	hot := m.HottestResource(eng.Now())
+	if hot.Utilization <= 0 {
+		t.Fatalf("hottest resource has no utilization: %+v", hot)
+	}
+	if hot.Name != utils[0].Name && hot.BytesServed == 0 {
+		t.Fatal("hottest resource inconsistent")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, s := range []*Spec{Tiger(), DMZ(), Longs()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Topo.Name, err)
+		}
+	}
+	bad := DMZ()
+	bad.MCBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-bandwidth spec should fail validation")
+	}
+	bad2 := DMZ()
+	bad2.Topo = nil
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("nil topology should fail validation")
+	}
+}
+
+func TestCopyCeilingMonotone(t *testing.T) {
+	spec := Longs()
+	if spec.CopyCeiling(0) != 0 {
+		t.Fatal("zero hops should mean no ceiling")
+	}
+	prev := spec.CopyCeiling(1)
+	if prev <= 0 || prev >= spec.LinkBandwidth {
+		t.Fatalf("1-hop ceiling %v out of range", prev)
+	}
+	for h := 2; h <= 4; h++ {
+		c := spec.CopyCeiling(h)
+		if c >= prev {
+			t.Fatalf("ceiling not decreasing at %d hops: %v >= %v", h, c, prev)
+		}
+		prev = c
+	}
+}

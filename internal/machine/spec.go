@@ -1,0 +1,176 @@
+// Package machine turns a topology plus calibrated performance parameters
+// into an executable machine model: cores that can compute, access memory
+// through caches and NUMA links, and (via internal/mpi) exchange messages.
+//
+// Memory accesses become flows in the simulation's fluid network, so
+// contention between cores sharing a memory controller, or messages sharing
+// a HyperTransport link, emerges from the model rather than being assumed.
+package machine
+
+import (
+	"fmt"
+
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+// Spec holds the calibrated performance parameters of one evaluated
+// system. Values are *effective* (already derated for protocol overheads),
+// chosen so the micro-benchmark behaviour the paper reports emerges:
+// Longs' coherence-limited bandwidth, DMZ's near-flat second-core STREAM,
+// and the latency gap between local and multi-hop remote memory.
+type Spec struct {
+	Topo *topology.System
+
+	FreqHz        float64 // core clock
+	FlopsPerCycle float64 // double-precision flops per cycle (Opteron: 2)
+
+	// Memory system.
+	MCBandwidth float64 // effective DRAM bandwidth per socket (B/s)
+	CoreIssueBW float64 // max stream rate a single core can sustain (B/s)
+	CacheBytes  float64 // per-core L1d + exclusive L2 capacity
+	LineBytes   float64 // cache line size
+	L2Bandwidth float64 // service rate for cache hits (B/s)
+
+	// Interconnect.
+	LinkBandwidth float64 // coherent HT per-direction payload bandwidth (B/s)
+	LocalLatency  float64 // DRAM round trip to the local controller (s)
+	HopLatency    float64 // additional round-trip latency per HT hop (s)
+
+	// DRAM efficiency loss when multiple streams interleave at one
+	// controller (bank/row-buffer conflicts): each concurrent stream
+	// inflates a new flow's effective volume by this fraction.
+	ContentionPenalty float64
+
+	// Memory-level parallelism: how many independent random misses a
+	// core keeps in flight (dependent chains always get 1).
+	MLPRandom float64
+
+	// PrefetchDepth is the number of cache-line fills the hardware
+	// prefetcher keeps in flight for streaming accesses. It caps a
+	// single stream's rate at PrefetchDepth*LineBytes/roundTrip, which
+	// is what makes remote and interleaved streams slower for a single
+	// core even when aggregate controller bandwidth is available.
+	PrefetchDepth float64
+}
+
+// PeakFlops returns the peak double-precision flop rate of one core.
+func (s *Spec) PeakFlops() float64 { return s.FreqHz * s.FlopsPerCycle }
+
+// CopyCeiling bounds the rate of a memory-to-memory copy whose path
+// crosses `hops` HT links: remote reads pay coherence probes, so a
+// cross-link copy cannot reach the full link payload bandwidth. Zero hops
+// means no ceiling (returns 0).
+func (s *Spec) CopyCeiling(hops int) float64 {
+	if hops <= 0 {
+		return 0
+	}
+	ceiling := 0.7 * s.LinkBandwidth
+	for i := 1; i < hops; i++ {
+		ceiling *= 0.9
+	}
+	return ceiling
+}
+
+// Tiger returns the calibrated spec for the Cray XD1 node: two single-core
+// 2.2 GHz Opteron 248 (paper Table 1).
+func Tiger() *Spec {
+	return &Spec{
+		Topo:              topology.Tiger(),
+		FreqHz:            2.2e9,
+		FlopsPerCycle:     2,
+		MCBandwidth:       4.0 * units.Giga,
+		CoreIssueBW:       2.9 * units.Giga,
+		CacheBytes:        (64 + 1024) * units.KB,
+		LineBytes:         64,
+		L2Bandwidth:       8.0 * units.Giga,
+		LinkBandwidth:     2.2 * units.Giga,
+		LocalLatency:      85 * units.Nanosecond,
+		HopLatency:        50 * units.Nanosecond,
+		ContentionPenalty: 0.15,
+		MLPRandom:         4,
+		PrefetchDepth:     8,
+	}
+}
+
+// DMZ returns the calibrated spec for one DMZ node: two dual-core 2.2 GHz
+// Opteron 275 (paper Table 1). The two-socket coherence fabric is simple,
+// so the controller keeps most of its DDR-400 bandwidth.
+func DMZ() *Spec {
+	return &Spec{
+		Topo:              topology.DMZ(),
+		FreqHz:            2.2e9,
+		FlopsPerCycle:     2,
+		MCBandwidth:       3.4 * units.Giga,
+		CoreIssueBW:       2.8 * units.Giga,
+		CacheBytes:        (64 + 1024) * units.KB,
+		LineBytes:         64,
+		L2Bandwidth:       8.0 * units.Giga,
+		LinkBandwidth:     2.2 * units.Giga,
+		LocalLatency:      90 * units.Nanosecond,
+		HopLatency:        55 * units.Nanosecond,
+		ContentionPenalty: 0.15,
+		MLPRandom:         4,
+		PrefetchDepth:     8,
+	}
+}
+
+// Longs returns the calibrated spec for the Iwill H8501: eight dual-core
+// 1.8 GHz Opteron 865 on a 2x4 HT ladder. The paper found the eight-socket
+// broadcast-probe coherence scheme costs more than half the expected
+// bandwidth ("best achievable single core bandwidth ... less than half of
+// the more than 4 GB/s one would typically expect"), so the effective
+// controller bandwidth here is derated far below the DDR-400 peak and the
+// base latency is higher than on the two-socket systems.
+func Longs() *Spec {
+	return &Spec{
+		Topo:              topology.Longs(),
+		FreqHz:            1.8e9,
+		FlopsPerCycle:     2,
+		MCBandwidth:       2.0 * units.Giga,
+		CoreIssueBW:       2.8 * units.Giga,
+		CacheBytes:        (64 + 1024) * units.KB,
+		LineBytes:         64,
+		L2Bandwidth:       6.5 * units.Giga,
+		LinkBandwidth:     2.0 * units.Giga,
+		LocalLatency:      150 * units.Nanosecond,
+		HopLatency:        70 * units.Nanosecond,
+		ContentionPenalty: 0.18,
+		MLPRandom:         3,
+		PrefetchDepth:     6,
+	}
+}
+
+// ByName returns the spec of a paper system ("tiger", "dmz", "longs").
+// It returns nil for unknown names.
+func ByName(name string) *Spec {
+	switch name {
+	case "tiger", "Tiger":
+		return Tiger()
+	case "dmz", "DMZ":
+		return DMZ()
+	case "longs", "Longs":
+		return Longs()
+	}
+	return nil
+}
+
+// Validate checks a spec for physical plausibility; custom specs built in
+// code should be validated before use.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Topo == nil:
+		return fmt.Errorf("machine: spec has no topology")
+	case s.FreqHz <= 0 || s.FlopsPerCycle <= 0:
+		return fmt.Errorf("machine: %s has non-positive compute rate", s.Topo.Name)
+	case s.MCBandwidth <= 0 || s.CoreIssueBW <= 0 || s.LinkBandwidth <= 0:
+		return fmt.Errorf("machine: %s has non-positive bandwidth", s.Topo.Name)
+	case s.CacheBytes <= 0 || s.LineBytes <= 0:
+		return fmt.Errorf("machine: %s has non-positive cache geometry", s.Topo.Name)
+	case s.LocalLatency <= 0 || s.HopLatency < 0:
+		return fmt.Errorf("machine: %s has bad latencies", s.Topo.Name)
+	case s.ContentionPenalty < 0 || s.MLPRandom < 1 || s.PrefetchDepth < 0:
+		return fmt.Errorf("machine: %s has bad contention/MLP parameters", s.Topo.Name)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCacheInvariantsUnderRandomWorkload drives the cache model with
+// arbitrary access sequences and checks its core invariants:
+//
+//  1. total residency never exceeds capacity,
+//  2. traffic + hits account for exactly the requested volume on
+//     streaming patterns,
+//  3. random misses never exceed the touches requested.
+func TestCacheInvariantsUnderRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(0, 1<<20, 64)
+		nRegions := 1 + rng.Intn(5)
+		regions := make([]*Region, nRegions)
+		for i := range regions {
+			size := float64(1+rng.Intn(4<<20)) + 64
+			regions[i] = NewRegion("r", size, Placement{1})
+		}
+		for op := 0; op < 50; op++ {
+			r := regions[rng.Intn(nRegions)]
+			var tr Traffic
+			switch rng.Intn(4) {
+			case 0:
+				bytes := rng.Float64() * r.Bytes
+				tr = c.Filter(Access{Region: r, Pattern: Stream, Bytes: bytes})
+				if tr.MemBytes+tr.HitBytes > bytes*1.0001 {
+					return false
+				}
+			case 1:
+				bytes := rng.Float64() * r.Bytes
+				tr = c.Filter(Access{Region: r, Pattern: StreamWrite, Bytes: bytes})
+				// Write traffic may be up to 2x (allocate + writeback).
+				if tr.MemBytes > 2*bytes*1.0001 {
+					return false
+				}
+			case 2:
+				touches := float64(rng.Intn(10000))
+				tr = c.Filter(Access{Region: r, Pattern: Random, Touches: touches})
+				if tr.LatencyTouches > touches*1.0001 {
+					return false
+				}
+			case 3:
+				bytes := rng.Float64() * 10 * r.Bytes
+				tr = c.Filter(Access{Region: r, Pattern: Blocked, Bytes: bytes, Reuse: 1 + rng.Float64()*63})
+				if tr.MemBytes > bytes*1.0001 {
+					return false
+				}
+			}
+			if tr.MemBytes < 0 || tr.HitBytes < 0 || tr.LatencyTouches < 0 {
+				return false
+			}
+			// Invariant 1: residency within capacity.
+			total := 0.0
+			for _, reg := range regions {
+				total += reg.resident[c.CoreID]
+			}
+			if total > c.Capacity+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmRegionNeverColdAgainWithoutEviction: with a single region that
+// fits, repeated sweeps stay fully hit.
+func TestWarmRegionNeverColdAgainWithoutEviction(t *testing.T) {
+	c := NewCache(0, 1<<20, 64)
+	r := NewRegion("fit", 512<<10, Placement{1})
+	c.Filter(Access{Region: r, Pattern: Stream, Bytes: r.Bytes})
+	for i := 0; i < 10; i++ {
+		tr := c.Filter(Access{Region: r, Pattern: Stream, Bytes: r.Bytes})
+		if tr.MemBytes != 0 {
+			t.Fatalf("pass %d generated %v traffic on a warm region", i, tr.MemBytes)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package mpi
+
+import "fmt"
+
+// smallMsg is the payload size used for pure synchronization messages.
+const smallMsg = 8
+
+// Barrier synchronizes all ranks with a dissemination algorithm
+// (ceil(log2 n) rounds of small sendrecvs).
+func (r *Rank) Barrier() {
+	n := r.Size()
+	if n == 1 {
+		r.proc.Sleep(0)
+		return
+	}
+	for k := 1; k < n; k <<= 1 {
+		dst := (r.id + k) % n
+		src := (r.id - k + n) % n
+		r.Sendrecv(dst, smallMsg, src)
+	}
+}
+
+// Bcast broadcasts bytes from root, choosing the algorithm by size the
+// way production MPI libraries do: binomial tree for small payloads,
+// scatter+allgather for large ones.
+func (r *Rank) Bcast(root int, bytes float64) {
+	if bytes > bcastLargeThreshold && r.Size() > 2 {
+		r.BcastScatterAllgather(root, bytes)
+		return
+	}
+	r.BcastBinomial(root, bytes)
+}
+
+// parentOf returns the binomial-tree parent of virtual rank v (> 0).
+func parentOf(v int) int {
+	// Clear the highest set bit.
+	h := 1
+	for h<<1 <= v {
+		h <<= 1
+	}
+	return v - h
+}
+
+// lowestPow2Above returns the smallest power of two strictly greater than
+// v for v > 0, or 1 for v == 0 (the fan-out start for each subtree root).
+func lowestPow2Above(v int) int {
+	if v == 0 {
+		return 1
+	}
+	h := 1
+	for h<<1 <= v {
+		h <<= 1
+	}
+	return h << 1
+}
+
+// Reduce combines bytes of data onto root over a binomial tree, charging
+// one flop per 8 bytes per combine step at the given efficiency.
+func (r *Rank) Reduce(root int, bytes float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	vrank := (r.id - root + n) % n
+	// Children send up in reverse binomial order: a rank forwards to the
+	// peer that differs in its lowest set bit.
+	for k := 1; k < n; k <<= 1 {
+		if vrank&k != 0 {
+			r.Send((vrank-k+root)%n, bytes)
+			return
+		}
+		peerV := vrank + k
+		if peerV < n {
+			r.Recv((peerV + root) % n)
+			r.Compute(bytes/8, 0.5) // combine partial results
+		}
+	}
+}
+
+// Allreduce combines and redistributes bytes across all ranks, choosing
+// recursive doubling for small payloads and the bandwidth-optimal ring
+// for large ones.
+func (r *Rank) Allreduce(bytes float64) {
+	if bytes > allreduceLargeThreshold && r.Size() > 2 {
+		r.AllreduceRing(bytes)
+		return
+	}
+	r.AllreduceRecursiveDoubling(bytes)
+}
+
+// Alltoall exchanges bytesPerPair with every other rank using pairwise
+// exchange (XOR schedule for power-of-two counts, rotation otherwise).
+func (r *Rank) Alltoall(bytesPerPair float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		for step := 1; step < n; step++ {
+			peer := r.id ^ step
+			r.Sendrecv(peer, bytesPerPair, peer)
+		}
+		return
+	}
+	for step := 1; step < n; step++ {
+		dst := (r.id + step) % n
+		src := (r.id - step + n) % n
+		r.Sendrecv(dst, bytesPerPair, src)
+	}
+}
+
+// Allgather circulates bytes from every rank to every rank over a ring
+// (n-1 steps).
+func (r *Rank) Allgather(bytes float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	next := (r.id + 1) % n
+	prev := (r.id - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		r.Sendrecv(next, bytes, prev)
+	}
+}
+
+// Scatter distributes bytesPerRank from root to every rank (root sends
+// directly; fine for the node-scale jobs modeled here).
+func (r *Rank) Scatter(root int, bytesPerRank float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	if r.id == root {
+		for i := 0; i < n; i++ {
+			if i != root {
+				r.Send(i, bytesPerRank)
+			}
+		}
+	} else {
+		r.Recv(root)
+	}
+}
+
+// Gather collects bytesPerRank from every rank at root.
+func (r *Rank) Gather(root int, bytesPerRank float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	if r.id == root {
+		for i := 0; i < n; i++ {
+			if i != root {
+				r.Recv(i)
+			}
+		}
+	} else {
+		r.Send(root, bytesPerRank)
+	}
+}
+
+func (r *Rank) String() string { return fmt.Sprintf("rank %d/%d", r.id, r.Size()) }

@@ -1,0 +1,89 @@
+package mpi
+
+// Collective algorithm selection. Real MPI implementations switch
+// algorithms by message size: latency-optimal trees for small payloads,
+// bandwidth-optimal pipelines for large ones. The default entry points
+// (Bcast, Allreduce, ...) pick automatically; the explicit variants are
+// exported for the algorithm-comparison ablation.
+
+// bcastLargeThreshold is the payload size above which Bcast switches from
+// the binomial tree to scatter+allgather.
+const bcastLargeThreshold = 128 * 1024
+
+// allreduceLargeThreshold switches Allreduce from recursive doubling to
+// the ring (reduce-scatter + allgather) algorithm.
+const allreduceLargeThreshold = 256 * 1024
+
+// BcastBinomial broadcasts over a binomial tree: log2(n) rounds, each
+// moving the full payload — latency-optimal for small messages.
+func (r *Rank) BcastBinomial(root int, bytes float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	vrank := (r.id - root + n) % n
+	if vrank != 0 {
+		r.Recv((parentOf(vrank) + root) % n)
+	}
+	for k := lowestPow2Above(vrank); k < n; k <<= 1 {
+		child := vrank + k
+		if child < n {
+			r.Send((child+root)%n, bytes)
+		}
+	}
+}
+
+// BcastScatterAllgather broadcasts large payloads bandwidth-optimally:
+// the root scatters 1/n of the data to each rank, then a ring allgather
+// circulates the pieces. Total bytes moved per link ~ 2x payload instead
+// of log2(n)x.
+func (r *Rank) BcastScatterAllgather(root int, bytes float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	piece := bytes / float64(n)
+	r.Scatter(root, piece)
+	r.Allgather(piece)
+}
+
+// AllreduceRecursiveDoubling combines in log2(n) exchange rounds of the
+// full payload — latency-optimal. Falls back to Reduce+Bcast for
+// non-power-of-two sizes.
+func (r *Rank) AllreduceRecursiveDoubling(bytes float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	if n&(n-1) != 0 {
+		r.Reduce(0, bytes)
+		r.Bcast(0, bytes)
+		return
+	}
+	for k := 1; k < n; k <<= 1 {
+		peer := r.id ^ k
+		r.Sendrecv(peer, bytes, peer)
+		r.Compute(bytes/8, 0.5)
+	}
+}
+
+// AllreduceRing implements reduce-scatter + allgather over a ring:
+// 2(n-1) steps of bytes/n each, bandwidth-optimal for large payloads.
+func (r *Rank) AllreduceRing(bytes float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	piece := bytes / float64(n)
+	next := (r.id + 1) % n
+	prev := (r.id - 1 + n) % n
+	// Reduce-scatter phase: each step passes a piece and combines.
+	for step := 0; step < n-1; step++ {
+		r.Sendrecv(next, piece, prev)
+		r.Compute(piece/8, 0.5)
+	}
+	// Allgather phase: circulate the reduced pieces.
+	for step := 0; step < n-1; step++ {
+		r.Sendrecv(next, piece, prev)
+	}
+}

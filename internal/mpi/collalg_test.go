@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"testing"
+
+	"multicore/internal/machine"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+func longsCores(n int) []topology.CoreID {
+	out := make([]topology.CoreID, n)
+	for i := range out {
+		out[i] = topology.CoreID(i)
+	}
+	return out
+}
+
+func TestRingAllreduceBeatsDoublingForLargePayloads(t *testing.T) {
+	const bytes = 4 * units.MB
+	run := func(body func(*Rank)) float64 {
+		return Run(jobOn(machine.Longs(), MPICH2(), longsCores(8)...), body).Time
+	}
+	ring := run(func(r *Rank) { r.AllreduceRing(bytes) })
+	doubling := run(func(r *Rank) { r.AllreduceRecursiveDoubling(bytes) })
+	if ring >= doubling {
+		t.Fatalf("ring allreduce (%v) should beat recursive doubling (%v) at 4 MB", ring, doubling)
+	}
+}
+
+func TestDoublingBeatsRingForSmallPayloads(t *testing.T) {
+	const bytes = 64
+	run := func(body func(*Rank)) float64 {
+		return Run(jobOn(machine.Longs(), MPICH2(), longsCores(8)...), body).Time
+	}
+	ring := run(func(r *Rank) { r.AllreduceRing(bytes) })
+	doubling := run(func(r *Rank) { r.AllreduceRecursiveDoubling(bytes) })
+	if doubling >= ring {
+		t.Fatalf("recursive doubling (%v) should beat ring (%v) at 64 B", doubling, ring)
+	}
+}
+
+func TestScatterAllgatherBcastBeatsBinomialForLargePayloads(t *testing.T) {
+	const bytes = 8 * units.MB
+	run := func(body func(*Rank)) float64 {
+		return Run(jobOn(machine.Longs(), MPICH2(), longsCores(8)...), body).Time
+	}
+	sag := run(func(r *Rank) { r.BcastScatterAllgather(0, bytes) })
+	bin := run(func(r *Rank) { r.BcastBinomial(0, bytes) })
+	if sag >= bin {
+		t.Fatalf("scatter+allgather bcast (%v) should beat binomial (%v) at 8 MB", sag, bin)
+	}
+}
+
+func TestAutoSelectionMatchesBestAlgorithm(t *testing.T) {
+	for _, bytes := range []float64{64, 4 * units.MB} {
+		run := func(body func(*Rank)) float64 {
+			return Run(jobOn(machine.Longs(), MPICH2(), longsCores(8)...), body).Time
+		}
+		auto := run(func(r *Rank) { r.Allreduce(bytes) })
+		ring := run(func(r *Rank) { r.AllreduceRing(bytes) })
+		doubling := run(func(r *Rank) { r.AllreduceRecursiveDoubling(bytes) })
+		best := ring
+		if doubling < best {
+			best = doubling
+		}
+		if auto > best*1.01 {
+			t.Fatalf("auto allreduce at %v B = %v, best explicit = %v", bytes, auto, best)
+		}
+	}
+}
+
+func TestBcastAlgorithmsDeliverSameMessageVolume(t *testing.T) {
+	// Scatter+allgather moves less data per link, but every rank must
+	// still participate; both complete on odd rank counts.
+	for _, n := range []int{3, 5, 8} {
+		for _, alg := range []func(*Rank, int, float64){
+			(*Rank).BcastBinomial,
+			(*Rank).BcastScatterAllgather,
+		} {
+			alg := alg
+			res := Run(jobOn(machine.Longs(), MPICH2(), longsCores(n)...), func(r *Rank) {
+				alg(r, 0, 512*units.KB)
+				r.Report("done", 1)
+			})
+			if got := len(res.Values["done"]); got != n {
+				t.Fatalf("n=%d: only %d ranks completed", n, got)
+			}
+		}
+	}
+}
+
+func TestHybridOverlapUsesSiblingCore(t *testing.T) {
+	// An OpenMP region with 2 threads on a dual-core socket should cut a
+	// compute-bound phase nearly in half.
+	spec := machine.DMZ()
+	timeFor := func(threads int) float64 {
+		return Run(jobOn(spec, MPICH2(), 0), func(r *Rank) {
+			r.HybridOverlap(threads, 4.4e8, 1.0)
+		}).Time
+	}
+	t1 := timeFor(1)
+	t2 := timeFor(2)
+	if ratio := t1 / t2; ratio < 1.8 || ratio > 2.1 {
+		t.Fatalf("2-thread hybrid speedup = %.2f, want ~2", ratio)
+	}
+}
+
+func TestHybridOverlapClampsThreads(t *testing.T) {
+	// Asking for more threads than the socket has cores must not panic
+	// and not use foreign sockets.
+	spec := machine.DMZ()
+	res := Run(jobOn(spec, MPICH2(), 0), func(r *Rank) {
+		r.HybridOverlap(8, 1e8, 1.0)
+	})
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}

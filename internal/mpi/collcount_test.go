@@ -1,0 +1,74 @@
+package mpi
+
+import (
+	"testing"
+
+	"multicore/internal/machine"
+	"multicore/internal/units"
+)
+
+// Closed-form message counts for each collective algorithm — the cheapest
+// possible regression net for schedule bugs.
+
+func countMessages(t *testing.T, n int, body func(*Rank)) int {
+	t.Helper()
+	res := Run(jobOn(machine.Longs(), MPICH2(), longsCores(n)...), body)
+	return res.Messages
+}
+
+func TestRingAllreduceMessageCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		got := countMessages(t, n, func(r *Rank) { r.AllreduceRing(units.MB) })
+		want := 2 * n * (n - 1) // 2(n-1) steps, one message per rank per step
+		if got != want {
+			t.Fatalf("n=%d: ring allreduce sent %d messages, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRecursiveDoublingMessageCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		got := countMessages(t, n, func(r *Rank) { r.AllreduceRecursiveDoubling(1024) })
+		want := 0
+		for k := 1; k < n; k <<= 1 {
+			want += n // every rank sends once per round
+		}
+		if got != want {
+			t.Fatalf("n=%d: doubling allreduce sent %d messages, want %d", n, got, want)
+		}
+	}
+}
+
+func TestScatterAllgatherBcastMessageCount(t *testing.T) {
+	for _, n := range []int{3, 4, 8} {
+		got := countMessages(t, n, func(r *Rank) { r.BcastScatterAllgather(0, units.MB) })
+		// Scatter: n-1 sends from root; ring allgather: n(n-1).
+		want := (n - 1) + n*(n-1)
+		if got != want {
+			t.Fatalf("n=%d: scatter+allgather bcast sent %d messages, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBarrierMessageCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		got := countMessages(t, n, func(r *Rank) { r.Barrier() })
+		rounds := 0
+		for k := 1; k < n; k <<= 1 {
+			rounds++
+		}
+		want := n * rounds
+		if got != want {
+			t.Fatalf("n=%d: barrier sent %d messages, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAlltoallNonPowerOfTwoMessageCount(t *testing.T) {
+	n := 6
+	got := countMessages(t, n, func(r *Rank) { r.Alltoall(1024) })
+	want := n * (n - 1)
+	if got != want {
+		t.Fatalf("alltoall(6) sent %d messages, want %d", got, want)
+	}
+}

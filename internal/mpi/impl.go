@@ -1,0 +1,131 @@
+// Package mpi is a message-passing runtime whose ranks are simulated
+// processes on a machine model. It provides blocking and non-blocking
+// point-to-point operations and the collectives the paper's workloads
+// need, on top of a shared-memory transport whose cost model captures the
+// effects the paper measures: lock sub-layer latency (SysV semaphores vs
+// spin locks), eager/rendezvous protocols, double copies through a shared
+// buffer, and the NUMA placement of that buffer.
+package mpi
+
+import "multicore/internal/units"
+
+// Sublayer models the intra-node lock/notification mechanism of the MPI
+// shared-memory transport (the paper's LAM "SysV" vs "USysV" runtime
+// options, Section 3.3).
+type Sublayer struct {
+	Name string
+	// LockLatency is the per-message synchronization cost on the send
+	// side (acquiring the segment, posting the message).
+	LockLatency float64
+	// WakeLatency is the receive-side notification cost (semaphore
+	// sleep/wake vs spin detection).
+	WakeLatency float64
+}
+
+// SysV uses System V semaphores: each message pays a kernel sleep/wake
+// round trip. The paper attributes the RandomAccess and small-message
+// latency collapse to this cost.
+func SysV() Sublayer {
+	return Sublayer{Name: "SysV", LockLatency: 15 * units.Microsecond, WakeLatency: 30 * units.Microsecond}
+}
+
+// USysV uses user-space spin locks: messages are posted and detected
+// without kernel involvement.
+func USysV() Sublayer {
+	return Sublayer{Name: "USysV", LockLatency: 0.4 * units.Microsecond, WakeLatency: 0.6 * units.Microsecond}
+}
+
+// DefaultSub is the implementation's default locking, between the two
+// explicit options.
+func DefaultSub() Sublayer {
+	return Sublayer{Name: "default", LockLatency: 1.2 * units.Microsecond, WakeLatency: 1.8 * units.Microsecond}
+}
+
+// Impl is a parameterized MPI implementation profile. The three profiles
+// below are calibrated to reproduce the paper's Figure 14/15 orderings:
+// MPICH2 pays the highest small-message overhead but moves large messages
+// fastest; LAM is quickest below ~16 KB; OpenMPI wins in between.
+type Impl struct {
+	Name string
+	// Overhead is the per-message software cost, split evenly between
+	// sender and receiver.
+	Overhead float64
+	// EagerThreshold is the message size at which the transport switches
+	// from eager (buffered) to rendezvous protocol.
+	EagerThreshold float64
+	// RendezvousOverhead is the extra handshake cost for large messages.
+	RendezvousOverhead float64
+	// CopyEfficiency scales the effective bandwidth of the shared-buffer
+	// copy loops (pipelining quality), in (0, 1].
+	CopyEfficiency float64
+	// SegmentBytes is the shared-buffer FIFO segment size: every segment
+	// of a message pays the sub-layer lock cost, which is how a slow
+	// lock (SysV) degrades even large-message bandwidth.
+	SegmentBytes float64
+	// Sub is the lock sub-layer.
+	Sub Sublayer
+	// PoolBytes is the largest message the fixed shared-segment pool
+	// carries; larger transfers stage through per-process buffers and
+	// so escape pool placement pathologies. Zero means every message
+	// uses the pool.
+	PoolBytes float64
+	// HotspotUnderLocalAlloc marks implementations whose shared-memory
+	// pool is touched by one process at init time, so numactl
+	// --localalloc concentrates every segment on that process's node
+	// (the LAM behaviour behind the paper's "localalloc degrades both
+	// SysV and USysV" observation). MPICH2 and OpenMPI fault segments
+	// per sender and stay spread.
+	HotspotUnderLocalAlloc bool
+}
+
+// WithSublayer returns a copy of the profile using the given sub-layer
+// (LAM's ssi rpi options).
+func (im Impl) WithSublayer(sub Sublayer) *Impl {
+	im.Sub = sub
+	im.Name = im.Name + "/" + sub.Name
+	return &im
+}
+
+// MPICH2 returns the MPICH2 1.0.3 profile.
+func MPICH2() *Impl {
+	return &Impl{
+		Name:               "MPICH2",
+		Overhead:           7.0 * units.Microsecond,
+		EagerThreshold:     64 * units.KB,
+		RendezvousOverhead: 4 * units.Microsecond,
+		CopyEfficiency:     1.0,
+		SegmentBytes:       64 * units.KB,
+		Sub:                DefaultSub(),
+	}
+}
+
+// LAM returns the LAM 7.1.2 profile with its default sub-layer; combine
+// with WithSublayer(SysV()) or WithSublayer(USysV()) for the runtime
+// options of Figures 8-13.
+func LAM() *Impl {
+	return &Impl{
+		Name:               "LAM",
+		Overhead:           1.0 * units.Microsecond,
+		EagerThreshold:     64 * units.KB,
+		RendezvousOverhead: 3 * units.Microsecond,
+		CopyEfficiency:     0.62,
+		SegmentBytes:       8 * units.KB,
+		PoolBytes:          64 * units.KB,
+		Sub:                DefaultSub(),
+
+		HotspotUnderLocalAlloc: true,
+	}
+}
+
+// OpenMPI returns the OpenMPI 1.0.1 profile.
+func OpenMPI() *Impl {
+	return &Impl{
+		Name:               "OpenMPI",
+		Overhead:           2.4 * units.Microsecond,
+		EagerThreshold:     64 * units.KB,
+		RendezvousOverhead: 3 * units.Microsecond,
+		CopyEfficiency:     0.85,
+		SegmentBytes:       32 * units.KB,
+		Sub:                DefaultSub(),
+	}
+}

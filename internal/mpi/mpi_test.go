@@ -1,0 +1,354 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+// jobOn builds a config with one rank per listed core, localalloc memory.
+func jobOn(spec *machine.Spec, impl *Impl, cores ...topology.CoreID) Config {
+	bindings := make([]affinity.Binding, len(cores))
+	for i, c := range cores {
+		bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* mem.LocalAlloc */}
+	}
+	return Config{Spec: spec, Impl: impl, Bindings: bindings}
+}
+
+func TestPingPongCompletes(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+		const iters = 10
+		for i := 0; i < iters; i++ {
+			if r.ID() == 0 {
+				r.Send(1, 1024)
+				r.Recv(1)
+			} else {
+				r.Recv(0)
+				r.Send(0, 1024)
+			}
+		}
+	})
+	if res.Messages != 20 {
+		t.Fatalf("messages = %d, want 20", res.Messages)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestSmallMessageLatencyOrdering(t *testing.T) {
+	// One-way small-message latency must order LAM < OpenMPI < MPICH2
+	// (paper Figure 14).
+	lat := func(impl *Impl) float64 {
+		res := Run(jobOn(machine.DMZ(), impl, 0, 2), func(r *Rank) {
+			const iters = 100
+			for i := 0; i < iters; i++ {
+				if r.ID() == 0 {
+					r.Send(1, 8)
+					r.Recv(1)
+				} else {
+					r.Recv(0)
+					r.Send(0, 8)
+				}
+			}
+		})
+		return res.Time / (2 * 100)
+	}
+	lam, ompi, mpich := lat(LAM()), lat(OpenMPI()), lat(MPICH2())
+	if !(lam < ompi && ompi < mpich) {
+		t.Fatalf("latency ordering wrong: LAM=%s OpenMPI=%s MPICH2=%s",
+			units.Duration(lam), units.Duration(ompi), units.Duration(mpich))
+	}
+}
+
+func TestLargeMessageBandwidthOrdering(t *testing.T) {
+	// Large messages: MPICH2 > OpenMPI > LAM (paper Figure 14).
+	bw := func(impl *Impl) float64 {
+		const bytes = 4 * units.MB
+		res := Run(jobOn(machine.DMZ(), impl, 0, 2), func(r *Rank) {
+			if r.ID() == 0 {
+				r.Send(1, bytes)
+			} else {
+				r.Recv(0)
+			}
+		})
+		return bytes / res.Time
+	}
+	lam, ompi, mpich := bw(LAM()), bw(OpenMPI()), bw(MPICH2())
+	if !(mpich > ompi && ompi > lam) {
+		t.Fatalf("bandwidth ordering wrong: MPICH2=%s OpenMPI=%s LAM=%s",
+			units.Rate(mpich), units.Rate(ompi), units.Rate(lam))
+	}
+}
+
+func TestSysVLatencyPenalty(t *testing.T) {
+	lat := func(impl *Impl) float64 {
+		res := Run(jobOn(machine.Longs(), impl, 0, 2), func(r *Rank) {
+			const iters = 50
+			for i := 0; i < iters; i++ {
+				if r.ID() == 0 {
+					r.Send(1, 8)
+					r.Recv(1)
+				} else {
+					r.Recv(0)
+					r.Send(0, 8)
+				}
+			}
+		})
+		return res.Time / (2 * 50)
+	}
+	sysv := lat(LAM().WithSublayer(SysV()))
+	usysv := lat(LAM().WithSublayer(USysV()))
+	// Paper Fig 13: SysV latencies overwhelm everything else.
+	if sysv < 5*usysv {
+		t.Fatalf("SysV %s should dwarf USysV %s", units.Duration(sysv), units.Duration(usysv))
+	}
+}
+
+func TestIntraSocketBeatsInterSocket(t *testing.T) {
+	// Paper Fig 16/17: ~10-13% more bandwidth within a multi-core
+	// processor than across sockets.
+	bw := func(cores ...topology.CoreID) float64 {
+		const bytes = 1 * units.MB
+		const iters = 10
+		res := Run(jobOn(machine.DMZ(), OpenMPI(), cores...), func(r *Rank) {
+			for i := 0; i < iters; i++ {
+				if r.ID() == 0 {
+					r.Send(1, bytes)
+					r.Recv(1)
+				} else {
+					r.Recv(0)
+					r.Send(0, bytes)
+				}
+			}
+		})
+		return 2 * iters * bytes / res.Time
+	}
+	intra := bw(0, 1) // same socket
+	inter := bw(0, 2) // across sockets
+	if intra <= inter {
+		t.Fatalf("intra-socket %s not faster than inter-socket %s",
+			units.Rate(intra), units.Rate(inter))
+	}
+	ratio := intra / inter
+	if ratio > 1.6 {
+		t.Fatalf("intra/inter ratio %.2f unreasonably large", ratio)
+	}
+}
+
+func TestSendrecvDoesNotDeadlock(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1, 2, 3), func(r *Rank) {
+		n := r.Size()
+		// Simultaneous ring shift with large (rendezvous) messages.
+		for i := 0; i < 3; i++ {
+			r.Sendrecv((r.ID()+1)%n, 2*units.MB, (r.ID()-1+n)%n)
+		}
+	})
+	if res.Messages != 12 {
+		t.Fatalf("messages = %d, want 12", res.Messages)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var after [4]float64
+	Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1, 2, 3), func(r *Rank) {
+		// Stagger arrival.
+		r.Compute(float64(r.ID()+1)*1e6, 1)
+		r.Barrier()
+		after[r.ID()] = r.Now()
+	})
+	max, min := after[0], after[0]
+	for _, v := range after {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	// All ranks leave the barrier within a small window after the
+	// slowest arrival.
+	slowest := 4e6 / machine.DMZ().PeakFlops()
+	if min < slowest {
+		t.Fatalf("a rank left the barrier at %v before the slowest arrival %v", min, slowest)
+	}
+	if max-min > 100*units.Microsecond {
+		t.Fatalf("barrier exit spread = %s", units.Duration(max-min))
+	}
+}
+
+func TestBcastReachesAll(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		cores := make([]topology.CoreID, n)
+		for i := range cores {
+			cores[i] = topology.CoreID(i)
+		}
+		res := Run(jobOn(machine.Longs(), OpenMPI(), cores...), func(r *Rank) {
+			r.Bcast(0, 64*units.KB)
+		})
+		// A binomial broadcast sends exactly n-1 messages.
+		if res.Messages != n-1 {
+			t.Fatalf("n=%d: bcast sent %d messages, want %d", n, res.Messages, n-1)
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1, 2, 3), func(r *Rank) {
+		r.Bcast(2, 1024)
+	})
+	if res.Messages != 3 {
+		t.Fatalf("messages = %d, want 3", res.Messages)
+	}
+}
+
+func TestReduceMessageCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		cores := make([]topology.CoreID, n)
+		for i := range cores {
+			cores[i] = topology.CoreID(i)
+		}
+		res := Run(jobOn(machine.Longs(), OpenMPI(), cores...), func(r *Rank) {
+			r.Reduce(0, 8*units.KB)
+		})
+		if res.Messages != n-1 {
+			t.Fatalf("n=%d: reduce sent %d messages, want %d", n, res.Messages, n-1)
+		}
+	}
+}
+
+func TestAllreduceCompletes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		cores := make([]topology.CoreID, n)
+		for i := range cores {
+			cores[i] = topology.CoreID(i)
+		}
+		res := Run(jobOn(machine.Longs(), OpenMPI(), cores...), func(r *Rank) {
+			r.Allreduce(4 * units.KB)
+			r.Report("done", 1)
+		})
+		if len(res.Values["done"]) != n {
+			t.Fatalf("n=%d: only %d ranks finished", n, len(res.Values["done"]))
+		}
+	}
+}
+
+func TestAlltoallMessageCount(t *testing.T) {
+	n := 4
+	cores := []topology.CoreID{0, 1, 2, 3}
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), cores...), func(r *Rank) {
+		r.Alltoall(16 * units.KB)
+	})
+	if res.Messages != n*(n-1) {
+		t.Fatalf("alltoall sent %d messages, want %d", res.Messages, n*(n-1))
+	}
+}
+
+func TestAllgatherCompletes(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1, 2, 3), func(r *Rank) {
+		r.Allgather(units.KB)
+	})
+	if res.Messages != 4*3 {
+		t.Fatalf("allgather messages = %d, want 12", res.Messages)
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1, 2, 3), func(r *Rank) {
+		r.Scatter(0, 32*units.KB)
+		r.Gather(0, 32*units.KB)
+	})
+	if res.Messages != 6 {
+		t.Fatalf("scatter+gather messages = %d, want 6", res.Messages)
+	}
+}
+
+func TestEagerDoesNotBlockSender(t *testing.T) {
+	var sendDone, recvStart float64
+	Run(jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1024)
+			sendDone = r.Now()
+		} else {
+			r.Compute(44e6, 1) // receiver is late (~10 ms)
+			recvStart = r.Now()
+			r.Recv(0)
+		}
+	})
+	if sendDone >= recvStart {
+		t.Fatalf("eager send blocked until receiver arrived: send=%v recv=%v", sendDone, recvStart)
+	}
+}
+
+func TestRendezvousBlocksSender(t *testing.T) {
+	var sendDone, recvStart float64
+	Run(jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 8*units.MB)
+			sendDone = r.Now()
+		} else {
+			r.Compute(44e6, 1)
+			recvStart = r.Now()
+			r.Recv(0)
+		}
+	})
+	if sendDone <= recvStart {
+		t.Fatalf("rendezvous send completed at %v before receiver arrived at %v", sendDone, recvStart)
+	}
+}
+
+func TestHotspotBufferDegradesDisjointPairs(t *testing.T) {
+	// Four ranks exchanging pairwise: with all segments on node 0, the
+	// node-0 controller serializes traffic that spread segments would
+	// parallelize.
+	run := func(mode BufferMode) float64 {
+		cfg := jobOn(machine.Longs(), LAM().WithSublayer(USysV()),
+			0, 4, 8, 12) // one rank on each of sockets 0,2,4,6
+		cfg.BufMode = mode
+		res := Run(cfg, func(r *Rank) {
+			peer := r.ID() ^ 1
+			for i := 0; i < 200; i++ {
+				r.Sendrecv(peer, 32*units.KB, peer)
+			}
+		})
+		return res.Time
+	}
+	spread := run(BufSpread)
+	hot := run(BufHotspot)
+	if hot <= spread*1.05 {
+		t.Fatalf("hotspot buffers (%v) should be slower than spread (%v)", hot, spread)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		return Run(jobOn(machine.Longs(), LAM(), 0, 2, 4, 6), func(r *Rank) {
+			r.Alltoall(64 * units.KB)
+			r.Allreduce(8 * units.KB)
+			r.Barrier()
+		})
+	}
+	a, b := run(), run()
+	if math.Abs(a.Time-b.Time) > 1e-15 {
+		t.Fatalf("nondeterministic: %v vs %v", a.Time, b.Time)
+	}
+	if a.Messages != b.Messages || a.Bytes != b.Bytes {
+		t.Fatalf("nondeterministic traffic")
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1), func(r *Rank) {
+		r.Report("v", float64(r.ID()+1))
+	})
+	if res.Max("v") != 2 || res.Mean("v") != 1.5 || res.Sum("v") != 3 {
+		t.Fatalf("aggregates wrong: max=%v mean=%v sum=%v", res.Max("v"), res.Mean("v"), res.Sum("v"))
+	}
+	if res.Max("missing") != 0 || res.Mean("missing") != 0 {
+		t.Fatal("missing key should aggregate to 0")
+	}
+}

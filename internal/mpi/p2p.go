@@ -1,0 +1,267 @@
+package mpi
+
+import (
+	"fmt"
+
+	"multicore/internal/sim"
+	"multicore/internal/topology"
+)
+
+// segmentCost returns the serial software overhead of pushing a message
+// through the shared-buffer FIFO in SegmentBytes chunks: every chunk past
+// the first pays the lock/wake round again.
+func segmentCost(im *Impl, bytes float64) float64 {
+	if im.SegmentBytes <= 0 || bytes <= im.SegmentBytes {
+		return 0
+	}
+	segs := bytes / im.SegmentBytes
+	return (segs - 1) * (im.Sub.LockLatency + im.Sub.WakeLatency) / 2
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	src, dst int
+	bytes    float64
+	bufNode  topology.SocketID
+
+	// rendezvous: the sender blocks on senderQ until the receiver has
+	// drained the transfer.
+	rendezvous bool
+	senderQ    *sim.WaitQueue
+
+	// eager: readyAt is when the copy-in completed (the receiver cannot
+	// start draining earlier).
+	readyAt float64
+
+	// network marks an inter-node message (already landed at the NIC).
+	network bool
+}
+
+// Send transmits bytes to rank dst, blocking per the transport protocol:
+// eager sends return after the copy into the shared segment; rendezvous
+// sends block until the receiver has drained the message.
+func (r *Rank) Send(dst int, bytes float64) {
+	r.sendPrepare(dst, bytes)
+	r.sendTransfer(dst, bytes)
+}
+
+// sendPrepare charges the send-side software cost (lock, descriptor,
+// protocol hops). It always runs on the issuing process: even a
+// non-blocking send spends these CPU cycles inline.
+func (r *Rank) sendPrepare(dst int, bytes float64) {
+	if dst == r.id {
+		panic(fmt.Sprintf("mpi: rank %d sending to itself", r.id))
+	}
+	w := r.w
+	im := w.cfg.Impl
+	w.messages++
+	w.bytes += bytes
+
+	// Send-side software cost: lock the segment, post the descriptor.
+	r.proc.Sleep(im.Sub.LockLatency + im.Overhead/2)
+
+	topo := w.cfg.Spec.Topo
+	peer := w.ranks[dst]
+	// Crossing sockets costs extra protocol latency per hop.
+	r.proc.Sleep(float64(topo.Hops(topo.SocketOf(r.bind.Core), topo.SocketOf(peer.bind.Core))) *
+		w.cfg.Spec.HopLatency)
+}
+
+// sendTransfer performs the data movement and delivery.
+func (r *Rank) sendTransfer(dst int, bytes float64) {
+	w := r.w
+	im := w.cfg.Impl
+	peer := w.ranks[dst]
+
+	if peer.node != r.node {
+		r.sendNetwork(peer, bytes)
+		return
+	}
+
+	buf := w.bufNode(r.id, dst, bytes)
+	topo := w.cfg.Spec.Topo
+
+	if bytes > im.EagerThreshold {
+		// Rendezvous: post the offer, wake the receiver if it is
+		// already waiting, and block until the transfer is drained.
+		r.proc.Sleep(im.RendezvousOverhead)
+		m := &message{src: r.id, dst: dst, bytes: bytes, bufNode: buf,
+			rendezvous: true, senderQ: &sim.WaitQueue{}}
+		peer.deliver(m)
+		m.senderQ.Wait(r.proc, fmt.Sprintf("rendezvous to %d", dst))
+		return
+	}
+
+	// Eager: copy into the shared segment, then post.
+	if bytes > 0 {
+		r.proc.Sleep(segmentCost(im, bytes))
+		inflate := r.mach.ContentionInflate(buf) / im.CopyEfficiency
+		path := r.mach.CopyPath(r.cpu.Core(), r.home, buf)
+		hops := topo.Hops(r.home, buf) + topo.Hops(topo.SocketOf(r.bind.Core), buf)
+		r.proc.Transfer("eager-in", bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
+	}
+	m := &message{src: r.id, dst: dst, bytes: bytes, bufNode: buf, readyAt: r.Now()}
+	peer.deliver(m)
+}
+
+// sendNetwork moves a message between nodes: the sender copies out of its
+// memory through its NIC, the payload crosses the fabric, and the
+// receiver's NIC lands it into memory on the far node. The wire volume is
+// one flow over [local MC, nic-out, fabric, nic-in]; the receive-side
+// memory write is charged when the receiver drains the message.
+func (r *Rank) sendNetwork(peer *Rank, bytes float64) {
+	w := r.w
+	r.proc.Sleep(w.net.Overhead + w.net.Latency)
+	if bytes > 0 {
+		path := append(r.mach.ReadPath(r.cpu.Core(), r.home),
+			w.nics[r.node][0], w.fabric, w.nics[peer.node][1])
+		r.proc.Transfer("net-send", bytes, path, 0)
+	}
+	m := &message{src: r.id, dst: peer.id, bytes: bytes, network: true, readyAt: r.Now()}
+	peer.deliver(m)
+}
+
+// deliver places a message in the destination inbox and wakes a waiting
+// receiver.
+func (peer *Rank) deliver(m *message) {
+	peer.inbox[m.src] = append(peer.inbox[m.src], m)
+	if q := peer.recvQ[m.src]; q != nil {
+		q.WakeOne(peer.w.eng)
+	}
+}
+
+// Recv receives the next message from rank src, blocking until it arrives
+// and its data has been drained from the shared segment.
+func (r *Rank) Recv(src int) {
+	if src == r.id {
+		panic(fmt.Sprintf("mpi: rank %d receiving from itself", r.id))
+	}
+	w := r.w
+	im := w.cfg.Impl
+
+	for len(r.inbox[src]) == 0 {
+		q := r.recvQ[src]
+		if q == nil {
+			q = &sim.WaitQueue{}
+			r.recvQ[src] = q
+		}
+		q.Wait(r.proc, fmt.Sprintf("recv from %d", src))
+	}
+	m := r.inbox[src][0]
+	r.inbox[src] = r.inbox[src][1:]
+
+	if m.network {
+		// Network receive: stack overhead, then land the payload into
+		// this rank's memory.
+		r.proc.Sleep(w.net.Overhead + im.Overhead/2)
+		if m.readyAt > r.Now() {
+			r.proc.Sleep(m.readyAt - r.Now())
+		}
+		if m.bytes > 0 {
+			r.proc.Transfer("net-recv", m.bytes,
+				r.mach.WritePath(r.cpu.Core(), r.home), 0)
+		}
+		return
+	}
+
+	// Receive-side software cost: notification plus library overhead.
+	r.proc.Sleep(im.Sub.WakeLatency + im.Overhead/2)
+
+	if m.rendezvous {
+		// Pipelined copy through the segment: the single flow crosses
+		// both the sender-side and receiver-side paths (segment
+		// controller charged twice: written once, read once).
+		sender := w.ranks[m.src]
+		topo := w.cfg.Spec.Topo
+		path := r.mach.CopyPath(sender.cpu.Core(), sender.home, m.bufNode)
+		path = append(path, r.mach.CopyPath(r.cpu.Core(), m.bufNode, r.home)...)
+		inflate := r.mach.ContentionInflate(m.bufNode) / im.CopyEfficiency
+		hops := topo.Hops(sender.home, m.bufNode) + topo.Hops(m.bufNode, r.home) +
+			topo.Hops(topo.SocketOf(sender.bind.Core), topo.SocketOf(r.bind.Core))
+		r.proc.Sleep(segmentCost(im, m.bytes))
+		r.proc.Transfer("rendezvous", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
+		m.senderQ.WakeAll(w.eng)
+		return
+	}
+
+	// Eager: drain the segment copy.
+	if m.readyAt > r.Now() {
+		r.proc.Sleep(m.readyAt - r.Now())
+	}
+	if m.bytes > 0 {
+		topo := w.cfg.Spec.Topo
+		r.proc.Sleep(segmentCost(im, m.bytes))
+		inflate := r.mach.ContentionInflate(m.bufNode) / im.CopyEfficiency
+		path := r.mach.CopyPath(r.cpu.Core(), m.bufNode, r.home)
+		hops := topo.Hops(m.bufNode, r.home) + topo.Hops(topo.SocketOf(r.bind.Core), m.bufNode)
+		r.proc.Transfer("eager-out", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
+	}
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	done bool
+	q    sim.WaitQueue
+}
+
+// Isend starts a non-blocking send; complete it with Wait. The software
+// preparation cost runs inline on the caller (the CPU cannot post two
+// messages at once); only the data movement overlaps.
+func (r *Rank) Isend(dst int, bytes float64) *Request {
+	r.sendPrepare(dst, bytes)
+	req := &Request{}
+	helper := r.helper()
+	r.w.eng.Spawn(fmt.Sprintf("rank%d.isend", r.id), func(p *sim.Proc) {
+		helper.proc = p
+		helper.cpu = r.mach.CPU(p, r.bind.Core)
+		helper.sendTransfer(dst, bytes)
+		req.done = true
+		req.q.WakeAll(r.w.eng)
+	})
+	return req
+}
+
+// Irecv starts a non-blocking receive; complete it with Wait.
+func (r *Rank) Irecv(src int) *Request {
+	req := &Request{}
+	helper := r.helper()
+	r.w.eng.Spawn(fmt.Sprintf("rank%d.irecv", r.id), func(p *sim.Proc) {
+		helper.proc = p
+		helper.cpu = r.mach.CPU(p, r.bind.Core)
+		helper.Recv(src)
+		req.done = true
+		req.q.WakeAll(r.w.eng)
+	})
+	return req
+}
+
+// helper clones the rank identity for a non-blocking helper process. The
+// clone shares the inbox and queues (the mailbox is per logical rank).
+func (r *Rank) helper() *Rank {
+	h := *r
+	return &h
+}
+
+// Wait blocks until the request completes.
+func (r *Rank) Wait(req *Request) {
+	if req.done {
+		r.proc.Sleep(0)
+		return
+	}
+	req.q.Wait(r.proc, "wait request")
+}
+
+// WaitAll blocks until every request completes.
+func (r *Rank) WaitAll(reqs ...*Request) {
+	for _, req := range reqs {
+		r.Wait(req)
+	}
+}
+
+// Sendrecv exchanges messages with two (possibly distinct) peers
+// concurrently: sends to dst while receiving from src.
+func (r *Rank) Sendrecv(dst int, bytes float64, src int) {
+	req := r.Isend(dst, bytes)
+	r.Recv(src)
+	r.Wait(req)
+}

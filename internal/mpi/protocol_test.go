@@ -1,0 +1,321 @@
+package mpi
+
+import (
+	"testing"
+
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+func TestZeroByteSendDelivers(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0)
+		} else {
+			r.Recv(0)
+		}
+	})
+	if res.Messages != 1 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+}
+
+func TestFIFOOrderingPerPair(t *testing.T) {
+	// Messages between one pair must drain in order even when sizes mix
+	// eager and rendezvous protocols on the receive side.
+	var got []float64
+	Run(jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+		sizes := []float64{8, 128 * units.KB, 64, 256 * units.KB}
+		if r.ID() == 0 {
+			for _, s := range sizes {
+				r.Send(1, s)
+			}
+		} else {
+			for range sizes {
+				r.Recv(0)
+				got = append(got, 1)
+			}
+		}
+	})
+	if len(got) != 4 {
+		t.Fatalf("received %d messages, want 4", len(got))
+	}
+}
+
+func TestIsendOverlapsTransfers(t *testing.T) {
+	// Two outstanding isends to different peers must overlap their data
+	// movement: total time well below the serial sum.
+	serial := Run(jobOn(machine.Longs(), OpenMPI(), 0, 4, 8), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 16*units.KB)
+			r.Send(2, 16*units.KB)
+		} else {
+			r.Recv(0)
+		}
+	}).Time
+	overlapped := Run(jobOn(machine.Longs(), OpenMPI(), 0, 4, 8), func(r *Rank) {
+		if r.ID() == 0 {
+			a := r.Isend(1, 16*units.KB)
+			b := r.Isend(2, 16*units.KB)
+			r.WaitAll(a, b)
+		} else {
+			r.Recv(0)
+		}
+	}).Time
+	if overlapped >= serial {
+		t.Fatalf("isend (%v) should beat blocking sends (%v)", overlapped, serial)
+	}
+}
+
+func TestWaitAfterCompletionReturnsImmediately(t *testing.T) {
+	Run(jobOn(machine.DMZ(), OpenMPI(), 0, 1), func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 64)
+			r.Compute(1e7, 1) // plenty of time for the send to finish
+			r.Wait(req)       // must not deadlock
+			r.Wait(req)       // double-wait is harmless
+		} else {
+			r.Recv(0)
+		}
+	})
+}
+
+func TestHopLatencyVisibleInSmallMessages(t *testing.T) {
+	lat := func(cores ...topology.CoreID) float64 {
+		res := Run(jobOn(machine.Longs(), OpenMPI(), cores...), func(r *Rank) {
+			for i := 0; i < 40; i++ {
+				if r.ID() == 0 {
+					r.Send(1, 8)
+					r.Recv(1)
+				} else {
+					r.Recv(0)
+					r.Send(0, 8)
+				}
+			}
+		})
+		return res.Time / 80
+	}
+	near := lat(0, 2) // sockets 0-1: 1 hop
+	far := lat(0, 14) // sockets 0-7: 4 hops
+	want := 3 * 70e-9 // three extra hops at 70 ns
+	if far-near < want*0.8 {
+		t.Fatalf("hop latency not visible: near=%v far=%v", near, far)
+	}
+}
+
+func TestBufferModeForProfiles(t *testing.T) {
+	if BufferModeFor(LAM(), 1 /* LocalAlloc */) != BufHotspot {
+		t.Fatal("LAM under localalloc should hotspot")
+	}
+	if BufferModeFor(MPICH2(), 1) != BufSpread {
+		t.Fatal("MPICH2 under localalloc should stay spread")
+	}
+	if BufferModeFor(OpenMPI(), 2 /* Interleave */) != BufInterleaved {
+		t.Fatal("interleave should spread segments")
+	}
+	if BufferModeFor(nil, 0) != BufSpread {
+		t.Fatal("default policy should spread")
+	}
+}
+
+func TestSegmentCost(t *testing.T) {
+	im := LAM().WithSublayer(SysV())
+	if c := segmentCost(im, 4*units.KB); c != 0 {
+		t.Fatalf("single-segment message cost = %v, want 0", c)
+	}
+	big := segmentCost(im, 64*units.KB) // 8 segments of 8 KB
+	perSeg := (im.Sub.LockLatency + im.Sub.WakeLatency) / 2
+	want := 7 * perSeg
+	if big != want {
+		t.Fatalf("segment cost = %v, want %v", big, want)
+	}
+}
+
+func TestRendezvousThreshold(t *testing.T) {
+	// A message exactly at the threshold stays eager; one byte over goes
+	// rendezvous (sender blocks until the receiver arrives).
+	im := OpenMPI()
+	var eagerDone, rdvDone float64
+	Run(Config{Spec: machine.DMZ(), Impl: im, Bindings: jobOn(machine.DMZ(), im, 0, 2).Bindings},
+		func(r *Rank) {
+			if r.ID() == 0 {
+				r.Send(1, im.EagerThreshold)
+				eagerDone = r.Now()
+				r.Send(1, im.EagerThreshold+1)
+				rdvDone = r.Now()
+			} else {
+				r.Compute(44e6, 1) // ~10 ms late
+				r.Recv(0)
+				r.Recv(0)
+			}
+		})
+	if eagerDone > 5e-3 {
+		t.Fatalf("threshold-sized send blocked: %v", eagerDone)
+	}
+	if rdvDone < 10e-3 {
+		t.Fatalf("over-threshold send did not block: %v", rdvDone)
+	}
+}
+
+// memAccessStream constructs a plain streaming access.
+func memAccessStream(r *mem.Region, bytes float64) mem.Access {
+	return mem.Access{Region: r, Pattern: mem.Stream, Bytes: bytes}
+}
+
+func TestOSMigrationFlushesCaches(t *testing.T) {
+	// A cache-resident workload slows down when scheduler jitter
+	// periodically evicts its working set.
+	spec := machine.DMZ()
+	timeFor := func(period float64) float64 {
+		cfg := jobOn(spec, OpenMPI(), 0)
+		cfg.OSMigrationPeriod = period
+		return Run(cfg, func(r *Rank) {
+			reg := r.Alloc("hot", 512<<10) // cache resident
+			for i := 0; i < 200; i++ {
+				r.Access(memAccessStream(reg, 512<<10))
+			}
+		}).Time
+	}
+	clean := timeFor(0)
+	jittery := timeFor(100 * units.Microsecond)
+	if jittery <= clean*1.05 {
+		t.Fatalf("migration jitter should slow a cache-resident loop: clean=%v jittery=%v", clean, jittery)
+	}
+}
+
+func clusterCfg(nodes int, net *NetSpec, cores ...topology.CoreID) Config {
+	cfg := jobOn(machine.DMZ(), OpenMPI(), cores...)
+	cfg.Nodes = nodes
+	cfg.Net = net
+	return cfg
+}
+
+func TestClusterSpawnsRanksOnAllNodes(t *testing.T) {
+	res := Run(clusterCfg(3, RapidArray(), 0, 2), func(r *Rank) {
+		r.Report("node", float64(r.Node()))
+	})
+	if len(res.RankTimes) != 6 {
+		t.Fatalf("ranks = %d, want 6", len(res.RankTimes))
+	}
+	if res.Max("node") != 2 {
+		t.Fatalf("max node = %v, want 2", res.Max("node"))
+	}
+}
+
+func TestInterNodeLatencyExceedsIntraNode(t *testing.T) {
+	lat := func(dst int) float64 {
+		res := Run(clusterCfg(2, RapidArray(), 0, 2), func(r *Rank) {
+			for i := 0; i < 40; i++ {
+				switch r.ID() {
+				case 0:
+					r.Send(dst, 8)
+					r.Recv(dst)
+				case dst:
+					r.Recv(0)
+					r.Send(0, 8)
+				}
+			}
+		})
+		return res.Time / 80
+	}
+	intra := lat(1) // same node, other socket
+	inter := lat(2) // rank 2 = first rank of node 1
+	if inter <= intra {
+		t.Fatalf("inter-node latency %v should exceed intra-node %v", inter, intra)
+	}
+	// RapidArray wire+stack costs replace the shm copies but still add
+	// a clear microsecond-scale premium each way.
+	if inter-intra < 1.5e-6 {
+		t.Fatalf("network latency too small: %v", inter-intra)
+	}
+}
+
+func TestGigEMuchSlowerThanRapidArray(t *testing.T) {
+	bw := func(net *NetSpec) float64 {
+		const bytes = 1 * units.MB
+		res := Run(clusterCfg(2, net, 0, 2), func(r *Rank) {
+			if r.ID() == 0 {
+				r.Send(2, bytes)
+			} else if r.ID() == 2 {
+				r.Recv(0)
+			}
+		})
+		return bytes / res.Time
+	}
+	ra := bw(RapidArray())
+	ge := bw(GigE())
+	if ra < 5*ge {
+		t.Fatalf("RapidArray (%v B/s) should be >> GigE (%v B/s)", ra, ge)
+	}
+}
+
+func TestClusterCollectivesSpanNodes(t *testing.T) {
+	res := Run(clusterCfg(2, RapidArray(), 0, 1, 2, 3), func(r *Rank) {
+		r.Allreduce(1024)
+		r.Barrier()
+		r.Report("done", 1)
+	})
+	if got := len(res.Values["done"]); got != 8 {
+		t.Fatalf("only %d of 8 ranks finished", got)
+	}
+}
+
+func TestNodeLocalMemoryIsIndependent(t *testing.T) {
+	// Two nodes streaming locally must not contend: time equals the
+	// single-node case.
+	single := Run(clusterCfg(1, nil, 0), func(r *Rank) {
+		reg := r.Alloc("v", 8*units.MB)
+		for i := 0; i < 4; i++ {
+			r.Access(memAccessStream(reg, 8*units.MB))
+		}
+	}).Time
+	double := Run(clusterCfg(2, RapidArray(), 0), func(r *Rank) {
+		reg := r.Alloc("v", 8*units.MB)
+		for i := 0; i < 4; i++ {
+			r.Access(memAccessStream(reg, 8*units.MB))
+		}
+	}).Time
+	if d := double - single; d > 1e-9 {
+		t.Fatalf("cross-node memory interference: %v vs %v", double, single)
+	}
+}
+
+func TestPhaseTimeline(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+		r.Phase("compute", func() { r.Compute(1e7, 1) })
+		r.Phase("sync", func() { r.Barrier() })
+	})
+	if len(res.Timeline) != 4 {
+		t.Fatalf("timeline spans = %d, want 4", len(res.Timeline))
+	}
+	for _, span := range res.Timeline {
+		if span.End < span.Start {
+			t.Fatalf("span %+v runs backwards", span)
+		}
+		if span.Name != "compute" && span.Name != "sync" {
+			t.Fatalf("unexpected span %q", span.Name)
+		}
+	}
+}
+
+func TestPhaseNesting(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0), func(r *Rank) {
+		r.Phase("outer", func() {
+			r.Phase("inner", func() { r.Compute(1e6, 1) })
+			r.Compute(1e6, 1)
+		})
+	})
+	if len(res.Timeline) != 2 {
+		t.Fatalf("spans = %d, want 2", len(res.Timeline))
+	}
+	// Inner completes first; outer encloses it.
+	inner, outer := res.Timeline[0], res.Timeline[1]
+	if inner.Name != "inner" || outer.Name != "outer" {
+		t.Fatalf("span order wrong: %+v", res.Timeline)
+	}
+	if inner.Start < outer.Start || inner.End > outer.End {
+		t.Fatalf("inner span %+v escapes outer %+v", inner, outer)
+	}
+}

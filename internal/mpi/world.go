@@ -1,0 +1,445 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/sim"
+	"multicore/internal/topology"
+)
+
+// BufferMode decides where the transport's shared-memory segments live.
+// The paper observed that page placement policies leak into MPI behaviour
+// ("Clearly, the MPI sub-layer is affecting page placement"); this is the
+// mechanism.
+type BufferMode int
+
+const (
+	// BufSpread places each sender's segment on the sender's node (the
+	// healthy first-touch outcome).
+	BufSpread BufferMode = iota
+	// BufHotspot places the whole segment pool on rank 0's node, the
+	// pathological localalloc interaction the paper saw degrade PTRANS
+	// under "localalloc + sub-layer" combinations.
+	BufHotspot
+	// BufInterleaved spreads segments round-robin over all nodes.
+	BufInterleaved
+)
+
+func (b BufferMode) String() string {
+	switch b {
+	case BufSpread:
+		return "spread"
+	case BufHotspot:
+		return "hotspot"
+	case BufInterleaved:
+		return "interleaved"
+	}
+	return fmt.Sprintf("BufferMode(%d)", int(b))
+}
+
+// BufferModeFor maps a rank-0 memory policy to the segment placement it
+// induces at MPI_Init time for the given implementation.
+func BufferModeFor(impl *Impl, p mem.Policy) BufferMode {
+	switch p {
+	case mem.LocalAlloc, mem.Membind:
+		if impl != nil && impl.HotspotUnderLocalAlloc {
+			return BufHotspot
+		}
+		return BufSpread
+	case mem.Interleave:
+		return BufInterleaved
+	default:
+		return BufSpread
+	}
+}
+
+// NetSpec models the inter-node interconnect of a cluster.
+type NetSpec struct {
+	Name string
+	// Latency is the one-way network latency (s).
+	Latency float64
+	// Bandwidth is the per-NIC bandwidth (B/s).
+	Bandwidth float64
+	// Overhead is the per-message software cost of the network stack.
+	Overhead float64
+}
+
+// RapidArray is the Cray XD1 fabric connecting Tiger's nodes.
+func RapidArray() *NetSpec {
+	return &NetSpec{Name: "RapidArray", Latency: 1.8e-6, Bandwidth: 2.0e9, Overhead: 1.0e-6}
+}
+
+// GigE is commodity gigabit Ethernet with a kernel TCP stack.
+func GigE() *NetSpec {
+	return &NetSpec{Name: "GigE", Latency: 25e-6, Bandwidth: 125e6, Overhead: 20e-6}
+}
+
+// Config describes one MPI job: the system, implementation profile, and
+// per-rank placement.
+type Config struct {
+	Spec     *machine.Spec
+	Impl     *Impl
+	Bindings []affinity.Binding
+	// Nodes builds a cluster of identical nodes; the Bindings describe
+	// one node's layout and ranks are dealt to nodes in blocks
+	// (rank i lives on node i / len(Bindings)). Zero or one means a
+	// single node.
+	Nodes int
+	// Net is the inter-node interconnect (default RapidArray). Only
+	// used when Nodes > 1.
+	Net *NetSpec
+	// BufMode overrides the segment placement; if unset (zero value
+	// BufSpread) and Derive is true, it is derived from rank 0's policy.
+	BufMode BufferMode
+	// DeriveBufMode derives BufMode from rank 0's memory policy.
+	DeriveBufMode bool
+	// OSMigrationPeriod, when positive, models scheduler jitter on an
+	// unbound run: every period one rank (round-robin) loses its cached
+	// working set, as a migration or preemption would cause. Zero
+	// disables it.
+	OSMigrationPeriod float64
+	Seed              int64
+}
+
+// Result is what a finished job reports.
+type Result struct {
+	// Time is the job makespan in simulated seconds.
+	Time float64
+	// RankTimes holds each rank's finish time.
+	RankTimes []float64
+	// RankCompute holds each rank's accumulated compute seconds, and
+	// RankMemBytes its DRAM traffic — together they break a rank's time
+	// into compute, memory, and (by subtraction) communication/wait.
+	RankCompute  []float64
+	RankMemBytes []float64
+	// Values holds per-rank reported metrics by key.
+	Values map[string][]float64
+	// Messages and Bytes count point-to-point traffic.
+	Messages int
+	Bytes    float64
+	// Timeline holds the phase spans recorded via Rank.Phase, in
+	// completion order.
+	Timeline []PhaseSpan
+	// Machine allows post-run inspection of resource utilization.
+	Machine *machine.Machine
+}
+
+// Max returns the maximum reported value for key (0 if none).
+func (r *Result) Max(key string) float64 {
+	max := 0.0
+	for _, v := range r.Values[key] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the mean reported value for key (0 if none).
+func (r *Result) Mean(key string) float64 {
+	vs := r.Values[key]
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Sum returns the sum of reported values for key.
+func (r *Result) Sum(key string) float64 {
+	sum := 0.0
+	for _, v := range r.Values[key] {
+		sum += v
+	}
+	return sum
+}
+
+// World is the shared state of a running job.
+type World struct {
+	cfg      Config
+	machines []*machine.Machine
+	eng      *sim.Engine
+	net      *NetSpec
+	nics     [][2]*sim.Resource // per node: [egress, ingress]
+	fabric   *sim.Resource
+	ranks    []*Rank
+	bufMode  BufferMode
+
+	messages int
+	bytes    float64
+
+	values   map[string][]float64
+	timeline []PhaseSpan
+
+	finished int
+
+	barrierGen   int
+	barrierCount int
+	barrierQ     sim.WaitQueue
+}
+
+// Run executes body as an SPMD program, one rank per binding, and returns
+// the job result. Each run builds a fresh engine and machine, so results
+// are reproducible and independent.
+func Run(cfg Config, body func(*Rank)) *Result {
+	if cfg.Impl == nil {
+		cfg.Impl = OpenMPI()
+	}
+	if len(cfg.Bindings) == 0 {
+		panic("mpi: no rank bindings")
+	}
+	nodes := cfg.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	eng := sim.NewEngine()
+	w := &World{cfg: cfg, eng: eng, values: map[string][]float64{}}
+	for nd := 0; nd < nodes; nd++ {
+		w.machines = append(w.machines, machine.New(eng, cfg.Spec))
+	}
+	if nodes > 1 {
+		w.net = cfg.Net
+		if w.net == nil {
+			w.net = RapidArray()
+		}
+		for nd := 0; nd < nodes; nd++ {
+			w.nics = append(w.nics, [2]*sim.Resource{
+				sim.NewResource(fmt.Sprintf("node%d/nic-out", nd), w.net.Bandwidth),
+				sim.NewResource(fmt.Sprintf("node%d/nic-in", nd), w.net.Bandwidth),
+			})
+		}
+		// Fabric bisection: half the aggregate NIC bandwidth.
+		w.fabric = sim.NewResource("fabric", float64(nodes)*w.net.Bandwidth/2)
+	}
+	w.bufMode = cfg.BufMode
+	if cfg.DeriveBufMode {
+		w.bufMode = BufferModeFor(cfg.Impl, cfg.Bindings[0].MemPolicy)
+	}
+	perNode := len(cfg.Bindings)
+	n := perNode * nodes
+	res := &Result{
+		RankTimes:    make([]float64, n),
+		RankCompute:  make([]float64, n),
+		RankMemBytes: make([]float64, n),
+		Machine:      w.machines[0],
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		b := cfg.Bindings[i%perNode]
+		m := w.machines[i/perNode]
+		r := &Rank{
+			w:     w,
+			id:    i,
+			node:  i / perNode,
+			mach:  m,
+			bind:  b,
+			inbox: map[int][]*message{},
+			recvQ: map[int]*sim.WaitQueue{},
+			rng:   rand.New(rand.NewSource(cfg.Seed*1000003 + int64(i))),
+		}
+		r.dist = b.Placement(cfg.Spec.Topo, cfg.Spec.Topo.NumSockets)
+		r.home = homeNode(r.dist, cfg.Spec.Topo.SocketOf(b.Core))
+		w.ranks = append(w.ranks, r)
+		eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			r.proc = p
+			r.cpu = m.CPU(p, b.Core)
+			body(r)
+			res.RankTimes[i] = p.Now()
+			res.RankCompute[i] = r.cpu.ComputeSeconds
+			res.RankMemBytes[i] = r.cpu.MemBytes
+			w.finished++
+		})
+	}
+	if cfg.OSMigrationPeriod > 0 {
+		eng.Spawn("os-scheduler", func(p *sim.Proc) {
+			victim := 0
+			for w.finished < n {
+				p.Sleep(cfg.OSMigrationPeriod)
+				// The migrated task loses its cache contents.
+				v := w.ranks[victim%n]
+				v.mach.Cache(v.bind.Core).Flush()
+				victim++
+			}
+		})
+	}
+	eng.Run()
+	res.Time = eng.Now()
+	res.Values = w.values
+	res.Timeline = w.timeline
+	res.Messages = w.messages
+	res.Bytes = w.bytes
+	return res
+}
+
+// homeNode is the node a rank's transient buffers live on: the node
+// holding the largest share of its pages, with ties broken toward the
+// rank's own socket (an interleaved policy spreads data pages but the
+// staging buffers are faulted by the core itself).
+func homeNode(d mem.Placement, own topology.SocketID) topology.SocketID {
+	best, bi := -1.0, 0
+	for i, f := range d {
+		if f > best {
+			best, bi = f, i
+		}
+	}
+	if d[own] >= best-1e-9 {
+		return own
+	}
+	return topology.SocketID(bi)
+}
+
+// bufNode returns the memory node of the segment used for src->dst
+// messages of the given size.
+func (w *World) bufNode(src, dst int, bytes float64) topology.SocketID {
+	if w.bufMode == BufHotspot && w.cfg.Impl.PoolBytes > 0 && bytes > w.cfg.Impl.PoolBytes {
+		// Oversized transfers stage through per-process buffers and
+		// escape the mislocated pool.
+		return w.ranks[src].home
+	}
+	switch w.bufMode {
+	case BufHotspot:
+		return w.ranks[0].home
+	case BufInterleaved:
+		n := w.cfg.Spec.Topo.NumSockets
+		return topology.SocketID((src*len(w.ranks) + dst) % n)
+	default:
+		return w.ranks[src].home
+	}
+}
+
+// Rank is one MPI process. All methods must be called from the rank's own
+// body function (or a helper process created by Isend/Irecv).
+type Rank struct {
+	w    *World
+	id   int
+	node int
+	mach *machine.Machine
+	bind affinity.Binding
+	proc *sim.Proc
+	cpu  *machine.CPU
+	dist mem.Placement
+	home topology.SocketID
+	rng  *rand.Rand
+
+	inbox map[int][]*message
+	recvQ map[int]*sim.WaitQueue
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the job.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// CPU returns the rank's machine execution context.
+func (r *Rank) CPU() *machine.CPU { return r.cpu }
+
+// RNG returns the rank's deterministic random source.
+func (r *Rank) RNG() *rand.Rand { return r.rng }
+
+// Home returns the rank's primary memory node.
+func (r *Rank) Home() topology.SocketID { return r.home }
+
+// Machine returns the rank's node machine model.
+func (r *Rank) Machine() *machine.Machine { return r.mach }
+
+// Node returns the cluster node index hosting this rank.
+func (r *Rank) Node() int { return r.node }
+
+// Alloc creates a region placed according to this rank's binding policy.
+func (r *Rank) Alloc(name string, bytes float64) *mem.Region {
+	return r.cpu.Alloc(fmt.Sprintf("r%d/%s", r.id, name), bytes, r.dist)
+}
+
+// Compute advances the rank by a compute phase.
+func (r *Rank) Compute(flops, eff float64) { r.cpu.Compute(flops, eff) }
+
+// Access performs a memory access batch.
+func (r *Rank) Access(a mem.Access) { r.cpu.Access(a) }
+
+// Overlap runs compute concurrently with memory accesses.
+func (r *Rank) Overlap(flops, eff float64, accesses ...mem.Access) {
+	r.cpu.Overlap(flops, eff, accesses...)
+}
+
+// Report records a named metric for this rank (phase timings, bandwidth).
+func (r *Rank) Report(key string, value float64) {
+	r.w.values[key] = append(r.w.values[key], value)
+}
+
+// HybridOverlap splits a compute+memory phase across `threads` cores of
+// the rank's socket, modeling an OpenMP parallel region inside the MPI
+// rank — the hybrid programming model the paper's Section 3.4 proposes
+// for multi-core nodes. The rank's own core runs the first share inline;
+// sibling cores run theirs concurrently. Threads beyond the socket's core
+// count are clamped.
+func (r *Rank) HybridOverlap(threads int, flops, eff float64, accesses ...mem.Access) {
+	topo := r.w.cfg.Spec.Topo
+	cores := topo.CoresOn(topo.SocketOf(r.bind.Core))
+	if threads > len(cores) {
+		threads = len(cores)
+	}
+	if threads <= 1 {
+		r.cpu.Overlap(flops, eff, accesses...)
+		return
+	}
+	share := func(frac float64) []mem.Access {
+		out := make([]mem.Access, len(accesses))
+		for i, a := range accesses {
+			a.Bytes *= frac
+			a.Touches *= frac
+			out[i] = a
+		}
+		return out
+	}
+	frac := 1.0 / float64(threads)
+	var done sim.WaitQueue
+	pending := 0
+	for t := 1; t < threads; t++ {
+		core := cores[t]
+		if core == r.bind.Core {
+			core = cores[0]
+		}
+		pending++
+		coreT := core
+		r.w.eng.Spawn(fmt.Sprintf("rank%d.omp%d", r.id, t), func(p *sim.Proc) {
+			cpu := r.mach.CPU(p, coreT)
+			cpu.Overlap(flops*frac, eff, share(frac)...)
+			pending--
+			done.WakeAll(r.w.eng)
+		})
+	}
+	r.cpu.Overlap(flops*frac, eff, share(frac)...)
+	for pending > 0 {
+		done.Wait(r.proc, "omp join")
+	}
+}
+
+// PhaseSpan is one recorded interval of a rank's timeline.
+type PhaseSpan struct {
+	Rank  int
+	Name  string
+	Start float64
+	End   float64
+}
+
+// Phase runs fn and records its interval in the job's timeline, available
+// afterwards as Result.Timeline. Phases may nest; spans are recorded in
+// completion order.
+func (r *Rank) Phase(name string, fn func()) {
+	start := r.Now()
+	fn()
+	r.w.timeline = append(r.w.timeline, PhaseSpan{
+		Rank: r.id, Name: name, Start: start, End: r.Now(),
+	})
+}

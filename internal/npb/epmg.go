@@ -1,0 +1,149 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// The paper runs "a subset of the NAS Parallel Benchmarks" and reports CG
+// and FT; EP and MG complete the set of kernels commonly used alongside
+// them and exercise two more corners of the design space: EP is pure
+// compute (the scaling upper bound), MG is a memory-intensive multigrid
+// V-cycle with nearest-neighbor communication at every level.
+
+// EPParams are the NAS EP class parameters (2^M random pairs).
+type EPParams struct {
+	M int // log2 of the number of Gaussian pairs
+}
+
+var epClasses = map[Class]EPParams{
+	ClassS: {M: 24},
+	ClassW: {M: 25},
+	ClassA: {M: 28},
+	ClassB: {M: 30},
+}
+
+// MGParams are the NAS MG class grids.
+type MGParams struct {
+	N     int // cubic grid edge
+	Iters int
+}
+
+var mgClasses = map[Class]MGParams{
+	ClassS: {N: 32, Iters: 4},
+	ClassW: {N: 128, Iters: 4},
+	ClassA: {N: 256, Iters: 4},
+	ClassB: {N: 256, Iters: 20},
+}
+
+// EPClass returns EP parameters for a class.
+func EPClass(c Class) (EPParams, error) {
+	p, ok := epClasses[c]
+	if !ok {
+		return EPParams{}, fmt.Errorf("npb: unknown EP class %q", c)
+	}
+	return p, nil
+}
+
+// MGClass returns MG parameters for a class.
+func MGClass(c Class) (MGParams, error) {
+	p, ok := mgClasses[c]
+	if !ok {
+		return MGParams{}, fmt.Errorf("npb: unknown MG class %q", c)
+	}
+	return p, nil
+}
+
+// Report keys.
+const (
+	MetricEPTime = "npb.ep.time"
+	MetricMGTime = "npb.mg.time"
+)
+
+// RunEP returns the NAS EP body: generate 2^M Gaussian pairs with the
+// NAS polynomial RNG and tally them into ten annuli — embarrassingly
+// parallel, one tiny allreduce at the end.
+func RunEP(c Class) (func(*mpi.Rank), error) {
+	p, err := EPClass(c)
+	if err != nil {
+		return nil, err
+	}
+	return func(r *mpi.Rank) {
+		pairs := math.Pow(2, float64(p.M)) / float64(r.Size())
+		// ~90 flops per accepted pair (two uniforms, the acceptance
+		// test, log/sqrt of the Box-Muller transform).
+		r.Barrier()
+		start := r.Now()
+		r.Compute(90*pairs, 0.4)
+		if r.Size() > 1 {
+			r.Allreduce(10 * 8) // the annulus counts
+		}
+		r.Report(MetricEPTime, r.Now()-start)
+	}, nil
+}
+
+// RunMG returns the NAS MG body: V-cycles over a hierarchy of grids, each
+// level a 27-point stencil sweep with a halo exchange; coarse levels are
+// latency-dominated, fine levels bandwidth-dominated.
+func RunMG(c Class) (func(*mpi.Rank), error) {
+	p, err := MGClass(c)
+	if err != nil {
+		return nil, err
+	}
+	return func(r *mpi.Rank) {
+		runMG(r, p)
+	}, nil
+}
+
+func runMG(r *mpi.Rank, p MGParams) {
+	size := float64(r.Size())
+	// Grid hierarchy down to 4^3.
+	levels := 0
+	for n := p.N; n >= 4; n /= 2 {
+		levels++
+	}
+	// One region per level (residual + solution arrays: 2 fields).
+	regions := make([]*mem.Region, levels)
+	pts := make([]float64, levels)
+	n := float64(p.N)
+	for l := 0; l < levels; l++ {
+		pts[l] = n * n * n / size
+		regions[l] = r.Alloc(fmt.Sprintf("mg.l%d", l), 2*8*pts[l])
+		n /= 2
+	}
+
+	r.Barrier()
+	start := r.Now()
+	for it := 0; it < p.Iters; it++ {
+		// Down-sweep: restrict to coarser grids.
+		for l := 0; l < levels; l++ {
+			mgLevel(r, regions[l], pts[l])
+		}
+		// Up-sweep: prolongate and smooth.
+		for l := levels - 1; l >= 0; l-- {
+			mgLevel(r, regions[l], pts[l])
+		}
+	}
+	r.Report(MetricMGTime, r.Now()-start)
+}
+
+// mgLevel is one smoothing sweep at one level: a 27-point stencil over
+// the level's points plus a face halo exchange.
+func mgLevel(r *mpi.Rank, region *mem.Region, pts float64) {
+	if r.Size() > 1 {
+		// Face exchange with two neighbors; coarse grids send tiny
+		// messages, so this is where latency bites.
+		face := math.Pow(pts, 2.0/3.0) * 8
+		n := r.Size()
+		up := (r.ID() + 1) % n
+		down := (r.ID() - 1 + n) % n
+		r.Sendrecv(up, face, down)
+	}
+	r.Overlap(30*pts, 0.3,
+		mem.Access{Region: region, Pattern: mem.Stream, Bytes: region.Bytes},
+		mem.Access{Region: region, Pattern: mem.StreamWrite, Bytes: region.Bytes / 2},
+	)
+}

@@ -1,0 +1,112 @@
+package npb
+
+import (
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/core"
+	"multicore/internal/mpi"
+)
+
+func epmgTime(t *testing.T, kernel string, system string, ranks int, scheme affinity.Scheme) float64 {
+	t.Helper()
+	var (
+		body func(*mpi.Rank)
+		key  string
+		err  error
+	)
+	switch kernel {
+	case "ep":
+		body, err = RunEP(ClassW)
+		key = MetricEPTime
+	case "mg":
+		body, err = RunMG(ClassW)
+		key = MetricMGTime
+	default:
+		t.Fatalf("unknown kernel %q", kernel)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Job{System: system, Ranks: ranks, Scheme: scheme, Impl: mpi.MPICH2()}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Max(key)
+}
+
+func TestEPClassTable(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA, ClassB} {
+		if _, err := EPClass(c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MGClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := EPClass("Z"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := MGClass("Z"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEPScalesNearPerfectly(t *testing.T) {
+	t1 := epmgTime(t, "ep", "longs", 1, affinity.Default)
+	t16 := epmgTime(t, "ep", "longs", 16, affinity.Default)
+	sp := t1 / t16
+	// EP is the upper bound: essentially perfect scaling even with both
+	// cores per socket busy.
+	if sp < 14.5 || sp > 16.5 {
+		t.Fatalf("EP 16-core speedup = %.2f, want ~16", sp)
+	}
+}
+
+func TestMGScalesWorseThanEP(t *testing.T) {
+	ep := epmgTime(t, "ep", "longs", 1, affinity.Default) /
+		epmgTime(t, "ep", "longs", 8, affinity.Default)
+	mg := epmgTime(t, "mg", "longs", 1, affinity.Default) /
+		epmgTime(t, "mg", "longs", 8, affinity.Default)
+	if mg >= ep {
+		t.Fatalf("MG speedup %.2f should trail EP %.2f", mg, ep)
+	}
+}
+
+func TestMGPlacementSensitive(t *testing.T) {
+	// MG streams the fine grids every sweep: membind must hurt.
+	local := epmgTime(t, "mg", "longs", 8, affinity.OneMPILocalAlloc)
+	membind := epmgTime(t, "mg", "longs", 8, affinity.OneMPIMembind)
+	if membind <= local {
+		t.Fatalf("membind MG %.4f should be slower than localalloc %.4f", membind, local)
+	}
+}
+
+func TestEPPlacementInsensitive(t *testing.T) {
+	// EP touches almost no memory: placement must not matter.
+	local := epmgTime(t, "ep", "longs", 8, affinity.OneMPILocalAlloc)
+	membind := epmgTime(t, "ep", "longs", 8, affinity.OneMPIMembind)
+	if membind > 1.05*local {
+		t.Fatalf("EP should be placement-insensitive: localalloc %.4f membind %.4f", local, membind)
+	}
+}
+
+func TestFTHybridBeatsPureMPIOnLongs(t *testing.T) {
+	timeFor := func(ranks, threads int, scheme affinity.Scheme) float64 {
+		body, err := RunFTHybrid(ClassA, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(core.Job{System: "longs", Ranks: ranks, Scheme: scheme,
+			Impl: mpi.MPICH2()}, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Max(MetricFTTime)
+	}
+	pure16 := timeFor(16, 1, affinity.Default)
+	hybrid := timeFor(8, 2, affinity.OneMPILocalAlloc)
+	if hybrid >= pure16 {
+		t.Fatalf("hybrid 8x2 (%v) should beat pure MPI 16 (%v) on FT", hybrid, pure16)
+	}
+}

@@ -1,0 +1,163 @@
+// Package npb provides NAS Parallel Benchmark drivers for the two kernels
+// the paper studies (Section 3.5): CG and FT, with the standard problem
+// classes. The computational structure runs on the simulator via
+// internal/kernels/cg and internal/kernels/fft.
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"multicore/internal/kernels/cg"
+	"multicore/internal/kernels/fft"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+)
+
+// Class identifies a NAS problem class.
+type Class string
+
+// The NAS problem classes used here. Class B is what the paper ran;
+// smaller classes keep tests fast with the same structure.
+const (
+	ClassS Class = "S"
+	ClassW Class = "W"
+	ClassA Class = "A"
+	ClassB Class = "B"
+)
+
+// CGParams are the published NAS CG class parameters.
+type CGParams struct {
+	N         int
+	NNZPerRow int
+	Iters     int
+}
+
+// cgClasses follows the NAS 3.x specification.
+var cgClasses = map[Class]CGParams{
+	ClassS: {N: 1400, NNZPerRow: 7, Iters: 15},
+	ClassW: {N: 7000, NNZPerRow: 8, Iters: 15},
+	ClassA: {N: 14000, NNZPerRow: 11, Iters: 15},
+	ClassB: {N: 75000, NNZPerRow: 13, Iters: 75},
+}
+
+// FTParams are the published NAS FT class grids.
+type FTParams struct {
+	NX, NY, NZ int
+	Iters      int
+}
+
+var ftClasses = map[Class]FTParams{
+	ClassS: {NX: 64, NY: 64, NZ: 64, Iters: 6},
+	ClassW: {NX: 128, NY: 128, NZ: 32, Iters: 6},
+	ClassA: {NX: 256, NY: 256, NZ: 128, Iters: 6},
+	ClassB: {NX: 512, NY: 256, NZ: 256, Iters: 20},
+}
+
+// CGClass returns the CG parameters for a class.
+func CGClass(c Class) (CGParams, error) {
+	p, ok := cgClasses[c]
+	if !ok {
+		return CGParams{}, fmt.Errorf("npb: unknown CG class %q", c)
+	}
+	return p, nil
+}
+
+// FTClass returns the FT parameters for a class.
+func FTClass(c Class) (FTParams, error) {
+	p, ok := ftClasses[c]
+	if !ok {
+		return FTParams{}, fmt.Errorf("npb: unknown FT class %q", c)
+	}
+	return p, nil
+}
+
+// Report keys.
+const (
+	MetricCGTime = cg.MetricTime
+	MetricFTTime = "npb.ft.time"
+)
+
+// RunCG executes the NAS CG benchmark body for the given class.
+func RunCG(c Class) (func(*mpi.Rank), error) {
+	p, err := CGClass(c)
+	if err != nil {
+		return nil, err
+	}
+	return func(r *mpi.Rank) {
+		// The generator's `nonzer` parameter yields roughly
+		// nonzer*(nonzer+1) stored nonzeros per row after the outer-
+		// product symmetrization (13.7M total for class B).
+		cg.Run(r, cg.Params{
+			N:          p.N,
+			NNZPerRow:  p.NNZPerRow * (p.NNZPerRow + 1),
+			OuterIters: p.Iters,
+			InnerIters: 25,
+		})
+	}, nil
+}
+
+// RunFT executes the NAS FT benchmark body for the given class: a 3-D FFT
+// with 1-D slab decomposition, the alltoall transpose, and the evolve/
+// checksum steps of the real benchmark.
+func RunFT(c Class) (func(*mpi.Rank), error) { return RunFTHybrid(c, 1) }
+
+// RunFTHybrid is RunFT with an OpenMP-style parallel region of `threads`
+// cores per rank for the local compute phases (the hybrid programming
+// model the paper's Section 3.4 proposes): communication stays at the MPI
+// rank granularity while local FFTs fan out across the socket.
+func RunFTHybrid(c Class, threads int) (func(*mpi.Rank), error) {
+	p, err := FTClass(c)
+	if err != nil {
+		return nil, err
+	}
+	return func(r *mpi.Rank) {
+		runFT(r, p, threads)
+	}, nil
+}
+
+func runFT(r *mpi.Rank, p FTParams, threads int) {
+	size := float64(r.Size())
+	total := float64(p.NX) * float64(p.NY) * float64(p.NZ)
+	nloc := total / size
+	bytes := 16 * nloc
+
+	grid := r.Alloc("ft.grid", bytes)
+	scratch := r.Alloc("ft.scratch", bytes)
+
+	// Untimed setup: compute indexmap + initial conditions (one sweep).
+	r.Overlap(4*nloc, 0.3,
+		mem.Access{Region: grid, Pattern: mem.StreamWrite, Bytes: bytes})
+
+	r.Barrier()
+	start := r.Now()
+	// The total 3-D FFT costs 5*N*log2(N) flops; attribute per dimension
+	// by its log share, as the slab algorithm does.
+	logTotal := math.Log2(total)
+	fracXY := (math.Log2(float64(p.NX)) + math.Log2(float64(p.NY))) / logTotal
+	fracZ := math.Log2(float64(p.NZ)) / logTotal
+	allFlops := fft.Flops(total) / size
+
+	for it := 0; it < p.Iters; it++ {
+		// evolve: pointwise exponential multiply (stream).
+		r.HybridOverlap(threads, 6*nloc, 0.25,
+			mem.Access{Region: grid, Pattern: mem.Stream, Bytes: bytes},
+			mem.Access{Region: scratch, Pattern: mem.StreamWrite, Bytes: bytes})
+		// FFTs in the two local dimensions.
+		r.HybridOverlap(threads, allFlops*fracXY, 0.22,
+			mem.Access{Region: scratch, Pattern: mem.Stream, Bytes: 2 * bytes},
+			mem.Access{Region: scratch, Pattern: mem.StreamWrite, Bytes: 2 * bytes})
+		// Global transpose to gather the third dimension.
+		if r.Size() > 1 {
+			r.Alltoall(bytes / size)
+		}
+		// FFT in the remaining dimension.
+		r.HybridOverlap(threads, allFlops*fracZ, 0.22,
+			mem.Access{Region: scratch, Pattern: mem.Stream, Bytes: bytes},
+			mem.Access{Region: scratch, Pattern: mem.StreamWrite, Bytes: bytes})
+		// Checksum: strided gather of 1024 points + tiny allreduce.
+		r.Access(mem.Access{Region: scratch, Pattern: mem.Random, Touches: 1024 / size})
+		r.Allreduce(16)
+	}
+	r.Report(MetricFTTime, r.Now()-start)
+}

@@ -1,0 +1,147 @@
+package paperdata
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Agreement scores how well a measured row reproduces a published row.
+type Agreement struct {
+	// Spearman is the rank correlation between paper and measured cells
+	// (1 = identical ordering, -1 = reversed). NaN if fewer than three
+	// comparable cells.
+	Spearman float64
+	// SpreadRatio compares worst/best ratios: measured spread divided by
+	// paper spread (1 = same magnitude of placement effect).
+	SpreadRatio float64
+	// N is the number of comparable (non-dash) cells.
+	N int
+}
+
+// Compare scores measured cells against paper cells; dashes (NaN) in
+// either side are skipped pairwise.
+func Compare(paper, measured []float64) Agreement {
+	var p, m []float64
+	for i := range paper {
+		if i >= len(measured) {
+			break
+		}
+		if math.IsNaN(paper[i]) || math.IsNaN(measured[i]) {
+			continue
+		}
+		p = append(p, paper[i])
+		m = append(m, measured[i])
+	}
+	ag := Agreement{N: len(p), Spearman: math.NaN(), SpreadRatio: math.NaN()}
+	if len(p) >= 3 {
+		ag.Spearman = Spearman(p, m)
+	}
+	if len(p) >= 2 {
+		ag.SpreadRatio = spread(m) / spread(p)
+	}
+	return ag
+}
+
+func spread(v []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo <= 0 {
+		return math.NaN()
+	}
+	return hi / lo
+}
+
+// Spearman computes the rank correlation coefficient of two equal-length
+// samples, with average ranks for ties.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	return pearson(ra, rb)
+}
+
+func ranks(v []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	s := make([]iv, len(v))
+	for i, x := range v {
+		s[i] = iv{i, x}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].v < s[j].v })
+	out := make([]float64, len(v))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			out[s[k].i] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Summary aggregates agreements across rows: mean Spearman over rows with
+// a defined value, and the geometric mean spread ratio.
+func Summary(ags []Agreement) (meanSpearman, geoSpread float64) {
+	var sSum float64
+	var sN int
+	var logSum float64
+	var gN int
+	for _, a := range ags {
+		if !math.IsNaN(a.Spearman) {
+			sSum += a.Spearman
+			sN++
+		}
+		if !math.IsNaN(a.SpreadRatio) && a.SpreadRatio > 0 {
+			logSum += math.Log(a.SpreadRatio)
+			gN++
+		}
+	}
+	meanSpearman, geoSpread = math.NaN(), math.NaN()
+	if sN > 0 {
+		meanSpearman = sSum / float64(sN)
+	}
+	if gN > 0 {
+		geoSpread = math.Exp(logSum / float64(gN))
+	}
+	return
+}
+
+func (a Agreement) String() string {
+	return fmt.Sprintf("spearman=%.2f spread-ratio=%.2f n=%d", a.Spearman, a.SpreadRatio, a.N)
+}

@@ -1,0 +1,176 @@
+// Package paperdata embeds the numbers published in the paper's tables so
+// the reproduction can be scored automatically: cmd/mccompare re-runs each
+// table on the simulator and reports, row by row, how well the measured
+// ordering and spread agree with the published ones.
+//
+// Values are transcribed from the paper (IISWC 2006). NaN marks the dashes
+// (infeasible configurations).
+package paperdata
+
+import "math"
+
+// NA marks a dash in a paper table.
+var NA = math.NaN()
+
+// Row is one table row: a rank count, a system, and the six numactl-option
+// cells in Table 5 order (Default, 1MPI+LA, 1MPI+MB, 2MPI+LA, 2MPI+MB,
+// Interleave) — or, for speedup tables, one cell per workload column.
+type Row struct {
+	Tasks  int
+	System string
+	Cells  []float64
+}
+
+// Table is one published table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+var numactlCols = []string{"Default", "One MPI + Local Alloc", "One MPI + Membind",
+	"Two MPI + Local Alloc", "Two MPI + Membind", "Interleave"}
+
+// Tables returns every transcribed paper table, keyed by experiment id.
+func Tables() map[string]Table {
+	return map[string]Table{
+		"table2-cg": {
+			ID: "table2-cg", Title: "NAS CG vs numactl (Longs), seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{162.81, 162.68, 162.72, 172.08, 170.79, 190.18}},
+				{4, "longs", []float64{98.51, 88.21, 111.02, 102.94, 99.54, 109.93}},
+				{8, "longs", []float64{50.93, 51.15, 109.11, 49.24, 115.87, 67.23}},
+				{16, "longs", []float64{54.17, NA, NA, 54.45, 121.87, 72.62}},
+			},
+		},
+		"table2-ft": {
+			ID: "table2-ft", Title: "NAS FT vs numactl (Longs), seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{118.97, 118.56, 123.15, 129.18, 129.12, 137.79}},
+				{4, "longs", []float64{79.96, 67.72, 91.84, 74.38, 92.79, 84.89}},
+				{8, "longs", []float64{42.32, 39.96, 69.79, 62.80, 81.95, 47.13}},
+				{16, "longs", []float64{30.77, NA, NA, 31.36, 63.39, 41.48}},
+			},
+		},
+		"table3-cg": {
+			ID: "table3-cg", Title: "NAS CG vs numactl (DMZ), seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "dmz", []float64{106.8, 106.24, 125.87, 111.17, 111.20, 115.02}},
+				{4, "dmz", []float64{59.22, NA, NA, 68.16, 86.93, 66.74}},
+			},
+		},
+		"table3-ft": {
+			ID: "table3-ft", Title: "NAS FT vs numactl (DMZ), seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "dmz", []float64{93.58, 100.84, 115.42, 108.30, 101.18, 105.13}},
+				{4, "dmz", []float64{57.05, NA, NA, 57.03, 75.50, 63.67}},
+			},
+		},
+		"table4": {
+			ID: "table4", Title: "NAS multi-core efficiency", Columns: []string{"CG", "FT"},
+			Rows: []Row{
+				{2, "dmz", []float64{1.07, 0.82}},
+				{4, "dmz", []float64{0.86, 0.64}},
+				{2, "longs", []float64{1.07, 0.85}},
+				{4, "longs", []float64{0.73, 0.69}},
+				{8, "longs", []float64{0.52, 0.62}},
+				{16, "longs", []float64{0.25, 0.42}},
+				{2, "tiger", []float64{1.01, 0.88}},
+			},
+		},
+		"table7": {
+			ID: "table7", Title: "JAC FFT time vs numactl, seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{3.13, 2.76, 3.13, 3.3, 3.31, 3.50}},
+				{4, "longs", []float64{1.83, 1.45, 1.78, 1.48, 1.77, 1.75}},
+				{8, "longs", []float64{0.81, 0.82, 1.17, 0.77, 1.01, 0.85}},
+				{16, "longs", []float64{0.63, NA, NA, 0.57, 1.32, 2.22}},
+				{2, "dmz", []float64{1.81, 1.77, 2.39, 2.25, 2.25, 1.96}},
+				{4, "dmz", []float64{1.03, NA, NA, 1.08, 1.51, 1.09}},
+			},
+		},
+		"table8": {
+			ID: "table8", Title: "AMBER multi-core speedup",
+			Columns: []string{"dhfr", "factor_ix", "gb_cox2", "gb_mb", "JAC"},
+			Rows: []Row{
+				{2, "dmz", []float64{1.90, 1.91, 1.98, 1.98, 1.96}},
+				{4, "dmz", []float64{3.45, 3.35, 3.92, 3.94, 3.63}},
+				{2, "longs", []float64{1.95, 1.89, 1.98, 2.06, 1.93}},
+				{4, "longs", []float64{3.63, 3.43, 3.92, 4.07, 3.78}},
+				{8, "longs", []float64{6.02, 5.94, 7.63, 7.96, 6.22}},
+				{16, "longs", []float64{7.24, 7.35, 14.29, 14.93, 7.97}},
+			},
+		},
+		"table9": {
+			ID: "table9", Title: "JAC overall runtime vs numactl, seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{38.08, 35.21, 35.63, 35.91, 36.75, 36.99}},
+				{4, "longs", []float64{20.18, 18.70, 19.72, 18.83, 19.63, 19.97}},
+				{8, "longs", []float64{11.47, 11.39, 13.85, 11.12, 13.42, 12.06}},
+				{16, "longs", []float64{8.96, NA, NA, 8.95, 14.71, 14.99}},
+				{2, "dmz", []float64{27.05, 26.30, 28.08, 28.01, 27.59, 27.27}},
+				{4, "dmz", []float64{14.38, NA, NA, 14.44, 16.08, 14.74}},
+			},
+		},
+		"table10": {
+			ID: "table10", Title: "LAMMPS multi-core speedup",
+			Columns: []string{"LJ", "Chain", "EAM"},
+			Rows: []Row{
+				{2, "dmz", []float64{1.79, 2.13, 1.96}},
+				{4, "dmz", []float64{3.61, 4.41, 3.60}},
+				{2, "longs", []float64{1.89, 2.23, 1.82}},
+				{4, "longs", []float64{3.51, 5.53, 3.45}},
+				{8, "longs", []float64{6.63, 11.52, 6.74}},
+				{16, "longs", []float64{10.65, 19.95, 12.54}},
+				{2, "tiger", []float64{1.92, 2.13, 1.87}},
+			},
+		},
+		"table11": {
+			ID: "table11", Title: "LAMMPS LJ vs numactl, seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{3.82, 3.6, 3.76, 3.73, 3.73, 3.93}},
+				{4, "longs", []float64{1.95, 1.87, 1.99, 2.52, 2.99, 2.03}},
+				{8, "longs", []float64{1.03, 1.02, 1.11, 1.97, 1.067, 1.05}},
+				{16, "longs", []float64{0.63, NA, NA, 0.63, 0.77, 0.64}},
+				{2, "dmz", []float64{3.07037, 2.89618, 3.10457, 3.00691, 3.00305, 2.96663}},
+				{4, "dmz", []float64{1.55389, NA, NA, 1.53995, 1.73746, 1.58052}},
+			},
+		},
+		"table12": {
+			ID: "table12", Title: "POP multi-core speedup",
+			Columns: []string{"Baroclinic", "Barotropic"},
+			Rows: []Row{
+				{2, "dmz", []float64{2.04, 2.07}},
+				{4, "dmz", []float64{3.87, 3.99}},
+				{2, "tiger", []float64{1.97, 1.93}},
+				{2, "longs", []float64{2.02, 2.002}},
+				{4, "longs", []float64{4.08, 4.07}},
+				{8, "longs", []float64{8.26, 8.28}},
+				{16, "longs", []float64{16.11, 14.85}},
+			},
+		},
+		"table13": {
+			ID: "table13", Title: "POP baroclinic vs numactl, seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{358.57, 332.29, 343.89, 354.01, 354.62, 408.66}},
+				{4, "longs", []float64{177.64, 163.37, 191.78, 169.08, 275.91, 194.99}},
+				{8, "longs", []float64{87.58, 86.61, 118.87, 84.5, 184.33, 98.09}},
+				{16, "longs", []float64{44.93, NA, NA, 44.9, 75.96, 57.08}},
+				{2, "dmz", []float64{301.82, 284.53, 326.43, 316.36, 305.34, 306.05}},
+				{4, "dmz", []float64{150.15, NA, NA, 154.03, 199.51, 156.79}},
+			},
+		},
+		"table14": {
+			ID: "table14", Title: "POP barotropic vs numactl, seconds", Columns: numactlCols,
+			Rows: []Row{
+				{2, "longs", []float64{36.13, 34.35, 35.12, 37.28, 37.37, 41.41}},
+				{4, "longs", []float64{17.75, 17.08, 20.3, 17.51, 34.92, 19.29}},
+				{8, "longs", []float64{8.74, 10.06, 10.41, 8.96, 21.99, 9.31}},
+				{16, "longs", []float64{4.87, NA, NA, 4.23, 4.55, 4.36}},
+				{2, "dmz", []float64{29.78, 26.18, 29.68, 30.40, 28.21, 29.84}},
+				{4, "dmz", []float64{13.76, NA, NA, 13.94, 17.55, 14.33}},
+			},
+		},
+	}
+}

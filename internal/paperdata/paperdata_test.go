@@ -1,0 +1,128 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTablesAreWellFormed(t *testing.T) {
+	tabs := Tables()
+	if len(tabs) < 12 {
+		t.Fatalf("only %d paper tables transcribed", len(tabs))
+	}
+	for id, tab := range tabs {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s has no rows", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row.Cells) != len(tab.Columns) {
+				t.Fatalf("%s row (%d,%s) has %d cells for %d columns",
+					id, row.Tasks, row.System, len(row.Cells), len(tab.Columns))
+			}
+			if row.Tasks < 1 || row.Tasks > 16 {
+				t.Fatalf("%s has implausible task count %d", id, row.Tasks)
+			}
+		}
+	}
+}
+
+func TestDashesOnlyWhereInfeasible(t *testing.T) {
+	// One-MPI columns (indices 1, 2) dash exactly when tasks exceed the
+	// system's socket count (8 for longs, 2 for dmz).
+	sockets := map[string]int{"longs": 8, "dmz": 2, "tiger": 2}
+	for id, tab := range Tables() {
+		if len(tab.Columns) != 6 {
+			continue // speedup tables have no option columns
+		}
+		for _, row := range tab.Rows {
+			infeasible := row.Tasks > sockets[row.System]
+			for _, col := range []int{1, 2} {
+				isNaN := math.IsNaN(row.Cells[col])
+				if isNaN != infeasible {
+					t.Fatalf("%s row (%d,%s) col %d: dash=%v, want %v",
+						id, row.Tasks, row.System, col, isNaN, infeasible)
+				}
+			}
+		}
+	}
+}
+
+func TestSpearmanBasics(t *testing.T) {
+	if s := Spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("identical ordering: %v", s)
+	}
+	if s := Spearman([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); math.Abs(s+1) > 1e-12 {
+		t.Fatalf("reversed ordering: %v", s)
+	}
+	if s := Spearman([]float64{1, 2}, []float64{2, 1}); math.Abs(s+1) > 1e-12 {
+		t.Fatalf("two-point reversal: %v", s)
+	}
+	if s := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(s) {
+		t.Fatalf("constant input should be NaN, got %v", s)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Ties get average ranks; correlation stays defined.
+	s := Spearman([]float64{1, 2, 2, 3}, []float64{10, 20, 21, 30})
+	if s < 0.9 {
+		t.Fatalf("tie handling broke correlation: %v", s)
+	}
+}
+
+func TestCompareSkipsDashes(t *testing.T) {
+	paper := []float64{50.93, 51.15, NA, 49.24, 115.87, 67.23}
+	measured := []float64{0.795, 0.680, 1.073, 1.176, 2.263, 1.204}
+	ag := Compare(paper, measured)
+	if ag.N != 5 {
+		t.Fatalf("comparable cells = %d, want 5", ag.N)
+	}
+	if math.IsNaN(ag.Spearman) {
+		t.Fatal("spearman undefined despite 5 points")
+	}
+}
+
+func TestCompareSpreadRatio(t *testing.T) {
+	paper := []float64{10, 20} // spread 2
+	meas := []float64{5, 20}   // spread 4
+	ag := Compare(paper, meas)
+	if math.Abs(ag.SpreadRatio-2) > 1e-12 {
+		t.Fatalf("spread ratio = %v, want 2", ag.SpreadRatio)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	ags := []Agreement{
+		{Spearman: 1, SpreadRatio: 2, N: 5},
+		{Spearman: 0.5, SpreadRatio: 0.5, N: 5},
+		{Spearman: math.NaN(), SpreadRatio: math.NaN(), N: 2},
+	}
+	s, g := Summary(ags)
+	if math.Abs(s-0.75) > 1e-12 {
+		t.Fatalf("mean spearman = %v, want 0.75", s)
+	}
+	if math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geo spread = %v, want 1", g)
+	}
+}
+
+func TestPaperTable2InternalConsistency(t *testing.T) {
+	// The transcription must preserve the paper's headline: membind is
+	// the worst option at 8 tasks on Longs for CG.
+	cg := Tables()["table2-cg"]
+	for _, row := range cg.Rows {
+		if row.Tasks != 8 {
+			continue
+		}
+		worst := 0.0
+		worstIdx := -1
+		for i, v := range row.Cells {
+			if !math.IsNaN(v) && v > worst {
+				worst, worstIdx = v, i
+			}
+		}
+		if worstIdx != 4 { // Two MPI + Membind
+			t.Fatalf("worst option at 8 tasks is column %d, want membind (4)", worstIdx)
+		}
+	}
+}

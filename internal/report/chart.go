@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart renders a table's numeric columns as an ASCII line chart: the
+// first column supplies x-axis labels, every other column is one series.
+// Non-numeric cells (the paper's dashes) leave gaps. Figures regenerated
+// by cmd/mcbench can be eyeballed in a terminal this way.
+func (t *Table) Chart(height int) string {
+	if height <= 0 {
+		height = 16
+	}
+	nSeries := len(t.Columns) - 1
+	if nSeries < 1 || t.NumRows() == 0 {
+		return "(no data to chart)\n"
+	}
+	symbols := []byte("*o+x#@%&")
+
+	// Parse values; track global min/max.
+	vals := make([][]float64, nSeries)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for s := 0; s < nSeries; s++ {
+		vals[s] = make([]float64, t.NumRows())
+		for i := 0; i < t.NumRows(); i++ {
+			v, err := strconv.ParseFloat(t.rows[i][s+1], 64)
+			if err != nil {
+				vals[s][i] = math.NaN()
+				continue
+			}
+			vals[s][i] = v
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if math.IsInf(minV, 1) {
+		return "(no numeric data to chart)\n"
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+
+	width := t.NumRows()
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for s := 0; s < nSeries; s++ {
+		sym := symbols[s%len(symbols)]
+		for i, v := range vals[s] {
+			if math.IsNaN(v) {
+				continue
+			}
+			row := int(math.Round((maxV - v) / (maxV - minV) * float64(height-1)))
+			if grid[row][i] == ' ' {
+				grid[row][i] = sym
+			} else {
+				grid[row][i] = '=' // collision marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	label := func(v float64) string { return fmt.Sprintf("%10.3g", v) }
+	for r, line := range grid {
+		prefix := strings.Repeat(" ", 10)
+		switch r {
+		case 0:
+			prefix = label(maxV)
+		case height - 1:
+			prefix = label(minV)
+		case (height - 1) / 2:
+			prefix = label((maxV + minV) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", prefix, string(line))
+	}
+	fmt.Fprintf(&b, "%s  %s .. %s (%d points)\n",
+		strings.Repeat(" ", 10), t.rows[0][0], t.rows[t.NumRows()-1][0], t.NumRows())
+	for s := 0; s < nSeries; s++ {
+		fmt.Fprintf(&b, "%s  %c = %s\n", strings.Repeat(" ", 10), symbols[s%len(symbols)], t.Columns[s+1])
+	}
+	return b.String()
+}

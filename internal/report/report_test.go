@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkdown(t *testing.T) {
+	tab := New("Demo", "A", "B")
+	tab.AddRow("1", "2")
+	md := tab.Markdown()
+	for _, want := range []string{"### Demo", "| A | B |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := New("", "name", "value")
+	tab.AddRow(`with "quote"`, "a,b")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"with ""quote""","a,b"`) {
+		t.Fatalf("csv quoting wrong:\n%s", csv)
+	}
+}
+
+func TestTextAlignment(t *testing.T) {
+	tab := New("T", "col", "x")
+	tab.AddRow("longvalue", "1")
+	txt := tab.Text()
+	lines := strings.Split(strings.TrimSpace(txt), "\n")
+	// Header and row lines must be the same width up to trailing spaces.
+	if len(lines) < 4 {
+		t.Fatalf("text output too short:\n%s", txt)
+	}
+	if !strings.HasPrefix(lines[1], "col") {
+		t.Fatalf("header line wrong: %q", lines[1])
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tab := New("", "a", "b", "c")
+	tab.AddRow("1")
+	if tab.Cell(0, 1) != "" || tab.Cell(0, 2) != "" {
+		t.Fatal("short row not padded")
+	}
+}
+
+func TestLongRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab := New("", "a")
+	tab.AddRow("1", "2")
+}
+
+func TestNoColumnsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("empty")
+}
+
+func TestFFormat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		123.45: "123.5",
+		12.345: "12.35",
+		0.1234: "0.1234",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Fatalf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSVRoundTripsRowCount(t *testing.T) {
+	f := func(rows uint8) bool {
+		tab := New("t", "a", "b")
+		n := int(rows % 50)
+		for i := 0; i < n; i++ {
+			tab.AddRow("x", "y")
+		}
+		lines := strings.Count(tab.CSV(), "\n")
+		return lines == n+1 && tab.NumRows() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	tab := New("curve", "x", "a", "b")
+	tab.AddRow("1", "1.0", "2.0")
+	tab.AddRow("2", "2.0", "-")
+	tab.AddRow("3", "4.0", "8.0")
+	out := tab.Chart(8)
+	for _, want := range []string{"curve", "* = a", "o = b", "1 .. 3 (3 points)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartHandlesDegenerateInput(t *testing.T) {
+	tab := New("flat", "x", "y")
+	tab.AddRow("1", "5")
+	if out := tab.Chart(4); !strings.Contains(out, "flat") {
+		t.Fatalf("flat chart failed:\n%s", out)
+	}
+	empty := New("e", "x", "y")
+	if out := empty.Chart(4); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %s", out)
+	}
+	dashes := New("d", "x", "y")
+	dashes.AddRow("1", "-")
+	if out := dashes.Chart(4); !strings.Contains(out, "no numeric data") {
+		t.Fatalf("dash-only chart: %s", out)
+	}
+}

@@ -1,0 +1,225 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine with a fluid-flow network for modeling bandwidth
+// contention.
+//
+// Processes are goroutine-backed coroutines: exactly one process executes at
+// a time, and control transfers between the scheduler and processes through
+// unbuffered channels, so simulations are fully deterministic given the same
+// inputs. Time is a float64 in seconds; simultaneous events fire in the
+// order they were scheduled.
+//
+// Bandwidth-shared activities (memory streams, message copies) are modeled
+// as flows over paths of capacity-limited resources. Rates are assigned by
+// max-min fairness (progressive filling) and re-settled whenever the flow
+// set changes, which reproduces contention effects such as two cores sharing
+// one memory controller.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+
+	yield chan struct{} // signaled by a process when it blocks or finishes
+
+	liveProcs    int
+	blockedProcs map[*Proc]string
+
+	net *FlowNet
+
+	// MaxTime aborts the run if the clock passes it (guards against
+	// runaway simulations in tests). Zero means no limit.
+	MaxTime float64
+}
+
+// NewEngine creates an empty simulation.
+func NewEngine() *Engine {
+	e := &Engine{
+		yield:        make(chan struct{}),
+		blockedProcs: make(map[*Proc]string),
+	}
+	e.net = newFlowNet(e)
+	return e
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Net returns the engine's flow network.
+func (e *Engine) Net() *FlowNet { return e.net }
+
+type event struct {
+	at   float64
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it would violate causality.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulated process. Its methods must only be called from within
+// the process's own body function.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn creates a process that will begin executing body at the current
+// simulated time (or at time 0 if the simulation has not started).
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.liveProcs++
+	go func() {
+		<-p.wake
+		body(p)
+		p.done = true
+		e.liveProcs--
+		e.yield <- struct{}{}
+	}()
+	e.At(e.now, func() { e.resume(p) })
+	return p
+}
+
+// resume hands control to p and waits until it blocks or finishes.
+func (e *Engine) resume(p *Proc) {
+	if p.done {
+		panic("sim: resuming finished process " + p.name)
+	}
+	delete(e.blockedProcs, p)
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// block yields control back to the scheduler and waits to be woken.
+func (p *Proc) block(why string) {
+	p.eng.blockedProcs[p] = why
+	p.eng.yield <- struct{}{}
+	<-p.wake
+}
+
+// Sleep advances the process by d seconds of simulated time. Negative or
+// zero durations still yield to the scheduler at the current time, which
+// preserves event ordering for zero-cost operations.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.At(e.now+d, func() { e.resume(p) })
+	p.block(fmt.Sprintf("sleep %g", d))
+}
+
+// Run executes events until the queue is empty. It panics if processes
+// remain blocked when no event can wake them (a deadlock) so that protocol
+// bugs in workloads surface immediately.
+func (e *Engine) Run() {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			panic(fmt.Sprintf("sim: exceeded MaxTime %g", e.MaxTime))
+		}
+		ev.fire()
+	}
+	if e.liveProcs > 0 {
+		names := make([]string, 0, len(e.blockedProcs))
+		for p, why := range e.blockedProcs {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: deadlock at t=%g: %d live processes, blocked: %v",
+			e.now, e.liveProcs, names))
+	}
+}
+
+// WaitQueue is a FIFO of blocked processes, the building block for
+// higher-level synchronization (mailboxes, barriers, locks).
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Wait blocks the calling process until another process wakes it.
+func (q *WaitQueue) Wait(p *Proc, why string) {
+	q.waiters = append(q.waiters, p)
+	p.block(why)
+}
+
+// WakeOne wakes the oldest waiter, if any, at the current time.
+// It returns true if a process was woken.
+func (q *WaitQueue) WakeOne(e *Engine) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	e.At(e.now, func() { e.resume(p) })
+	return true
+}
+
+// WakeAll wakes every waiter in FIFO order at the current time.
+func (q *WaitQueue) WakeAll(e *Engine) {
+	for _, p := range q.waiters {
+		pp := p
+		e.At(e.now, func() { e.resume(pp) })
+	}
+	q.waiters = nil
+}
+
+// Len reports the number of blocked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// almostZero is the byte threshold below which a flow counts as complete;
+// it absorbs float64 rounding from incremental settling.
+const almostZero = 1e-6

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource is a capacity-limited element of the flow network: a memory
+// controller, a HyperTransport link direction, or a per-core issue port.
+// Concurrent flows crossing a resource share its capacity max-min fairly.
+type Resource struct {
+	Name string
+	Cap  float64 // bytes per second
+
+	flows map[*Flow]struct{}
+
+	// Utilization accounting.
+	busyIntegral float64 // integral of used rate over time (bytes)
+	lastUsedRate float64
+}
+
+// NewResource creates a resource with the given capacity in bytes/second.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{Name: name, Cap: capacity, flows: make(map[*Flow]struct{})}
+}
+
+// BytesServed returns the total bytes that have crossed this resource.
+func (r *Resource) BytesServed() float64 { return r.busyIntegral }
+
+// ActiveFlows returns the number of flows currently crossing this resource.
+func (r *Resource) ActiveFlows() int { return len(r.flows) }
+
+// Utilization returns mean utilization over [0, now].
+func (r *Resource) Utilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return r.busyIntegral / (r.Cap * now)
+}
+
+// Flow is a fluid transfer of a byte volume across a path of resources.
+type Flow struct {
+	remaining float64
+	ceiling   float64 // per-flow rate cap; 0 means unlimited
+	path      []*Resource
+	rate      float64
+	waiters   []*Proc
+	onDone    []func()
+	done      bool
+	label     string
+	seq       uint64
+}
+
+// Rate returns the flow's current allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// FlowNet manages active flows and assigns rates by progressive filling.
+type FlowNet struct {
+	eng        *Engine
+	flows      map[*Flow]struct{}
+	lastSettle float64
+	gen        uint64 // invalidates scheduled completion events
+	seq        uint64 // flow admission order, for deterministic completion
+}
+
+func newFlowNet(e *Engine) *FlowNet {
+	return &FlowNet{eng: e, flows: make(map[*Flow]struct{})}
+}
+
+// settle advances all flow progress to the current time.
+func (n *FlowNet) settle() {
+	dt := n.eng.now - n.lastSettle
+	if dt > 0 {
+		for f := range n.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		// Accumulate resource utilization.
+		seen := map[*Resource]float64{}
+		for f := range n.flows {
+			for _, r := range f.path {
+				seen[r] += f.rate
+			}
+		}
+		for r, used := range seen {
+			r.busyIntegral += used * dt
+		}
+	}
+	n.lastSettle = n.eng.now
+}
+
+// recompute runs progressive filling over all active flows, then schedules
+// the next completion event.
+func (n *FlowNet) recompute() {
+	// Reset.
+	type rstate struct {
+		avail  float64
+		active int
+	}
+	states := map[*Resource]*rstate{}
+	unfrozen := make([]*Flow, 0, len(n.flows))
+	for f := range n.flows {
+		f.rate = 0
+		unfrozen = append(unfrozen, f)
+		for _, r := range f.path {
+			if _, ok := states[r]; !ok {
+				states[r] = &rstate{avail: r.Cap}
+			}
+			states[r].active++
+		}
+	}
+
+	level := 0.0
+	for len(unfrozen) > 0 {
+		// Smallest additional rate increment any constraint allows.
+		inc := math.Inf(1)
+		for _, f := range unfrozen {
+			if f.ceiling > 0 {
+				if d := f.ceiling - level; d < inc {
+					inc = d
+				}
+			}
+			for _, r := range f.path {
+				st := states[r]
+				if st.active > 0 {
+					if d := st.avail / float64(st.active); d < inc {
+						inc = d
+					}
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			// No constraint at all (flows with empty paths and no
+			// ceiling): they complete instantly; give them a huge rate.
+			for _, f := range unfrozen {
+				f.rate = math.Inf(1)
+			}
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		level += inc
+		// Charge resources and find newly frozen flows.
+		for _, st := range states {
+			st.avail -= inc * float64(st.active)
+			if st.avail < 0 {
+				st.avail = 0
+			}
+		}
+		next := unfrozen[:0]
+		for _, f := range unfrozen {
+			frozen := false
+			if f.ceiling > 0 && level >= f.ceiling-1e-15 {
+				frozen = true
+			}
+			if !frozen {
+				for _, r := range f.path {
+					if states[r].avail <= 1e-9*r.Cap {
+						frozen = true
+						break
+					}
+				}
+			}
+			f.rate = level
+			if frozen {
+				for _, r := range f.path {
+					states[r].active--
+				}
+			} else {
+				next = append(next, f)
+			}
+		}
+		if len(next) == len(unfrozen) {
+			// Safety: no progress possible (all increments ~0).
+			break
+		}
+		unfrozen = next
+	}
+
+	n.scheduleNextCompletion()
+}
+
+func (n *FlowNet) scheduleNextCompletion() {
+	n.gen++
+	gen := n.gen
+	next := math.Inf(1)
+	for f := range n.flows {
+		if f.rate <= 0 {
+			if f.remaining <= almostZero {
+				next = 0
+			}
+			continue
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		if len(n.flows) > 0 {
+			panic("sim: active flows can make no progress (zero-capacity path?)")
+		}
+		return
+	}
+	// Clamp to the clock's float64 resolution: a delay below one ulp of
+	// `now` would schedule an event at the same timestamp and live-lock
+	// (settle would see dt == 0 and never drain the last bytes).
+	if ulp := math.Nextafter(n.eng.now, math.Inf(1)) - n.eng.now; next < ulp {
+		next = ulp
+	}
+	n.eng.After(next, func() {
+		if gen != n.gen {
+			return // superseded by a later recompute
+		}
+		n.completeFinished()
+	})
+}
+
+// completeFinished settles, retires finished flows, and recomputes.
+func (n *FlowNet) completeFinished() {
+	n.settle()
+	finished := make([]*Flow, 0, 2)
+	for f := range n.flows {
+		if f.remaining <= almostZero || math.IsInf(f.rate, 1) {
+			finished = append(finished, f)
+		}
+	}
+	// Process in admission order so downstream wakeups are deterministic
+	// regardless of map iteration order.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, f := range finished {
+		delete(n.flows, f)
+		for _, r := range f.path {
+			delete(r.flows, f)
+		}
+		f.done = true
+		f.rate = 0
+	}
+	n.recompute()
+	e := n.eng
+	for _, f := range finished {
+		for _, cb := range f.onDone {
+			cb()
+		}
+		for _, p := range f.waiters {
+			pp := p
+			e.At(e.now, func() { e.resume(pp) })
+		}
+		f.onDone, f.waiters = nil, nil
+	}
+}
+
+// Start begins a flow of bytes over path with an optional per-flow rate
+// ceiling (0 = none). A zero-byte flow completes at the current time.
+// The returned flow can be waited on with Proc.WaitFlow or observed with
+// OnDone.
+func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling float64) *Flow {
+	if bytes < 0 {
+		panic("sim: negative flow volume")
+	}
+	n.seq++
+	f := &Flow{remaining: bytes, ceiling: ceiling, path: path, label: label, seq: n.seq}
+	n.settle()
+	n.flows[f] = struct{}{}
+	for _, r := range path {
+		r.flows[f] = struct{}{}
+	}
+	n.recompute()
+	return f
+}
+
+// OnDone registers cb to run when the flow completes. If the flow has
+// already completed, cb runs immediately.
+func (f *Flow) OnDone(n *FlowNet, cb func()) {
+	if f.done {
+		cb()
+		return
+	}
+	f.onDone = append(f.onDone, cb)
+}
+
+// WaitFlow blocks the process until the flow completes.
+func (p *Proc) WaitFlow(f *Flow) {
+	if f.done {
+		// Still yield once so zero-time transfers keep FIFO fairness.
+		p.Sleep(0)
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.block("flow " + f.label)
+}
+
+// Transfer starts a flow and blocks until it completes. It is the common
+// case for memory streams and message copies.
+func (p *Proc) Transfer(label string, bytes float64, path []*Resource, ceiling float64) {
+	if bytes <= 0 {
+		return
+	}
+	f := p.eng.net.Start(label, bytes, path, ceiling)
+	p.WaitFlow(f)
+}
+
+// TransferAll starts several flows at once and blocks until every one of
+// them has completed (parallel transfers from a single process, e.g. an
+// access striped over multiple memory nodes).
+func (p *Proc) TransferAll(label string, specs []FlowSpec) {
+	pending := 0
+	for _, s := range specs {
+		if s.Bytes <= 0 {
+			continue
+		}
+		f := p.eng.net.Start(label, s.Bytes, s.Path, s.Ceiling)
+		if !f.done {
+			pending++
+			f.waiters = append(f.waiters, p)
+		}
+	}
+	for pending > 0 {
+		p.block("flows " + label)
+		pending--
+	}
+}
+
+// FlowSpec describes one flow for TransferAll.
+type FlowSpec struct {
+	Bytes   float64
+	Path    []*Resource
+	Ceiling float64
+}
+
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow(%s rem=%.0f rate=%.0f)", f.label, f.remaining, f.rate)
+}

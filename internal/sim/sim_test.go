@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestSleepOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(2)
+		order = append(order, "a@2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(1)
+		order = append(order, "b@1")
+		p.Sleep(3)
+		order = append(order, "b@4")
+	})
+	e.Run()
+	want := []string{"b@1", "a@2", "b@4"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	approx(t, e.Now(), 4, 1e-12, "final time")
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Spawn("z", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(0)
+			n++
+		}
+	})
+	e.Run()
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+	approx(t, e.Now(), 0, 1e-12, "time after zero sleeps")
+}
+
+func TestSingleFlowRate(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100) // 100 B/s
+	e.Spawn("t", func(p *Proc) {
+		p.Transfer("x", 250, []*Resource{r}, 0)
+	})
+	e.Run()
+	approx(t, e.Now(), 2.5, 1e-9, "250 B at 100 B/s")
+	approx(t, r.BytesServed(), 250, 1e-9, "bytes served")
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	var t1, t2 float64
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 100, []*Resource{r}, 0)
+		t1 = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Transfer("b", 100, []*Resource{r}, 0)
+		t2 = p.Now()
+	})
+	e.Run()
+	// Both share 100 B/s: each runs at 50 B/s until one finishes.
+	approx(t, t1, 2.0, 1e-9, "flow a completion")
+	approx(t, t2, 2.0, 1e-9, "flow b completion")
+}
+
+func TestStaggeredFlows(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	var tA, tB float64
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 150, []*Resource{r}, 0)
+		tA = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(1)
+		p.Transfer("b", 100, []*Resource{r}, 0)
+		tB = p.Now()
+	})
+	e.Run()
+	// a runs alone for 1s (100 B done, 50 left). Then both at 50 B/s.
+	// a finishes at t=2.0. b then runs alone: 50 B done at t=2, 50 left
+	// at 100 B/s -> finishes at 2.5.
+	approx(t, tA, 2.0, 1e-9, "flow a completion")
+	approx(t, tB, 2.5, 1e-9, "flow b completion")
+}
+
+func TestFlowCeiling(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	var tA float64
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 100, []*Resource{r}, 20) // latency-bound flow
+		tA = p.Now()
+	})
+	e.Run()
+	approx(t, tA, 5.0, 1e-9, "ceiling-limited flow")
+}
+
+func TestCeilingLeavesHeadroomForOthers(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	var tA, tB float64
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 40, []*Resource{r}, 20)
+		tA = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Transfer("b", 160, []*Resource{r}, 0)
+		tB = p.Now()
+	})
+	e.Run()
+	// a frozen at 20 B/s, b gets 80 B/s. a: 40/20 = 2s. b: 160/80 = 2s.
+	approx(t, tA, 2.0, 1e-9, "capped flow")
+	approx(t, tB, 2.0, 1e-9, "uncapped flow")
+}
+
+func TestMultiResourcePathBottleneck(t *testing.T) {
+	e := NewEngine()
+	link := NewResource("link", 50)
+	mc := NewResource("mc", 100)
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 100, []*Resource{link, mc}, 0)
+	})
+	e.Run()
+	approx(t, e.Now(), 2.0, 1e-9, "bottleneck is the 50 B/s link")
+}
+
+func TestCrossTrafficOnSharedLink(t *testing.T) {
+	e := NewEngine()
+	link := NewResource("link", 100)
+	mcA := NewResource("mcA", 1000)
+	mcB := NewResource("mcB", 1000)
+	var tA, tB float64
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 100, []*Resource{link, mcA}, 0)
+		tA = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Transfer("b", 100, []*Resource{link, mcB}, 0)
+		tB = p.Now()
+	})
+	e.Run()
+	approx(t, tA, 2.0, 1e-9, "a shares the link")
+	approx(t, tB, 2.0, 1e-9, "b shares the link")
+}
+
+func TestTransferAllParallel(t *testing.T) {
+	e := NewEngine()
+	r1 := NewResource("r1", 100)
+	r2 := NewResource("r2", 50)
+	e.Spawn("a", func(p *Proc) {
+		p.TransferAll("multi", []FlowSpec{
+			{Bytes: 100, Path: []*Resource{r1}},
+			{Bytes: 100, Path: []*Resource{r2}},
+		})
+	})
+	e.Run()
+	// Parallel: slower branch (2 s) dominates.
+	approx(t, e.Now(), 2.0, 1e-9, "parallel transfer completes at max")
+}
+
+func TestZeroByteTransferIsFree(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("r", 100)
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("z", 0, []*Resource{r}, 0)
+	})
+	e.Run()
+	approx(t, e.Now(), 0, 1e-12, "zero-byte transfer")
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	var q WaitQueue
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			q.Wait(p, "test")
+			order = append(order, name)
+		})
+	}
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(1)
+		q.WakeAll(e)
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("wake order = %v", order)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEngine()
+	var q WaitQueue
+	e.Spawn("stuck", func(p *Proc) { q.Wait(p, "forever") })
+	e.Run()
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	e.Spawn("a", func(p *Proc) {
+		p.Transfer("a", 100, []*Resource{r}, 50)
+	})
+	e.Run()
+	// 2 seconds at 50% utilization.
+	approx(t, r.Utilization(e.Now()), 0.5, 1e-9, "utilization")
+}
+
+func TestManyFlowsFairness(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	const n = 10
+	ends := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("f", func(p *Proc) {
+			p.Transfer("f", 10, []*Resource{r}, 0)
+			ends[i] = p.Now()
+		})
+	}
+	e.Run()
+	// n flows of 10 B each over 100 B/s: all complete at 1 s.
+	for i, end := range ends {
+		approx(t, end, 1.0, 1e-9, "flow completion")
+		_ = i
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEngine()
+	var childDone float64
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(2)
+			childDone = c.Now()
+		})
+		p.Sleep(5)
+	})
+	e.Run()
+	approx(t, childDone, 3.0, 1e-9, "child spawned mid-run")
+	approx(t, e.Now(), 6.0, 1e-9, "parent finishes last")
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for past event")
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) { p.Sleep(5) })
+	e.Run()
+	e.At(1, func() {}) // now = 5: scheduling in the past must panic
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a System from a compact spec string, for experimenting
+// with hypothetical machines beyond the paper's three:
+//
+//	"ladder:RxC[xK]"  R rows by C columns grid/ladder, K cores per socket
+//	"ring:N[xK]"      N sockets in a ring
+//	"xbar:N[xK]"      N sockets fully connected
+//	"line:N[xK]"      N sockets in a chain
+//
+// K defaults to 2 (dual-core). Examples: "ladder:4x2" is the Longs
+// fabric; "xbar:8" is the ablation crossbar.
+func Parse(spec string) (*System, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology: spec %q needs the form kind:dims", spec)
+	}
+	dims := strings.Split(rest, "x")
+	nums := make([]int, 0, 3)
+	for _, d := range dims {
+		v, err := strconv.Atoi(d)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("topology: bad dimension %q in %q", d, spec)
+		}
+		nums = append(nums, v)
+	}
+	cores := 2
+	switch kind {
+	case "ladder":
+		if len(nums) < 2 || len(nums) > 3 {
+			return nil, fmt.Errorf("topology: ladder needs RxC[xK], got %q", spec)
+		}
+		if len(nums) == 3 {
+			cores = nums[2]
+		}
+		return Ladder(spec, nums[0], nums[1], cores), nil
+	case "ring", "xbar", "line":
+		if len(nums) < 1 || len(nums) > 2 {
+			return nil, fmt.Errorf("topology: %s needs N[xK], got %q", kind, spec)
+		}
+		n := nums[0]
+		if len(nums) == 2 {
+			cores = nums[1]
+		}
+		var links []Link
+		switch kind {
+		case "ring":
+			if n < 3 {
+				return nil, fmt.Errorf("topology: ring needs >= 3 sockets")
+			}
+			for i := 0; i < n; i++ {
+				links = append(links, Link{A: SocketID(i), B: SocketID((i + 1) % n)})
+			}
+		case "line":
+			if n < 2 {
+				return nil, fmt.Errorf("topology: line needs >= 2 sockets")
+			}
+			for i := 0; i+1 < n; i++ {
+				links = append(links, Link{A: SocketID(i), B: SocketID(i + 1)})
+			}
+		case "xbar":
+			if n < 2 {
+				return nil, fmt.Errorf("topology: xbar needs >= 2 sockets")
+			}
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					links = append(links, Link{A: SocketID(a), B: SocketID(b)})
+				}
+			}
+		}
+		return New(spec, n, cores, links), nil
+	}
+	return nil, fmt.Errorf("topology: unknown kind %q (want ladder, ring, xbar, or line)", kind)
+}
+
+// Ladder builds an R-row by C-column grid (the Iwill H8501 is 4x2):
+// links along rows and columns. Socket numbering is row-major.
+func Ladder(name string, rows, cols, coresPerSocket int) *System {
+	var links []Link
+	id := func(r, c int) SocketID { return SocketID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				links = append(links, Link{A: id(r, c), B: id(r, c+1)})
+			}
+			if r+1 < rows {
+				links = append(links, Link{A: id(r, c), B: id(r+1, c)})
+			}
+		}
+	}
+	return New(name, rows*cols, coresPerSocket, links)
+}

@@ -1,0 +1,192 @@
+// Package topology describes the structure of the evaluated systems: cores,
+// sockets, memory nodes, and the inter-socket interconnect (coherent
+// HyperTransport), including the Iwill H8501 2x4 ladder used by the paper's
+// Longs system. It provides shortest-path routing between sockets; link
+// congestion and cost modeling live in internal/machine.
+package topology
+
+import "fmt"
+
+// CoreID identifies a core within a system (0-based, dense).
+type CoreID int
+
+// SocketID identifies a socket (and its attached memory node: on Opteron
+// every socket has a local memory controller, so memory node IDs equal
+// socket IDs).
+type SocketID int
+
+// Link is an undirected inter-socket HyperTransport link. Machine-level
+// code instantiates two directed resources per link.
+type Link struct {
+	A, B SocketID
+}
+
+// System is the static structure of one evaluated machine.
+type System struct {
+	Name         string
+	CoresPerSock int
+	NumSockets   int
+	Links        []Link
+	coreToSocket []SocketID
+	socketCores  [][]CoreID
+	routes       [][][]DirectedLink // [from][to] -> directed link sequence
+	hopCount     [][]int
+}
+
+// DirectedLink identifies one direction of a Link: link index plus
+// direction (false = A->B, true = B->A).
+type DirectedLink struct {
+	Index   int
+	Reverse bool
+}
+
+// New builds a system from socket/core counts and a link list, and
+// precomputes all shortest routes. It panics on disconnected topologies:
+// every socket must reach every other.
+func New(name string, numSockets, coresPerSocket int, links []Link) *System {
+	s := &System{
+		Name:         name,
+		CoresPerSock: coresPerSocket,
+		NumSockets:   numSockets,
+		Links:        links,
+	}
+	s.coreToSocket = make([]SocketID, numSockets*coresPerSocket)
+	s.socketCores = make([][]CoreID, numSockets)
+	for sock := 0; sock < numSockets; sock++ {
+		for c := 0; c < coresPerSocket; c++ {
+			id := CoreID(sock*coresPerSocket + c)
+			s.coreToSocket[id] = SocketID(sock)
+			s.socketCores[sock] = append(s.socketCores[sock], id)
+		}
+	}
+	s.computeRoutes()
+	return s
+}
+
+// NumCores returns the total core count.
+func (s *System) NumCores() int { return len(s.coreToSocket) }
+
+// SocketOf returns the socket hosting core c.
+func (s *System) SocketOf(c CoreID) SocketID {
+	if int(c) < 0 || int(c) >= len(s.coreToSocket) {
+		panic(fmt.Sprintf("topology: core %d out of range on %s", c, s.Name))
+	}
+	return s.coreToSocket[c]
+}
+
+// CoresOn returns the cores hosted by socket id.
+func (s *System) CoresOn(id SocketID) []CoreID { return s.socketCores[id] }
+
+// Route returns the directed link sequence from socket a to socket b
+// (empty for a == b). Routes are shortest paths with deterministic
+// tie-breaking (lowest next socket id first), mirroring static HT routing
+// tables.
+func (s *System) Route(a, b SocketID) []DirectedLink { return s.routes[a][b] }
+
+// Hops returns the number of links between sockets a and b.
+func (s *System) Hops(a, b SocketID) int { return s.hopCount[a][b] }
+
+// MaxHops returns the topology diameter in links.
+func (s *System) MaxHops() int {
+	max := 0
+	for a := range s.hopCount {
+		for _, h := range s.hopCount[a] {
+			if h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+func (s *System) computeRoutes() {
+	n := s.NumSockets
+	type edge struct {
+		to SocketID
+		dl DirectedLink
+	}
+	adjE := make([][]edge, n)
+	for i, l := range s.Links {
+		adjE[l.A] = append(adjE[l.A], edge{to: l.B, dl: DirectedLink{Index: i}})
+		adjE[l.B] = append(adjE[l.B], edge{to: l.A, dl: DirectedLink{Index: i, Reverse: true}})
+	}
+	s.routes = make([][][]DirectedLink, n)
+	s.hopCount = make([][]int, n)
+	for src := 0; src < n; src++ {
+		// BFS with deterministic neighbor order.
+		prev := make([]int, n)
+		prevLink := make([]DirectedLink, n)
+		dist := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adjE[u] {
+				v := int(e.to)
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					prev[v] = u
+					prevLink[v] = e.dl
+					queue = append(queue, v)
+				}
+			}
+		}
+		s.routes[src] = make([][]DirectedLink, n)
+		s.hopCount[src] = make([]int, n)
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			if dist[dst] == -1 {
+				panic(fmt.Sprintf("topology: %s sockets %d and %d are disconnected", s.Name, src, dst))
+			}
+			var rev []DirectedLink
+			for v := dst; v != src; v = prev[v] {
+				rev = append(rev, prevLink[v])
+			}
+			route := make([]DirectedLink, len(rev))
+			for i := range rev {
+				route[i] = rev[len(rev)-1-i]
+			}
+			s.routes[src][dst] = route
+			s.hopCount[src][dst] = dist[dst]
+		}
+	}
+}
+
+// Tiger is the Cray XD1 node: two single-core 2.2 GHz Opteron 248 sockets
+// joined by one coherent HT link (paper Table 1).
+func Tiger() *System {
+	return New("Tiger", 2, 1, []Link{{A: 0, B: 1}})
+}
+
+// DMZ is one node of the DMZ cluster: two dual-core 2.2 GHz Opteron 275
+// sockets joined by one coherent HT link (paper Table 1).
+func DMZ() *System {
+	return New("DMZ", 2, 2, []Link{{A: 0, B: 1}})
+}
+
+// Longs is the eight-socket Iwill H8501 server: dual-core 1.8 GHz Opteron
+// 865 sockets arranged in a 2x4 HyperTransport ladder (paper Figure 1).
+// Socket numbering: column-major pairs, rung r holds sockets 2r and 2r+1.
+//
+//	0 -- 1
+//	|    |
+//	2 -- 3
+//	|    |
+//	4 -- 5
+//	|    |
+//	6 -- 7
+func Longs() *System {
+	links := []Link{
+		{A: 0, B: 1}, {A: 2, B: 3}, {A: 4, B: 5}, {A: 6, B: 7}, // rungs
+		{A: 0, B: 2}, {A: 2, B: 4}, {A: 4, B: 6}, // left rail
+		{A: 1, B: 3}, {A: 3, B: 5}, {A: 5, B: 7}, // right rail
+	}
+	return New("Longs", 8, 2, links)
+}

@@ -1,0 +1,115 @@
+package topology
+
+import "testing"
+
+func TestTigerShape(t *testing.T) {
+	s := Tiger()
+	if s.NumCores() != 2 || s.NumSockets != 2 || s.CoresPerSock != 1 {
+		t.Fatalf("Tiger shape wrong: %+v", s)
+	}
+	if s.Hops(0, 1) != 1 {
+		t.Fatalf("Tiger hops(0,1) = %d", s.Hops(0, 1))
+	}
+}
+
+func TestDMZShape(t *testing.T) {
+	s := DMZ()
+	if s.NumCores() != 4 {
+		t.Fatalf("DMZ cores = %d, want 4", s.NumCores())
+	}
+	if s.SocketOf(0) != 0 || s.SocketOf(1) != 0 || s.SocketOf(2) != 1 || s.SocketOf(3) != 1 {
+		t.Fatal("DMZ core->socket mapping wrong")
+	}
+	if got := s.CoresOn(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("DMZ CoresOn(1) = %v", got)
+	}
+}
+
+func TestLongsLadder(t *testing.T) {
+	s := Longs()
+	if s.NumCores() != 16 || s.NumSockets != 8 {
+		t.Fatalf("Longs shape wrong")
+	}
+	// Ladder distances: 0 and 7 are at opposite corners: 0-1-3-5-7 or
+	// 0-2-4-6-7, both 4 hops.
+	if s.Hops(0, 7) != 4 {
+		t.Fatalf("Longs hops(0,7) = %d, want 4", s.Hops(0, 7))
+	}
+	if s.Hops(0, 1) != 1 || s.Hops(0, 2) != 1 {
+		t.Fatal("Longs adjacent hops wrong")
+	}
+	if s.Hops(0, 3) != 2 {
+		t.Fatalf("Longs hops(0,3) = %d, want 2", s.Hops(0, 3))
+	}
+	if s.MaxHops() != 4 {
+		t.Fatalf("Longs diameter = %d, want 4", s.MaxHops())
+	}
+}
+
+func TestRoutesAreConsistent(t *testing.T) {
+	for _, s := range []*System{Tiger(), DMZ(), Longs()} {
+		for a := 0; a < s.NumSockets; a++ {
+			for b := 0; b < s.NumSockets; b++ {
+				route := s.Route(SocketID(a), SocketID(b))
+				if len(route) != s.Hops(SocketID(a), SocketID(b)) {
+					t.Fatalf("%s: route length %d != hops %d for %d->%d",
+						s.Name, len(route), s.Hops(SocketID(a), SocketID(b)), a, b)
+				}
+				// Walk the route and confirm it lands on b.
+				cur := SocketID(a)
+				for _, dl := range route {
+					l := s.Links[dl.Index]
+					switch {
+					case !dl.Reverse && l.A == cur:
+						cur = l.B
+					case dl.Reverse && l.B == cur:
+						cur = l.A
+					default:
+						t.Fatalf("%s: route %d->%d broken at link %v from socket %d",
+							s.Name, a, b, dl, cur)
+					}
+				}
+				if cur != SocketID(b) {
+					t.Fatalf("%s: route %d->%d ends at %d", s.Name, a, b, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteDeterminism(t *testing.T) {
+	a := Longs()
+	b := Longs()
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			ra := a.Route(SocketID(src), SocketID(dst))
+			rb := b.Route(SocketID(src), SocketID(dst))
+			if len(ra) != len(rb) {
+				t.Fatalf("nondeterministic route %d->%d", src, dst)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("nondeterministic route %d->%d at hop %d", src, dst, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDisconnectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for disconnected topology")
+		}
+	}()
+	New("broken", 3, 1, []Link{{A: 0, B: 1}})
+}
+
+func TestCoreOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range core")
+		}
+	}()
+	Tiger().SocketOf(99)
+}

@@ -1,0 +1,78 @@
+// Package units provides quantities and formatting helpers used across the
+// simulator: bytes, flops, bandwidths, and simulated time in seconds.
+package units
+
+import "fmt"
+
+// Common byte sizes.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// Decimal rate units (bandwidths and flop rates are decimal, as in the
+// paper's GB/s and GFlop/s figures).
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+)
+
+// Time units expressed in seconds of simulated time.
+const (
+	Second      = 1.0
+	Millisecond = 1e-3
+	Microsecond = 1e-6
+	Nanosecond  = 1e-9
+)
+
+// Bytes formats a byte count with a binary-prefix unit.
+func Bytes(n float64) string {
+	switch {
+	case n >= GB:
+		return fmt.Sprintf("%.2f GiB", n/GB)
+	case n >= MB:
+		return fmt.Sprintf("%.2f MiB", n/MB)
+	case n >= KB:
+		return fmt.Sprintf("%.2f KiB", n/KB)
+	}
+	return fmt.Sprintf("%.0f B", n)
+}
+
+// Rate formats a rate in bytes/second with a decimal-prefix unit.
+func Rate(bps float64) string {
+	switch {
+	case bps >= Giga:
+		return fmt.Sprintf("%.2f GB/s", bps/Giga)
+	case bps >= Mega:
+		return fmt.Sprintf("%.2f MB/s", bps/Mega)
+	case bps >= Kilo:
+		return fmt.Sprintf("%.2f kB/s", bps/Kilo)
+	}
+	return fmt.Sprintf("%.0f B/s", bps)
+}
+
+// Flops formats a flop rate.
+func Flops(fps float64) string {
+	switch {
+	case fps >= Giga:
+		return fmt.Sprintf("%.2f GFlop/s", fps/Giga)
+	case fps >= Mega:
+		return fmt.Sprintf("%.2f MFlop/s", fps/Mega)
+	}
+	return fmt.Sprintf("%.0f Flop/s", fps)
+}
+
+// Duration formats simulated seconds with an adaptive unit.
+func Duration(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3f s", s)
+	case s >= Millisecond:
+		return fmt.Sprintf("%.3f ms", s/Millisecond)
+	case s >= Microsecond:
+		return fmt.Sprintf("%.3f us", s/Microsecond)
+	}
+	return fmt.Sprintf("%.1f ns", s/Nanosecond)
+}

@@ -1,0 +1,75 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBytes(t *testing.T) {
+	cases := map[float64]string{
+		512:           "512 B",
+		2 * KB:        "2.00 KiB",
+		3.5 * MB:      "3.50 MiB",
+		1.25 * GB:     "1.25 GiB",
+		1536 * KB * 4: "6.00 MiB",
+	}
+	for v, want := range cases {
+		if got := Bytes(v); got != want {
+			t.Fatalf("Bytes(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	cases := map[float64]string{
+		500:        "500 B/s",
+		2.5 * Kilo: "2.50 kB/s",
+		3 * Mega:   "3.00 MB/s",
+		6.4 * Giga: "6.40 GB/s",
+	}
+	for v, want := range cases {
+		if got := Rate(v); got != want {
+			t.Fatalf("Rate(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if got := Flops(4.4 * Giga); got != "4.40 GFlop/s" {
+		t.Fatalf("Flops = %q", got)
+	}
+	if got := Flops(12 * Mega); got != "12.00 MFlop/s" {
+		t.Fatalf("Flops = %q", got)
+	}
+	if !strings.HasSuffix(Flops(10), "Flop/s") {
+		t.Fatal("small flops should still carry the unit")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	cases := map[float64]string{
+		2.5:                  "2.500 s",
+		12 * Millisecond:     "12.000 ms",
+		3.25 * Microsecond:   "3.250 us",
+		90 * Nanosecond:      "90.0 ns",
+		999.9 * Microsecond:  "999.900 us",
+		1000.1 * Microsecond: "1.000 ms",
+	}
+	for v, want := range cases {
+		if got := Duration(v); got != want {
+			t.Fatalf("Duration(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestConstantsConsistent(t *testing.T) {
+	if KB*1024 != MB || MB*1024 != GB {
+		t.Fatal("binary prefixes inconsistent")
+	}
+	if Kilo*1000 != Mega || Mega*1000 != Giga {
+		t.Fatal("decimal prefixes inconsistent")
+	}
+	if Second != 1 || Millisecond*1000 != Second {
+		t.Fatal("time units inconsistent")
+	}
+}

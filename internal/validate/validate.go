@@ -1,0 +1,64 @@
+// Package validate provides closed-form predictions of what the simulator
+// should produce in simple scenarios. Its tests hold the fluid-flow engine
+// accountable to the cost model's algebra: if a refactor changes effective
+// bandwidth sharing, latency composition, or transport arithmetic, these
+// cross-checks fail before any paper-level shape test does.
+package validate
+
+import (
+	"math"
+
+	"multicore/internal/machine"
+	"multicore/internal/mpi"
+)
+
+// SingleStreamRate returns the expected steady-state rate of one core
+// streaming from its local controller: the minimum of the issue port, the
+// controller, and the prefetch window.
+func SingleStreamRate(spec *machine.Spec) float64 {
+	window := spec.PrefetchDepth * spec.LineBytes / spec.LocalLatency
+	return math.Min(spec.CoreIssueBW, math.Min(spec.MCBandwidth, window))
+}
+
+// SharedStreamRate returns the expected aggregate rate of k cores of one
+// socket streaming locally: the controller's capacity shrunk by the
+// interleaving penalty (each of the k flows sees k-1 concurrent flows,
+// saturating at 3).
+func SharedStreamRate(spec *machine.Spec, k int) float64 {
+	if k <= 1 {
+		return SingleStreamRate(spec)
+	}
+	penalty := 1 + spec.ContentionPenalty*math.Min(float64(k-1), 3)
+	shared := spec.MCBandwidth / penalty
+	return math.Min(shared, float64(k)*SingleStreamRate(spec))
+}
+
+// ChaseLatency returns the expected per-touch latency of a dependent
+// chain resident on a node `hops` links away.
+func ChaseLatency(spec *machine.Spec, hops int) float64 {
+	return spec.LocalLatency + float64(hops)*spec.HopLatency
+}
+
+// RandomRate returns the expected byte rate of independent random misses
+// to a node `hops` away (MLP-limited).
+func RandomRate(spec *machine.Spec, hops int) float64 {
+	return spec.MLPRandom * spec.LineBytes / ChaseLatency(spec, hops)
+}
+
+// EagerLatency returns the expected one-way latency of a small eager
+// message between cores whose sockets are `hops` apart, with both
+// endpoints' buffers local: software costs plus two copy times.
+func EagerLatency(im *mpi.Impl, spec *machine.Spec, bytes float64, hops int) float64 {
+	software := im.Sub.LockLatency + im.Sub.WakeLatency + im.Overhead +
+		float64(hops)*spec.HopLatency
+	// Copy-in to the sender-local segment, copy-out across the link.
+	copyIn := bytes / (spec.MCBandwidth / 2) / im.CopyEfficiency
+	outRate := spec.MCBandwidth / 2
+	if hops > 0 {
+		if c := spec.CopyCeiling(hops); c < outRate {
+			outRate = c
+		}
+	}
+	copyOut := bytes / outRate / im.CopyEfficiency
+	return software + copyIn + copyOut
+}

@@ -1,0 +1,124 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/mpi"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+func within(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Fatalf("%s: simulated %v vs predicted %v (tol %.0f%%)", msg, got, want, 100*tol)
+	}
+}
+
+func bind(pol mem.Policy, cores ...int) []affinity.Binding {
+	out := make([]affinity.Binding, len(cores))
+	for i, c := range cores {
+		out[i] = affinity.Binding{Core: topology.CoreID(c), MemPolicy: pol}
+	}
+	return out
+}
+
+// measureStream returns the simulated aggregate local-stream rate for the
+// given cores.
+func measureStream(spec *machine.Spec, cores ...int) float64 {
+	const bytes = 32 * units.MB
+	res := mpi.Run(mpi.Config{Spec: spec, Bindings: bind(mem.LocalAlloc, cores...)},
+		func(r *mpi.Rank) {
+			reg := r.Alloc("v", 8*units.MB)
+			for i := 0; i < int(bytes/(8*units.MB)); i++ {
+				r.Access(mem.Access{Region: reg, Pattern: mem.Stream, Bytes: 8 * units.MB})
+			}
+		})
+	return float64(len(cores)) * bytes / res.Time
+}
+
+func TestSingleStreamRatePrediction(t *testing.T) {
+	for _, spec := range []*machine.Spec{machine.Tiger(), machine.DMZ(), machine.Longs()} {
+		got := measureStream(spec, 0)
+		want := SingleStreamRate(spec)
+		within(t, got, want, 0.05, spec.Topo.Name+" single stream")
+	}
+}
+
+func TestSharedStreamRatePrediction(t *testing.T) {
+	for _, spec := range []*machine.Spec{machine.DMZ(), machine.Longs()} {
+		got := measureStream(spec, 0, 1) // both cores of socket 0
+		want := SharedStreamRate(spec, 2)
+		within(t, got, want, 0.10, spec.Topo.Name+" shared stream")
+	}
+}
+
+func TestChaseLatencyPrediction(t *testing.T) {
+	spec := machine.Longs()
+	for hops, bindNode := range map[int]int{0: 0, 2: 4} {
+		const touches = 20000
+		res := mpi.Run(mpi.Config{Spec: spec,
+			Bindings: []affinity.Binding{{Core: 0, MemPolicy: mem.Membind, BindNodes: []int{bindNode}}}},
+			func(r *mpi.Rank) {
+				reg := r.Alloc("chain", 64*units.MB)
+				r.Access(mem.Access{Region: reg, Pattern: mem.Chase, Touches: touches})
+			})
+		got := res.Time / touches
+		want := ChaseLatency(spec, hops)
+		within(t, got, want, 0.05, "chase latency")
+	}
+}
+
+func TestRandomRatePrediction(t *testing.T) {
+	spec := machine.DMZ()
+	const touches = 50000
+	res := mpi.Run(mpi.Config{Spec: spec, Bindings: bind(mem.LocalAlloc, 0)},
+		func(r *mpi.Rank) {
+			reg := r.Alloc("tbl", 128*units.MB)
+			r.Access(mem.Access{Region: reg, Pattern: mem.Random, Touches: touches})
+		})
+	got := touches * spec.LineBytes / res.Time
+	want := RandomRate(spec, 0)
+	within(t, got, want, 0.05, "random-access rate")
+}
+
+func TestEagerLatencyPrediction(t *testing.T) {
+	spec := machine.DMZ()
+	im := mpi.OpenMPI()
+	const bytes = 4 * units.KB
+	const iters = 200
+	res := mpi.Run(mpi.Config{Spec: spec, Impl: im, Bindings: bind(mem.LocalAlloc, 0, 2)},
+		func(r *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				if r.ID() == 0 {
+					r.Send(1, bytes)
+					r.Recv(1)
+				} else {
+					r.Recv(0)
+					r.Send(0, bytes)
+				}
+			}
+		})
+	got := res.Time / (2 * iters)
+	want := EagerLatency(im, spec, bytes, 1)
+	// The transport adds contention inflation and the copy paths differ
+	// slightly from the closed form; hold it to 25%.
+	within(t, got, want, 0.25, "eager one-way latency")
+}
+
+func TestPredictionsAreInternallyConsistent(t *testing.T) {
+	spec := machine.Longs()
+	if SharedStreamRate(spec, 2) > 2*SingleStreamRate(spec) {
+		t.Fatal("two cores cannot exceed twice one core")
+	}
+	if ChaseLatency(spec, 4) <= ChaseLatency(spec, 0) {
+		t.Fatal("remote chase must cost more")
+	}
+	if RandomRate(spec, 0) <= RandomRate(spec, 4) {
+		t.Fatal("local random rate must exceed remote")
+	}
+}
