@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] <id>...|all|list
+//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N] <id>...|all|list
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
 package main
@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"multicore/internal/experiments"
 	"multicore/internal/report"
@@ -23,6 +25,7 @@ func main() {
 	scale := flag.String("scale", "quick", "problem scale: quick or full (paper sizes)")
 	format := flag.String("format", "text", "output format: text, md, csv, or plot")
 	outDir := flag.String("out", "", "directory to write per-experiment files (default: stdout)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max simulations in flight (1 = fully serial)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -40,6 +43,10 @@ func main() {
 	default:
 		fatalf("unknown scale %q (want quick or full)", *scale)
 	}
+	if *jobs < 1 {
+		fatalf("-j must be at least 1")
+	}
+	experiments.SetParallelism(*jobs)
 
 	render := renderer(*format)
 
@@ -60,11 +67,22 @@ func main() {
 		}
 	}
 
-	for _, id := range ids {
+	exps := make([]experiments.Experiment, len(ids))
+	for i, id := range ids {
 		e, ok := experiments.ByID(id)
 		if !ok {
 			fatalf("unknown experiment %q (try `mcbench list`)", id)
 		}
+		exps[i] = e
+	}
+
+	// Render every requested experiment. With -j 1 the experiments run
+	// strictly in request order; otherwise they run concurrently (each
+	// one's cells already share the worker pool) and outputs are still
+	// emitted in request order.
+	outputs := make([]string, len(exps))
+	runOne := func(i int) {
+		e := exps[i]
 		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
 		tables := e.Run(sc)
 		var b strings.Builder
@@ -73,15 +91,39 @@ func main() {
 			b.WriteString(render(t))
 			b.WriteString("\n")
 		}
+		outputs[i] = b.String()
+	}
+	if *jobs <= 1 || len(exps) == 1 {
+		for i := range exps {
+			runOne(i)
+		}
+	} else {
+		// Experiment-level fan-out uses plain goroutines gated by their
+		// own semaphore so they never hold cell-pool slots while waiting.
+		sem := make(chan struct{}, *jobs)
+		var wg sync.WaitGroup
+		for i := range exps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	for i, e := range exps {
 		if *outDir == "" {
-			fmt.Print(b.String())
+			fmt.Print(outputs[i])
 			continue
 		}
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatalf("creating %s: %v", *outDir, err)
 		}
 		path := filepath.Join(*outDir, e.ID+ext(*format))
-		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(outputs[i]), 0o644); err != nil {
 			fatalf("writing %s: %v", path, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
@@ -123,7 +165,7 @@ flags:
 	flag.PrintDefaults()
 }
 
-func fatalf(format string, args ...interface{}) {
+func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mcbench: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -149,7 +149,7 @@ func measuredRow(t *report.Table, tasks int, system string) ([]float64, bool) {
 	return nil, false
 }
 
-func fatalf(format string, args ...interface{}) {
+func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mccompare: "+format+"\n", args...)
 	os.Exit(1)
 }

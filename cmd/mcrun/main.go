@@ -240,7 +240,7 @@ func workloadBody(name string) (func(*mpi.Rank), []metric, error) {
 	return nil, nil, fmt.Errorf("unknown workload %q", name)
 }
 
-func fatalf(format string, args ...interface{}) {
+func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mcrun: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -74,8 +74,9 @@ func runAblateCoherence(s Scale) []*report.Table {
 		}
 		return res.Max(stream.MetricBandwidth) / units.Giga
 	}
-	base := triad(machine.Longs())
-	fixed := triad(longsNoCoherence())
+	specs := []func() *machine.Spec{machine.Longs, longsNoCoherence}
+	triads := parMap(len(specs), func(i int) float64 { return triad(specs[i]()) })
+	base, fixed := triads[0], triads[1]
 	t.AddRow("1-core STREAM GB/s", report.F(base), report.F(fixed), report.F(fixed/base))
 
 	cgTime := func(spec *machine.Spec) float64 {
@@ -90,8 +91,8 @@ func runAblateCoherence(s Scale) []*report.Table {
 		}
 		return res.Max(npb.MetricCGTime)
 	}
-	baseCG := cgTime(machine.Longs())
-	fixedCG := cgTime(longsNoCoherence())
+	cgs := parMap(len(specs), func(i int) float64 { return cgTime(specs[i]()) })
+	baseCG, fixedCG := cgs[0], cgs[1]
 	t.AddRow("NAS CG 8 ranks (s)", report.Seconds(baseCG), report.Seconds(fixedCG), report.F(baseCG/fixedCG))
 	return []*report.Table{t}
 }
@@ -125,8 +126,9 @@ func runAblateTopology(s Scale) []*report.Table {
 		}
 		return res.Max(npb.MetricFTTime)
 	}
-	ladder := ftTime(machine.Longs())
-	xbar := ftTime(longsCrossbar())
+	specs := []func() *machine.Spec{machine.Longs, longsCrossbar}
+	fts := parMap(len(specs), func(i int) float64 { return ftTime(specs[i]()) })
+	ladder, xbar := fts[0], fts[1]
 	t.AddRow("NAS FT 16 ranks (s)", report.Seconds(ladder), report.Seconds(xbar), report.F(ladder/xbar))
 
 	ringLat := func(spec *machine.Spec) float64 {
@@ -137,8 +139,8 @@ func runAblateTopology(s Scale) []*report.Table {
 		pt := imb.Ring(mpi.Config{Spec: spec, Impl: mpi.LAM().WithSublayer(mpi.USysV()), Bindings: b}, 8, 30)
 		return pt.Latency / units.Microsecond
 	}
-	lr := ringLat(machine.Longs())
-	xr := ringLat(longsCrossbar())
+	rings := parMap(len(specs), func(i int) float64 { return ringLat(specs[i]()) })
+	lr, xr := rings[0], rings[1]
 	t.AddRow("Ring latency 8 B (us)", report.F(lr), report.F(xr), report.F(lr/xr))
 	return []*report.Table{t}
 }
@@ -146,7 +148,9 @@ func runAblateTopology(s Scale) []*report.Table {
 func runAblateSublayer(s Scale) []*report.Table {
 	t := report.New("Sub-layer latency sweep: MPI RandomAccess, 16 ranks on Longs",
 		"Lock+wake latency (us)", "MPI GUPS per core", "PingPong latency (us)")
-	for _, lockUS := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+	lockSweep := []float64{0.5, 1, 2, 4, 8, 16, 32}
+	rows := parMap(len(lockSweep), func(i int) []string {
+		lockUS := lockSweep[i]
 		sub := mpi.Sublayer{
 			Name:        fmt.Sprintf("sweep-%g", lockUS),
 			LockLatency: lockUS / 3 * units.Microsecond,
@@ -166,9 +170,12 @@ func runAblateSublayer(s Scale) []*report.Table {
 			{Core: 2, MemPolicy: mem.LocalAlloc},
 		}
 		pt := imb.PingPong(mpi.Config{Spec: spec, Impl: impl, Bindings: b2}, 8, 30)
-		t.AddRow(report.F(lockUS),
+		return []string{report.F(lockUS),
 			report.F(res.Mean(rnda.MetricGUPS)),
-			report.F(pt.Latency/units.Microsecond))
+			report.F(pt.Latency / units.Microsecond)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }
@@ -185,7 +192,8 @@ func runExtHybrid(s Scale) []*report.Table {
 		{"neighbor sockets (1 hop)", [2]topology.CoreID{0, 2}},
 		{"across the ladder (4 hops)", [2]topology.CoreID{0, 14}},
 	}
-	for _, c := range cases {
+	rows := parMap(len(cases), func(i int) []string {
+		c := cases[i]
 		b := []affinity.Binding{
 			{Core: c.cores[0], MemPolicy: mem.LocalAlloc},
 			{Core: c.cores[1], MemPolicy: mem.LocalAlloc},
@@ -193,7 +201,10 @@ func runExtHybrid(s Scale) []*report.Table {
 		cfg := mpi.Config{Spec: spec, Impl: mpi.OpenMPI(), Bindings: b}
 		lat := imb.PingPong(cfg, 8, 30)
 		bw := imb.PingPong(cfg, units.MB, 15)
-		t.AddRow(c.name, report.F(lat.Latency/units.Microsecond), report.F(bw.Bandwidth/units.Mega))
+		return []string{c.name, report.F(lat.Latency / units.Microsecond), report.F(bw.Bandwidth / units.Mega)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }
@@ -224,13 +235,22 @@ func runAblateCollectives(s Scale) []*report.Table {
 	if s == Quick {
 		sizes = sizes[:4]
 	}
-	for _, bytes := range sizes {
-		bytes := bytes
+	algos := []func(*mpi.Rank, float64){
+		func(r *mpi.Rank, b float64) { r.AllreduceRecursiveDoubling(b) },
+		func(r *mpi.Rank, b float64) { r.AllreduceRing(b) },
+		func(r *mpi.Rank, b float64) { r.BcastBinomial(0, b) },
+		func(r *mpi.Rank, b float64) { r.BcastScatterAllgather(0, b) },
+	}
+	times := parMap(len(sizes)*len(algos), func(i int) float64 {
+		bytes, algo := sizes[i/len(algos)], algos[i%len(algos)]
+		return timeOf(func(r *mpi.Rank) { algo(r, bytes) })
+	})
+	for i, bytes := range sizes {
 		t.AddRow(units.Bytes(bytes),
-			report.Seconds(timeOf(func(r *mpi.Rank) { r.AllreduceRecursiveDoubling(bytes) })),
-			report.Seconds(timeOf(func(r *mpi.Rank) { r.AllreduceRing(bytes) })),
-			report.Seconds(timeOf(func(r *mpi.Rank) { r.BcastBinomial(0, bytes) })),
-			report.Seconds(timeOf(func(r *mpi.Rank) { r.BcastScatterAllgather(0, bytes) })))
+			report.Seconds(times[i*len(algos)]),
+			report.Seconds(times[i*len(algos)+1]),
+			report.Seconds(times[i*len(algos)+2]),
+			report.Seconds(times[i*len(algos)+3]))
 	}
 	return []*report.Table{t}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"multicore/internal/affinity"
 	"multicore/internal/apps/amber"
 	"multicore/internal/apps/lammps"
@@ -67,19 +69,31 @@ func amberSteps(s Scale) int {
 	return 4
 }
 
+// amberTimes is the pair of metrics one AMBER run yields; caching the
+// pair lets Table 7 (FFT time) and Table 9 (total time) share runs.
+type amberTimes struct {
+	Total, FFT float64
+}
+
 // amberRun runs one AMBER benchmark and returns (total, fft) times.
-func amberRun(name, system string, ranks int, scheme affinity.Scheme, steps int) (total, fft float64, err error) {
-	bench, err := amber.ByName(name)
-	if err != nil {
-		return 0, 0, err
-	}
-	res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
-		amber.Run(r, amber.Params{Bench: bench, Steps: steps})
+func amberRun(name, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (total, fft float64, err error) {
+	times, err := cached(CellKey{
+		Workload: fmt.Sprintf("amber/%s/%d", name, steps),
+		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
+	}, func() (amberTimes, error) {
+		bench, err := amber.ByName(name)
+		if err != nil {
+			return amberTimes{}, err
+		}
+		res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+			amber.Run(r, amber.Params{Bench: bench, Steps: steps})
+		})
+		if err != nil {
+			return amberTimes{}, err
+		}
+		return amberTimes{Total: res.Max(amber.MetricTotalTime), FFT: res.Max(amber.MetricFFTTime)}, nil
 	})
-	if err != nil {
-		return 0, 0, err
-	}
-	return res.Max(amber.MetricTotalTime), res.Max(amber.MetricFFTTime), nil
+	return times.Total, times.FFT, err
 }
 
 var appSweep = []sysRanks{
@@ -91,7 +105,7 @@ func runTable7(s Scale) []*report.Table {
 	t := numactlTable("Table 7: FFT time in the JAC benchmark (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			_, fft, err := amberRun("JAC", system, ranks, scheme, amberSteps(s))
+			_, fft, err := amberRun("JAC", system, ranks, scheme, amberSteps(s), s)
 			return fft, err
 		})
 	return []*report.Table{t}
@@ -106,7 +120,7 @@ func runTable8(s Scale) []*report.Table {
 		},
 		names,
 		func(system string, ranks int, which int) (float64, error) {
-			total, _, err := amberRun(names[which], system, ranks, affinity.Default, amberSteps(s))
+			total, _, err := amberRun(names[which], system, ranks, affinity.Default, amberSteps(s), s)
 			return total, err
 		})
 	return []*report.Table{t}
@@ -116,7 +130,7 @@ func runTable9(s Scale) []*report.Table {
 	t := numactlTable("Table 9: overall JAC runtime (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			total, _, err := amberRun("JAC", system, ranks, scheme, amberSteps(s))
+			total, _, err := amberRun("JAC", system, ranks, scheme, amberSteps(s), s)
 			return total, err
 		})
 	return []*report.Table{t}
@@ -129,14 +143,19 @@ func lammpsSteps(s Scale) int {
 	return 20
 }
 
-func lammpsRun(b lammps.Benchmark, system string, ranks int, scheme affinity.Scheme, steps int) (float64, error) {
-	res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
-		lammps.Run(r, lammps.Params{Bench: b, Steps: steps})
+func lammpsRun(b lammps.Benchmark, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (float64, error) {
+	return cached(CellKey{
+		Workload: fmt.Sprintf("lammps/%s/%d", b, steps),
+		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
+	}, func() (float64, error) {
+		res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+			lammps.Run(r, lammps.Params{Bench: b, Steps: steps})
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Max(lammps.MetricTime), nil
 	})
-	if err != nil {
-		return 0, err
-	}
-	return res.Max(lammps.MetricTime), nil
 }
 
 func runTable10(s Scale) []*report.Table {
@@ -149,7 +168,7 @@ func runTable10(s Scale) []*report.Table {
 		},
 		[]string{"LJ", "Chain", "EAM"},
 		func(system string, ranks int, which int) (float64, error) {
-			return lammpsRun(benches[which], system, ranks, affinity.Default, lammpsSteps(s))
+			return lammpsRun(benches[which], system, ranks, affinity.Default, lammpsSteps(s), s)
 		})
 	return []*report.Table{t}
 }
@@ -158,7 +177,7 @@ func runTable11(s Scale) []*report.Table {
 	t := numactlTable("Table 11: LAMMPS LJ runtime vs numactl options (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			return lammpsRun(lammps.LJ, system, ranks, scheme, lammpsSteps(s))
+			return lammpsRun(lammps.LJ, system, ranks, scheme, lammpsSteps(s), s)
 		})
 	return []*report.Table{t}
 }
@@ -170,14 +189,26 @@ func popSteps(s Scale) int {
 	return 3
 }
 
-func popRun(system string, ranks int, scheme affinity.Scheme, steps int) (clinic, tropic float64, err error) {
-	res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
-		pop.Run(r, pop.Params{Steps: steps})
+// popTimes pairs the two POP phase metrics, so Table 12 (speedup),
+// Table 13 (baroclinic), and Table 14 (barotropic) share runs.
+type popTimes struct {
+	Clinic, Tropic float64
+}
+
+func popRun(system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (clinic, tropic float64, err error) {
+	times, err := cached(CellKey{
+		Workload: fmt.Sprintf("pop/%d", steps),
+		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
+	}, func() (popTimes, error) {
+		res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+			pop.Run(r, pop.Params{Steps: steps})
+		})
+		if err != nil {
+			return popTimes{}, err
+		}
+		return popTimes{Clinic: res.Max(pop.MetricBaroclinic), Tropic: res.Max(pop.MetricBarotropic)}, nil
 	})
-	if err != nil {
-		return 0, 0, err
-	}
-	return res.Max(pop.MetricBaroclinic), res.Max(pop.MetricBarotropic), nil
+	return times.Clinic, times.Tropic, err
 }
 
 func runTable12(s Scale) []*report.Table {
@@ -189,7 +220,7 @@ func runTable12(s Scale) []*report.Table {
 		},
 		[]string{"Baroclinic", "Barotropic"},
 		func(system string, ranks int, which int) (float64, error) {
-			clinic, tropic, err := popRun(system, ranks, affinity.Default, popSteps(s))
+			clinic, tropic, err := popRun(system, ranks, affinity.Default, popSteps(s), s)
 			if which == 0 {
 				return clinic, err
 			}
@@ -202,7 +233,7 @@ func runTable13(s Scale) []*report.Table {
 	t := numactlTable("Table 13: POP baroclinic execution time (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			clinic, _, err := popRun(system, ranks, scheme, popSteps(s))
+			clinic, _, err := popRun(system, ranks, scheme, popSteps(s), s)
 			return clinic, err
 		})
 	return []*report.Table{t}
@@ -212,7 +243,7 @@ func runTable14(s Scale) []*report.Table {
 	t := numactlTable("Table 14: POP barotropic execution time (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			_, tropic, err := popRun(system, ranks, scheme, popSteps(s))
+			_, tropic, err := popRun(system, ranks, scheme, popSteps(s), s)
 			return tropic, err
 		})
 	return []*report.Table{t}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll renders an experiment's tables to one canonical string.
+func renderAll(e Experiment) string {
+	var b strings.Builder
+	for _, tab := range e.Run(Quick) {
+		b.WriteString(tab.Text())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestSerialParallelIdentical is the determinism regression for the
+// parallel executor: every experiment must render byte-identical tables
+// whether its cells run serially or on a many-worker pool. The cache is
+// cleared between passes so both actually simulate.
+func TestSerialParallelIdentical(t *testing.T) {
+	exps := All()
+	if testing.Short() {
+		// One representative of each table family keeps -short fast.
+		short := []string{"fig2", "fig8", "fig14", "table2", "table8", "table13", "ablate-sublayer"}
+		exps = exps[:0]
+		for _, id := range short {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("no experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	orig := Parallelism()
+	defer SetParallelism(orig)
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			ClearCache()
+			SetParallelism(1)
+			serial := renderAll(e)
+			ClearCache()
+			SetParallelism(8)
+			parallel := renderAll(e)
+			if serial != parallel {
+				t.Errorf("%s: serial and parallel runs render different tables\nserial:\n%s\nparallel:\n%s",
+					e.ID, serial, parallel)
+			}
+		})
+	}
+	ClearCache()
+}

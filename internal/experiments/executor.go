@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"multicore/internal/affinity"
+)
+
+// The paper's evaluation is a grid of independent cells — every
+// (system, ranks, scheme, workload) combination owns a private simulation
+// engine — so tables can execute their cells on a worker pool and collect
+// results by index, keeping the emitted artifacts byte-identical to a
+// serial run. A process-wide result cache deduplicates cells that several
+// artifacts share (e.g. Table 13 and Table 14 analyze the same POP runs).
+
+var pool = struct {
+	sync.Mutex
+	workers int
+}{workers: runtime.GOMAXPROCS(0)}
+
+// SetParallelism bounds the number of experiment cells simulating
+// concurrently across all tables; n < 1 means serial. cmd/mcbench wires
+// its -j flag here.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	pool.Lock()
+	pool.workers = n
+	pool.Unlock()
+}
+
+// Parallelism reports the current worker bound.
+func Parallelism() int {
+	pool.Lock()
+	defer pool.Unlock()
+	return pool.workers
+}
+
+// workerPanic carries a worker goroutine's panic to the caller.
+type workerPanic struct{ v any }
+
+// parMap evaluates fn(0..n-1) on the shared worker pool and returns the
+// results in index order. With parallelism 1 it degenerates to a plain
+// loop on the calling goroutine. A panicking fn re-panics on the caller.
+func parMap[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		wg    sync.WaitGroup
+		next  int
+		idxMu sync.Mutex
+
+		panicOnce sync.Once
+		panicked  *workerPanic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idxMu.Lock()
+				i := next
+				next++
+				idxMu.Unlock()
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = &workerPanic{v: r} })
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked.v)
+	}
+	return out
+}
+
+// CellKey identifies one simulated cell for the result cache. Workload
+// must encode every run parameter beyond the placement coordinates
+// (kernel, problem class, step count, ...); two cells with equal keys
+// must be byte-for-byte the same simulation.
+type CellKey struct {
+	Workload string
+	System   string
+	Ranks    int
+	Scheme   affinity.Scheme
+	Scale    Scale
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+var cellCache = struct {
+	sync.Mutex
+	m map[CellKey]*cacheEntry
+}{m: map[CellKey]*cacheEntry{}}
+
+// cached memoizes fn by key for the life of the process. Concurrent
+// callers of the same key block until the first finishes, so duplicate
+// cells simulate exactly once even under the parallel executor.
+func cached[T any](key CellKey, fn func() (T, error)) (T, error) {
+	cellCache.Lock()
+	e, ok := cellCache.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		cellCache.m[key] = e
+	}
+	cellCache.Unlock()
+	e.once.Do(func() {
+		v, err := fn()
+		e.val, e.err = v, err
+	})
+	if e.err != nil {
+		var zero T
+		return zero, e.err
+	}
+	v, ok := e.val.(T)
+	if !ok {
+		panic(fmt.Sprintf("experiments: cell %+v cached as %T, requested as different type", key, e.val))
+	}
+	return v, nil
+}
+
+// ClearCache drops every memoized cell result. Tests use it to force
+// re-simulation; production sweeps have no reason to call it.
+func ClearCache() {
+	cellCache.Lock()
+	cellCache.m = map[CellKey]*cacheEntry{}
+	cellCache.Unlock()
+}
+
+// CacheSize reports the number of memoized cells.
+func CacheSize() int {
+	cellCache.Lock()
+	defer cellCache.Unlock()
+	return len(cellCache.m)
+}

@@ -88,62 +88,107 @@ var numactlColumns = []affinity.Scheme{
 	affinity.Interleave,
 }
 
+// cellValue is the outcome of one table cell's simulation.
+type cellValue struct {
+	v   float64
+	err error
+}
+
+// cellString renders a cell value in the paper's style: fmt formats a
+// feasible value, infeasible placements show the paper's dash, and any
+// other error is a programming bug.
+func cellString(title string, c cellValue, format func(float64) string) string {
+	if c.err != nil {
+		var inf *affinity.ErrInfeasible
+		if errors.As(c.err, &inf) {
+			return report.NA
+		}
+		panic(fmt.Sprintf("experiments: %s: %v", title, c.err))
+	}
+	return format(c.v)
+}
+
 // numactlTable builds a paper-style placement table: rows are
 // (ranks, system), columns the six schemes; infeasible cells show the
-// paper's dash.
+// paper's dash. The (ranks, system, scheme) grid is declared up front and
+// executed on the shared worker pool; rows are assembled in declared
+// order, so the table is identical however many workers run.
 func numactlTable(title string, sweep []sysRanks, run func(system string, ranks int, scheme affinity.Scheme) (float64, error)) *report.Table {
 	t := report.New(title,
 		"MPI tasks", "System", "Default", "One MPI + Local Alloc", "One MPI + Membind",
 		"Two MPI + Local Alloc", "Two MPI + Membind", "Interleave")
+	type coord struct {
+		system string
+		ranks  int
+		scheme affinity.Scheme
+	}
+	var grid []coord
 	for _, sr := range sweep {
 		for _, ranks := range sr.Ranks {
-			cells := []string{fmt.Sprint(ranks), sr.System}
 			for _, scheme := range numactlColumns {
-				v, err := run(sr.System, ranks, scheme)
-				if err != nil {
-					var inf *affinity.ErrInfeasible
-					if errors.As(err, &inf) {
-						cells = append(cells, report.NA)
-						continue
-					}
-					panic(fmt.Sprintf("experiments: %s: %v", title, err))
-				}
-				cells = append(cells, report.Seconds(v))
+				grid = append(grid, coord{sr.System, ranks, scheme})
 			}
-			t.AddRow(cells...)
 		}
+	}
+	vals := parMap(len(grid), func(i int) cellValue {
+		v, err := run(grid[i].system, grid[i].ranks, grid[i].scheme)
+		return cellValue{v, err}
+	})
+	for i := 0; i < len(grid); i += len(numactlColumns) {
+		cells := []string{fmt.Sprint(grid[i].ranks), grid[i].system}
+		for j := range numactlColumns {
+			cells = append(cells, cellString(title, vals[i+j], report.Seconds))
+		}
+		t.AddRow(cells...)
 	}
 	return t
 }
 
 // speedupTable builds a multi-core speedup table: rows are (cores, system)
-// with one column per labelled workload.
+// with one column per labelled workload. Baselines and sweep cells are
+// declared as one grid and executed on the shared worker pool.
 func speedupTable(title string, sweep []sysRanks, labels []string,
 	run func(system string, ranks int, which int) (float64, error)) *report.Table {
 	cols := append([]string{"Number of cores", "System"}, labels...)
 	t := report.New(title, cols...)
-	base := map[[2]interface{}]float64{}
+	type coord struct {
+		system string
+		ranks  int
+		which  int
+	}
+	var grid []coord
 	for _, sr := range sweep {
 		for w := range labels {
-			v, err := run(sr.System, 1, w)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: %s baseline: %v", title, err))
+			grid = append(grid, coord{sr.System, 1, w})
+		}
+		for _, ranks := range sr.Ranks {
+			for w := range labels {
+				grid = append(grid, coord{sr.System, ranks, w})
 			}
-			base[[2]interface{}{sr.System, w}] = v
+		}
+	}
+	vals := parMap(len(grid), func(i int) cellValue {
+		v, err := run(grid[i].system, grid[i].ranks, grid[i].which)
+		return cellValue{v, err}
+	})
+	i := 0
+	for _, sr := range sweep {
+		base := make([]float64, len(labels))
+		for w := range labels {
+			if vals[i].err != nil {
+				panic(fmt.Sprintf("experiments: %s baseline: %v", title, vals[i].err))
+			}
+			base[w] = vals[i].v
+			i++
 		}
 		for _, ranks := range sr.Ranks {
 			cells := []string{fmt.Sprint(ranks), sr.System}
 			for w := range labels {
-				v, err := run(sr.System, ranks, w)
-				if err != nil {
-					var inf *affinity.ErrInfeasible
-					if errors.As(err, &inf) {
-						cells = append(cells, report.NA)
-						continue
-					}
-					panic(fmt.Sprintf("experiments: %s: %v", title, err))
-				}
-				cells = append(cells, report.F(base[[2]interface{}{sr.System, w}]/v))
+				b := base[w]
+				cells = append(cells, cellString(title, vals[i], func(v float64) string {
+					return report.F(b / v)
+				}))
+				i++
 			}
 			t.AddRow(cells...)
 		}

@@ -32,19 +32,24 @@ func init() {
 func runExtLatency(s Scale) []*report.Table {
 	t := report.New("LMbench-style dependent-load latency (ns)",
 		"Working set", "Tiger local", "DMZ local", "DMZ remote", "Longs local", "Longs 4-hop")
-	type cfg struct {
+	cfgs := []struct {
 		system string
-		policy int // mem.Policy as int to avoid import cycle noise
-		bind   []int
+		scheme affinity.Scheme
+	}{
+		{"tiger", affinity.OneMPILocalAlloc},
+		{"dmz", affinity.OneMPILocalAlloc},
+		{"dmz", affinity.OneMPIMembind},
+		{"longs", affinity.OneMPILocalAlloc},
+		{"longs", affinity.OneMPIMembind},
 	}
-	curves := make(map[string][]lmbench.Point)
-	collect := func(name, system string, scheme affinity.Scheme, bindNodes []int) {
-		res, err := core.Run(core.Job{System: system, Ranks: 1, Scheme: scheme}, func(r *mpi.Rank) {
-			pts := lmbench.Run(r, lmbench.Params{})
-			for _, p := range pts {
-				r.Report(fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, p.WorkingSetBytes), p.LatencySeconds)
-			}
-		})
+	curves := parMap(len(cfgs), func(i int) []lmbench.Point {
+		res, err := core.Run(core.Job{System: cfgs[i].system, Ranks: 1, Scheme: cfgs[i].scheme},
+			func(r *mpi.Rank) {
+				pts := lmbench.Run(r, lmbench.Params{})
+				for _, p := range pts {
+					r.Report(fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, p.WorkingSetBytes), p.LatencySeconds)
+				}
+			})
 		if err != nil {
 			panic(err)
 		}
@@ -53,19 +58,12 @@ func runExtLatency(s Scale) []*report.Table {
 			key := fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, size)
 			pts = append(pts, lmbench.Point{WorkingSetBytes: size, LatencySeconds: res.Max(key)})
 		}
-		curves[name] = pts
-	}
-	collect("tiger-local", "tiger", affinity.OneMPILocalAlloc, nil)
-	collect("dmz-local", "dmz", affinity.OneMPILocalAlloc, nil)
-	collect("dmz-remote", "dmz", affinity.OneMPIMembind, nil)
-	collect("longs-local", "longs", affinity.OneMPILocalAlloc, nil)
-	collect("longs-far", "longs", affinity.OneMPIMembind, nil)
-
-	ref := curves["dmz-local"]
-	for i, p := range ref {
+		return pts
+	})
+	for i, p := range curves[1] {
 		row := []string{units.Bytes(p.WorkingSetBytes)}
-		for _, name := range []string{"tiger-local", "dmz-local", "dmz-remote", "longs-local", "longs-far"} {
-			row = append(row, report.F(curves[name][i].LatencySeconds/units.Nanosecond))
+		for _, curve := range curves {
+			row = append(row, report.F(curve[i].LatencySeconds/units.Nanosecond))
 		}
 		t.AddRow(row...)
 	}
@@ -80,21 +78,32 @@ func runExtOpenMP(s Scale) []*report.Table {
 	t := report.New("NAS FT on Longs: pure MPI vs hybrid OpenMP+MPI",
 		"Configuration", "Ranks x threads", "FT time (s)")
 
-	run := func(name string, ranks, threads int, scheme affinity.Scheme) {
-		body, err := npb.RunFTHybrid(class, threads)
+	cases := []struct {
+		name           string
+		ranks, threads int
+		scheme         affinity.Scheme
+	}{
+		{"pure MPI, all cores", 16, 1, affinity.Default},
+		{"pure MPI, one rank/socket", 8, 1, affinity.OneMPILocalAlloc},
+		{"hybrid, one rank/socket + 2 threads", 8, 2, affinity.OneMPILocalAlloc},
+	}
+	rows := parMap(len(cases), func(i int) []string {
+		c := cases[i]
+		body, err := npb.RunFTHybrid(class, c.threads)
 		if err != nil {
 			panic(err)
 		}
-		res, err := core.Run(core.Job{System: "longs", Ranks: ranks, Scheme: scheme,
+		res, err := core.Run(core.Job{System: "longs", Ranks: c.ranks, Scheme: c.scheme,
 			Impl: mpi.MPICH2()}, body)
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(name, fmt.Sprintf("%dx%d", ranks, threads), report.Seconds(res.Max(npb.MetricFTTime)))
+		return []string{c.name, fmt.Sprintf("%dx%d", c.ranks, c.threads),
+			report.Seconds(res.Max(npb.MetricFTTime))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
-	run("pure MPI, all cores", 16, 1, affinity.Default)
-	run("pure MPI, one rank/socket", 8, 1, affinity.OneMPILocalAlloc)
-	run("hybrid, one rank/socket + 2 threads", 8, 2, affinity.OneMPILocalAlloc)
 	return []*report.Table{t}
 }
 
@@ -125,14 +134,18 @@ func runAblateMigration(s Scale) []*report.Table {
 		return res.Max(lammps.MetricTime)
 	}
 	periods := []float64{0, 10e-3, 1e-3, 100e-6}
-	for _, p := range periods {
+	benches := []lammps.Benchmark{lammps.Chain, lammps.LJ}
+	times := parMap(len(periods)*len(benches), func(i int) float64 {
+		return timeFor(benches[i%len(benches)], periods[i/len(benches)])
+	})
+	for i, p := range periods {
 		label := "off"
 		if p > 0 {
 			label = units.Duration(p)
 		}
 		t.AddRow(label,
-			report.Seconds(timeFor(lammps.Chain, p)),
-			report.Seconds(timeFor(lammps.LJ, p)))
+			report.Seconds(times[i*len(benches)]),
+			report.Seconds(times[i*len(benches)+1]))
 	}
 	return []*report.Table{t}
 }
@@ -154,36 +167,47 @@ func runExtNPB(s Scale) []*report.Table {
 	}
 	t := report.New("NAS EP and MG on Longs: speedup and placement sensitivity",
 		"Kernel", "Speedup @8", "Speedup @16", "Membind penalty @8")
-	for _, k := range []string{"ep", "mg"} {
-		timeFor := func(ranks int, scheme affinity.Scheme) float64 {
-			var (
-				body func(*mpi.Rank)
-				key  string
-				err  error
-			)
-			if k == "ep" {
-				body, err = npb.RunEP(class)
-				key = npb.MetricEPTime
-			} else {
-				body, err = npb.RunMG(class)
-				key = npb.MetricMGTime
-			}
-			if err != nil {
-				panic(err)
-			}
-			res, err := core.Run(core.Job{System: "longs", Ranks: ranks, Scheme: scheme,
-				Impl: mpi.MPICH2()}, body)
-			if err != nil {
-				panic(err)
-			}
-			return res.Max(key)
+	kernels := []string{"ep", "mg"}
+	cells := []struct {
+		ranks  int
+		scheme affinity.Scheme
+	}{
+		{1, affinity.Default},
+		{8, affinity.Default},
+		{16, affinity.Default},
+		{8, affinity.OneMPILocalAlloc},
+		{8, affinity.OneMPIMembind},
+	}
+	times := parMap(len(kernels)*len(cells), func(i int) float64 {
+		k, c := kernels[i/len(cells)], cells[i%len(cells)]
+		var (
+			body func(*mpi.Rank)
+			key  string
+			err  error
+		)
+		if k == "ep" {
+			body, err = npb.RunEP(class)
+			key = npb.MetricEPTime
+		} else {
+			body, err = npb.RunMG(class)
+			key = npb.MetricMGTime
 		}
-		t1 := timeFor(1, affinity.Default)
-		local8 := timeFor(8, affinity.OneMPILocalAlloc)
-		membind8 := timeFor(8, affinity.OneMPIMembind)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.Run(core.Job{System: "longs", Ranks: c.ranks, Scheme: c.scheme,
+			Impl: mpi.MPICH2()}, body)
+		if err != nil {
+			panic(err)
+		}
+		return res.Max(key)
+	})
+	for i, k := range kernels {
+		row := times[i*len(cells) : (i+1)*len(cells)]
+		t1, def8, def16, local8, membind8 := row[0], row[1], row[2], row[3], row[4]
 		t.AddRow(k,
-			report.F(t1/timeFor(8, affinity.Default)),
-			report.F(t1/timeFor(16, affinity.Default)),
+			report.F(t1/def8),
+			report.F(t1/def16),
 			report.F(membind8/local8))
 	}
 	return []*report.Table{t}
@@ -211,20 +235,30 @@ func runExtCluster(s Scale) []*report.Table {
 	}
 	t := report.New("NAS CG on DMZ nodes (4 ranks per node)",
 		"Configuration", "Total ranks", "CG time (s)")
-	run := func(name string, nodes int, net *mpi.NetSpec) {
+	cases := []struct {
+		name  string
+		nodes int
+		net   *mpi.NetSpec
+	}{
+		{"1 node", 1, nil},
+		{"2 nodes, RapidArray", 2, mpi.RapidArray()},
+		{"4 nodes, RapidArray", 4, mpi.RapidArray()},
+		{"2 nodes, GigE", 2, mpi.GigE()},
+		{"4 nodes, GigE", 4, mpi.GigE()},
+	}
+	rows := parMap(len(cases), func(i int) []string {
+		c := cases[i]
 		res, err := core.Run(core.Job{System: "dmz", Ranks: 4,
 			Scheme: affinity.TwoMPILocalAlloc, Impl: mpi.MPICH2(),
-			Nodes: nodes, Net: net}, body)
+			Nodes: c.nodes, Net: c.net}, body)
 		if err != nil {
 			panic(err)
 		}
-		t.AddRow(name, fmt.Sprint(4*max(1, nodes)), report.Seconds(res.Max(npb.MetricCGTime)))
+		return []string{c.name, fmt.Sprint(4 * max(1, c.nodes)), report.Seconds(res.Max(npb.MetricCGTime))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
-	run("1 node", 1, nil)
-	run("2 nodes, RapidArray", 2, mpi.RapidArray())
-	run("4 nodes, RapidArray", 4, mpi.RapidArray())
-	run("2 nodes, GigE", 2, mpi.GigE())
-	run("4 nodes, GigE", 4, mpi.GigE())
 	return []*report.Table{t}
 }
 

@@ -57,10 +57,17 @@ func runFig8(s Scale) []*report.Table {
 	t := report.New("Figure 8: HPL GFlop/s, 16 cores on Longs (plus DMZ reference)",
 		"System", "Option", "GFlop/s")
 	longs := machine.Longs()
-	for _, opt := range hpcc.LongsOptions() {
-		t.AddRow("Longs", opt.Name, report.F(hpcc.HPL(longs, opt, hplN(s))))
+	opts := hpcc.LongsOptions()
+	rows := parMap(len(opts)+1, func(i int) []string {
+		if i == len(opts) {
+			return []string{"DMZ", hpcc.DMZOption().Name,
+				report.F(hpcc.HPL(machine.DMZ(), hpcc.DMZOption(), hplN(s)/2))}
+		}
+		return []string{"Longs", opts[i].Name, report.F(hpcc.HPL(longs, opts[i], hplN(s)))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
-	t.AddRow("DMZ", hpcc.DMZOption().Name, report.F(hpcc.HPL(machine.DMZ(), hpcc.DMZOption(), hplN(s)/2)))
 	return []*report.Table{t}
 }
 
@@ -74,12 +81,17 @@ func runFig9(s Scale) []*report.Table {
 	t := report.New("Figure 9: per-core GFlop/s, Single vs Star modes (Longs)",
 		"Option", "Single DGEMM", "Star DGEMM", "Single FFT", "Star FFT")
 	longs := machine.Longs()
-	for _, opt := range hpcc.LongsOptions() {
-		t.AddRow(opt.Name,
+	opts := hpcc.LongsOptions()
+	rows := parMap(len(opts), func(i int) []string {
+		opt := opts[i]
+		return []string{opt.Name,
 			report.F(hpcc.DGEMM(longs, opt, false, n)),
 			report.F(hpcc.DGEMM(longs, opt, true, n)),
 			report.F(hpcc.FFT(longs, opt, false, fftN)),
-			report.F(hpcc.FFT(longs, opt, true, fftN)))
+			report.F(hpcc.FFT(longs, opt, true, fftN))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }
@@ -88,10 +100,15 @@ func runFig10(s Scale) []*report.Table {
 	t := report.New("Figure 10: per-core STREAM triad GB/s, Single vs Star (Longs)",
 		"Option", "Single", "Star", "Single:Star ratio")
 	longs := machine.Longs()
-	for _, opt := range hpcc.LongsOptions() {
+	opts := hpcc.LongsOptions()
+	rows := parMap(len(opts), func(i int) []string {
+		opt := opts[i]
 		single := hpcc.STREAM(longs, opt, false)
 		star := hpcc.STREAM(longs, opt, true)
-		t.AddRow(opt.Name, report.F(single), report.F(star), report.F(single/star))
+		return []string{opt.Name, report.F(single), report.F(star), report.F(single / star)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }
@@ -100,11 +117,16 @@ func runFig11(s Scale) []*report.Table {
 	t := report.New("Figure 11: RandomAccess GUPS per core (Longs)",
 		"Option", "Single", "Star", "MPI", "Single:Star ratio")
 	longs := machine.Longs()
-	for _, opt := range hpcc.LongsOptions() {
+	opts := hpcc.LongsOptions()
+	rows := parMap(len(opts), func(i int) []string {
+		opt := opts[i]
 		single := hpcc.RandomAccess(longs, opt, hpcc.RASingle)
 		star := hpcc.RandomAccess(longs, opt, hpcc.RAStar)
 		mpiRA := hpcc.RandomAccess(longs, opt, hpcc.RAMPI)
-		t.AddRow(opt.Name, report.F(single), report.F(star), report.F(mpiRA), report.F(single/star))
+		return []string{opt.Name, report.F(single), report.F(star), report.F(mpiRA), report.F(single / star)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }
@@ -118,13 +140,18 @@ func runFig12(s Scale) []*report.Table {
 	t := report.New("Figure 12: communication bandwidth with runtime options (Longs)",
 		"Option", "PTRANS GB/s per core", "PingPong MB/s", "Ring MB/s")
 	longs := machine.Longs()
-	for _, opt := range hpcc.LongsOptions() {
+	opts := hpcc.LongsOptions()
+	rows := parMap(len(opts), func(i int) []string {
+		opt := opts[i]
 		pp := hpcc.PingPong(longs, opt, msg)
 		ring := hpcc.Ring(longs, opt, msg)
-		t.AddRow(opt.Name,
+		return []string{opt.Name,
 			report.F(hpcc.PTRANS(longs, opt, n)),
-			report.F(pp.Bandwidth/units.Mega),
-			report.F(ring.Bandwidth/units.Mega))
+			report.F(pp.Bandwidth / units.Mega),
+			report.F(ring.Bandwidth / units.Mega)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }
@@ -133,12 +160,17 @@ func runFig13(s Scale) []*report.Table {
 	t := report.New("Figure 13: communication latency with runtime options (Longs, 8 B messages)",
 		"Option", "PingPong us", "Ring us")
 	longs := machine.Longs()
-	for _, opt := range hpcc.LongsOptions() {
+	opts := hpcc.LongsOptions()
+	rows := parMap(len(opts), func(i int) []string {
+		opt := opts[i]
 		pp := hpcc.PingPong(longs, opt, 8)
 		ring := hpcc.Ring(longs, opt, 8)
-		t.AddRow(opt.Name,
-			report.F(pp.Latency/units.Microsecond),
-			report.F(ring.Latency/units.Microsecond))
+		return []string{opt.Name,
+			report.F(pp.Latency / units.Microsecond),
+			report.F(ring.Latency / units.Microsecond)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*report.Table{t}
 }

@@ -64,11 +64,16 @@ func imbImpls() []*mpi.Impl {
 func runFig14(s Scale) []*report.Table {
 	t := report.New("Figure 14: PingPong latency (us) and bandwidth (MB/s) by implementation",
 		"Bytes", "MPICH2 lat", "LAM lat", "OpenMPI lat", "MPICH2 bw", "LAM bw", "OpenMPI bw")
-	for _, size := range imbSizes(s) {
+	sizes := imbSizes(s)
+	impls := imbImpls()
+	pts := parMap(len(sizes)*len(impls), func(i int) imb.Point {
+		return imb.PingPong(dmzPair(impls[i%len(impls)], 0, 2), sizes[i/len(impls)], 20)
+	})
+	for i, size := range sizes {
 		lats := make([]string, 0, 3)
 		bws := make([]string, 0, 3)
-		for _, impl := range imbImpls() {
-			pt := imb.PingPong(dmzPair(impl, 0, 2), size, 20)
+		for j := range impls {
+			pt := pts[i*len(impls)+j]
 			lats = append(lats, report.F(pt.Latency/units.Microsecond))
 			bws = append(bws, report.F(pt.Bandwidth/units.Mega))
 		}
@@ -80,11 +85,16 @@ func runFig14(s Scale) []*report.Table {
 func runFig15(s Scale) []*report.Table {
 	t := report.New("Figure 15: Exchange period (us) and bandwidth (MB/s) by implementation",
 		"Bytes", "MPICH2 t", "LAM t", "OpenMPI t", "MPICH2 bw", "LAM bw", "OpenMPI bw")
-	for _, size := range imbSizes(s) {
+	sizes := imbSizes(s)
+	impls := imbImpls()
+	pts := parMap(len(sizes)*len(impls), func(i int) imb.Point {
+		return imb.Exchange(dmzPairN(impls[i%len(impls)], 4), sizes[i/len(impls)], 15)
+	})
+	for i, size := range sizes {
 		ts := make([]string, 0, 3)
 		bws := make([]string, 0, 3)
-		for _, impl := range imbImpls() {
-			pt := imb.Exchange(dmzPairN(impl, 4), size, 15)
+		for j := range impls {
+			pt := pts[i*len(impls)+j]
 			ts = append(ts, report.F(pt.Latency/units.Microsecond))
 			bws = append(bws, report.F(pt.Bandwidth/units.Mega))
 		}
@@ -123,11 +133,15 @@ func bindingConfigs() []struct {
 func runFig16(s Scale) []*report.Table {
 	t := report.New("Figure 16: OpenMPI PingPong with affinity configurations",
 		append([]string{"Bytes"}, fig16Cols()...)...)
-	for _, size := range imbSizes(s) {
+	sizes := imbSizes(s)
+	cfgs := bindingConfigs()
+	pts := parMap(len(sizes)*len(cfgs), func(i int) imb.Point {
+		return imb.PingPong(dmzPair(mpi.OpenMPI(), cfgs[i%len(cfgs)].Cores...), sizes[i/len(cfgs)], 20)
+	})
+	for i, size := range sizes {
 		row := []string{fmt.Sprintf("%.0f", size)}
-		for _, cfg := range bindingConfigs() {
-			pt := imb.PingPong(dmzPair(mpi.OpenMPI(), cfg.Cores...), size, 20)
-			row = append(row, report.F(pt.Bandwidth/units.Mega))
+		for j := range cfgs {
+			row = append(row, report.F(pts[i*len(cfgs)+j].Bandwidth/units.Mega))
 		}
 		t.AddRow(row...)
 	}
@@ -146,16 +160,23 @@ func runFig17(s Scale) []*report.Table {
 	cols := append([]string{"Bytes"}, fig16Cols()...)
 	cols = append(cols, "4 procs MB/s")
 	t := report.New("Figure 17: OpenMPI Exchange with affinity configurations", cols...)
-	for _, size := range imbSizes(s) {
-		row := []string{fmt.Sprintf("%.0f", size)}
-		for _, cfg := range bindingConfigs() {
-			// Exchange needs communicating neighbors only; parked ranks
-			// do not apply, so reuse the first two cores.
-			pt := imb.Exchange(dmzPair(mpi.OpenMPI(), cfg.Cores[0], cfg.Cores[1]), size, 15)
-			row = append(row, report.F(pt.Bandwidth/units.Mega))
+	sizes := imbSizes(s)
+	cfgs := bindingConfigs()
+	stride := len(cfgs) + 1
+	pts := parMap(len(sizes)*stride, func(i int) imb.Point {
+		size, j := sizes[i/stride], i%stride
+		if j == len(cfgs) {
+			return imb.Exchange(dmzPairN(mpi.OpenMPI(), 4), size, 15)
 		}
-		pt4 := imb.Exchange(dmzPairN(mpi.OpenMPI(), 4), size, 15)
-		row = append(row, report.F(pt4.Bandwidth/units.Mega))
+		// Exchange needs communicating neighbors only; parked ranks
+		// do not apply, so reuse the first two cores.
+		return imb.Exchange(dmzPair(mpi.OpenMPI(), cfgs[j].Cores[0], cfgs[j].Cores[1]), size, 15)
+	})
+	for i, size := range sizes {
+		row := []string{fmt.Sprintf("%.0f", size)}
+		for j := 0; j < stride; j++ {
+			row = append(row, report.F(pts[i*stride+j].Bandwidth/units.Mega))
+		}
 		t.AddRow(row...)
 	}
 	return []*report.Table{t}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"multicore/internal/affinity"
 	"multicore/internal/kernels/blas"
@@ -68,17 +69,43 @@ func streamCores(spec *machine.Spec) []topology.CoreID {
 }
 
 // triadAggregate runs the triad on the first n cores of the activation
-// order and returns aggregate bandwidth in GB/s.
+// order and returns aggregate bandwidth in GB/s. Memoized: Figure 3 is
+// Figure 2 normalized per core, so the grids share every cell.
 func triadAggregate(spec *machine.Spec, n int, vecBytes float64) float64 {
-	order := streamCores(spec)[:n]
-	bindings := make([]affinity.Binding, n)
-	for i, c := range order {
-		bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
-	}
-	res := mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, func(r *mpi.Rank) {
-		stream.RunTriad(r, stream.Params{VectorBytes: vecBytes, Iters: 2})
+	v, _ := cached(CellKey{
+		Workload: fmt.Sprintf("stream-triad/%g", vecBytes),
+		System:   spec.Topo.Name, Ranks: n,
+	}, func() (float64, error) {
+		order := streamCores(spec)[:n]
+		bindings := make([]affinity.Binding, n)
+		for i, c := range order {
+			bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
+		}
+		res := mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, func(r *mpi.Rank) {
+			stream.RunTriad(r, stream.Params{VectorBytes: vecBytes, Iters: 2})
+		})
+		return res.Sum(stream.MetricBandwidth) / units.Giga, nil
 	})
-	return res.Sum(stream.MetricBandwidth) / units.Giga
+	return v
+}
+
+// triadGrid evaluates the (active cores × system) STREAM grid on the
+// worker pool and returns values indexed [n-1][system]; infeasible cells
+// (more cores than the system has) are NaN.
+func triadGrid(maxCores int, vec float64) [][]float64 {
+	specs := figSystems()
+	flat := parMap(maxCores*len(specs), func(i int) float64 {
+		n, spec := i/len(specs)+1, specs[i%len(specs)]
+		if n > spec.Topo.NumCores() {
+			return math.NaN()
+		}
+		return triadAggregate(spec, n, vec)
+	})
+	grid := make([][]float64, maxCores)
+	for n := 0; n < maxCores; n++ {
+		grid[n] = flat[n*len(specs) : (n+1)*len(specs)]
+	}
+	return grid
 }
 
 func figSystems() []*machine.Spec {
@@ -92,15 +119,14 @@ func runFig2(s Scale) []*report.Table {
 	}
 	t := report.New("Figure 2: aggregate STREAM triad bandwidth (GB/s)",
 		"Active cores", "Tiger", "DMZ", "Longs")
-	maxCores := 16
-	for n := 1; n <= maxCores; n++ {
-		cells := []string{fmt.Sprint(n)}
-		for _, spec := range figSystems() {
-			if n > spec.Topo.NumCores() {
+	for n, row := range triadGrid(16, vec) {
+		cells := []string{fmt.Sprint(n + 1)}
+		for _, v := range row {
+			if math.IsNaN(v) {
 				cells = append(cells, report.NA)
 				continue
 			}
-			cells = append(cells, report.F(triadAggregate(spec, n, vec)))
+			cells = append(cells, report.F(v))
 		}
 		t.AddRow(cells...)
 	}
@@ -114,14 +140,14 @@ func runFig3(s Scale) []*report.Table {
 	}
 	t := report.New("Figure 3: per-core STREAM triad bandwidth (GB/s)",
 		"Active cores", "Tiger", "DMZ", "Longs")
-	for n := 1; n <= 16; n++ {
-		cells := []string{fmt.Sprint(n)}
-		for _, spec := range figSystems() {
-			if n > spec.Topo.NumCores() {
+	for n, row := range triadGrid(16, vec) {
+		cells := []string{fmt.Sprint(n + 1)}
+		for _, v := range row {
+			if math.IsNaN(v) {
 				cells = append(cells, report.NA)
 				continue
 			}
-			cells = append(cells, report.F(triadAggregate(spec, n, vec)/float64(n)))
+			cells = append(cells, report.F(v/float64(n+1)))
 		}
 		t.AddRow(cells...)
 	}
@@ -153,13 +179,19 @@ func runDaxpy(s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 4: DAXPY (%s) on DMZ — aggregate and per-core MFlop/s", v),
 		"Vector length", "Total (1)", "Total (2)", "Per core (2)", "Total (4)", "Per core (4)")
-	for _, n := range daxpySizes(s) {
+	sizes := daxpySizes(s)
+	taskCounts := []int{1, 2, 4}
+	totals := parMap(len(sizes)*len(taskCounts), func(i int) float64 {
+		n, tasks := sizes[i/len(taskCounts)], taskCounts[i%len(taskCounts)]
+		res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
+			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
+		})
+		return res.Sum(blas.MetricDaxpyFlops) / units.Mega
+	})
+	for i, n := range sizes {
 		row := []string{fmt.Sprint(n)}
-		for _, tasks := range []int{1, 2, 4} {
-			res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
-				blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
-			})
-			total := res.Sum(blas.MetricDaxpyFlops) / units.Mega
+		for j, tasks := range taskCounts {
+			total := totals[i*len(taskCounts)+j]
 			if tasks == 1 {
 				row = append(row, report.F(total))
 			} else {
@@ -175,14 +207,19 @@ func runDaxpyPerSocket(s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 5: DAXPY (%s) per-core MFlop/s — one vs two tasks per socket (DMZ)", v),
 		"Vector length", "1 task/socket (2 tasks)", "2 tasks/socket (2 tasks)")
-	for _, n := range daxpySizes(s) {
-		spread := runTasksOnDMZ(2, func(r *mpi.Rank) { // cores 0 and 2
+	sizes := daxpySizes(s)
+	vals := parMap(2*len(sizes), func(i int) float64 {
+		n, packed := sizes[i/2], i%2 == 1
+		body := func(r *mpi.Rank) {
 			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
-		}).Mean(blas.MetricDaxpyFlops)
-		packed := runPackedOnDMZ(2, func(r *mpi.Rank) { // cores 0 and 1
-			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
-		}).Mean(blas.MetricDaxpyFlops)
-		t.AddRow(fmt.Sprint(n), report.F(spread/units.Mega), report.F(packed/units.Mega))
+		}
+		if packed { // cores 0 and 1
+			return runPackedOnDMZ(2, body).Mean(blas.MetricDaxpyFlops)
+		}
+		return runTasksOnDMZ(2, body).Mean(blas.MetricDaxpyFlops) // cores 0 and 2
+	})
+	for i, n := range sizes {
+		t.AddRow(fmt.Sprint(n), report.F(vals[2*i]/units.Mega), report.F(vals[2*i+1]/units.Mega))
 	}
 	return []*report.Table{t}
 }
@@ -209,13 +246,19 @@ func runDgemm(s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 6: DGEMM (%s) on DMZ — aggregate and per-core GFlop/s", v),
 		"Matrix order", "Total (1)", "Total (2)", "Per core (2)", "Total (4)", "Per core (4)")
-	for _, n := range dgemmSizes(s) {
+	sizes := dgemmSizes(s)
+	taskCounts := []int{1, 2, 4}
+	totals := parMap(len(sizes)*len(taskCounts), func(i int) float64 {
+		n, tasks := sizes[i/len(taskCounts)], taskCounts[i%len(taskCounts)]
+		res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
+			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
+		})
+		return res.Sum(blas.MetricDgemmFlops) / units.Giga
+	})
+	for i, n := range sizes {
 		row := []string{fmt.Sprint(n)}
-		for _, tasks := range []int{1, 2, 4} {
-			res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
-				blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
-			})
-			total := res.Sum(blas.MetricDgemmFlops) / units.Giga
+		for j, tasks := range taskCounts {
+			total := totals[i*len(taskCounts)+j]
 			if tasks == 1 {
 				row = append(row, report.F(total))
 			} else {
@@ -231,14 +274,19 @@ func runDgemmPerSocket(s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 7: DGEMM (%s) per-core GFlop/s — one vs two tasks per socket (DMZ)", v),
 		"Matrix order", "1 task/socket (2 tasks)", "2 tasks/socket (2 tasks)")
-	for _, n := range dgemmSizes(s) {
-		spread := runTasksOnDMZ(2, func(r *mpi.Rank) {
+	sizes := dgemmSizes(s)
+	vals := parMap(2*len(sizes), func(i int) float64 {
+		n, packed := sizes[i/2], i%2 == 1
+		body := func(r *mpi.Rank) {
 			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
-		}).Mean(blas.MetricDgemmFlops)
-		packed := runPackedOnDMZ(2, func(r *mpi.Rank) {
-			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
-		}).Mean(blas.MetricDgemmFlops)
-		t.AddRow(fmt.Sprint(n), report.F(spread/units.Giga), report.F(packed/units.Giga))
+		}
+		if packed {
+			return runPackedOnDMZ(2, body).Mean(blas.MetricDgemmFlops)
+		}
+		return runTasksOnDMZ(2, body).Mean(blas.MetricDgemmFlops)
+	})
+	for i, n := range sizes {
+		t.AddRow(fmt.Sprint(n), report.F(vals[2*i]/units.Giga), report.F(vals[2*i+1]/units.Giga))
 	}
 	return []*report.Table{t}
 }

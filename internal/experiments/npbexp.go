@@ -38,31 +38,37 @@ func npbClass(s Scale) npb.Class {
 	return npb.ClassA
 }
 
-// npbTime runs one NAS kernel and returns its benchmark time.
-func npbTime(kernel string, class npb.Class, system string, ranks int, scheme affinity.Scheme) (float64, error) {
-	var (
-		body func(*mpi.Rank)
-		key  string
-		err  error
-	)
-	switch kernel {
-	case "cg":
-		body, err = npb.RunCG(class)
-		key = npb.MetricCGTime
-	case "ft":
-		body, err = npb.RunFT(class)
-		key = npb.MetricFTTime
-	default:
-		panic("experiments: unknown NAS kernel " + kernel)
-	}
-	if err != nil {
-		return 0, err
-	}
-	res, err := runJob(system, ranks, scheme, body)
-	if err != nil {
-		return 0, err
-	}
-	return res.Max(key), nil
+// npbTime runs one NAS kernel and returns its benchmark time. Results are
+// memoized: Table 2/3's Default columns and Table 4's sweep share cells.
+func npbTime(kernel string, class npb.Class, system string, ranks int, scheme affinity.Scheme, s Scale) (float64, error) {
+	return cached(CellKey{
+		Workload: "npb/" + kernel + "/" + string(class),
+		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
+	}, func() (float64, error) {
+		var (
+			body func(*mpi.Rank)
+			key  string
+			err  error
+		)
+		switch kernel {
+		case "cg":
+			body, err = npb.RunCG(class)
+			key = npb.MetricCGTime
+		case "ft":
+			body, err = npb.RunFT(class)
+			key = npb.MetricFTTime
+		default:
+			panic("experiments: unknown NAS kernel " + kernel)
+		}
+		if err != nil {
+			return 0, err
+		}
+		res, err := runJob(system, ranks, scheme, body)
+		if err != nil {
+			return 0, err
+		}
+		return res.Max(key), nil
+	})
 }
 
 func runTable2(s Scale) []*report.Table {
@@ -74,7 +80,7 @@ func runTable2(s Scale) []*report.Table {
 			"Table 2 ("+k+"): effect of numactl options on NAS "+k+" (Longs), seconds",
 			[]sysRanks{{System: "longs", Ranks: []int{2, 4, 8, 16}}},
 			func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-				return npbTime(k, class, system, ranks, scheme)
+				return npbTime(k, class, system, ranks, scheme, s)
 			}))
 	}
 	return tables
@@ -89,7 +95,7 @@ func runTable3(s Scale) []*report.Table {
 			"Table 3 ("+k+"): effect of numactl options on NAS "+k+" (DMZ), seconds",
 			[]sysRanks{{System: "dmz", Ranks: []int{2, 4}}},
 			func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-				return npbTime(k, class, system, ranks, scheme)
+				return npbTime(k, class, system, ranks, scheme, s)
 			}))
 	}
 	return tables
@@ -110,7 +116,7 @@ func runTable4(s Scale) []*report.Table {
 			if which == 1 {
 				k = "ft"
 			}
-			return npbTime(k, class, system, ranks, affinity.Default)
+			return npbTime(k, class, system, ranks, affinity.Default, s)
 		})
 	return []*report.Table{t}
 }

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -62,24 +61,57 @@ type event struct {
 	fire func()
 }
 
+// eventHeap is a typed binary min-heap ordered by (time, schedule seq).
+// It is hand-rolled rather than built on container/heap so pushes and
+// pops stay monomorphic — the event queue is the engine's hottest
+// structure.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev *event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	q = q[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(q) {
+			break
+		}
+		if r := c + 1; r < len(q) && q.less(r, c) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	*h = q
+	return top
 }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
@@ -89,7 +121,7 @@ func (e *Engine) At(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fire: fn})
+	e.queue.push(&event{at: t, seq: e.seq, fire: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -162,8 +194,8 @@ func (p *Proc) Sleep(d float64) {
 // remain blocked when no event can wake them (a deadlock) so that protocol
 // bugs in workloads surface immediately.
 func (e *Engine) Run() {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}

@@ -13,11 +13,23 @@ type Resource struct {
 	Name string
 	Cap  float64 // bytes per second
 
-	flows map[*Flow]struct{}
+	flows []*Flow // active flows crossing the resource, unordered
 
 	// Utilization accounting.
 	busyIntegral float64 // integral of used rate over time (bytes)
-	lastUsedRate float64
+
+	// Incrementally-maintained state, owned by the FlowNet. usedRate is
+	// the sum of the rates of the flows currently crossing the resource,
+	// refreshed whenever the resource's component is re-filled; it lets
+	// settle() accrue busyIntegral without rebuilding a rate map.
+	usedRate float64
+	inActive bool // member of FlowNet.activeRes
+
+	// Scratch for component discovery and progressive filling: a resource
+	// is "touched" by the current pass iff epoch matches the FlowNet's.
+	epoch  uint64
+	avail  float64 // remaining headroom at the current filling level
+	active int     // unfrozen flows crossing the resource
 }
 
 // NewResource creates a resource with the given capacity in bytes/second.
@@ -25,7 +37,7 @@ func NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &Resource{Name: name, Cap: capacity, flows: make(map[*Flow]struct{})}
+	return &Resource{Name: name, Cap: capacity}
 }
 
 // BytesServed returns the total bytes that have crossed this resource.
@@ -53,6 +65,21 @@ type Flow struct {
 	done      bool
 	label     string
 	seq       uint64
+	epoch     uint64 // visit stamp for component discovery
+	netIdx    int    // position in FlowNet.flows, for O(1) removal
+}
+
+// removeFlow drops f from r's flow list by swap-delete.
+func (r *Resource) removeFlow(f *Flow) {
+	for i, g := range r.flows {
+		if g == f {
+			last := len(r.flows) - 1
+			r.flows[i] = r.flows[last]
+			r.flows[last] = nil
+			r.flows = r.flows[:last]
+			return
+		}
+	}
 }
 
 // Rate returns the flow's current allocated rate in bytes/second.
@@ -62,63 +89,145 @@ func (f *Flow) Rate() float64 { return f.rate }
 func (f *Flow) Done() bool { return f.done }
 
 // FlowNet manages active flows and assigns rates by progressive filling.
+//
+// Rate assignment is incremental: admitting or retiring a flow only
+// re-fills the connected component of resources reachable from it.
+// Max-min allocations of disjoint components are independent, so flows in
+// untouched components keep their rates; per-resource used rates are
+// maintained alongside so settling needs no per-call allocation.
 type FlowNet struct {
 	eng        *Engine
-	flows      map[*Flow]struct{}
+	flows      []*Flow // active flows, unordered (swap-delete)
 	lastSettle float64
 	gen        uint64 // invalidates scheduled completion events
 	seq        uint64 // flow admission order, for deterministic completion
+	epoch      uint64 // current discovery/filling pass
+
+	// activeRes lists every resource with at least one active flow
+	// (compacted lazily in settle); the remaining slices are reusable
+	// scratch for component discovery and filling.
+	activeRes []*Resource
+	compFlows []*Flow
+	unfrozen  []*Flow
+	resQueue  []*Resource
+	fillRes   []*Resource
+	seeds     []*Flow
 }
 
 func newFlowNet(e *Engine) *FlowNet {
-	return &FlowNet{eng: e, flows: make(map[*Flow]struct{})}
+	return &FlowNet{eng: e}
+}
+
+// addFlow registers f as active.
+func (n *FlowNet) addFlow(f *Flow) {
+	f.netIdx = len(n.flows)
+	n.flows = append(n.flows, f)
+}
+
+// removeFlow drops f from the active set by swap-delete.
+func (n *FlowNet) removeFlow(f *Flow) {
+	last := len(n.flows) - 1
+	moved := n.flows[last]
+	n.flows[f.netIdx] = moved
+	moved.netIdx = f.netIdx
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
 }
 
 // settle advances all flow progress to the current time.
 func (n *FlowNet) settle() {
 	dt := n.eng.now - n.lastSettle
 	if dt > 0 {
-		for f := range n.flows {
+		for _, f := range n.flows {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				f.remaining = 0
 			}
 		}
-		// Accumulate resource utilization.
-		seen := map[*Resource]float64{}
-		for f := range n.flows {
-			for _, r := range f.path {
-				seen[r] += f.rate
+		// Accrue resource utilization from the maintained used rates,
+		// dropping resources whose last flow has retired.
+		w := 0
+		for _, r := range n.activeRes {
+			if len(r.flows) == 0 {
+				r.inActive = false
+				r.usedRate = 0
+				continue
 			}
+			r.busyIntegral += r.usedRate * dt
+			n.activeRes[w] = r
+			w++
 		}
-		for r, used := range seen {
-			r.busyIntegral += used * dt
-		}
+		n.activeRes = n.activeRes[:w]
 	}
 	n.lastSettle = n.eng.now
 }
 
-// recompute runs progressive filling over all active flows, then schedules
-// the next completion event.
-func (n *FlowNet) recompute() {
-	// Reset.
-	type rstate struct {
-		avail  float64
-		active int
-	}
-	states := map[*Resource]*rstate{}
-	unfrozen := make([]*Flow, 0, len(n.flows))
-	for f := range n.flows {
-		f.rate = 0
-		unfrozen = append(unfrozen, f)
+// component returns every active flow connected to the seed flows through
+// shared resources, in admission order. Duplicate seeds are tolerated.
+func (n *FlowNet) component(seeds []*Flow) []*Flow {
+	n.epoch++
+	ep := n.epoch
+	out := n.compFlows[:0]
+	queue := n.resQueue[:0]
+	for _, f := range seeds {
+		if f.epoch == ep {
+			continue
+		}
+		f.epoch = ep
+		out = append(out, f)
 		for _, r := range f.path {
-			if _, ok := states[r]; !ok {
-				states[r] = &rstate{avail: r.Cap}
+			if r.epoch != ep {
+				r.epoch = ep
+				queue = append(queue, r)
 			}
-			states[r].active++
 		}
 	}
+	for len(queue) > 0 {
+		r := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, f := range r.flows {
+			if f.epoch == ep {
+				continue
+			}
+			f.epoch = ep
+			out = append(out, f)
+			for _, r2 := range f.path {
+				if r2.epoch != ep {
+					r2.epoch = ep
+					queue = append(queue, r2)
+				}
+			}
+		}
+	}
+	// Discovery visits flows in swap-delete (arbitrary) order; admission
+	// order keeps every later pass (filling, used-rate refresh)
+	// deterministic.
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	n.compFlows = out
+	n.resQueue = queue[:0]
+	return out
+}
 
+// fill runs progressive filling over the given flows, which must form a
+// union of connected components: every other flow's rate is unaffected.
+func (n *FlowNet) fill(flows []*Flow) {
+	n.epoch++
+	ep := n.epoch
+	res := n.fillRes[:0]
+	for _, f := range flows {
+		f.rate = 0
+		for _, r := range f.path {
+			if r.epoch != ep {
+				r.epoch = ep
+				r.avail = r.Cap
+				r.active = 0
+				r.usedRate = 0
+				res = append(res, r)
+			}
+			r.active++
+		}
+	}
+	unfrozen := append(n.unfrozen[:0], flows...)
 	level := 0.0
 	for len(unfrozen) > 0 {
 		// Smallest additional rate increment any constraint allows.
@@ -130,9 +239,8 @@ func (n *FlowNet) recompute() {
 				}
 			}
 			for _, r := range f.path {
-				st := states[r]
-				if st.active > 0 {
-					if d := st.avail / float64(st.active); d < inc {
+				if r.active > 0 {
+					if d := r.avail / float64(r.active); d < inc {
 						inc = d
 					}
 				}
@@ -151,21 +259,25 @@ func (n *FlowNet) recompute() {
 		}
 		level += inc
 		// Charge resources and find newly frozen flows.
-		for _, st := range states {
-			st.avail -= inc * float64(st.active)
-			if st.avail < 0 {
-				st.avail = 0
+		for _, r := range res {
+			r.avail -= inc * float64(r.active)
+			if r.avail < 0 {
+				r.avail = 0
 			}
 		}
 		next := unfrozen[:0]
 		for _, f := range unfrozen {
 			frozen := false
-			if f.ceiling > 0 && level >= f.ceiling-1e-15 {
+			// Relative epsilon: a ceiling-limited increment can leave level
+			// one ulp short of the ceiling, which an absolute 1e-15 misses
+			// for large rates; the flow must still freeze or the safety
+			// break below abandons the pass with under-allocated rates.
+			if f.ceiling > 0 && level >= f.ceiling*(1-1e-12) {
 				frozen = true
 			}
 			if !frozen {
 				for _, r := range f.path {
-					if states[r].avail <= 1e-9*r.Cap {
+					if r.avail <= 1e-9*r.Cap {
 						frozen = true
 						break
 					}
@@ -174,7 +286,7 @@ func (n *FlowNet) recompute() {
 			f.rate = level
 			if frozen {
 				for _, r := range f.path {
-					states[r].active--
+					r.active--
 				}
 			} else {
 				next = append(next, f)
@@ -186,7 +298,24 @@ func (n *FlowNet) recompute() {
 		}
 		unfrozen = next
 	}
+	// Refresh the used rate of every touched resource, in admission order
+	// so the floating-point sums are reproducible.
+	for _, f := range flows {
+		if math.IsInf(f.rate, 1) {
+			continue // empty path: crosses no resources
+		}
+		for _, r := range f.path {
+			r.usedRate += f.rate
+		}
+	}
+	n.fillRes = res
+	n.unfrozen = unfrozen[:0]
+}
 
+// recomputeTouched re-fills the components containing the seed flows and
+// schedules the next completion event.
+func (n *FlowNet) recomputeTouched(seeds []*Flow) {
+	n.fill(n.component(seeds))
 	n.scheduleNextCompletion()
 }
 
@@ -194,7 +323,7 @@ func (n *FlowNet) scheduleNextCompletion() {
 	n.gen++
 	gen := n.gen
 	next := math.Inf(1)
-	for f := range n.flows {
+	for _, f := range n.flows {
 		if f.rate <= 0 {
 			if f.remaining <= almostZero {
 				next = 0
@@ -229,23 +358,34 @@ func (n *FlowNet) scheduleNextCompletion() {
 func (n *FlowNet) completeFinished() {
 	n.settle()
 	finished := make([]*Flow, 0, 2)
-	for f := range n.flows {
+	for _, f := range n.flows {
 		if f.remaining <= almostZero || math.IsInf(f.rate, 1) {
 			finished = append(finished, f)
 		}
 	}
 	// Process in admission order so downstream wakeups are deterministic
-	// regardless of map iteration order.
+	// regardless of the active set's swap-delete order.
 	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
 	for _, f := range finished {
-		delete(n.flows, f)
+		n.removeFlow(f)
 		for _, r := range f.path {
-			delete(r.flows, f)
+			r.removeFlow(f)
 		}
 		f.done = true
 		f.rate = 0
 	}
-	n.recompute()
+	// Only components the finished flows crossed can change rates: seed
+	// the recompute with the surviving flows sharing their resources
+	// (collected after removal so retired flows no longer bridge
+	// otherwise-disjoint components).
+	seeds := n.seeds[:0]
+	for _, f := range finished {
+		for _, r := range f.path {
+			seeds = append(seeds, r.flows...)
+		}
+	}
+	n.recomputeTouched(seeds)
+	n.seeds = seeds[:0]
 	e := n.eng
 	for _, f := range finished {
 		for _, cb := range f.onDone {
@@ -270,11 +410,17 @@ func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling f
 	n.seq++
 	f := &Flow{remaining: bytes, ceiling: ceiling, path: path, label: label, seq: n.seq}
 	n.settle()
-	n.flows[f] = struct{}{}
+	n.addFlow(f)
 	for _, r := range path {
-		r.flows[f] = struct{}{}
+		r.flows = append(r.flows, f)
+		if !r.inActive {
+			r.inActive = true
+			n.activeRes = append(n.activeRes, r)
+		}
 	}
-	n.recompute()
+	seeds := append(n.seeds[:0], f)
+	n.recomputeTouched(seeds)
+	n.seeds = seeds[:0]
 	return f
 }
 
