@@ -26,6 +26,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md, csv, or plot")
 	outDir := flag.String("out", "", "directory to write per-experiment files (default: stdout)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max simulations in flight (1 = fully serial)")
+	traceDir := flag.String("trace", "", "directory for per-cell Chrome trace-event JSON files")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -47,6 +48,12 @@ func main() {
 		fatalf("-j must be at least 1")
 	}
 	experiments.SetParallelism(*jobs)
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *traceDir, err)
+		}
+		experiments.SetTraceDir(*traceDir)
+	}
 
 	render := renderer(*format)
 

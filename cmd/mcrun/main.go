@@ -32,6 +32,8 @@ import (
 	"multicore/internal/machine"
 	"multicore/internal/mpi"
 	"multicore/internal/npb"
+	"multicore/internal/report"
+	"multicore/internal/sim"
 	"multicore/internal/units"
 )
 
@@ -59,7 +61,10 @@ func main() {
 	impl := flag.String("impl", "mpich2", "MPI profile: mpich2, lam, lam-sysv, lam-usysv, openmpi")
 	workload := flag.String("workload", "stream", "workload (see doc comment)")
 	util := flag.Bool("util", false, "print per-resource utilization after the run")
-	trace := flag.Bool("trace", false, "print the recorded phase timeline")
+	phases := flag.Bool("phases", false, "print the recorded phase timeline")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto)")
+	breakdown := flag.Bool("breakdown", false, "print the per-rank time breakdown table")
+	stats := flag.Bool("stats", false, "print engine stats (event/flow counters, per-process state times)")
 	nodes := flag.Int("nodes", 1, "number of cluster nodes (ranks are per node)")
 	netName := flag.String("net", "rapidarray", "inter-node fabric: rapidarray or gige")
 	flag.Parse()
@@ -88,12 +93,16 @@ func main() {
 		fatalf("unknown net %q", *netName)
 	}
 	job := core.Job{
-		System: *system,
-		Ranks:  *ranks,
-		Scheme: sch,
-		Impl:   im,
-		Nodes:  *nodes,
-		Net:    net,
+		System:  *system,
+		Ranks:   *ranks,
+		Scheme:  sch,
+		Impl:    im,
+		Nodes:   *nodes,
+		Net:     net,
+		Observe: *stats || *trace != "",
+	}
+	if *trace != "" {
+		job.Trace = &sim.Trace{}
 	}
 	if *machineFile != "" {
 		spec, err := machine.LoadSpec(*machineFile)
@@ -137,7 +146,33 @@ func main() {
 	hot := res.Machine.HottestResource(res.Time)
 	fmt.Printf("  bottleneck: %s at %.0f%% utilization (%s served)\n",
 		hot.Name, 100*hot.Utilization, units.Bytes(hot.BytesServed))
-	if *trace && len(res.Timeline) > 0 {
+	if *breakdown {
+		perRank := make([][]float64, len(res.Breakdown))
+		for i, b := range res.Breakdown {
+			perRank[i] = b.Slice()
+		}
+		fmt.Print(report.Breakdown("per-rank time breakdown (seconds)",
+			mpi.CategoryNames[:], perRank).Text())
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("  engine: %d events, %d flows, %d settles\n", s.Events, s.Flows, s.Settles)
+		for _, p := range s.Procs {
+			if p.Total() == 0 {
+				continue
+			}
+			fmt.Printf("    %-16s run %s  sleep %s  flow-wait %s  queue-wait %s\n",
+				p.Name, units.Duration(p.Running), units.Duration(p.Sleeping),
+				units.Duration(p.BlockedFlow), units.Duration(p.BlockedQueue))
+		}
+	}
+	if *trace != "" {
+		if err := job.Trace.WriteFile(*trace); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("  trace: %s (%d events)\n", *trace, job.Trace.Len())
+	}
+	if *phases && len(res.Timeline) > 0 {
 		fmt.Println("  phase timeline (first 40 spans):")
 		for i, span := range res.Timeline {
 			if i >= 40 {

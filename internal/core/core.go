@@ -11,6 +11,7 @@ import (
 	"multicore/internal/affinity"
 	"multicore/internal/machine"
 	"multicore/internal/mpi"
+	"multicore/internal/sim"
 )
 
 // Job describes one experiment run: a system, a rank count, a placement
@@ -40,6 +41,12 @@ type Job struct {
 	Net *mpi.NetSpec
 	// Seed feeds rank-local RNGs.
 	Seed int64
+	// Trace, when non-nil, records per-rank spans for the run (see
+	// sim.Trace); nil disables tracing with no overhead.
+	Trace *sim.Trace
+	// Observe enables detailed engine observation (per-process state
+	// times, per-resource rate timelines) snapshotted in Result.Stats.
+	Observe bool
 }
 
 // resolve returns the machine spec for the job.
@@ -77,6 +84,8 @@ func Run(j Job, body func(*mpi.Rank)) (*mpi.Result, error) {
 		Net:           j.Net,
 		DeriveBufMode: j.BufMode == nil,
 		Seed:          j.Seed,
+		Trace:         j.Trace,
+		Observe:       j.Observe,
 	}
 	if j.BufMode != nil {
 		cfg.BufMode = *j.BufMode

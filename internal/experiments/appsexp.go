@@ -85,7 +85,7 @@ func amberRun(name, system string, ranks int, scheme affinity.Scheme, steps int,
 		if err != nil {
 			return amberTimes{}, err
 		}
-		res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+		res, err := runJob(fmt.Sprintf("amber-%s-%d", name, steps), system, ranks, scheme, func(r *mpi.Rank) {
 			amber.Run(r, amber.Params{Bench: bench, Steps: steps})
 		})
 		if err != nil {
@@ -148,7 +148,7 @@ func lammpsRun(b lammps.Benchmark, system string, ranks int, scheme affinity.Sch
 		Workload: fmt.Sprintf("lammps/%s/%d", b, steps),
 		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
 	}, func() (float64, error) {
-		res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+		res, err := runJob(fmt.Sprintf("lammps-%s-%d", b, steps), system, ranks, scheme, func(r *mpi.Rank) {
 			lammps.Run(r, lammps.Params{Bench: b, Steps: steps})
 		})
 		if err != nil {
@@ -200,7 +200,7 @@ func popRun(system string, ranks int, scheme affinity.Scheme, steps int, s Scale
 		Workload: fmt.Sprintf("pop/%d", steps),
 		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
 	}, func() (popTimes, error) {
-		res, err := runJob(system, ranks, scheme, func(r *mpi.Rank) {
+		res, err := runJob(fmt.Sprintf("pop-%d", steps), system, ranks, scheme, func(r *mpi.Rank) {
 			pop.Run(r, pop.Params{Steps: steps})
 		})
 		if err != nil {

@@ -84,6 +84,12 @@ func parMap[T any](n int, fn func(i int) T) []T {
 					defer func() {
 						if r := recover(); r != nil {
 							panicOnce.Do(func() { panicked = &workerPanic{v: r} })
+							// Exhaust the index feed so other workers stop
+							// claiming cells instead of simulating the rest
+							// of the grid before the re-panic.
+							idxMu.Lock()
+							next = n
+							idxMu.Unlock()
 						}
 					}()
 					out[i] = fn(i)

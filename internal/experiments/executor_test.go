@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParMapPanicShortCircuits checks that once a worker panics, the
+// remaining workers stop claiming indices: a panicking grid must not
+// simulate the rest of its cells before re-panicking on the caller.
+func TestParMapPanicShortCircuits(t *testing.T) {
+	orig := Parallelism()
+	defer SetParallelism(orig)
+	SetParallelism(8)
+
+	const n = 10000
+	gate := make(chan struct{})
+	var executed atomic.Int64
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		parMap(n, func(i int) int {
+			if i == 0 {
+				close(gate) // release the other workers, then fail
+				panic("cell 0 exploded")
+			}
+			<-gate
+			executed.Add(1)
+			return i
+		})
+	}()
+	if recovered != "cell 0 exploded" {
+		t.Fatalf("panic not propagated: got %v", recovered)
+	}
+	// Workers already holding an index finish it, but nobody claims new
+	// work once the feed is exhausted; without the short-circuit all
+	// n-1 remaining cells would run.
+	if got := executed.Load(); got > 100 {
+		t.Fatalf("%d cells executed after the panic; short-circuit failed", got)
+	}
+}
+
+// TestParMapCompletesAllIndices is the non-panicking baseline: every
+// index runs exactly once and lands in order.
+func TestParMapCompletesAllIndices(t *testing.T) {
+	orig := Parallelism()
+	defer SetParallelism(orig)
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		out := parMap(100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}

@@ -197,12 +197,21 @@ func speedupTable(title string, sweep []sysRanks, labels []string,
 }
 
 // runJob is the shared job helper: MPICH2 (the paper's NPB/application
-// stack) on the named system under a scheme.
-func runJob(system string, ranks int, scheme affinity.Scheme, body func(*mpi.Rank)) (*mpi.Result, error) {
-	return core.Run(core.Job{
-		System: system,
-		Ranks:  ranks,
-		Scheme: scheme,
-		Impl:   mpi.MPICH2(),
+// stack) on the named system under a scheme. workload names the cell for
+// trace capture (SetTraceDir); when tracing is enabled the cell's trace
+// is written as a side effect.
+func runJob(workload, system string, ranks int, scheme affinity.Scheme, body func(*mpi.Rank)) (*mpi.Result, error) {
+	tr, flush := traceCell(cellLabel(workload, system, ranks, scheme))
+	res, err := core.Run(core.Job{
+		System:  system,
+		Ranks:   ranks,
+		Scheme:  scheme,
+		Impl:    mpi.MPICH2(),
+		Trace:   tr,
+		Observe: tr != nil,
 	}, body)
+	if flush != nil && err == nil {
+		flush()
+	}
+	return res, err
 }

@@ -81,9 +81,15 @@ func triadAggregate(spec *machine.Spec, n int, vecBytes float64) float64 {
 		for i, c := range order {
 			bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
 		}
-		res := mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, func(r *mpi.Rank) {
+		tr, flush := traceCell(cellLabel(fmt.Sprintf("stream-triad-%g", vecBytes),
+			spec.Topo.Name, n, affinity.Default))
+		res := mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings,
+			Trace: tr, Observe: tr != nil}, func(r *mpi.Rank) {
 			stream.RunTriad(r, stream.Params{VectorBytes: vecBytes, Iters: 2})
 		})
+		if flush != nil {
+			flush()
+		}
 		return res.Sum(stream.MetricBandwidth) / units.Giga, nil
 	})
 	return v

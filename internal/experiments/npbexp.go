@@ -63,7 +63,7 @@ func npbTime(kernel string, class npb.Class, system string, ranks int, scheme af
 		if err != nil {
 			return 0, err
 		}
-		res, err := runJob(system, ranks, scheme, body)
+		res, err := runJob("npb-"+kernel+"-"+string(class), system, ranks, scheme, body)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureTraces renders the experiment with per-cell tracing into dir and
+// returns the trace files' contents by name.
+func captureTraces(t *testing.T, e Experiment, dir string, workers int) map[string][]byte {
+	t.Helper()
+	ClearCache()
+	SetParallelism(workers)
+	SetTraceDir(dir)
+	renderAll(e)
+	SetTraceDir("")
+	files := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[ent.Name()] = data
+	}
+	return files
+}
+
+// TestTraceFilesSerialParallelIdentical is the tracing arm of the
+// determinism regression: per-cell trace files must be byte-identical
+// whether the cells run serially or on a many-worker pool. Each cell owns
+// a private engine, so its trace depends only on the cell configuration,
+// never on pool scheduling.
+func TestTraceFilesSerialParallelIdentical(t *testing.T) {
+	e, ok := ByID("fig2")
+	if !ok {
+		t.Fatal("no experiment fig2")
+	}
+	orig := Parallelism()
+	defer SetParallelism(orig)
+	defer ClearCache()
+
+	serial := captureTraces(t, e, t.TempDir(), 1)
+	parallel := captureTraces(t, e, t.TempDir(), 8)
+
+	if len(serial) == 0 {
+		t.Fatal("no trace files were written")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial wrote %d trace files, parallel %d", len(serial), len(parallel))
+	}
+	for name, want := range serial {
+		got, ok := parallel[name]
+		if !ok {
+			t.Errorf("parallel run missing trace %s", name)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("trace %s differs between serial (%d bytes) and parallel (%d bytes) runs",
+				name, len(want), len(got))
+		}
+	}
+}
+
+// TestTraceCellDedup checks that a label is captured once per SetTraceDir
+// epoch: artifacts sharing a cell produce a single file, mirroring the
+// result cache.
+func TestTraceCellDedup(t *testing.T) {
+	dir := t.TempDir()
+	SetTraceDir(dir)
+	defer SetTraceDir("")
+	tr, flush := traceCell("cell-a")
+	if tr == nil || flush == nil {
+		t.Fatal("first capture refused")
+	}
+	if tr2, _ := traceCell("cell-a"); tr2 != nil {
+		t.Fatal("duplicate label captured twice")
+	}
+	if tr3, _ := traceCell("cell b/with:odd chars"); tr3 == nil {
+		t.Fatal("distinct label refused")
+	}
+	flush()
+	if _, err := os.Stat(filepath.Join(dir, "cell-a.trace.json")); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	SetTraceDir("")
+	if tr4, _ := traceCell("cell-c"); tr4 != nil {
+		t.Fatal("tracing disabled but capture granted")
+	}
+}

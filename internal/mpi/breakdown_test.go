@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"multicore/internal/machine"
+	"multicore/internal/mem"
+	"multicore/internal/sim"
+	"multicore/internal/units"
+)
+
+// checkBreakdown verifies the core invariant of the time-attribution
+// layer: each rank's category times partition its wall time exactly
+// (within float summation error), and no category is negative.
+func checkBreakdown(t *testing.T, label string, res *Result) {
+	t.Helper()
+	if len(res.Breakdown) != len(res.RankTimes) {
+		t.Fatalf("%s: %d breakdowns for %d ranks", label, len(res.Breakdown), len(res.RankTimes))
+	}
+	for i, b := range res.Breakdown {
+		for _, c := range b.Slice() {
+			if c < 0 {
+				t.Errorf("%s rank %d: negative category in %+v", label, i, b)
+			}
+		}
+		sum, wall := b.Total(), res.RankTimes[i]
+		if math.Abs(sum-wall) > 1e-9*(1+wall) {
+			t.Errorf("%s rank %d: categories sum to %.15g, wall time %.15g (diff %g)",
+				label, i, sum, wall, sum-wall)
+		}
+	}
+}
+
+// TestBreakdownSumsToWallTime exercises every accounting site — compute,
+// memory access, overlap, eager and rendezvous point-to-point, nonblocking
+// ops, collectives, hybrid regions, and the inter-node network path — and
+// requires the per-rank categories to reconstruct wall time each way.
+func TestBreakdownSumsToWallTime(t *testing.T) {
+	region := func(r *Rank) *mem.Region { return r.Alloc("buf", 8*units.MB) }
+	cases := []struct {
+		name string
+		cfg  Config
+		body func(*Rank)
+	}{
+		{"compute-only", jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+			r.Compute(1e8, 1)
+		}},
+		{"memory-access", jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+			r.Access(mem.Access{Region: region(r), Bytes: 4 * units.MB, Touches: 4 * units.MB / 64})
+		}},
+		{"overlap", jobOn(machine.Longs(), MPICH2(), 0, 4), func(r *Rank) {
+			r.Overlap(5e7, 1, mem.Access{Region: region(r), Bytes: 2 * units.MB, Touches: 2 * units.MB / 64})
+		}},
+		{"eager-pingpong", jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+			for i := 0; i < 10; i++ {
+				if r.ID() == 0 {
+					r.Send(1, 1024)
+					r.Recv(1)
+				} else {
+					r.Recv(0)
+					r.Send(0, 1024)
+				}
+			}
+		}},
+		{"rendezvous", jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+			if r.ID() == 0 {
+				r.Send(1, 8*units.MB)
+			} else {
+				r.Compute(4e7, 1) // late receiver: sender accrues rendezvous wait
+				r.Recv(0)
+			}
+		}},
+		{"isend-wait", jobOn(machine.DMZ(), LAM(), 0, 1, 2, 3), func(r *Rank) {
+			n := r.Size()
+			req := r.Isend((r.ID()+1)%n, 2*units.MB)
+			r.Recv((r.ID() - 1 + n) % n)
+			r.Wait(req)
+		}},
+		{"irecv-wait", jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+			if r.ID() == 0 {
+				req := r.Irecv(1)
+				r.Compute(2e7, 1)
+				r.Wait(req)
+			} else {
+				r.Send(0, 4*units.MB)
+			}
+		}},
+		{"collectives", jobOn(machine.Longs(), MPICH2(), 0, 2, 4, 6), func(r *Rank) {
+			r.Bcast(0, 64*units.KB)
+			r.Allreduce(8 * units.KB)
+			r.Alltoall(16 * units.KB)
+			r.Barrier()
+		}},
+		{"hybrid", jobOn(machine.Longs(), OpenMPI(), 0, 8), func(r *Rank) {
+			r.HybridOverlap(2, 5e7, 1,
+				mem.Access{Region: region(r), Bytes: 2 * units.MB, Touches: 2 * units.MB / 64})
+		}},
+		{"sysv-sublayer", jobOn(machine.Longs(), LAM().WithSublayer(SysV()), 0, 2), func(r *Rank) {
+			for i := 0; i < 5; i++ {
+				r.Sendrecv(1-r.ID(), 32*units.KB, 1-r.ID())
+			}
+		}},
+	}
+	multinode := jobOn(machine.DMZ(), OpenMPI(), 0, 2)
+	multinode.Nodes = 2
+	multinode.Net = RapidArray()
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+		body func(*Rank)
+	}{"multi-node", multinode, func(r *Rank) {
+		peer := (r.ID() + 2) % 4 // cross-node partner
+		for i := 0; i < 5; i++ {
+			r.Sendrecv(peer, 256*units.KB, peer)
+		}
+	}})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkBreakdown(t, tc.name, Run(tc.cfg, tc.body))
+		})
+	}
+}
+
+// TestBreakdownCategoriesLandWhereExpected pins the attribution itself,
+// not just the sum: a staggered eager exchange must charge the late
+// receiver's stall to MPI wait, and pure compute must stay pure.
+func TestBreakdownCategoriesLandWhereExpected(t *testing.T) {
+	res := Run(jobOn(machine.DMZ(), OpenMPI(), 0, 2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(1e8, 1)
+			r.Send(1, 1024)
+		} else {
+			r.Recv(0) // idles until rank 0 finishes computing
+		}
+	})
+	b0, b1 := res.Breakdown[0], res.Breakdown[1]
+	if b0.Compute <= 0 || b0.Compute < 0.9*res.RankTimes[0] {
+		t.Errorf("rank 0 should be compute-dominated: %+v (wall %g)", b0, res.RankTimes[0])
+	}
+	if b1.MPIWait < 0.9*res.RankTimes[1] {
+		t.Errorf("rank 1 should be wait-dominated: %+v (wall %g)", b1, res.RankTimes[1])
+	}
+	if b1.Compute > 0.1*res.RankTimes[1] {
+		t.Errorf("rank 1 charged compute it never did: %+v", b1)
+	}
+}
+
+// TestBreakdownMatchesRankCompute ties the interval-attribution compute
+// category to the machine layer's independent ComputeSeconds ledger.
+func TestBreakdownMatchesRankCompute(t *testing.T) {
+	res := Run(jobOn(machine.Longs(), MPICH2(), 0, 2, 4, 6), func(r *Rank) {
+		r.Compute(float64(r.ID()+1)*2e7, 1)
+		r.Allreduce(64 * units.KB)
+		r.Compute(1e7, 1)
+	})
+	for i, b := range res.Breakdown {
+		if diff := math.Abs(b.Compute - res.RankCompute[i]); diff > 1e-9*(1+res.RankCompute[i]) {
+			t.Errorf("rank %d: breakdown compute %g != CPU ledger %g", i, b.Compute, res.RankCompute[i])
+		}
+	}
+	checkBreakdown(t, "match-compute", res)
+}
+
+// TestTraceIsDeterministic renders the same traced job twice and requires
+// byte-identical trace JSON — the foundation for the serial-vs-parallel
+// determinism guarantee at the experiments layer.
+func TestTraceIsDeterministic(t *testing.T) {
+	render := func() []byte {
+		cfg := jobOn(machine.Longs(), LAM(), 0, 2, 4, 6)
+		cfg.Trace = &sim.Trace{}
+		cfg.Observe = true
+		Run(cfg, func(r *Rank) {
+			r.Compute(1e7, 1)
+			r.Alltoall(64 * units.KB)
+			r.Barrier()
+		})
+		var buf bytes.Buffer
+		if err := cfg.Trace.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace JSON differs between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -65,6 +65,7 @@ func (r *Rank) sendPrepare(dst int, bytes float64) {
 	// Crossing sockets costs extra protocol latency per hop.
 	r.proc.Sleep(float64(topo.Hops(topo.SocketOf(r.bind.Core), topo.SocketOf(peer.bind.Core))) *
 		w.cfg.Spec.HopLatency)
+	r.account(catMPI, "send-sw")
 }
 
 // sendTransfer performs the data movement and delivery.
@@ -89,6 +90,7 @@ func (r *Rank) sendTransfer(dst int, bytes float64) {
 			rendezvous: true, senderQ: &sim.WaitQueue{}}
 		peer.deliver(m)
 		m.senderQ.Wait(r.proc, fmt.Sprintf("rendezvous to %d", dst))
+		r.account(catMPI, "rendezvous-wait")
 		return
 	}
 
@@ -99,6 +101,7 @@ func (r *Rank) sendTransfer(dst int, bytes float64) {
 		path := r.mach.CopyPath(r.cpu.Core(), r.home, buf)
 		hops := topo.Hops(r.home, buf) + topo.Hops(topo.SocketOf(r.bind.Core), buf)
 		r.proc.Transfer("eager-in", bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
+		r.account(catCopy, "eager-in")
 	}
 	m := &message{src: r.id, dst: dst, bytes: bytes, bufNode: buf, readyAt: r.Now()}
 	peer.deliver(m)
@@ -112,10 +115,12 @@ func (r *Rank) sendTransfer(dst int, bytes float64) {
 func (r *Rank) sendNetwork(peer *Rank, bytes float64) {
 	w := r.w
 	r.proc.Sleep(w.net.Overhead + w.net.Latency)
+	r.account(catMPI, "net-sw")
 	if bytes > 0 {
 		path := append(r.mach.ReadPath(r.cpu.Core(), r.home),
 			w.nics[r.node][0], w.fabric, w.nics[peer.node][1])
 		r.proc.Transfer("net-send", bytes, path, 0)
+		r.account(catCopy, "net-send")
 	}
 	m := &message{src: r.id, dst: peer.id, bytes: bytes, network: true, readyAt: r.Now()}
 	peer.deliver(m)
@@ -157,15 +162,18 @@ func (r *Rank) Recv(src int) {
 		if m.readyAt > r.Now() {
 			r.proc.Sleep(m.readyAt - r.Now())
 		}
+		r.account(catMPI, "recv-wait")
 		if m.bytes > 0 {
 			r.proc.Transfer("net-recv", m.bytes,
 				r.mach.WritePath(r.cpu.Core(), r.home), 0)
+			r.account(catCopy, "net-recv")
 		}
 		return
 	}
 
 	// Receive-side software cost: notification plus library overhead.
 	r.proc.Sleep(im.Sub.WakeLatency + im.Overhead/2)
+	r.account(catMPI, "recv-wait")
 
 	if m.rendezvous {
 		// Pipelined copy through the segment: the single flow crosses
@@ -180,6 +188,7 @@ func (r *Rank) Recv(src int) {
 			topo.Hops(topo.SocketOf(sender.bind.Core), topo.SocketOf(r.bind.Core))
 		r.proc.Sleep(segmentCost(im, m.bytes))
 		r.proc.Transfer("rendezvous", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
+		r.account(catCopy, "rendezvous-copy")
 		m.senderQ.WakeAll(w.eng)
 		return
 	}
@@ -187,6 +196,7 @@ func (r *Rank) Recv(src int) {
 	// Eager: drain the segment copy.
 	if m.readyAt > r.Now() {
 		r.proc.Sleep(m.readyAt - r.Now())
+		r.account(catMPI, "recv-wait")
 	}
 	if m.bytes > 0 {
 		topo := w.cfg.Spec.Topo
@@ -195,6 +205,7 @@ func (r *Rank) Recv(src int) {
 		path := r.mach.CopyPath(r.cpu.Core(), m.bufNode, r.home)
 		hops := topo.Hops(m.bufNode, r.home) + topo.Hops(topo.SocketOf(r.bind.Core), m.bufNode)
 		r.proc.Transfer("eager-out", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
+		r.account(catCopy, "eager-out")
 	}
 }
 
@@ -214,6 +225,7 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 	r.w.eng.Spawn(fmt.Sprintf("rank%d.isend", r.id), func(p *sim.Proc) {
 		helper.proc = p
 		helper.cpu = r.mach.CPU(p, r.bind.Core)
+		helper.acct = p.Now()
 		helper.sendTransfer(dst, bytes)
 		req.done = true
 		req.q.WakeAll(r.w.eng)
@@ -228,6 +240,7 @@ func (r *Rank) Irecv(src int) *Request {
 	r.w.eng.Spawn(fmt.Sprintf("rank%d.irecv", r.id), func(p *sim.Proc) {
 		helper.proc = p
 		helper.cpu = r.mach.CPU(p, r.bind.Core)
+		helper.acct = p.Now()
 		helper.Recv(src)
 		req.done = true
 		req.q.WakeAll(r.w.eng)
@@ -236,9 +249,17 @@ func (r *Rank) Irecv(src int) *Request {
 }
 
 // helper clones the rank identity for a non-blocking helper process. The
-// clone shares the inbox and queues (the mailbox is per logical rank).
+// clone shares the inbox and queues (the mailbox is per logical rank) but
+// gets a discarded time breakdown — overlapped transfer time is not rank
+// wall time; the main process only accounts what it spends in Wait — and
+// its own trace thread id so helper spans don't collide with the main
+// process's track.
 func (r *Rank) helper() *Rank {
 	h := *r
+	h.bd = &TimeBreakdown{}
+	h.acctCompute = 0
+	r.helpers++
+	h.tid = r.helpers
 	return &h
 }
 
@@ -246,9 +267,10 @@ func (r *Rank) helper() *Rank {
 func (r *Rank) Wait(req *Request) {
 	if req.done {
 		r.proc.Sleep(0)
-		return
+	} else {
+		req.q.Wait(r.proc, "wait request")
 	}
-	req.q.Wait(r.proc, "wait request")
+	r.account(catMPI, "mpi-wait")
 }
 
 // WaitAll blocks until every request completes.

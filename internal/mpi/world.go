@@ -103,6 +103,15 @@ type Config struct {
 	// disables it.
 	OSMigrationPeriod float64
 	Seed              int64
+	// Trace, when non-nil, receives one span per accounted rank interval
+	// (pid = rank, tid 0 = main process) plus resource-rate counters when
+	// Observe is also set. Nil (the default) records nothing and keeps
+	// the hot paths at a single pointer check.
+	Trace *sim.Trace
+	// Observe enables the engine's detailed observer: per-process state
+	// times and per-resource used-rate timelines, snapshotted into
+	// Result.Stats.
+	Observe bool
 }
 
 // Result is what a finished job reports.
@@ -116,6 +125,13 @@ type Result struct {
 	// into compute, memory, and (by subtraction) communication/wait.
 	RankCompute  []float64
 	RankMemBytes []float64
+	// Breakdown partitions each rank's wall time into compute, memory,
+	// MPI wait, and copy; the categories sum to RankTimes[i].
+	Breakdown []TimeBreakdown
+	// Stats snapshots engine activity: event/flow/settle counters always,
+	// plus per-process state times and per-resource used-rate timelines
+	// when Config.Observe was set.
+	Stats sim.Stats
 	// Values holds per-rank reported metrics by key.
 	Values map[string][]float64
 	// Messages and Bytes count point-to-point traffic.
@@ -177,6 +193,7 @@ type World struct {
 
 	values   map[string][]float64
 	timeline []PhaseSpan
+	trace    *sim.Trace
 
 	finished int
 
@@ -200,7 +217,10 @@ func Run(cfg Config, body func(*Rank)) *Result {
 		nodes = 1
 	}
 	eng := sim.NewEngine()
-	w := &World{cfg: cfg, eng: eng, values: map[string][]float64{}}
+	if cfg.Observe {
+		eng.EnableObservation()
+	}
+	w := &World{cfg: cfg, eng: eng, values: map[string][]float64{}, trace: cfg.Trace}
 	for nd := 0; nd < nodes; nd++ {
 		w.machines = append(w.machines, machine.New(eng, cfg.Spec))
 	}
@@ -228,6 +248,7 @@ func Run(cfg Config, body func(*Rank)) *Result {
 		RankTimes:    make([]float64, n),
 		RankCompute:  make([]float64, n),
 		RankMemBytes: make([]float64, n),
+		Breakdown:    make([]TimeBreakdown, n),
 		Machine:      w.machines[0],
 	}
 	for i := 0; i < n; i++ {
@@ -240,6 +261,7 @@ func Run(cfg Config, body func(*Rank)) *Result {
 			node:  i / perNode,
 			mach:  m,
 			bind:  b,
+			bd:    &res.Breakdown[i],
 			inbox: map[int][]*message{},
 			recvQ: map[int]*sim.WaitQueue{},
 			rng:   rand.New(rand.NewSource(cfg.Seed*1000003 + int64(i))),
@@ -247,10 +269,17 @@ func Run(cfg Config, body func(*Rank)) *Result {
 		r.dist = b.Placement(cfg.Spec.Topo, cfg.Spec.Topo.NumSockets)
 		r.home = homeNode(r.dist, cfg.Spec.Topo.SocketOf(b.Core))
 		w.ranks = append(w.ranks, r)
+		if w.trace != nil {
+			w.trace.ProcessName(i, fmt.Sprintf("rank %d", i))
+		}
 		eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			r.proc = p
 			r.cpu = m.CPU(p, b.Core)
+			r.acct = p.Now()
 			body(r)
+			// Flush any residual interval so the categories sum to the
+			// rank's wall time exactly.
+			r.account(catCompute, "run-tail")
 			res.RankTimes[i] = p.Now()
 			res.RankCompute[i] = r.cpu.ComputeSeconds
 			res.RankMemBytes[i] = r.cpu.MemBytes
@@ -275,7 +304,27 @@ func Run(cfg Config, body func(*Rank)) *Result {
 	res.Timeline = w.timeline
 	res.Messages = w.messages
 	res.Bytes = w.bytes
+	res.Stats = eng.Stats()
+	if w.trace != nil && cfg.Observe {
+		emitResourceCounters(w.trace, n, res.Stats.Resources)
+	}
 	return res
+}
+
+// emitResourceCounters appends the observed per-resource used-rate
+// timelines to the trace as counter tracks on a dedicated pid (one past
+// the last rank), in GB/s so the viewer's axis stays readable.
+func emitResourceCounters(tr *sim.Trace, pid int, resources []sim.ResourceStats) {
+	tr.ProcessName(pid, "resources (GB/s)")
+	for _, rs := range resources {
+		for i, seg := range rs.Segments {
+			tr.Counter(pid, rs.Name, seg.Start, seg.Rate/1e9)
+			// Close the segment when the rate does not continue.
+			if i+1 == len(rs.Segments) || rs.Segments[i+1].Start > seg.End {
+				tr.Counter(pid, rs.Name, seg.End, 0)
+			}
+		}
+	}
 }
 
 // homeNode is the node a rank's transient buffers live on: the node
@@ -328,6 +377,15 @@ type Rank struct {
 	home topology.SocketID
 	rng  *rand.Rand
 
+	// Time-attribution state (see breakdown.go): the breakdown being
+	// filled, the last accounted timestamp, the CPU compute seconds at
+	// that mark, and the trace thread id (0 = main, >= 1 = helpers).
+	bd          *TimeBreakdown
+	acct        float64
+	acctCompute float64
+	tid         int
+	helpers     int
+
 	inbox map[int][]*message
 	recvQ map[int]*sim.WaitQueue
 }
@@ -362,14 +420,21 @@ func (r *Rank) Alloc(name string, bytes float64) *mem.Region {
 }
 
 // Compute advances the rank by a compute phase.
-func (r *Rank) Compute(flops, eff float64) { r.cpu.Compute(flops, eff) }
+func (r *Rank) Compute(flops, eff float64) {
+	r.cpu.Compute(flops, eff)
+	r.account(catCompute, "compute")
+}
 
 // Access performs a memory access batch.
-func (r *Rank) Access(a mem.Access) { r.cpu.Access(a) }
+func (r *Rank) Access(a mem.Access) {
+	r.cpu.Access(a)
+	r.account(catMemory, a.Region.Name)
+}
 
 // Overlap runs compute concurrently with memory accesses.
 func (r *Rank) Overlap(flops, eff float64, accesses ...mem.Access) {
 	r.cpu.Overlap(flops, eff, accesses...)
+	r.account(catMemory, "overlap")
 }
 
 // Report records a named metric for this rank (phase timings, bandwidth).
@@ -391,6 +456,7 @@ func (r *Rank) HybridOverlap(threads int, flops, eff float64, accesses ...mem.Ac
 	}
 	if threads <= 1 {
 		r.cpu.Overlap(flops, eff, accesses...)
+		r.account(catMemory, "hybrid-overlap")
 		return
 	}
 	share := func(frac float64) []mem.Access {
@@ -423,6 +489,7 @@ func (r *Rank) HybridOverlap(threads int, flops, eff float64, accesses ...mem.Ac
 	for pending > 0 {
 		done.Wait(r.proc, "omp join")
 	}
+	r.account(catMemory, "hybrid-overlap")
 }
 
 // PhaseSpan is one recorded interval of a rank's timeline.
@@ -442,4 +509,7 @@ func (r *Rank) Phase(name string, fn func()) {
 	r.w.timeline = append(r.w.timeline, PhaseSpan{
 		Rank: r.id, Name: name, Start: start, End: r.Now(),
 	})
+	if tr := r.w.trace; tr != nil {
+		tr.Span(r.id, r.tid, name, "phase", start, r.Now()-start)
+	}
 }

@@ -1,0 +1,39 @@
+package report
+
+import "fmt"
+
+// Breakdown builds a per-rank time-attribution table: one row per rank
+// with seconds per category and a total, plus a final row giving each
+// category's share of the total across all ranks. perRank holds one
+// category-value slice per rank, in the order of categories.
+func Breakdown(title string, categories []string, perRank [][]float64) *Table {
+	cols := append([]string{"Rank"}, categories...)
+	cols = append(cols, "Total")
+	t := New(title, cols...)
+	sums := make([]float64, len(categories))
+	grand := 0.0
+	for i, cats := range perRank {
+		if len(cats) != len(categories) {
+			panic(fmt.Sprintf("report: rank %d has %d categories, want %d", i, len(cats), len(categories)))
+		}
+		cells := []string{fmt.Sprint(i)}
+		total := 0.0
+		for j, v := range cats {
+			cells = append(cells, Seconds(v))
+			sums[j] += v
+			total += v
+		}
+		grand += total
+		cells = append(cells, Seconds(total))
+		t.AddRow(cells...)
+	}
+	if grand > 0 {
+		cells := []string{"share"}
+		for _, s := range sums {
+			cells = append(cells, fmt.Sprintf("%.1f%%", 100*s/grand))
+		}
+		cells = append(cells, "100%")
+		t.AddRow(cells...)
+	}
+	return t
+}

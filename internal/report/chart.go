@@ -28,7 +28,10 @@ func (t *Table) Chart(height int) string {
 		vals[s] = make([]float64, t.NumRows())
 		for i := 0; i < t.NumRows(); i++ {
 			v, err := strconv.ParseFloat(t.rows[i][s+1], 64)
-			if err != nil {
+			// Non-finite cells become gaps like non-numeric ones: an Inf
+			// fed into min/max would make the row scaling NaN/Inf and
+			// index the grid out of range.
+			if err != nil || math.IsInf(v, 0) {
 				vals[s][i] = math.NaN()
 				continue
 			}

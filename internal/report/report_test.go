@@ -125,3 +125,41 @@ func TestChartHandlesDegenerateInput(t *testing.T) {
 		t.Fatalf("dash-only chart: %s", out)
 	}
 }
+
+func TestChartTreatsInfCellsAsGaps(t *testing.T) {
+	// An overflowed cell ("+Inf" from a ratio against a zero baseline)
+	// must become a gap, not poison the row scaling: with Inf in the
+	// min/max the scaled row index is NaN/Inf and the grid write panics.
+	tab := New("inf", "x", "y")
+	tab.AddRow("1", "+Inf")
+	tab.AddRow("2", "3.0")
+	tab.AddRow("3", "-Inf")
+	out := tab.Chart(6)
+	if !strings.Contains(out, "1 .. 3 (3 points)") {
+		t.Fatalf("inf chart did not render:\n%s", out)
+	}
+	onlyInf := New("onlyinf", "x", "y")
+	onlyInf.AddRow("1", "+Inf")
+	if out := onlyInf.Chart(4); !strings.Contains(out, "no numeric data") {
+		t.Fatalf("all-Inf chart should report no numeric data: %s", out)
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	tab := Breakdown("bd", []string{"compute", "wait"}, [][]float64{
+		{3, 1},
+		{2, 2},
+	})
+	out := tab.Text()
+	for _, want := range []string{"bd", "Rank", "Total", "62.5%", "37.5%", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown table missing %q:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched category count should panic")
+		}
+	}()
+	Breakdown("bad", []string{"a"}, [][]float64{{1, 2}})
+}

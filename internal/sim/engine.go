@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -33,6 +34,14 @@ type Engine struct {
 	blockedProcs map[*Proc]string
 
 	net *FlowNet
+
+	// Always-on activity counters (see Stats).
+	statEvents  uint64
+	statFlows   uint64
+	statSettles uint64
+
+	// obs enables detailed observation when non-nil (EnableObservation).
+	obs *observer
 
 	// MaxTime aborts the run if the clock passes it (guards against
 	// runaway simulations in tests). Zero means no limit.
@@ -115,9 +124,11 @@ func (h *eventHeap) pop() *event {
 }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
-// past panics: it would violate causality.
+// past or at a NaN timestamp panics: the former violates causality, the
+// latter corrupts the event heap's ordering (every comparison against NaN
+// is false) and would silently break determinism.
 func (e *Engine) At(t float64, fn func()) {
-	if t < e.now {
+	if !(t >= e.now) {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
 	e.seq++
@@ -134,6 +145,13 @@ type Proc struct {
 	name string
 	wake chan struct{}
 	done bool
+
+	// Observation state (only touched when the engine's observer is
+	// active): current state, when it was entered, and accumulated
+	// seconds per state.
+	state      procState
+	stateSince float64
+	stateTimes [numProcStates]float64
 }
 
 // Name returns the process name given at spawn time.
@@ -150,9 +168,17 @@ func (p *Proc) Now() float64 { return p.eng.now }
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
 	e.liveProcs++
+	if e.obs != nil {
+		p.state = stateBlockedQueue // parked until the start event fires
+		p.stateSince = e.now
+		e.obs.procs = append(e.obs.procs, p)
+	}
 	go func() {
 		<-p.wake
 		body(p)
+		if e.obs != nil {
+			e.procStateChange(p, stateBlockedQueue)
+		}
 		p.done = true
 		e.liveProcs--
 		e.yield <- struct{}{}
@@ -167,27 +193,41 @@ func (e *Engine) resume(p *Proc) {
 		panic("sim: resuming finished process " + p.name)
 	}
 	delete(e.blockedProcs, p)
+	if e.obs != nil {
+		e.procStateChange(p, stateRunning)
+	}
 	p.wake <- struct{}{}
 	<-e.yield
 }
 
-// block yields control back to the scheduler and waits to be woken.
-func (p *Proc) block(why string) {
-	p.eng.blockedProcs[p] = why
-	p.eng.yield <- struct{}{}
+// block yields control back to the scheduler and waits to be woken. The
+// kind classifies the wait for observation; why labels it in deadlock
+// reports.
+func (p *Proc) block(kind procState, why string) {
+	e := p.eng
+	e.blockedProcs[p] = why
+	if e.obs != nil {
+		e.procStateChange(p, kind)
+	}
+	e.yield <- struct{}{}
 	<-p.wake
 }
 
 // Sleep advances the process by d seconds of simulated time. Negative or
 // zero durations still yield to the scheduler at the current time, which
-// preserves event ordering for zero-cost operations.
+// preserves event ordering for zero-cost operations. A NaN duration
+// panics: NaN compares false against everything, so it would slip past
+// the causality check in At and corrupt event ordering undiagnosed.
 func (p *Proc) Sleep(d float64) {
+	if math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: process %s sleeping NaN seconds at t=%g", p.name, p.eng.now))
+	}
 	if d < 0 {
 		d = 0
 	}
 	e := p.eng
 	e.At(e.now+d, func() { e.resume(p) })
-	p.block(fmt.Sprintf("sleep %g", d))
+	p.block(stateSleeping, fmt.Sprintf("sleep %g", d))
 }
 
 // Run executes events until the queue is empty. It panics if processes
@@ -203,6 +243,7 @@ func (e *Engine) Run() {
 		if e.MaxTime > 0 && e.now > e.MaxTime {
 			panic(fmt.Sprintf("sim: exceeded MaxTime %g", e.MaxTime))
 		}
+		e.statEvents++
 		ev.fire()
 	}
 	if e.liveProcs > 0 {
@@ -225,7 +266,7 @@ type WaitQueue struct {
 // Wait blocks the calling process until another process wakes it.
 func (q *WaitQueue) Wait(p *Proc, why string) {
 	q.waiters = append(q.waiters, p)
-	p.block(why)
+	p.block(stateBlockedQueue, why)
 }
 
 // WakeOne wakes the oldest waiter, if any, at the current time.
@@ -235,6 +276,9 @@ func (q *WaitQueue) WakeOne(e *Engine) bool {
 		return false
 	}
 	p := q.waiters[0]
+	// Nil the vacated slot: re-slicing alone would pin the woken process
+	// in the backing array for the queue's lifetime.
+	q.waiters[0] = nil
 	q.waiters = q.waiters[1:]
 	e.At(e.now, func() { e.resume(p) })
 	return true

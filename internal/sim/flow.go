@@ -30,6 +30,11 @@ type Resource struct {
 	epoch  uint64
 	avail  float64 // remaining headroom at the current filling level
 	active int     // unfrozen flows crossing the resource
+
+	// Observation (populated only when the engine's observer is active):
+	// the piecewise-constant used-rate timeline, accrued in settle.
+	observed bool
+	segments []RateSegment
 }
 
 // NewResource creates a resource with the given capacity in bytes/second.
@@ -138,6 +143,7 @@ func (n *FlowNet) removeFlow(f *Flow) {
 func (n *FlowNet) settle() {
 	dt := n.eng.now - n.lastSettle
 	if dt > 0 {
+		n.eng.statSettles++
 		for _, f := range n.flows {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
@@ -146,6 +152,7 @@ func (n *FlowNet) settle() {
 		}
 		// Accrue resource utilization from the maintained used rates,
 		// dropping resources whose last flow has retired.
+		obs := n.eng.obs
 		w := 0
 		for _, r := range n.activeRes {
 			if len(r.flows) == 0 {
@@ -154,6 +161,9 @@ func (n *FlowNet) settle() {
 				continue
 			}
 			r.busyIntegral += r.usedRate * dt
+			if obs != nil {
+				obs.recordSegment(r, n.lastSettle, n.eng.now, r.usedRate)
+			}
 			n.activeRes[w] = r
 			w++
 		}
@@ -404,9 +414,16 @@ func (n *FlowNet) completeFinished() {
 // The returned flow can be waited on with Proc.WaitFlow or observed with
 // OnDone.
 func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling float64) *Flow {
-	if bytes < 0 {
-		panic("sim: negative flow volume")
+	// NaN compares false against everything, so a NaN volume or ceiling
+	// would sail through every threshold below and stall or corrupt the
+	// completion schedule undiagnosed; +Inf bytes can never drain.
+	if bytes < 0 || math.IsNaN(bytes) || math.IsInf(bytes, 1) {
+		panic(fmt.Sprintf("sim: flow %q at t=%g has invalid volume %g", label, n.eng.now, bytes))
 	}
+	if math.IsNaN(ceiling) || math.IsInf(ceiling, -1) {
+		panic(fmt.Sprintf("sim: flow %q at t=%g has invalid rate ceiling %g", label, n.eng.now, ceiling))
+	}
+	n.eng.statFlows++
 	n.seq++
 	f := &Flow{remaining: bytes, ceiling: ceiling, path: path, label: label, seq: n.seq}
 	n.settle()
@@ -442,7 +459,7 @@ func (p *Proc) WaitFlow(f *Flow) {
 		return
 	}
 	f.waiters = append(f.waiters, p)
-	p.block("flow " + f.label)
+	p.block(stateBlockedFlow, "flow "+f.label)
 }
 
 // Transfer starts a flow and blocks until it completes. It is the common
@@ -471,7 +488,7 @@ func (p *Proc) TransferAll(label string, specs []FlowSpec) {
 		}
 	}
 	for pending > 0 {
-		p.block("flows " + label)
+		p.block(stateBlockedFlow, "flows "+label)
 		pending--
 	}
 }

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want one containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestAtRejectsNaNAndPast(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.At(1, func() {
+		mustPanic(t, "before now", func() { e.At(0.5, func() {}) })
+		mustPanic(t, "before now", func() { e.At(math.NaN(), func() {}) })
+	})
+	e.Run()
+}
+
+func TestSleepRejectsNaN(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("naps", func(p *Proc) {
+		p.Sleep(0.25)
+		mustPanic(t, "sleeping NaN", func() { p.Sleep(math.NaN()) })
+	})
+	e.Run()
+}
+
+func TestFlowStartRejectsInvalidArgs(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("r", 100)
+	path := []*Resource{r}
+	for _, tc := range []struct {
+		name           string
+		bytes, ceiling float64
+		want           string
+	}{
+		{"nan-bytes", math.NaN(), 0, "invalid volume"},
+		{"neg-bytes", -1, 0, "invalid volume"},
+		{"inf-bytes", math.Inf(1), 0, "invalid volume"},
+		{"nan-ceiling", 10, math.NaN(), "invalid rate ceiling"},
+		{"neg-inf-ceiling", 10, math.Inf(-1), "invalid rate ceiling"},
+	} {
+		mustPanic(t, tc.want, func() { e.net.Start(tc.name, tc.bytes, path, tc.ceiling) })
+	}
+	// The guards must not reject legitimate flows.
+	e.net.Start("ok", 50, path, 0)
+	e.Run()
+}
+
+// TestWakeOneReleasesWokenProc checks that WakeOne clears the vacated
+// backing-array slot: re-slicing alone would keep every woken *Proc
+// reachable through the queue's backing array for its whole lifetime.
+func TestWakeOneReleasesWokenProc(t *testing.T) {
+	e := NewEngine()
+	var q WaitQueue
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) { q.Wait(p, "test") })
+	}
+	e.At(1, func() {
+		backing := q.waiters[:3]
+		q.WakeOne(e)
+		q.WakeOne(e)
+		if backing[0] != nil || backing[1] != nil {
+			t.Errorf("vacated slots not cleared: %v", backing[:2])
+		}
+		if backing[2] == nil || q.Len() != 1 {
+			t.Errorf("remaining waiter lost (len=%d)", q.Len())
+		}
+		q.WakeOne(e)
+	})
+	e.Run()
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("mc", 100)
+	e.Spawn("p", func(p *Proc) {
+		p.Transfer("a", 50, []*Resource{r}, 0)
+		p.Sleep(1)
+		p.Transfer("b", 25, []*Resource{r}, 0)
+	})
+	e.Run()
+	s := e.Stats()
+	if s.Flows != 2 {
+		t.Errorf("Flows = %d, want 2", s.Flows)
+	}
+	if s.Events == 0 || s.Settles == 0 {
+		t.Errorf("Events = %d, Settles = %d, want both > 0", s.Events, s.Settles)
+	}
+	if s.Procs != nil || s.Resources != nil {
+		t.Errorf("detail populated without EnableObservation: %+v", s)
+	}
+}
+
+func TestProcStateTimes(t *testing.T) {
+	e := NewEngine()
+	e.EnableObservation()
+	r := NewResource("mc", 100)
+	var q WaitQueue
+	e.Spawn("worker", func(p *Proc) {
+		p.Sleep(1)                              // 1 s sleeping
+		p.Transfer("x", 200, []*Resource{r}, 0) // 2 s blocked on flow
+		q.Wait(p, "handoff")                    // 3 s queued (woken at t=6)
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(6)
+		q.WakeOne(e)
+	})
+	e.Run()
+	s := e.Stats()
+	if len(s.Procs) != 2 {
+		t.Fatalf("got %d procs, want 2", len(s.Procs))
+	}
+	w := s.Procs[0]
+	if w.Name != "worker" {
+		t.Fatalf("procs out of registration order: %q first", w.Name)
+	}
+	approx := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	approx("Sleeping", w.Sleeping, 1)
+	approx("BlockedFlow", w.BlockedFlow, 2)
+	approx("BlockedQueue", w.BlockedQueue, 3)
+	approx("Total", w.Total(), 6)
+	approx("waker.Total", s.Procs[1].Total(), 6)
+}
+
+// TestResourceTimelineMatchesIntegral cross-checks the observer's
+// piecewise-constant rate timeline against the independently accrued
+// busyIntegral: integrating the segments must reproduce the bytes served.
+func TestResourceTimelineMatchesIntegral(t *testing.T) {
+	e := NewEngine()
+	e.EnableObservation()
+	res := []*Resource{NewResource("a", 100), NewResource("b", 150), NewResource("c", 80)}
+	// Overlapping flows over shared sub-paths so rates change mid-flight.
+	e.At(0, func() { e.net.Start("f0", 300, res[0:2], 0) })
+	e.At(0.5, func() { e.net.Start("f1", 200, res[1:3], 90) })
+	e.At(1, func() { e.net.Start("f2", 120, res[0:3], 0) })
+	e.Run()
+	s := e.Stats()
+	if len(s.Resources) != 3 {
+		t.Fatalf("got %d resources, want 3", len(s.Resources))
+	}
+	byName := map[string]*Resource{"a": res[0], "b": res[1], "c": res[2]}
+	for _, rs := range s.Resources {
+		integral, last := 0.0, math.Inf(-1)
+		for _, seg := range rs.Segments {
+			if seg.Start < last {
+				t.Errorf("%s: segments overlap or regress at %g", rs.Name, seg.Start)
+			}
+			if seg.End <= seg.Start || seg.Rate <= 0 {
+				t.Errorf("%s: degenerate segment %+v", rs.Name, seg)
+			}
+			if seg.Rate > rs.Cap*(1+1e-9) {
+				t.Errorf("%s: segment rate %g exceeds capacity %g", rs.Name, seg.Rate, rs.Cap)
+			}
+			integral += seg.Rate * (seg.End - seg.Start)
+			last = seg.End
+		}
+		want := byName[rs.Name].BytesServed()
+		if math.Abs(integral-want) > 1e-6*(1+want) {
+			t.Errorf("%s: timeline integral %g != bytes served %g", rs.Name, integral, want)
+		}
+	}
+}
+
+// TestStatsReproducible runs the same observed simulation twice and
+// requires identical snapshots — the observability layer must not perturb
+// or depend on anything outside the simulation inputs.
+func TestStatsReproducible(t *testing.T) {
+	run := func() Stats {
+		e := NewEngine()
+		e.EnableObservation()
+		r := []*Resource{NewResource("a", 100), NewResource("b", 60)}
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(float64(i) * 0.1)
+				p.Transfer("t", 50+float64(i)*10, r[i%2:i%2+1], 0)
+			})
+		}
+		e.Run()
+		return e.Stats()
+	}
+	a, b := run(), run()
+	if a.Events != b.Events || a.Flows != b.Flows || a.Settles != b.Settles {
+		t.Fatalf("counters differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			t.Fatalf("proc %d stats differ: %+v vs %+v", i, a.Procs[i], b.Procs[i])
+		}
+	}
+	for i := range a.Resources {
+		x, y := a.Resources[i], b.Resources[i]
+		if x.Name != y.Name || len(x.Segments) != len(y.Segments) {
+			t.Fatalf("resource %d timelines differ", i)
+		}
+		for j := range x.Segments {
+			if x.Segments[j] != y.Segments[j] {
+				t.Fatalf("resource %s segment %d differs: %+v vs %+v", x.Name, j, x.Segments[j], y.Segments[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Trace is a sink for simulation spans and counter samples that renders
+// as Chrome trace-event JSON (viewable in Perfetto / chrome://tracing).
+// It is purely an accumulator: recording has no effect on simulation
+// behavior, and because every engine is single-threaded internally, the
+// recorded sequence is deterministic for a given configuration — two runs
+// of the same cell emit byte-identical JSON regardless of how many other
+// simulations execute concurrently in the process.
+//
+// Times are given in simulated seconds and stored in microseconds, the
+// trace format's native unit.
+type Trace struct {
+	events []traceEvent
+}
+
+// traceEvent is one entry of the Chrome trace-event format. Field order
+// is fixed by the struct, so encoding is byte-stable.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Span records a complete event covering [start, start+dur) seconds on
+// the given pid/tid track.
+func (t *Trace) Span(pid, tid int, name, cat string, start, dur float64) {
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: start * 1e6, Dur: dur * 1e6, PID: pid, TID: tid,
+	})
+}
+
+// Counter records a sampled counter value at time ts seconds. Samples
+// with the same name form one counter track on pid.
+func (t *Trace) Counter(pid int, name string, ts, value float64) {
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "C", Ts: ts * 1e6, PID: pid,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// ProcessName labels pid in the trace viewer.
+func (t *Trace) ProcessName(pid int, name string) {
+	t.events = append(t.events, traceEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName labels (pid, tid) in the trace viewer.
+func (t *Trace) ThreadName(pid, tid int, name string) {
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Len reports the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// WriteJSON emits the trace in Chrome trace-event JSON object form.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: t.events, DisplayTimeUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace to path as Chrome trace-event JSON.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
