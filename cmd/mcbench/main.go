@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N] <id>...|all|list
+//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N] [-json FILE] <id>...|all|list
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,9 +17,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"multicore/internal/experiments"
 	"multicore/internal/report"
+	"multicore/internal/sim"
 )
 
 func main() {
@@ -27,6 +30,8 @@ func main() {
 	outDir := flag.String("out", "", "directory to write per-experiment files (default: stdout)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max simulations in flight (1 = fully serial)")
 	traceDir := flag.String("trace", "", "directory for per-cell Chrome trace-event JSON files")
+	jsonOut := flag.String("json", "", "write per-experiment benchmark records (wall time, events, settles, allocs) to FILE; runs experiments serially")
+	note := flag.String("note", "", "free-form note recorded in the -json output")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -100,11 +105,24 @@ func main() {
 		}
 		outputs[i] = b.String()
 	}
-	if *jobs <= 1 || len(exps) == 1 {
+	switch {
+	case *jsonOut != "":
+		// Benchmark mode: experiments run one at a time (cells still use
+		// the worker pool) so the activity/allocation deltas measured
+		// around each one are attributable to it. The result cache is
+		// cleared per experiment so shared cells are re-simulated and the
+		// timings reflect actual simulation work.
+		records := make([]benchRecord, len(exps))
+		for i := range exps {
+			experiments.ClearCache()
+			records[i] = measure(exps[i].ID, func() { runOne(i) })
+		}
+		writeBenchJSON(*jsonOut, *note, *scale, records)
+	case *jobs <= 1 || len(exps) == 1:
 		for i := range exps {
 			runOne(i)
 		}
-	} else {
+	default:
 		// Experiment-level fan-out uses plain goroutines gated by their
 		// own semaphore so they never hold cell-pool slots while waiting.
 		sem := make(chan struct{}, *jobs)
@@ -135,6 +153,59 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+}
+
+// benchRecord is one experiment's measured cost: wall time plus the
+// simulation activity (engine events, flow-network settling passes, flows)
+// and heap allocations it performed.
+type benchRecord struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Events  uint64  `json:"events"`
+	Flows   uint64  `json:"flows"`
+	Settles uint64  `json:"settles"`
+	Mallocs uint64  `json:"mallocs"`
+}
+
+// measure runs fn and attributes the process-wide activity and allocation
+// deltas to it; only valid when experiments run one at a time.
+func measure(id string, fn func()) benchRecord {
+	var m0, m1 runtime.MemStats
+	ev0, fl0, st0 := sim.Activity()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn()
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	ev1, fl1, st1 := sim.Activity()
+	return benchRecord{
+		ID:      id,
+		Seconds: secs,
+		Events:  ev1 - ev0,
+		Flows:   fl1 - fl0,
+		Settles: st1 - st0,
+		Mallocs: m1.Mallocs - m0.Mallocs,
+	}
+}
+
+// writeBenchJSON writes the benchmark envelope to path.
+func writeBenchJSON(path, note, scale string, records []benchRecord) {
+	env := struct {
+		Note        string        `json:"note,omitempty"`
+		Scale       string        `json:"scale"`
+		Go          string        `json:"go"`
+		MaxProcs    int           `json:"maxprocs"`
+		Experiments []benchRecord `json:"experiments"`
+	}{Note: note, Scale: scale, Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0), Experiments: records}
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		fatalf("encoding %s: %v", path, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func renderer(format string) func(*report.Table) string {

@@ -195,8 +195,7 @@ func runExtNPB(s Scale) []*report.Table {
 		if err != nil {
 			panic(err)
 		}
-		res, err := core.Run(core.Job{System: "longs", Ranks: c.ranks, Scheme: c.scheme,
-			Impl: mpi.MPICH2()}, body)
+		res, err := runJob("npb-"+k+"-"+string(class), "longs", c.ranks, c.scheme, body)
 		if err != nil {
 			panic(err)
 		}

@@ -89,7 +89,7 @@ func (r *Rank) sendTransfer(dst int, bytes float64) {
 		m := &message{src: r.id, dst: dst, bytes: bytes, bufNode: buf,
 			rendezvous: true, senderQ: &sim.WaitQueue{}}
 		peer.deliver(m)
-		m.senderQ.Wait(r.proc, fmt.Sprintf("rendezvous to %d", dst))
+		m.senderQ.Wait(r.proc, w.rdvLabels[dst])
 		r.account(catMPI, "rendezvous-wait")
 		return
 	}
@@ -150,7 +150,7 @@ func (r *Rank) Recv(src int) {
 			q = &sim.WaitQueue{}
 			r.recvQ[src] = q
 		}
-		q.Wait(r.proc, fmt.Sprintf("recv from %d", src))
+		q.Wait(r.proc, w.recvLabels[src])
 	}
 	m := r.inbox[src][0]
 	r.inbox[src] = r.inbox[src][1:]
@@ -222,13 +222,14 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 	r.sendPrepare(dst, bytes)
 	req := &Request{}
 	helper := r.helper()
-	r.w.eng.Spawn(fmt.Sprintf("rank%d.isend", r.id), func(p *sim.Proc) {
+	r.w.eng.Spawn(r.w.isendNames[r.id], func(p *sim.Proc) {
 		helper.proc = p
 		helper.cpu = r.mach.CPU(p, r.bind.Core)
 		helper.acct = p.Now()
 		helper.sendTransfer(dst, bytes)
 		req.done = true
 		req.q.WakeAll(r.w.eng)
+		r.releaseHelper(helper)
 	})
 	return req
 }
@@ -237,13 +238,14 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 func (r *Rank) Irecv(src int) *Request {
 	req := &Request{}
 	helper := r.helper()
-	r.w.eng.Spawn(fmt.Sprintf("rank%d.irecv", r.id), func(p *sim.Proc) {
+	r.w.eng.Spawn(r.w.irecvNames[r.id], func(p *sim.Proc) {
 		helper.proc = p
 		helper.cpu = r.mach.CPU(p, r.bind.Core)
 		helper.acct = p.Now()
 		helper.Recv(src)
 		req.done = true
 		req.q.WakeAll(r.w.eng)
+		r.releaseHelper(helper)
 	})
 	return req
 }
@@ -254,13 +256,33 @@ func (r *Rank) Irecv(src int) *Request {
 // wall time; the main process only accounts what it spends in Wait — and
 // its own trace thread id so helper spans don't collide with the main
 // process's track.
+//
+// When tracing is off nothing distinguishes one finished helper from the
+// next, so clones are recycled through helperFree; with tracing on every
+// helper keeps a fresh thread id and the clone is kept alive by its spans.
 func (r *Rank) helper() *Rank {
+	if n := len(r.helperFree); n > 0 && r.w.trace == nil {
+		h := r.helperFree[n-1]
+		r.helperFree[n-1] = nil
+		r.helperFree = r.helperFree[:n-1]
+		h.acctCompute = 0
+		return h
+	}
 	h := *r
 	h.bd = &TimeBreakdown{}
 	h.acctCompute = 0
 	r.helpers++
 	h.tid = r.helpers
 	return &h
+}
+
+// releaseHelper returns a finished helper clone to the pool. Runs at the
+// end of the helper's own process, strictly after its last accounted
+// interval, so the next Isend/Irecv can safely rebind it.
+func (r *Rank) releaseHelper(h *Rank) {
+	if r.w.trace == nil {
+		r.helperFree = append(r.helperFree, h)
+	}
 }
 
 // Wait blocks until the request completes.

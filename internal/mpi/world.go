@@ -195,6 +195,14 @@ type World struct {
 	timeline []PhaseSpan
 	trace    *sim.Trace
 
+	// Pre-formatted per-rank strings for the hot paths: wait-reason labels
+	// and helper process names, so Recv loops and Isend/Irecv spawns do
+	// not re-run fmt.Sprintf per call.
+	recvLabels []string // "recv from <src>"
+	rdvLabels  []string // "rendezvous to <dst>"
+	isendNames []string // "rank<i>.isend"
+	irecvNames []string // "rank<i>.irecv"
+
 	finished int
 
 	barrierGen   int
@@ -250,6 +258,16 @@ func Run(cfg Config, body func(*Rank)) *Result {
 		RankMemBytes: make([]float64, n),
 		Breakdown:    make([]TimeBreakdown, n),
 		Machine:      w.machines[0],
+	}
+	w.recvLabels = make([]string, n)
+	w.rdvLabels = make([]string, n)
+	w.isendNames = make([]string, n)
+	w.irecvNames = make([]string, n)
+	for i := 0; i < n; i++ {
+		w.recvLabels[i] = fmt.Sprintf("recv from %d", i)
+		w.rdvLabels[i] = fmt.Sprintf("rendezvous to %d", i)
+		w.isendNames[i] = fmt.Sprintf("rank%d.isend", i)
+		w.irecvNames[i] = fmt.Sprintf("rank%d.irecv", i)
 	}
 	for i := 0; i < n; i++ {
 		i := i
@@ -385,6 +403,10 @@ type Rank struct {
 	acctCompute float64
 	tid         int
 	helpers     int
+
+	// helperFree recycles finished Isend/Irecv helper clones when tracing
+	// is off (with tracing on, every helper keeps a distinct thread id).
+	helperFree []*Rank
 
 	inbox map[int][]*message
 	recvQ map[int]*sim.WaitQueue

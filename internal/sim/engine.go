@@ -4,9 +4,9 @@
 //
 // Processes are goroutine-backed coroutines: exactly one process executes at
 // a time, and control transfers between the scheduler and processes through
-// unbuffered channels, so simulations are fully deterministic given the same
-// inputs. Time is a float64 in seconds; simultaneous events fire in the
-// order they were scheduled.
+// single-slot handoff channels, so simulations are fully deterministic given
+// the same inputs. Time is a float64 in seconds; simultaneous events fire in
+// the order they were scheduled.
 //
 // Bandwidth-shared activities (memory streams, message copies) are modeled
 // as flows over paths of capacity-limited resources. Rates are assigned by
@@ -33,6 +33,10 @@ type Engine struct {
 	liveProcs    int
 	blockedProcs map[*Proc]string
 
+	// idleWorkers are parked goroutines from finished processes, reused by
+	// Spawn so steady-state process churn creates no new goroutines.
+	idleWorkers []*worker
+
 	net *FlowNet
 
 	// Always-on activity counters (see Stats).
@@ -51,7 +55,7 @@ type Engine struct {
 // NewEngine creates an empty simulation.
 func NewEngine() *Engine {
 	e := &Engine{
-		yield:        make(chan struct{}),
+		yield:        make(chan struct{}, 1),
 		blockedProcs: make(map[*Proc]string),
 	}
 	e.net = newFlowNet(e)
@@ -64,17 +68,32 @@ func (e *Engine) Now() float64 { return e.now }
 // Net returns the engine's flow network.
 func (e *Engine) Net() *FlowNet { return e.net }
 
+// eventKind discriminates the typed events stored by value in the heap.
+// The typed kinds cover the two hot schedules — waking a process and
+// checking the flow network for completions — so neither allocates; evFunc
+// is the generic fallback behind Engine.At.
+type eventKind uint8
+
+const (
+	evFunc      eventKind = iota // run fire()
+	evResume                     // hand control to proc
+	evFlowCheck                  // flow completion check, valid iff gen matches
+)
+
 type event struct {
 	at   float64
 	seq  uint64
-	fire func()
+	kind eventKind
+	proc *Proc  // evResume
+	gen  uint64 // evFlowCheck
+	fire func() // evFunc
 }
 
 // eventHeap is a typed binary min-heap ordered by (time, schedule seq).
 // It is hand-rolled rather than built on container/heap so pushes and
-// pops stay monomorphic — the event queue is the engine's hottest
-// structure.
-type eventHeap []*event
+// pops stay monomorphic, and it stores events by value: the backing array
+// is recycled across pushes, so steady-state scheduling never allocates.
+type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -83,7 +102,7 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h *eventHeap) push(ev *event) {
+func (h *eventHeap) push(ev event) {
 	q := append(*h, ev)
 	i := len(q) - 1
 	for i > 0 {
@@ -97,12 +116,12 @@ func (h *eventHeap) push(ev *event) {
 	*h = q
 }
 
-func (h *eventHeap) pop() *event {
+func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
-	q[last] = nil
+	q[last] = event{} // release the proc/fire references in the vacated slot
 	q = q[:last]
 	i := 0
 	for {
@@ -123,20 +142,32 @@ func (h *eventHeap) pop() *event {
 	return top
 }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
+// schedule stamps ev with (t, next seq) and enqueues it. Scheduling in the
 // past or at a NaN timestamp panics: the former violates causality, the
 // latter corrupts the event heap's ordering (every comparison against NaN
 // is false) and would silently break determinism.
-func (e *Engine) At(t float64, fn func()) {
+func (e *Engine) schedule(t float64, ev event) {
 	if !(t >= e.now) {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
 	e.seq++
-	e.queue.push(&event{at: t, seq: e.seq, fire: fn})
+	ev.at, ev.seq = t, e.seq
+	e.queue.push(ev)
+}
+
+// At schedules fn to run at absolute simulated time t.
+func (e *Engine) At(t float64, fn func()) {
+	e.schedule(t, event{kind: evFunc, fire: fn})
 }
 
 // After schedules fn to run d seconds from now.
 func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// scheduleResume schedules p to be handed control at time t without
+// allocating a closure.
+func (e *Engine) scheduleResume(t float64, p *Proc) {
+	e.schedule(t, event{kind: evResume, proc: p})
+}
 
 // Proc is a simulated process. Its methods must only be called from within
 // the process's own body function.
@@ -163,27 +194,61 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current simulated time.
 func (p *Proc) Now() float64 { return p.eng.now }
 
+// worker is a reusable goroutine that runs process bodies one after
+// another. Each worker owns one wake channel; the Proc handed to it
+// borrows that channel for its lifetime, which ends before the worker is
+// recycled, so tokens can never leak between processes.
+type worker struct {
+	run  chan spawnReq
+	wake chan struct{}
+}
+
+type spawnReq struct {
+	p    *Proc
+	body func(*Proc)
+}
+
+func (e *Engine) newWorker() *worker {
+	w := &worker{run: make(chan spawnReq, 1), wake: make(chan struct{}, 1)}
+	go func() {
+		for req := range w.run {
+			<-req.p.wake
+			req.body(req.p)
+			if e.obs != nil {
+				e.procStateChange(req.p, stateBlockedQueue)
+			}
+			req.p.done = true
+			e.liveProcs--
+			// Recycle before yielding: the send below happens-before the
+			// scheduler resumes, so the append is never concurrent with a
+			// Spawn on the scheduler side.
+			e.idleWorkers = append(e.idleWorkers, w)
+			e.yield <- struct{}{}
+		}
+	}()
+	return w
+}
+
 // Spawn creates a process that will begin executing body at the current
 // simulated time (or at time 0 if the simulation has not started).
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
-	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	var w *worker
+	if n := len(e.idleWorkers); n > 0 {
+		w = e.idleWorkers[n-1]
+		e.idleWorkers[n-1] = nil
+		e.idleWorkers = e.idleWorkers[:n-1]
+	} else {
+		w = e.newWorker()
+	}
+	p := &Proc{eng: e, name: name, wake: w.wake}
 	e.liveProcs++
 	if e.obs != nil {
 		p.state = stateBlockedQueue // parked until the start event fires
 		p.stateSince = e.now
 		e.obs.procs = append(e.obs.procs, p)
 	}
-	go func() {
-		<-p.wake
-		body(p)
-		if e.obs != nil {
-			e.procStateChange(p, stateBlockedQueue)
-		}
-		p.done = true
-		e.liveProcs--
-		e.yield <- struct{}{}
-	}()
-	e.At(e.now, func() { e.resume(p) })
+	w.run <- spawnReq{p: p, body: body}
+	e.scheduleResume(e.now, p)
 	return p
 }
 
@@ -217,7 +282,7 @@ func (p *Proc) block(kind procState, why string) {
 // zero durations still yield to the scheduler at the current time, which
 // preserves event ordering for zero-cost operations. A NaN duration
 // panics: NaN compares false against everything, so it would slip past
-// the causality check in At and corrupt event ordering undiagnosed.
+// the causality check in schedule and corrupt event ordering undiagnosed.
 func (p *Proc) Sleep(d float64) {
 	if math.IsNaN(d) {
 		panic(fmt.Sprintf("sim: process %s sleeping NaN seconds at t=%g", p.name, p.eng.now))
@@ -226,15 +291,26 @@ func (p *Proc) Sleep(d float64) {
 		d = 0
 	}
 	e := p.eng
-	e.At(e.now+d, func() { e.resume(p) })
-	p.block(stateSleeping, fmt.Sprintf("sleep %g", d))
+	e.scheduleResume(e.now+d, p)
+	p.block(stateSleeping, "sleep")
 }
 
 // Run executes events until the queue is empty. It panics if processes
 // remain blocked when no event can wake them (a deadlock) so that protocol
 // bugs in workloads surface immediately.
+//
+// Between the last event of a timestamp and the first event of the next,
+// Run flushes any pending flow-network changes: admissions accumulated at
+// the current time are settled and filled in one batch (see FlowNet.flush).
 func (e *Engine) Run() {
-	for len(e.queue) > 0 {
+	for {
+		if e.net.dirty && (len(e.queue) == 0 || e.queue[0].at > e.now) {
+			e.net.flush()
+			continue // the flush schedules the next completion event
+		}
+		if len(e.queue) == 0 {
+			break
+		}
 		ev := e.queue.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
@@ -244,8 +320,23 @@ func (e *Engine) Run() {
 			panic(fmt.Sprintf("sim: exceeded MaxTime %g", e.MaxTime))
 		}
 		e.statEvents++
-		ev.fire()
+		switch ev.kind {
+		case evResume:
+			e.resume(ev.proc)
+		case evFlowCheck:
+			e.net.completionCheck(ev.gen)
+		default:
+			ev.fire()
+		}
 	}
+	// Park no longer needed: release the idle worker goroutines so engines
+	// do not pin goroutines after their run completes.
+	for i, w := range e.idleWorkers {
+		close(w.run)
+		e.idleWorkers[i] = nil
+	}
+	e.idleWorkers = e.idleWorkers[:0]
+	e.publishActivity()
 	if e.liveProcs > 0 {
 		names := make([]string, 0, len(e.blockedProcs))
 		for p, why := range e.blockedProcs {
@@ -259,12 +350,26 @@ func (e *Engine) Run() {
 
 // WaitQueue is a FIFO of blocked processes, the building block for
 // higher-level synchronization (mailboxes, barriers, locks).
+//
+// It is a head-indexed ring over one backing slice: WakeOne advances head
+// instead of re-slicing, and Wait compacts the live tail back to the front
+// once the dead prefix dominates, so sustained Wait/WakeOne churn reuses
+// constant storage instead of crawling through the backing array.
 type WaitQueue struct {
 	waiters []*Proc
+	head    int
 }
 
 // Wait blocks the calling process until another process wakes it.
 func (q *WaitQueue) Wait(p *Proc, why string) {
+	if q.head > 0 && q.head*2 >= len(q.waiters) {
+		n := copy(q.waiters, q.waiters[q.head:])
+		for i := n; i < len(q.waiters); i++ {
+			q.waiters[i] = nil
+		}
+		q.waiters = q.waiters[:n]
+		q.head = 0
+	}
 	q.waiters = append(q.waiters, p)
 	p.block(stateBlockedQueue, why)
 }
@@ -272,29 +377,34 @@ func (q *WaitQueue) Wait(p *Proc, why string) {
 // WakeOne wakes the oldest waiter, if any, at the current time.
 // It returns true if a process was woken.
 func (q *WaitQueue) WakeOne(e *Engine) bool {
-	if len(q.waiters) == 0 {
+	if q.head == len(q.waiters) {
 		return false
 	}
-	p := q.waiters[0]
-	// Nil the vacated slot: re-slicing alone would pin the woken process
-	// in the backing array for the queue's lifetime.
-	q.waiters[0] = nil
-	q.waiters = q.waiters[1:]
-	e.At(e.now, func() { e.resume(p) })
+	p := q.waiters[q.head]
+	// Nil the vacated slot: advancing head alone would pin the woken
+	// process in the backing array for the queue's lifetime.
+	q.waiters[q.head] = nil
+	q.head++
+	if q.head == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.head = 0
+	}
+	e.scheduleResume(e.now, p)
 	return true
 }
 
 // WakeAll wakes every waiter in FIFO order at the current time.
 func (q *WaitQueue) WakeAll(e *Engine) {
-	for _, p := range q.waiters {
-		pp := p
-		e.At(e.now, func() { e.resume(pp) })
+	for i := q.head; i < len(q.waiters); i++ {
+		e.scheduleResume(e.now, q.waiters[i])
+		q.waiters[i] = nil
 	}
-	q.waiters = nil
+	q.waiters = q.waiters[:0]
+	q.head = 0
 }
 
 // Len reports the number of blocked processes.
-func (q *WaitQueue) Len() int { return len(q.waiters) }
+func (q *WaitQueue) Len() int { return len(q.waiters) - q.head }
 
 // almostZero is the byte threshold below which a flow counts as complete;
 // it absorbs float64 rounding from incremental settling.

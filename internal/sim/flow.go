@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Resource is a capacity-limited element of the flow network: a memory
@@ -13,7 +12,12 @@ type Resource struct {
 	Name string
 	Cap  float64 // bytes per second
 
-	flows []*Flow // active flows crossing the resource, unordered
+	flows []flowRef // active flow crossings, unordered (swap-delete)
+
+	// net is the flow network that first admitted a flow over this
+	// resource; the utilization getters flush pending admissions through
+	// it so readers always see settled accounting.
+	net *FlowNet
 
 	// Utilization accounting.
 	busyIntegral float64 // integral of used rate over time (bytes)
@@ -22,8 +26,9 @@ type Resource struct {
 	// the sum of the rates of the flows currently crossing the resource,
 	// refreshed whenever the resource's component is re-filled; it lets
 	// settle() accrue busyIntegral without rebuilding a rate map.
-	usedRate float64
-	inActive bool // member of FlowNet.activeRes
+	usedRate  float64
+	inActive  bool // member of FlowNet.activeRes
+	activeIdx int  // position in FlowNet.activeRes while inActive
 
 	// Scratch for component discovery and progressive filling: a resource
 	// is "touched" by the current pass iff epoch matches the FlowNet's.
@@ -37,6 +42,15 @@ type Resource struct {
 	segments []RateSegment
 }
 
+// flowRef is one crossing of a flow over a resource. pi is the crossing's
+// index in the flow's path (paths may cross the same resource more than
+// once), so a swap-delete that moves this entry can repair the flow-side
+// slot table in O(1).
+type flowRef struct {
+	f  *Flow
+	pi int32
+}
+
 // NewResource creates a resource with the given capacity in bytes/second.
 func NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 {
@@ -46,7 +60,12 @@ func NewResource(name string, capacity float64) *Resource {
 }
 
 // BytesServed returns the total bytes that have crossed this resource.
-func (r *Resource) BytesServed() float64 { return r.busyIntegral }
+func (r *Resource) BytesServed() float64 {
+	if r.net != nil && r.net.dirty {
+		r.net.flush()
+	}
+	return r.busyIntegral
+}
 
 // ActiveFlows returns the number of flows currently crossing this resource.
 func (r *Resource) ActiveFlows() int { return len(r.flows) }
@@ -56,7 +75,7 @@ func (r *Resource) Utilization(now float64) float64 {
 	if now <= 0 {
 		return 0
 	}
-	return r.busyIntegral / (r.Cap * now)
+	return r.BytesServed() / (r.Cap * now)
 }
 
 // Flow is a fluid transfer of a byte volume across a path of resources.
@@ -72,34 +91,54 @@ type Flow struct {
 	seq       uint64
 	epoch     uint64 // visit stamp for component discovery
 	netIdx    int    // position in FlowNet.flows, for O(1) removal
+	net       *FlowNet
+
+	// slots[k] is the index of path crossing k in path[k].flows, kept in
+	// sync by the swap-deletes so retirement needs no membership scans.
+	// slotsBuf keeps typical paths allocation-free, and waitersBuf does
+	// the same for the common single-waiter (Transfer) case.
+	slots      []int32
+	slotsBuf   [8]int32
+	waitersBuf [2]*Proc
 }
 
-// removeFlow drops f from r's flow list by swap-delete.
-func (r *Resource) removeFlow(f *Flow) {
-	for i, g := range r.flows {
-		if g == f {
-			last := len(r.flows) - 1
-			r.flows[i] = r.flows[last]
-			r.flows[last] = nil
-			r.flows = r.flows[:last]
-			return
-		}
-	}
+// removeCrossing drops crossing k of f from the resource's flow list by
+// swap-delete, repairing the moved entry's slot index.
+func (r *Resource) removeCrossing(f *Flow, k int) {
+	s := f.slots[k]
+	last := int32(len(r.flows) - 1)
+	moved := r.flows[last]
+	r.flows[s] = moved
+	moved.f.slots[moved.pi] = s
+	r.flows[last] = flowRef{}
+	r.flows = r.flows[:last]
 }
 
 // Rate returns the flow's current allocated rate in bytes/second.
-func (f *Flow) Rate() float64 { return f.rate }
+func (f *Flow) Rate() float64 {
+	if !f.done && f.net.dirty {
+		f.net.flush()
+	}
+	return f.rate
+}
 
 // Done reports whether the flow has completed.
 func (f *Flow) Done() bool { return f.done }
 
 // FlowNet manages active flows and assigns rates by progressive filling.
 //
-// Rate assignment is incremental: admitting or retiring a flow only
-// re-fills the connected component of resources reachable from it.
-// Max-min allocations of disjoint components are independent, so flows in
-// untouched components keep their rates; per-resource used rates are
-// maintained alongside so settling needs no per-call allocation.
+// Rate assignment is incremental and batched. Admissions are lazy: Start
+// only records the flow and marks the network dirty, and the engine
+// flushes once per distinct timestamp — settling progress, re-filling the
+// union of the touched components, and scheduling the next completion
+// check — so an N-flow collective fan-out costs one fill pass instead of
+// N. Retirements settle eagerly inside completeFinished. Max-min rates
+// depend only on the active flow set, never on the admission history, so
+// the batched fill assigns exactly the rates the per-admission fills
+// would have left behind; and since no simulated time passes between an
+// admission and its flush, no progress is ever accrued under pre-flush
+// rates. Readers that can observe rates or utilization mid-timestamp
+// (Flow.Rate, Resource.BytesServed) flush on demand.
 type FlowNet struct {
 	eng        *Engine
 	flows      []*Flow // active flows, unordered (swap-delete)
@@ -108,15 +147,21 @@ type FlowNet struct {
 	seq        uint64 // flow admission order, for deterministic completion
 	epoch      uint64 // current discovery/filling pass
 
-	// activeRes lists every resource with at least one active flow
-	// (compacted lazily in settle); the remaining slices are reusable
-	// scratch for component discovery and filling.
+	// dirty marks admissions awaiting a flush; dirtySeeds are the flows
+	// whose components must be re-filled.
+	dirty      bool
+	dirtySeeds []*Flow
+
+	// activeRes lists every resource with at least one active flow;
+	// the remaining slices are reusable scratch for component discovery,
+	// filling, and retirement.
 	activeRes []*Resource
 	compFlows []*Flow
 	unfrozen  []*Flow
 	resQueue  []*Resource
 	fillRes   []*Resource
 	seeds     []*Flow
+	finished  []*Flow
 }
 
 func newFlowNet(e *Engine) *FlowNet {
@@ -139,6 +184,18 @@ func (n *FlowNet) removeFlow(f *Flow) {
 	n.flows = n.flows[:last]
 }
 
+// dropActive removes r from the active-resource list by swap-delete.
+func (n *FlowNet) dropActive(r *Resource) {
+	last := len(n.activeRes) - 1
+	moved := n.activeRes[last]
+	n.activeRes[r.activeIdx] = moved
+	moved.activeIdx = r.activeIdx
+	n.activeRes[last] = nil
+	n.activeRes = n.activeRes[:last]
+	r.inActive = false
+	r.usedRate = 0
+}
+
 // settle advances all flow progress to the current time.
 func (n *FlowNet) settle() {
 	dt := n.eng.now - n.lastSettle
@@ -150,24 +207,16 @@ func (n *FlowNet) settle() {
 				f.remaining = 0
 			}
 		}
-		// Accrue resource utilization from the maintained used rates,
-		// dropping resources whose last flow has retired.
+		// Accrue resource utilization from the maintained used rates.
+		// Flows admitted at the current instant contribute nothing: their
+		// resources carry a zero used rate until the fill that follows.
 		obs := n.eng.obs
-		w := 0
 		for _, r := range n.activeRes {
-			if len(r.flows) == 0 {
-				r.inActive = false
-				r.usedRate = 0
-				continue
-			}
 			r.busyIntegral += r.usedRate * dt
 			if obs != nil {
 				obs.recordSegment(r, n.lastSettle, n.eng.now, r.usedRate)
 			}
-			n.activeRes[w] = r
-			w++
 		}
-		n.activeRes = n.activeRes[:w]
 	}
 	n.lastSettle = n.eng.now
 }
@@ -195,7 +244,8 @@ func (n *FlowNet) component(seeds []*Flow) []*Flow {
 	for len(queue) > 0 {
 		r := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, f := range r.flows {
+		for _, fr := range r.flows {
+			f := fr.f
 			if f.epoch == ep {
 				continue
 			}
@@ -212,10 +262,25 @@ func (n *FlowNet) component(seeds []*Flow) []*Flow {
 	// Discovery visits flows in swap-delete (arbitrary) order; admission
 	// order keeps every later pass (filling, used-rate refresh)
 	// deterministic.
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	sortFlowsBySeq(out)
 	n.compFlows = out
 	n.resQueue = queue[:0]
 	return out
+}
+
+// sortFlowsBySeq orders flows by admission seq with an insertion sort:
+// components are typically small, and unlike sort.Slice this allocates
+// nothing on the settle path.
+func sortFlowsBySeq(fs []*Flow) {
+	for i := 1; i < len(fs); i++ {
+		f := fs[i]
+		j := i - 1
+		for j >= 0 && fs[j].seq > f.seq {
+			fs[j+1] = fs[j]
+			j--
+		}
+		fs[j+1] = f
+	}
 }
 
 // fill runs progressive filling over the given flows, which must form a
@@ -322,6 +387,29 @@ func (n *FlowNet) fill(flows []*Flow) {
 	n.unfrozen = unfrozen[:0]
 }
 
+// markDirty queues f's component for the next flush and invalidates any
+// scheduled completion check, exactly as an eager recompute would have.
+func (n *FlowNet) markDirty(f *Flow) {
+	n.gen++
+	n.dirty = true
+	n.dirtySeeds = append(n.dirtySeeds, f)
+}
+
+// flush batch-settles the pending admissions: one settle, one fill over
+// the union of the dirty components, one completion schedule. The engine
+// calls it after the last event of each timestamp; mid-timestamp readers
+// of rates or utilization call it on demand.
+func (n *FlowNet) flush() {
+	n.dirty = false
+	n.settle()
+	n.fill(n.component(n.dirtySeeds))
+	for i := range n.dirtySeeds {
+		n.dirtySeeds[i] = nil
+	}
+	n.dirtySeeds = n.dirtySeeds[:0]
+	n.scheduleNextCompletion()
+}
+
 // recomputeTouched re-fills the components containing the seed flows and
 // schedules the next completion event.
 func (n *FlowNet) recomputeTouched(seeds []*Flow) {
@@ -331,7 +419,6 @@ func (n *FlowNet) recomputeTouched(seeds []*Flow) {
 
 func (n *FlowNet) scheduleNextCompletion() {
 	n.gen++
-	gen := n.gen
 	next := math.Inf(1)
 	for _, f := range n.flows {
 		if f.rate <= 0 {
@@ -356,18 +443,26 @@ func (n *FlowNet) scheduleNextCompletion() {
 	if ulp := math.Nextafter(n.eng.now, math.Inf(1)) - n.eng.now; next < ulp {
 		next = ulp
 	}
-	n.eng.After(next, func() {
-		if gen != n.gen {
-			return // superseded by a later recompute
-		}
-		n.completeFinished()
-	})
+	n.eng.schedule(n.eng.now+next, event{kind: evFlowCheck, gen: n.gen})
+}
+
+// completionCheck runs the completion pass scheduled under gen, unless a
+// later flow change superseded it.
+func (n *FlowNet) completionCheck(gen uint64) {
+	if gen != n.gen {
+		return
+	}
+	n.completeFinished()
 }
 
 // completeFinished settles, retires finished flows, and recomputes.
+// Admissions are deferred to the flush, but retirement stays eager: the
+// completion event it runs under was scheduled with the rates the seed
+// semantics would have used, and the post-retirement refill must precede
+// the waiter wakeups it triggers.
 func (n *FlowNet) completeFinished() {
 	n.settle()
-	finished := make([]*Flow, 0, 2)
+	finished := n.finished[:0]
 	for _, f := range n.flows {
 		if f.remaining <= almostZero || math.IsInf(f.rate, 1) {
 			finished = append(finished, f)
@@ -375,14 +470,25 @@ func (n *FlowNet) completeFinished() {
 	}
 	// Process in admission order so downstream wakeups are deterministic
 	// regardless of the active set's swap-delete order.
-	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	sortFlowsBySeq(finished)
 	for _, f := range finished {
 		n.removeFlow(f)
-		for _, r := range f.path {
-			r.removeFlow(f)
+		for k, r := range f.path {
+			r.removeCrossing(f, k)
 		}
 		f.done = true
 		f.rate = 0
+	}
+	// Drained resources leave the active list immediately, before any new
+	// admission can re-append them: their used rate is stale (the refill
+	// below only touches surviving components), and a later settle must
+	// neither accrue it nor record it as a segment.
+	for _, f := range finished {
+		for _, r := range f.path {
+			if r.inActive && len(r.flows) == 0 {
+				n.dropActive(r)
+			}
+		}
 	}
 	// Only components the finished flows crossed can change rates: seed
 	// the recompute with the surviving flows sharing their resources
@@ -391,10 +497,15 @@ func (n *FlowNet) completeFinished() {
 	seeds := n.seeds[:0]
 	for _, f := range finished {
 		for _, r := range f.path {
-			seeds = append(seeds, r.flows...)
+			for _, fr := range r.flows {
+				seeds = append(seeds, fr.f)
+			}
 		}
 	}
 	n.recomputeTouched(seeds)
+	for i := range seeds {
+		seeds[i] = nil
+	}
 	n.seeds = seeds[:0]
 	e := n.eng
 	for _, f := range finished {
@@ -402,11 +513,14 @@ func (n *FlowNet) completeFinished() {
 			cb()
 		}
 		for _, p := range f.waiters {
-			pp := p
-			e.At(e.now, func() { e.resume(pp) })
+			e.scheduleResume(e.now, p)
 		}
 		f.onDone, f.waiters = nil, nil
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	n.finished = finished[:0]
 }
 
 // Start begins a flow of bytes over path with an optional per-flow rate
@@ -425,19 +539,27 @@ func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling f
 	}
 	n.eng.statFlows++
 	n.seq++
-	f := &Flow{remaining: bytes, ceiling: ceiling, path: path, label: label, seq: n.seq}
-	n.settle()
+	f := &Flow{remaining: bytes, ceiling: ceiling, path: path, label: label, seq: n.seq, net: n}
+	f.waiters = f.waitersBuf[:0]
+	if len(path) <= len(f.slotsBuf) {
+		f.slots = f.slotsBuf[:len(path)]
+	} else {
+		f.slots = make([]int32, len(path))
+	}
 	n.addFlow(f)
-	for _, r := range path {
-		r.flows = append(r.flows, f)
+	for k, r := range path {
+		if r.net == nil {
+			r.net = n
+		}
+		f.slots[k] = int32(len(r.flows))
+		r.flows = append(r.flows, flowRef{f: f, pi: int32(k)})
 		if !r.inActive {
 			r.inActive = true
+			r.activeIdx = len(n.activeRes)
 			n.activeRes = append(n.activeRes, r)
 		}
 	}
-	seeds := append(n.seeds[:0], f)
-	n.recomputeTouched(seeds)
-	n.seeds = seeds[:0]
+	n.markDirty(f)
 	return f
 }
 
@@ -459,7 +581,7 @@ func (p *Proc) WaitFlow(f *Flow) {
 		return
 	}
 	f.waiters = append(f.waiters, p)
-	p.block(stateBlockedFlow, "flow "+f.label)
+	p.block(stateBlockedFlow, f.label)
 }
 
 // Transfer starts a flow and blocks until it completes. It is the common
@@ -488,7 +610,7 @@ func (p *Proc) TransferAll(label string, specs []FlowSpec) {
 		}
 	}
 	for pending > 0 {
-		p.block(stateBlockedFlow, "flows "+label)
+		p.block(stateBlockedFlow, label)
 		pending--
 	}
 }

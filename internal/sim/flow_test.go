@@ -109,6 +109,11 @@ func TestIncrementalMatchesReference(t *testing.T) {
 			res[i] = NewResource(fmt.Sprintf("r%d", i), 50+rng.Float64()*500)
 		}
 		check := func(when string) {
+			// Admissions are settled lazily; flush so the incremental
+			// rates are current before comparing against the reference.
+			if n.dirty {
+				n.flush()
+			}
 			ref := refFill(n.flows)
 			for _, f := range n.flows {
 				want := ref[f]

@@ -1,5 +1,7 @@
 package sim
 
+import "sync/atomic"
+
 // Engine observation: always-on activity counters plus an optional
 // detailed observer. The counters are bare integer increments; everything
 // heavier (per-process state times, per-resource used-rate timelines) is
@@ -63,6 +65,34 @@ type Stats struct {
 
 	Procs     []ProcStats
 	Resources []ResourceStats
+}
+
+// Process-wide activity counters, accumulated from every Engine.Run in the
+// process. Tools that drive many engines (one per experiment cell) read
+// deltas of these around a unit of work instead of plumbing an engine
+// handle out of each cell.
+var globalEvents, globalFlows, globalSettles atomic.Uint64
+
+// Activity snapshots the process-wide counters: scheduler events fired,
+// flows started, and settling passes, summed over all completed engine
+// runs since the last ResetActivity.
+func Activity() (events, flows, settles uint64) {
+	return globalEvents.Load(), globalFlows.Load(), globalSettles.Load()
+}
+
+// ResetActivity zeroes the process-wide activity counters.
+func ResetActivity() {
+	globalEvents.Store(0)
+	globalFlows.Store(0)
+	globalSettles.Store(0)
+}
+
+// publishActivity folds one finished engine's counters into the
+// process-wide totals; called once at the end of Run.
+func (e *Engine) publishActivity() {
+	globalEvents.Add(e.statEvents)
+	globalFlows.Add(e.statFlows)
+	globalSettles.Add(e.statSettles)
 }
 
 // observer holds the registration order of observed processes and
