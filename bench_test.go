@@ -20,9 +20,13 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("no experiment %q", id)
 	}
+	r := experiments.NewRunner(nil, experiments.Options{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(experiments.Quick)
+		tables, err := r.Run(e, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tables) == 0 {
 			b.Fatal("no tables")
 		}

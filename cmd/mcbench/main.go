@@ -3,25 +3,39 @@
 //
 // Usage:
 //
-//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N] [-json FILE] <id>...|all|list
+//	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N]
+//	        [-store DIR] [-resume] [-timeout D] [-json FILE] <id>...|all|list
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
+//
+// Sweeps are resilient: SIGINT/SIGTERM cancels the running simulations
+// cleanly, a per-cell -timeout bounds any one cell's wall-clock cost, a
+// panicking cell renders as ERR instead of killing the run, and with
+// -store every completed cell is persisted so the next invocation (add
+// -resume to also retry failed cells) re-runs only what is missing and
+// reproduces byte-identical tables.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"multicore/internal/experiments"
 	"multicore/internal/report"
+	"multicore/internal/schema"
 	"multicore/internal/sim"
+	"multicore/internal/store"
 )
 
 func main() {
@@ -30,6 +44,9 @@ func main() {
 	outDir := flag.String("out", "", "directory to write per-experiment files (default: stdout)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max simulations in flight (1 = fully serial)")
 	traceDir := flag.String("trace", "", "directory for per-cell Chrome trace-event JSON files")
+	storeDir := flag.String("store", "", "directory of the persistent cell-result store (created if missing)")
+	resume := flag.Bool("resume", false, "with -store: re-run cells whose stored status is error instead of reporting the recorded failure")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per simulated cell (0 = unbounded), e.g. 30s")
 	jsonOut := flag.String("json", "", "write per-experiment benchmark records (wall time, events, settles, allocs) to FILE; runs experiments serially")
 	note := flag.String("note", "", "free-form note recorded in the -json output")
 	flag.Usage = usage
@@ -52,13 +69,33 @@ func main() {
 	if *jobs < 1 {
 		fatalf("-j must be at least 1")
 	}
-	experiments.SetParallelism(*jobs)
+	if *resume && *storeDir == "" {
+		fatalf("-resume needs -store DIR (there is nothing to resume from)")
+	}
+	opts := experiments.Options{
+		Parallelism: *jobs,
+		Resume:      *resume,
+		CellTimeout: *timeout,
+		TraceDir:    *traceDir,
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fatalf("creating %s: %v", *traceDir, err)
 		}
-		experiments.SetTraceDir(*traceDir)
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Store = st
+	}
+
+	// SIGINT/SIGTERM cancels the sweep: in-flight engines abort, no new
+	// cells start, and (with -store) completed cells stay on disk for a
+	// later -resume-style run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	render := renderer(*format)
 
@@ -88,15 +125,23 @@ func main() {
 		exps[i] = e
 	}
 
+	runner := experiments.NewRunner(ctx, opts)
+
 	// Render every requested experiment. With -j 1 the experiments run
 	// strictly in request order; otherwise they run concurrently (each
 	// one's cells already share the worker pool) and outputs are still
-	// emitted in request order.
+	// emitted in request order. A failing experiment (panic, stored
+	// failure) reports its error and the rest of the sweep continues.
 	outputs := make([]string, len(exps))
-	runOne := func(i int) {
+	errs := make([]error, len(exps))
+	runOne := func(r *experiments.Runner, i int) {
 		e := exps[i]
 		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
-		tables := e.Run(sc)
+		tables, err := r.Run(e, sc)
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		var b strings.Builder
 		fmt.Fprintf(&b, "# %s — %s\n\nPaper: %s\n\n", e.ID, e.Title, e.Paper)
 		for _, t := range tables {
@@ -109,18 +154,21 @@ func main() {
 	case *jsonOut != "":
 		// Benchmark mode: experiments run one at a time (cells still use
 		// the worker pool) so the activity/allocation deltas measured
-		// around each one are attributable to it. The result cache is
-		// cleared per experiment so shared cells are re-simulated and the
-		// timings reflect actual simulation work.
+		// around each one are attributable to it. Each experiment gets a
+		// fresh runner so shared cells are re-simulated and the timings
+		// reflect actual simulation work. The persistent store is
+		// deliberately not consulted here for the same reason.
+		benchOpts := opts
+		benchOpts.Store = nil
 		records := make([]benchRecord, len(exps))
 		for i := range exps {
-			experiments.ClearCache()
-			records[i] = measure(exps[i].ID, func() { runOne(i) })
+			r := experiments.NewRunner(ctx, benchOpts)
+			records[i] = measure(exps[i].ID, func() { runOne(r, i) })
 		}
 		writeBenchJSON(*jsonOut, *note, *scale, records)
 	case *jobs <= 1 || len(exps) == 1:
 		for i := range exps {
-			runOne(i)
+			runOne(runner, i)
 		}
 	default:
 		// Experiment-level fan-out uses plain goroutines gated by their
@@ -133,13 +181,22 @@ func main() {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				runOne(i)
+				runOne(runner, i)
 			}(i)
 		}
 		wg.Wait()
 	}
 
+	interrupted := ctx.Err() != nil
+	failed := 0
 	for i, e := range exps {
+		if errs[i] != nil {
+			if !isCancellation(errs[i]) {
+				fmt.Fprintf(os.Stderr, "mcbench: %s failed: %v\n", e.ID, errs[i])
+				failed++
+			}
+			continue
+		}
 		if *outDir == "" {
 			fmt.Print(outputs[i])
 			continue
@@ -153,6 +210,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+
+	for _, err := range runner.CellErrors() {
+		fmt.Fprintf(os.Stderr, "mcbench: cell error: %v\n", err)
+	}
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "cells: %d simulated, %d store hits (store: %s)\n",
+			runner.CellsRun(), runner.StoreHits(), *storeDir)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "mcbench: interrupted\n")
+		if *storeDir != "" {
+			fmt.Fprintf(os.Stderr, "mcbench: completed cells are saved; re-run the same command to continue\n")
+		}
+		os.Exit(130)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// isCancellation reports whether err only says "the sweep was stopped".
+func isCancellation(err error) bool {
+	var ce *sim.CanceledError
+	return errors.As(err, &ce) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // benchRecord is one experiment's measured cost: wall time plus the
@@ -188,15 +271,16 @@ func measure(id string, fn func()) benchRecord {
 	}
 }
 
-// writeBenchJSON writes the benchmark envelope to path.
+// writeBenchJSON writes the schema-versioned benchmark envelope to path.
 func writeBenchJSON(path, note, scale string, records []benchRecord) {
 	env := struct {
-		Note        string        `json:"note,omitempty"`
-		Scale       string        `json:"scale"`
-		Go          string        `json:"go"`
-		MaxProcs    int           `json:"maxprocs"`
-		Experiments []benchRecord `json:"experiments"`
-	}{Note: note, Scale: scale, Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0), Experiments: records}
+		SchemaVersion int           `json:"schema_version"`
+		Note          string        `json:"note,omitempty"`
+		Scale         string        `json:"scale"`
+		Go            string        `json:"go"`
+		MaxProcs      int           `json:"maxprocs"`
+		Experiments   []benchRecord `json:"experiments"`
+	}{SchemaVersion: schema.Version, Note: note, Scale: scale, Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0), Experiments: records}
 	data, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {
 		fatalf("encoding %s: %v", path, err)

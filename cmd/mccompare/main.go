@@ -56,6 +56,8 @@ func main() {
 		sc = experiments.Full
 	}
 
+	runner := experiments.NewRunner(nil, experiments.Options{})
+
 	want := flag.Args()
 	paper := paperdata.Tables()
 	ids := make([]string, 0, len(paper))
@@ -81,7 +83,11 @@ func main() {
 				fatalf("no experiment %q", b.expID)
 			}
 			fmt.Fprintf(os.Stderr, "running %s...\n", b.expID)
-			measured[b.expID] = e.Run(sc)
+			tabs, err := runner.Run(e, sc)
+			if err != nil {
+				fatalf("%s: %v", b.expID, err)
+			}
+			measured[b.expID] = tabs
 		}
 		tabs := measured[b.expID]
 		if b.index >= len(tabs) {

@@ -6,35 +6,32 @@
 //
 //	mcrun -system longs -ranks 8 -scheme localalloc -impl mpich2 -workload cg
 //
-// Workloads: stream, daxpy, dgemm, fft, ra, ptrans, hpl, cg, ft, ep, mg,
-// lmbench, amber:<bench>, lammps:<lj|chain|eam>, pop.
+// Workloads are resolved through the internal/workload registry: stream,
+// daxpy, dgemm, fft, ra, ptrans, hpl, cg, ft, ep, mg, lmbench,
+// amber:<bench>, lammps:<lj|chain|eam>, pop.
+//
+// The run is cancellable (SIGINT/SIGTERM) and optionally bounded by
+// -timeout; a deadlocked workload reports the blocked ranks and exits
+// instead of hanging.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"multicore/internal/affinity"
-	"multicore/internal/apps/amber"
-	"multicore/internal/apps/lammps"
-	"multicore/internal/apps/pop"
 	"multicore/internal/core"
-	"multicore/internal/kernels/blas"
-	"multicore/internal/kernels/cg"
-	"multicore/internal/kernels/fft"
-	"multicore/internal/kernels/hpl"
-	"multicore/internal/kernels/lmbench"
-	"multicore/internal/kernels/ptrans"
-	"multicore/internal/kernels/rnda"
-	"multicore/internal/kernels/stream"
 	"multicore/internal/machine"
 	"multicore/internal/mpi"
-	"multicore/internal/npb"
 	"multicore/internal/report"
 	"multicore/internal/sim"
 	"multicore/internal/units"
+	"multicore/internal/workload"
 )
 
 func impls(name string) *mpi.Impl {
@@ -59,7 +56,11 @@ func main() {
 	ranks := flag.Int("ranks", 2, "MPI task count")
 	scheme := flag.String("scheme", "default", "placement: default, localalloc, membind, 2mpi-localalloc, 2mpi-membind, interleave")
 	impl := flag.String("impl", "mpich2", "MPI profile: mpich2, lam, lam-sysv, lam-usysv, openmpi")
-	workload := flag.String("workload", "stream", "workload (see doc comment)")
+	workloadName := flag.String("workload", "stream", "workload (see doc comment)")
+	class := flag.String("class", "", "NPB problem class override (A, B, W)")
+	steps := flag.Int("steps", 0, "MD/time-step count override for amber, lammps, pop")
+	size := flag.Int("n", 0, "problem-size override for daxpy, dgemm, fft, ptrans, hpl")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unbounded), e.g. 30s")
 	util := flag.Bool("util", false, "print per-resource utilization after the run")
 	phases := flag.Bool("phases", false, "print the recorded phase timeline")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto)")
@@ -78,7 +79,14 @@ func main() {
 		fatalf("unknown impl %q", *impl)
 	}
 
-	body, metrics, err := workloadBody(*workload)
+	spec, err := workload.ParseSpec(*workloadName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec.Class = *class
+	spec.Steps = *steps
+	spec.N = *size
+	wl, err := workload.New(spec)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -112,22 +120,43 @@ func main() {
 		job.Spec = spec
 		*system = spec.Topo.Name
 	}
-	res, err := core.Run(job, body)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.RunContext(ctx, job, wl.Body)
 	if err != nil {
+		var dl *sim.DeadlockError
+		if errors.As(err, &dl) {
+			fmt.Fprintf(os.Stderr, "mcrun: deadlock at t=%s: %d processes blocked forever:\n",
+				units.Duration(dl.Time), dl.Live)
+			for _, p := range dl.Blocked {
+				fmt.Fprintf(os.Stderr, "  %-16s waiting on %s\n", p.Name, p.Wait)
+			}
+			os.Exit(1)
+		}
+		var ce *sim.CanceledError
+		if errors.As(err, &ce) {
+			fatalf("run aborted at simulated t=%s: %v", units.Duration(ce.Time), ce.Cause)
+		}
 		fatalf("%v", err)
 	}
 
 	if *nodes > 1 {
 		fmt.Printf("%s on %d x %s (%s), %d ranks/node, %s, %s\n",
-			*workload, *nodes, *system, net.Name, *ranks, *scheme, im.Name)
+			spec, *nodes, *system, net.Name, *ranks, *scheme, im.Name)
 	} else {
-		fmt.Printf("%s on %s, %d ranks, %s, %s\n", *workload, *system, *ranks, *scheme, im.Name)
+		fmt.Printf("%s on %s, %d ranks, %s, %s\n", spec, *system, *ranks, *scheme, im.Name)
 	}
 	fmt.Printf("  makespan: %s\n", units.Duration(res.Time))
 	fmt.Printf("  messages: %d (%s)\n", res.Messages, units.Bytes(res.Bytes))
-	for _, m := range metrics {
-		if vs := res.Values[m.key]; len(vs) > 0 {
-			fmt.Printf("  %s: max %s, mean %s\n", m.label, m.fmt(res.Max(m.key)), m.fmt(res.Mean(m.key)))
+	for _, m := range wl.Metrics {
+		if vs := res.Values[m.Key]; len(vs) > 0 {
+			fmt.Printf("  %s: max %s, mean %s\n", m.Label, m.Format(res.Max(m.Key)), m.Format(res.Mean(m.Key)))
 		}
 	}
 	if len(res.RankCompute) > 0 {
@@ -192,87 +221,6 @@ func main() {
 			fmt.Printf("    %-24s %6.1f%%  %s\n", u.Name, 100*u.Utilization, units.Bytes(u.BytesServed))
 		}
 	}
-}
-
-type metric struct {
-	key   string
-	label string
-	fmt   func(float64) string
-}
-
-func secs(v float64) string { return units.Duration(v) }
-func rate(v float64) string { return units.Rate(v) }
-func flps(v float64) string { return units.Flops(v) }
-func gups(v float64) string { return fmt.Sprintf("%.4f GUPS", v) }
-func gfs(v float64) string  { return fmt.Sprintf("%.2f GFlop/s", v) }
-
-func workloadBody(name string) (func(*mpi.Rank), []metric, error) {
-	switch {
-	case name == "stream":
-		return func(r *mpi.Rank) { stream.RunTriad(r, stream.Params{}) },
-			[]metric{{stream.MetricBandwidth, "triad bandwidth", rate}}, nil
-	case name == "daxpy":
-		return func(r *mpi.Rank) { blas.RunDaxpy(r, blas.DaxpyParams{N: 1 << 22, Variant: blas.ACML}) },
-			[]metric{{blas.MetricDaxpyFlops, "DAXPY", flps}}, nil
-	case name == "dgemm":
-		return func(r *mpi.Rank) { blas.RunDgemm(r, blas.DgemmParams{N: 800, Variant: blas.ACML}) },
-			[]metric{{blas.MetricDgemmFlops, "DGEMM", flps}}, nil
-	case name == "fft":
-		return func(r *mpi.Rank) { fft.RunDist(r, fft.DistParams{TotalN: 1 << 22}) },
-			[]metric{{fft.MetricFlops, "FFT", flps}}, nil
-	case name == "ra":
-		return func(r *mpi.Rank) { rnda.Run(r, rnda.Params{MPI: true}) },
-			[]metric{{rnda.MetricGUPS, "RandomAccess", gups}}, nil
-	case name == "ptrans":
-		return func(r *mpi.Rank) { ptrans.Run(r, ptrans.Params{N: 2048}) },
-			[]metric{{ptrans.MetricBandwidth, "PTRANS", rate}}, nil
-	case name == "hpl":
-		return func(r *mpi.Rank) { hpl.Run(r, hpl.Params{N: 2048}) },
-			[]metric{{hpl.MetricGFlops, "HPL", gfs}}, nil
-	case name == "cg":
-		body, err := npb.RunCG(npb.ClassA)
-		return body, []metric{{cg.MetricTime, "CG time", secs}}, err
-	case name == "ft":
-		body, err := npb.RunFT(npb.ClassA)
-		return body, []metric{{npb.MetricFTTime, "FT time", secs}}, err
-	case name == "ep":
-		body, err := npb.RunEP(npb.ClassA)
-		return body, []metric{{npb.MetricEPTime, "EP time", secs}}, err
-	case name == "mg":
-		body, err := npb.RunMG(npb.ClassW)
-		return body, []metric{{npb.MetricMGTime, "MG time", secs}}, err
-	case name == "lmbench":
-		return func(r *mpi.Rank) {
-				for _, pt := range lmbench.Run(r, lmbench.Params{}) {
-					r.Report(fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, pt.WorkingSetBytes), pt.LatencySeconds)
-				}
-			},
-			nil, nil
-	case strings.HasPrefix(name, "amber:"):
-		bench, err := amber.ByName(strings.TrimPrefix(name, "amber:"))
-		if err != nil {
-			return nil, nil, err
-		}
-		return func(r *mpi.Rank) { amber.Run(r, amber.Params{Bench: bench, Steps: 10}) },
-			[]metric{
-				{amber.MetricTotalTime, "MD loop time", secs},
-				{amber.MetricFFTTime, "FFT phase time", secs},
-			}, nil
-	case strings.HasPrefix(name, "lammps:"):
-		bench, err := lammps.ByName(strings.TrimPrefix(name, "lammps:"))
-		if err != nil {
-			return nil, nil, err
-		}
-		return func(r *mpi.Rank) { lammps.Run(r, lammps.Params{Bench: bench}) },
-			[]metric{{lammps.MetricTime, "MD loop time", secs}}, nil
-	case name == "pop":
-		return func(r *mpi.Rank) { pop.Run(r, pop.Params{Steps: 10}) },
-			[]metric{
-				{pop.MetricBaroclinic, "baroclinic time", secs},
-				{pop.MetricBarotropic, "barotropic time", secs},
-			}, nil
-	}
-	return nil, nil, fmt.Errorf("unknown workload %q", name)
 }
 
 func fatalf(format string, args ...any) {

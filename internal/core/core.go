@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"multicore/internal/affinity"
@@ -65,6 +66,15 @@ func (j Job) resolve() (*machine.Spec, error) {
 // It returns affinity.ErrInfeasible (wrapped) when the scheme cannot host
 // the rank count — the dashes in the paper's tables.
 func Run(j Job, body func(*mpi.Rank)) (*mpi.Result, error) {
+	return RunContext(context.Background(), j, body)
+}
+
+// RunContext is Run with cancellation threaded through to the simulation
+// engine: the run stops early when ctx is canceled (SIGINT on a sweep) or
+// its deadline passes (a per-cell wall-clock timeout), returning
+// *sim.CanceledError; a deadlocked workload returns *sim.DeadlockError
+// naming the blocked ranks instead of hanging.
+func RunContext(ctx context.Context, j Job, body func(*mpi.Rank)) (*mpi.Result, error) {
 	spec, err := j.resolve()
 	if err != nil {
 		return nil, err
@@ -90,7 +100,7 @@ func Run(j Job, body func(*mpi.Rank)) (*mpi.Result, error) {
 	if j.BufMode != nil {
 		cfg.BufMode = *j.BufMode
 	}
-	return mpi.Run(cfg, body), nil
+	return mpi.RunContext(ctx, cfg, body)
 }
 
 // Speedup runs body at 1 rank and at each rank count in `ranks`, under

@@ -59,13 +59,15 @@ func longsNoCoherence() *machine.Spec {
 	return spec
 }
 
-func runAblateCoherence(s Scale) []*report.Table {
+func runAblateCoherence(r *Runner, s Scale) []*report.Table {
 	vec := 16.0 * units.MB
 	t := report.New("Coherence ablation: STREAM triad and NAS CG on Longs",
 		"Metric", "Calibrated (paper-like)", "No coherence derating", "Gain")
 
 	triad := func(spec *machine.Spec) float64 {
-		res, err := core.Run(core.Job{Spec: spec, Ranks: 1, Scheme: affinity.OneMPILocalAlloc},
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := core.RunContext(ctx, core.Job{Spec: spec, Ranks: 1, Scheme: affinity.OneMPILocalAlloc},
 			func(r *mpi.Rank) {
 				stream.RunTriad(r, stream.Params{VectorBytes: vec, Iters: 2})
 			})
@@ -75,7 +77,7 @@ func runAblateCoherence(s Scale) []*report.Table {
 		return res.Max(stream.MetricBandwidth) / units.Giga
 	}
 	specs := []func() *machine.Spec{machine.Longs, longsNoCoherence}
-	triads := parMap(len(specs), func(i int) float64 { return triad(specs[i]()) })
+	triads := parMap(r, len(specs), func(i int) float64 { return triad(specs[i]()) })
 	base, fixed := triads[0], triads[1]
 	t.AddRow("1-core STREAM GB/s", report.F(base), report.F(fixed), report.F(fixed/base))
 
@@ -84,14 +86,16 @@ func runAblateCoherence(s Scale) []*report.Table {
 		if err != nil {
 			panic(err)
 		}
-		res, err := core.Run(core.Job{Spec: spec, Ranks: 8, Scheme: affinity.OneMPILocalAlloc,
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := core.RunContext(ctx, core.Job{Spec: spec, Ranks: 8, Scheme: affinity.OneMPILocalAlloc,
 			Impl: mpi.MPICH2()}, body)
 		if err != nil {
 			panic(err)
 		}
 		return res.Max(npb.MetricCGTime)
 	}
-	cgs := parMap(len(specs), func(i int) float64 { return cgTime(specs[i]()) })
+	cgs := parMap(r, len(specs), func(i int) float64 { return cgTime(specs[i]()) })
 	baseCG, fixedCG := cgs[0], cgs[1]
 	t.AddRow("NAS CG 8 ranks (s)", report.Seconds(baseCG), report.Seconds(fixedCG), report.F(baseCG/fixedCG))
 	return []*report.Table{t}
@@ -111,7 +115,7 @@ func longsCrossbar() *machine.Spec {
 	return spec
 }
 
-func runAblateTopology(s Scale) []*report.Table {
+func runAblateTopology(r *Runner, s Scale) []*report.Table {
 	t := report.New("Topology ablation: 2x4 ladder vs full crossbar (Longs, 16 ranks)",
 		"Metric", "Ladder", "Crossbar", "Ladder cost")
 
@@ -120,14 +124,16 @@ func runAblateTopology(s Scale) []*report.Table {
 		if err != nil {
 			panic(err)
 		}
-		res, err := core.Run(core.Job{Spec: spec, Ranks: 16, Impl: mpi.MPICH2()}, body)
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := core.RunContext(ctx, core.Job{Spec: spec, Ranks: 16, Impl: mpi.MPICH2()}, body)
 		if err != nil {
 			panic(err)
 		}
 		return res.Max(npb.MetricFTTime)
 	}
 	specs := []func() *machine.Spec{machine.Longs, longsCrossbar}
-	fts := parMap(len(specs), func(i int) float64 { return ftTime(specs[i]()) })
+	fts := parMap(r, len(specs), func(i int) float64 { return ftTime(specs[i]()) })
 	ladder, xbar := fts[0], fts[1]
 	t.AddRow("NAS FT 16 ranks (s)", report.Seconds(ladder), report.Seconds(xbar), report.F(ladder/xbar))
 
@@ -139,17 +145,17 @@ func runAblateTopology(s Scale) []*report.Table {
 		pt := imb.Ring(mpi.Config{Spec: spec, Impl: mpi.LAM().WithSublayer(mpi.USysV()), Bindings: b}, 8, 30)
 		return pt.Latency / units.Microsecond
 	}
-	rings := parMap(len(specs), func(i int) float64 { return ringLat(specs[i]()) })
+	rings := parMap(r, len(specs), func(i int) float64 { return ringLat(specs[i]()) })
 	lr, xr := rings[0], rings[1]
 	t.AddRow("Ring latency 8 B (us)", report.F(lr), report.F(xr), report.F(lr/xr))
 	return []*report.Table{t}
 }
 
-func runAblateSublayer(s Scale) []*report.Table {
+func runAblateSublayer(r *Runner, s Scale) []*report.Table {
 	t := report.New("Sub-layer latency sweep: MPI RandomAccess, 16 ranks on Longs",
 		"Lock+wake latency (us)", "MPI GUPS per core", "PingPong latency (us)")
 	lockSweep := []float64{0.5, 1, 2, 4, 8, 16, 32}
-	rows := parMap(len(lockSweep), func(i int) []string {
+	rows := parMap(r, len(lockSweep), func(i int) []string {
 		lockUS := lockSweep[i]
 		sub := mpi.Sublayer{
 			Name:        fmt.Sprintf("sweep-%g", lockUS),
@@ -162,9 +168,14 @@ func runAblateSublayer(s Scale) []*report.Table {
 		if err != nil {
 			panic(err)
 		}
-		res := mpi.Run(mpi.Config{Spec: spec, Impl: impl, Bindings: b}, func(r *mpi.Rank) {
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := mpi.RunContext(ctx, mpi.Config{Spec: spec, Impl: impl, Bindings: b}, func(r *mpi.Rank) {
 			rnda.Run(r, rnda.Params{TableBytes: 32 << 20, Updates: 8e5, MPI: true})
 		})
+		if err != nil {
+			panic(err)
+		}
 		b2 := []affinity.Binding{
 			{Core: 0, MemPolicy: mem.LocalAlloc},
 			{Core: 2, MemPolicy: mem.LocalAlloc},
@@ -180,7 +191,7 @@ func runAblateSublayer(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runExtHybrid(s Scale) []*report.Table {
+func runExtHybrid(r *Runner, s Scale) []*report.Table {
 	t := report.New("Three communication classes on Longs (OpenMPI PingPong)",
 		"Channel", "Latency 8 B (us)", "Bandwidth 1 MiB (MB/s)")
 	spec := machine.Longs()
@@ -192,7 +203,7 @@ func runExtHybrid(s Scale) []*report.Table {
 		{"neighbor sockets (1 hop)", [2]topology.CoreID{0, 2}},
 		{"across the ladder (4 hops)", [2]topology.CoreID{0, 14}},
 	}
-	rows := parMap(len(cases), func(i int) []string {
+	rows := parMap(r, len(cases), func(i int) []string {
 		c := cases[i]
 		b := []affinity.Binding{
 			{Core: c.cores[0], MemPolicy: mem.LocalAlloc},
@@ -220,7 +231,7 @@ func init() {
 	})
 }
 
-func runAblateCollectives(s Scale) []*report.Table {
+func runAblateCollectives(r *Runner, s Scale) []*report.Table {
 	t := report.New("Collective algorithms by payload (seconds, 8 ranks on Longs)",
 		"Payload", "Allreduce doubling", "Allreduce ring", "Bcast binomial", "Bcast scatter+allgather")
 	spec := machine.Longs()
@@ -229,7 +240,13 @@ func runAblateCollectives(s Scale) []*report.Table {
 		panic(err)
 	}
 	timeOf := func(body func(*mpi.Rank)) float64 {
-		return mpi.Run(mpi.Config{Spec: spec, Impl: mpi.MPICH2(), Bindings: b}, body).Time
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := mpi.RunContext(ctx, mpi.Config{Spec: spec, Impl: mpi.MPICH2(), Bindings: b}, body)
+		if err != nil {
+			panic(err)
+		}
+		return res.Time
 	}
 	sizes := []float64{64, 4 * units.KB, 64 * units.KB, units.MB, 8 * units.MB}
 	if s == Quick {
@@ -241,7 +258,7 @@ func runAblateCollectives(s Scale) []*report.Table {
 		func(r *mpi.Rank, b float64) { r.BcastBinomial(0, b) },
 		func(r *mpi.Rank, b float64) { r.BcastScatterAllgather(0, b) },
 	}
-	times := parMap(len(sizes)*len(algos), func(i int) float64 {
+	times := parMap(r, len(sizes)*len(algos), func(i int) float64 {
 		bytes, algo := sizes[i/len(algos)], algos[i%len(algos)]
 		return timeOf(func(r *mpi.Rank) { algo(r, bytes) })
 	})

@@ -7,8 +7,8 @@ import (
 	"multicore/internal/apps/amber"
 	"multicore/internal/apps/lammps"
 	"multicore/internal/apps/pop"
-	"multicore/internal/mpi"
 	"multicore/internal/report"
+	"multicore/internal/workload"
 )
 
 func init() {
@@ -71,23 +71,23 @@ func amberSteps(s Scale) int {
 
 // amberTimes is the pair of metrics one AMBER run yields; caching the
 // pair lets Table 7 (FFT time) and Table 9 (total time) share runs.
+// The fields are exported so the pair round-trips the persistent store.
 type amberTimes struct {
 	Total, FFT float64
 }
 
-// amberRun runs one AMBER benchmark and returns (total, fft) times.
-func amberRun(name, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (total, fft float64, err error) {
-	times, err := cached(CellKey{
+// amberRun runs one AMBER benchmark (resolved through the workload
+// registry) and returns (total, fft) times.
+func amberRun(r *Runner, name, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (total, fft float64, err error) {
+	times, err := runCell(r, CellKey{
 		Workload: fmt.Sprintf("amber/%s/%d", name, steps),
 		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
 	}, func() (amberTimes, error) {
-		bench, err := amber.ByName(name)
+		wl, err := workload.New(workload.Spec{Name: "amber", Arg: name, Steps: steps})
 		if err != nil {
 			return amberTimes{}, err
 		}
-		res, err := runJob(fmt.Sprintf("amber-%s-%d", name, steps), system, ranks, scheme, func(r *mpi.Rank) {
-			amber.Run(r, amber.Params{Bench: bench, Steps: steps})
-		})
+		res, err := r.runJob(fmt.Sprintf("amber-%s-%d", name, steps), system, ranks, scheme, wl.Body)
 		if err != nil {
 			return amberTimes{}, err
 		}
@@ -101,36 +101,36 @@ var appSweep = []sysRanks{
 	{System: "dmz", Ranks: []int{2, 4}},
 }
 
-func runTable7(s Scale) []*report.Table {
-	t := numactlTable("Table 7: FFT time in the JAC benchmark (seconds)",
+func runTable7(r *Runner, s Scale) []*report.Table {
+	t := numactlTable(r, "Table 7: FFT time in the JAC benchmark (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			_, fft, err := amberRun("JAC", system, ranks, scheme, amberSteps(s), s)
+			_, fft, err := amberRun(r, "JAC", system, ranks, scheme, amberSteps(s), s)
 			return fft, err
 		})
 	return []*report.Table{t}
 }
 
-func runTable8(s Scale) []*report.Table {
+func runTable8(r *Runner, s Scale) []*report.Table {
 	names := []string{"dhfr", "factor_ix", "gb_cox2", "gb_mb", "JAC"}
-	t := speedupTable("Table 8: AMBER multi-core speedup (no numactl)",
+	t := speedupTable(r, "Table 8: AMBER multi-core speedup (no numactl)",
 		[]sysRanks{
 			{System: "dmz", Ranks: []int{2, 4}},
 			{System: "longs", Ranks: []int{2, 4, 8, 16}},
 		},
 		names,
 		func(system string, ranks int, which int) (float64, error) {
-			total, _, err := amberRun(names[which], system, ranks, affinity.Default, amberSteps(s), s)
+			total, _, err := amberRun(r, names[which], system, ranks, affinity.Default, amberSteps(s), s)
 			return total, err
 		})
 	return []*report.Table{t}
 }
 
-func runTable9(s Scale) []*report.Table {
-	t := numactlTable("Table 9: overall JAC runtime (seconds)",
+func runTable9(r *Runner, s Scale) []*report.Table {
+	t := numactlTable(r, "Table 9: overall JAC runtime (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			total, _, err := amberRun("JAC", system, ranks, scheme, amberSteps(s), s)
+			total, _, err := amberRun(r, "JAC", system, ranks, scheme, amberSteps(s), s)
 			return total, err
 		})
 	return []*report.Table{t}
@@ -143,14 +143,16 @@ func lammpsSteps(s Scale) int {
 	return 20
 }
 
-func lammpsRun(b lammps.Benchmark, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (float64, error) {
-	return cached(CellKey{
+func lammpsRun(r *Runner, b lammps.Benchmark, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (float64, error) {
+	return runCell(r, CellKey{
 		Workload: fmt.Sprintf("lammps/%s/%d", b, steps),
 		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
 	}, func() (float64, error) {
-		res, err := runJob(fmt.Sprintf("lammps-%s-%d", b, steps), system, ranks, scheme, func(r *mpi.Rank) {
-			lammps.Run(r, lammps.Params{Bench: b, Steps: steps})
-		})
+		wl, err := workload.New(workload.Spec{Name: "lammps", Arg: b.String(), Steps: steps})
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.runJob(fmt.Sprintf("lammps-%s-%d", b, steps), system, ranks, scheme, wl.Body)
 		if err != nil {
 			return 0, err
 		}
@@ -158,9 +160,9 @@ func lammpsRun(b lammps.Benchmark, system string, ranks int, scheme affinity.Sch
 	})
 }
 
-func runTable10(s Scale) []*report.Table {
+func runTable10(r *Runner, s Scale) []*report.Table {
 	benches := []lammps.Benchmark{lammps.LJ, lammps.Chain, lammps.EAM}
-	t := speedupTable("Table 10: LAMMPS multi-core speedup (no numactl)",
+	t := speedupTable(r, "Table 10: LAMMPS multi-core speedup (no numactl)",
 		[]sysRanks{
 			{System: "dmz", Ranks: []int{2, 4}},
 			{System: "longs", Ranks: []int{2, 4, 8, 16}},
@@ -168,16 +170,16 @@ func runTable10(s Scale) []*report.Table {
 		},
 		[]string{"LJ", "Chain", "EAM"},
 		func(system string, ranks int, which int) (float64, error) {
-			return lammpsRun(benches[which], system, ranks, affinity.Default, lammpsSteps(s), s)
+			return lammpsRun(r, benches[which], system, ranks, affinity.Default, lammpsSteps(s), s)
 		})
 	return []*report.Table{t}
 }
 
-func runTable11(s Scale) []*report.Table {
-	t := numactlTable("Table 11: LAMMPS LJ runtime vs numactl options (seconds)",
+func runTable11(r *Runner, s Scale) []*report.Table {
+	t := numactlTable(r, "Table 11: LAMMPS LJ runtime vs numactl options (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			return lammpsRun(lammps.LJ, system, ranks, scheme, lammpsSteps(s), s)
+			return lammpsRun(r, lammps.LJ, system, ranks, scheme, lammpsSteps(s), s)
 		})
 	return []*report.Table{t}
 }
@@ -190,19 +192,22 @@ func popSteps(s Scale) int {
 }
 
 // popTimes pairs the two POP phase metrics, so Table 12 (speedup),
-// Table 13 (baroclinic), and Table 14 (barotropic) share runs.
+// Table 13 (baroclinic), and Table 14 (barotropic) share runs. The
+// fields are exported so the pair round-trips the persistent store.
 type popTimes struct {
 	Clinic, Tropic float64
 }
 
-func popRun(system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (clinic, tropic float64, err error) {
-	times, err := cached(CellKey{
+func popRun(r *Runner, system string, ranks int, scheme affinity.Scheme, steps int, s Scale) (clinic, tropic float64, err error) {
+	times, err := runCell(r, CellKey{
 		Workload: fmt.Sprintf("pop/%d", steps),
 		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
 	}, func() (popTimes, error) {
-		res, err := runJob(fmt.Sprintf("pop-%d", steps), system, ranks, scheme, func(r *mpi.Rank) {
-			pop.Run(r, pop.Params{Steps: steps})
-		})
+		wl, err := workload.New(workload.Spec{Name: "pop", Steps: steps})
+		if err != nil {
+			return popTimes{}, err
+		}
+		res, err := r.runJob(fmt.Sprintf("pop-%d", steps), system, ranks, scheme, wl.Body)
 		if err != nil {
 			return popTimes{}, err
 		}
@@ -211,8 +216,8 @@ func popRun(system string, ranks int, scheme affinity.Scheme, steps int, s Scale
 	return times.Clinic, times.Tropic, err
 }
 
-func runTable12(s Scale) []*report.Table {
-	t := speedupTable("Table 12: POP multi-core speedup",
+func runTable12(r *Runner, s Scale) []*report.Table {
+	t := speedupTable(r, "Table 12: POP multi-core speedup",
 		[]sysRanks{
 			{System: "dmz", Ranks: []int{2, 4}},
 			{System: "tiger", Ranks: []int{2}},
@@ -220,7 +225,7 @@ func runTable12(s Scale) []*report.Table {
 		},
 		[]string{"Baroclinic", "Barotropic"},
 		func(system string, ranks int, which int) (float64, error) {
-			clinic, tropic, err := popRun(system, ranks, affinity.Default, popSteps(s), s)
+			clinic, tropic, err := popRun(r, system, ranks, affinity.Default, popSteps(s), s)
 			if which == 0 {
 				return clinic, err
 			}
@@ -229,21 +234,21 @@ func runTable12(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runTable13(s Scale) []*report.Table {
-	t := numactlTable("Table 13: POP baroclinic execution time (seconds)",
+func runTable13(r *Runner, s Scale) []*report.Table {
+	t := numactlTable(r, "Table 13: POP baroclinic execution time (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			clinic, _, err := popRun(system, ranks, scheme, popSteps(s), s)
+			clinic, _, err := popRun(r, system, ranks, scheme, popSteps(s), s)
 			return clinic, err
 		})
 	return []*report.Table{t}
 }
 
-func runTable14(s Scale) []*report.Table {
-	t := numactlTable("Table 14: POP barotropic execution time (seconds)",
+func runTable14(r *Runner, s Scale) []*report.Table {
+	t := numactlTable(r, "Table 14: POP barotropic execution time (seconds)",
 		appSweep,
 		func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-			_, tropic, err := popRun(system, ranks, scheme, popSteps(s), s)
+			_, tropic, err := popRun(r, system, ranks, scheme, popSteps(s), s)
 			return tropic, err
 		})
 	return []*report.Table{t}

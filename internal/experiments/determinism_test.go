@@ -12,10 +12,16 @@ import (
 	"testing"
 )
 
-// renderAll renders an experiment's tables to one canonical string.
-func renderAll(e Experiment) string {
+// renderAll renders an experiment's tables through the given runner to
+// one canonical string.
+func renderAll(t *testing.T, r *Runner, e Experiment) string {
+	t.Helper()
+	tabs, err := r.Run(e, Quick)
+	if err != nil {
+		t.Fatalf("%s: %v", e.ID, err)
+	}
 	var b strings.Builder
-	for _, tab := range e.Run(Quick) {
+	for _, tab := range tabs {
 		b.WriteString(tab.Text())
 		b.WriteString("\n")
 	}
@@ -24,8 +30,8 @@ func renderAll(e Experiment) string {
 
 // TestSerialParallelIdentical is the determinism regression for the
 // parallel executor: every experiment must render byte-identical tables
-// whether its cells run serially or on a many-worker pool. The cache is
-// cleared between passes so both actually simulate.
+// whether its cells run serially or on a many-worker pool. Each pass
+// gets a fresh runner so both actually simulate.
 func TestSerialParallelIdentical(t *testing.T) {
 	exps := All()
 	if testing.Short() {
@@ -40,24 +46,17 @@ func TestSerialParallelIdentical(t *testing.T) {
 			exps = append(exps, e)
 		}
 	}
-	orig := Parallelism()
-	defer SetParallelism(orig)
 	for _, e := range exps {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			ClearCache()
-			SetParallelism(1)
-			serial := renderAll(e)
-			ClearCache()
-			SetParallelism(8)
-			parallel := renderAll(e)
+			serial := renderAll(t, NewRunner(nil, Options{Parallelism: 1}), e)
+			parallel := renderAll(t, NewRunner(nil, Options{Parallelism: 8}), e)
 			if serial != parallel {
 				t.Errorf("%s: serial and parallel runs render different tables\nserial:\n%s\nparallel:\n%s",
 					e.ID, serial, parallel)
 			}
 		})
 	}
-	ClearCache()
 }
 
 // updateEngineGolden rewrites testdata/engine_golden.json from the current
@@ -122,7 +121,8 @@ func hashTraceDir(t *testing.T, dir string) string {
 
 // TestEngineGoldenArtifacts re-simulates the sample artifacts with tracing
 // enabled and asserts the tables and traces are byte-identical to the
-// committed seed-engine goldens.
+// committed goldens. Each sample gets a fresh runner so every cell is
+// simulated and traced.
 func TestEngineGoldenArtifacts(t *testing.T) {
 	got := engineGolden{Tables: map[string]string{}, Traces: map[string]string{}}
 	for _, id := range engineGoldenSample {
@@ -130,15 +130,12 @@ func TestEngineGoldenArtifacts(t *testing.T) {
 		if !ok {
 			t.Fatalf("no experiment %q", id)
 		}
-		ClearCache() // force re-simulation so every cell is traced
 		dir := t.TempDir()
-		SetTraceDir(dir)
-		text := renderAll(e)
-		SetTraceDir("")
+		r := NewRunner(nil, Options{TraceDir: dir})
+		text := renderAll(t, r, e)
 		got.Tables[id] = sha256hex([]byte(text))
 		got.Traces[id] = hashTraceDir(t, dir)
 	}
-	ClearCache()
 
 	if *updateEngineGolden {
 		if err := os.MkdirAll(filepath.Dir(engineGoldenPath), 0o755); err != nil {

@@ -1,61 +1,272 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"multicore/internal/affinity"
+	"multicore/internal/report"
+	"multicore/internal/sim"
+	"multicore/internal/store"
 )
 
 // The paper's evaluation is a grid of independent cells — every
 // (system, ranks, scheme, workload) combination owns a private simulation
 // engine — so tables can execute their cells on a worker pool and collect
 // results by index, keeping the emitted artifacts byte-identical to a
-// serial run. A process-wide result cache deduplicates cells that several
-// artifacts share (e.g. Table 13 and Table 14 analyze the same POP runs).
+// serial run. A Runner owns the pool plus a per-run result cache that
+// deduplicates cells shared by several artifacts (e.g. Table 13 and
+// Table 14 analyze the same POP runs), and optionally a persistent
+// on-disk store so interrupted sweeps resume instead of restarting.
 
-var pool = struct {
-	sync.Mutex
-	workers int
-}{workers: runtime.GOMAXPROCS(0)}
+// Options configures a Runner. The zero value gives the historical
+// defaults: GOMAXPROCS-wide parallelism, in-memory caching only, no
+// per-cell timeout, no tracing.
+type Options struct {
+	// Parallelism bounds the number of cells simulating concurrently
+	// across all tables; < 1 means GOMAXPROCS.
+	Parallelism int
+	// Store, when non-nil, persists every completed cell and serves
+	// repeat runs from disk (mcbench -store).
+	Store *store.Store
+	// Resume re-runs cells whose stored status is "error" instead of
+	// reporting the recorded failure (mcbench -resume).
+	Resume bool
+	// CellTimeout bounds each cell's wall-clock simulation time; zero
+	// disables the bound. A cell that exceeds it reports a
+	// *sim.CanceledError instead of stalling the sweep.
+	CellTimeout time.Duration
+	// TraceDir, when non-empty, writes one Chrome trace file per cell
+	// routed through runJob (mcbench -trace).
+	TraceDir string
+}
 
-// SetParallelism bounds the number of experiment cells simulating
-// concurrently across all tables; n < 1 means serial. cmd/mcbench wires
-// its -j flag here.
-func SetParallelism(n int) {
+// Runner executes experiments: it owns the worker pool, the in-process
+// cell cache, the optional persistent store, and the cancellation
+// context. Independent Runners share nothing, so tests and mcbench's
+// per-experiment -json timing mode get isolation by constructing fresh
+// ones.
+type Runner struct {
+	ctx context.Context
+
+	mu           sync.Mutex
+	opts         Options
+	cache        map[CellKey]*cacheEntry
+	traceWritten map[string]bool
+	errs         []error
+
+	cellsRun  atomic.Int64
+	storeHits atomic.Int64
+}
+
+// NewRunner builds a runner. A nil ctx means context.Background(); the
+// sweep stops claiming new cells and aborts in-flight engines when ctx
+// is canceled.
+func NewRunner(ctx context.Context, opts Options) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		ctx:          ctx,
+		opts:         opts,
+		cache:        map[CellKey]*cacheEntry{},
+		traceWritten: map[string]bool{},
+	}
+}
+
+// Context returns the runner's cancellation context.
+func (r *Runner) Context() context.Context { return r.ctx }
+
+// Run executes one experiment at the given scale. A panic anywhere in
+// the experiment body is captured as an error — one broken artifact must
+// not kill the rest of a sweep. When the runner's context is canceled
+// the partial tables are discarded and the context error is returned, so
+// callers never emit half-computed artifacts.
+func (r *Runner) Run(e Experiment, s Scale) (tables []*report.Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiments: %s panicked: %v", e.ID, p)
+		}
+	}()
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	tables = e.Run(r, s)
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// SetParallelism rebounds the worker pool; n < 1 means serial.
+func (r *Runner) SetParallelism(n int) {
 	if n < 1 {
 		n = 1
 	}
-	pool.Lock()
-	pool.workers = n
-	pool.Unlock()
+	r.mu.Lock()
+	r.opts.Parallelism = n
+	r.mu.Unlock()
 }
 
-// Parallelism reports the current worker bound.
-func Parallelism() int {
-	pool.Lock()
-	defer pool.Unlock()
-	return pool.workers
+func (r *Runner) parallelism() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Parallelism
 }
+
+// SetTraceDir enables per-cell trace capture into dir; "" disables.
+func (r *Runner) SetTraceDir(dir string) {
+	r.mu.Lock()
+	r.opts.TraceDir = dir
+	r.traceWritten = map[string]bool{}
+	r.mu.Unlock()
+}
+
+// ClearCache drops every memoized in-process cell result (the on-disk
+// store, if any, is untouched). Tests use it to force re-simulation.
+func (r *Runner) ClearCache() {
+	r.mu.Lock()
+	r.cache = map[CellKey]*cacheEntry{}
+	r.mu.Unlock()
+}
+
+// CacheSize reports the number of memoized cells.
+func (r *Runner) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// CellsRun reports how many cells were actually simulated (store hits
+// and in-process cache hits excluded).
+func (r *Runner) CellsRun() int { return int(r.cellsRun.Load()) }
+
+// StoreHits reports how many cells were served from the persistent
+// store without simulating.
+func (r *Runner) StoreHits() int { return int(r.storeHits.Load()) }
+
+// CellErrors returns the distinct non-infeasible cell failures recorded
+// so far (bounded; tables render such cells as ERR, this keeps the
+// messages). Cancellation errors are not recorded — they describe the
+// sweep stopping, not a cell failing.
+func (r *Runner) CellErrors() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]error, len(r.errs))
+	copy(out, r.errs)
+	return out
+}
+
+const maxRecordedErrs = 32
+
+func (r *Runner) noteErr(err error) {
+	if isCanceled(err) {
+		return
+	}
+	r.mu.Lock()
+	if len(r.errs) < maxRecordedErrs {
+		r.errs = append(r.errs, err)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runner) store() *store.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Store
+}
+
+func (r *Runner) resume() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Resume
+}
+
+// jobContext derives the context one cell simulates under: the runner's
+// context, bounded by the per-cell wall-clock timeout when configured.
+func (r *Runner) jobContext() (context.Context, context.CancelFunc) {
+	r.mu.Lock()
+	d := r.opts.CellTimeout
+	r.mu.Unlock()
+	if d > 0 {
+		return context.WithTimeout(r.ctx, d)
+	}
+	return r.ctx, func() {}
+}
+
+// Default returns the process-wide runner backing the deprecated
+// package-level functions (SetParallelism, ClearCache, SetTraceDir). New
+// code should construct its own Runner.
+func Default() *Runner {
+	defaultOnce.Do(func() {
+		defaultRunner = NewRunner(context.Background(), Options{})
+	})
+	return defaultRunner
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultRunner *Runner
+)
+
+// SetParallelism bounds the default runner's worker pool.
+//
+// Deprecated: construct a Runner with Options{Parallelism: n}.
+func SetParallelism(n int) { Default().SetParallelism(n) }
+
+// Parallelism reports the default runner's worker bound.
+//
+// Deprecated: use your own Runner.
+func Parallelism() int { return Default().parallelism() }
+
+// ClearCache drops the default runner's memoized cells.
+//
+// Deprecated: construct a fresh Runner instead.
+func ClearCache() { Default().ClearCache() }
+
+// CacheSize reports the default runner's memoized cell count.
+//
+// Deprecated: use Runner.CacheSize.
+func CacheSize() int { return Default().CacheSize() }
+
+// SetTraceDir enables trace capture on the default runner.
+//
+// Deprecated: construct a Runner with Options{TraceDir: dir}.
+func SetTraceDir(dir string) { Default().SetTraceDir(dir) }
 
 // workerPanic carries a worker goroutine's panic to the caller.
 type workerPanic struct{ v any }
 
-// parMap evaluates fn(0..n-1) on the shared worker pool and returns the
-// results in index order. With parallelism 1 it degenerates to a plain
-// loop on the calling goroutine. A panicking fn re-panics on the caller.
-func parMap[T any](n int, fn func(i int) T) []T {
+// parMap evaluates fn(0..n-1) on the runner's worker pool and returns
+// the results in index order. With parallelism 1 it degenerates to a
+// plain loop on the calling goroutine. A panicking fn re-panics on the
+// caller (Runner.Run converts that into an experiment error). When the
+// runner's context is canceled workers stop claiming indices — the
+// partial results are discarded by Runner.Run, so the holes are never
+// rendered.
+func parMap[T any](r *Runner, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
 	}
-	workers := Parallelism()
+	workers := r.parallelism()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := range out {
+			if r.ctx.Err() != nil {
+				break
+			}
 			out[i] = fn(i)
 		}
 		return out
@@ -73,6 +284,9 @@ func parMap[T any](n int, fn func(i int) T) []T {
 		go func() {
 			defer wg.Done()
 			for {
+				if r.ctx.Err() != nil {
+					return
+				}
 				idxMu.Lock()
 				i := next
 				next++
@@ -82,8 +296,8 @@ func parMap[T any](n int, fn func(i int) T) []T {
 				}
 				func() {
 					defer func() {
-						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicked = &workerPanic{v: r} })
+						if p := recover(); p != nil {
+							panicOnce.Do(func() { panicked = &workerPanic{v: p} })
 							// Exhaust the index feed so other workers stop
 							// claiming cells instead of simulating the rest
 							// of the grid before the re-panic.
@@ -104,10 +318,10 @@ func parMap[T any](n int, fn func(i int) T) []T {
 	return out
 }
 
-// CellKey identifies one simulated cell for the result cache. Workload
-// must encode every run parameter beyond the placement coordinates
-// (kernel, problem class, step count, ...); two cells with equal keys
-// must be byte-for-byte the same simulation.
+// CellKey identifies one simulated cell for the result cache and the
+// persistent store. Workload must encode every run parameter beyond the
+// placement coordinates (kernel, problem class, step count, ...); two
+// cells with equal keys must be byte-for-byte the same simulation.
 type CellKey struct {
 	Workload string
 	System   string
@@ -116,31 +330,55 @@ type CellKey struct {
 	Scale    Scale
 }
 
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s/r%d/%s/%s", k.Workload, k.System, k.Ranks, k.Scheme, k.Scale)
+}
+
+// storeKey maps the in-process key to the persistent store's identity.
+// sim.ModelVersion participates so entries from an older engine
+// generation never alias current results.
+func (k CellKey) storeKey() store.Key {
+	return store.Key{
+		Workload: k.Workload,
+		System:   k.System,
+		Ranks:    k.Ranks,
+		Scheme:   k.Scheme.String(),
+		Scale:    k.Scale.String(),
+		Model:    sim.ModelVersion,
+	}
+}
+
 type cacheEntry struct {
 	once sync.Once
 	val  any
 	err  error
 }
 
-var cellCache = struct {
-	sync.Mutex
-	m map[CellKey]*cacheEntry
-}{m: map[CellKey]*cacheEntry{}}
-
-// cached memoizes fn by key for the life of the process. Concurrent
-// callers of the same key block until the first finishes, so duplicate
-// cells simulate exactly once even under the parallel executor.
-func cached[T any](key CellKey, fn func() (T, error)) (T, error) {
-	cellCache.Lock()
-	e, ok := cellCache.m[key]
+func (r *Runner) entry(key CellKey) *cacheEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[key]
 	if !ok {
 		e = &cacheEntry{}
-		cellCache.m[key] = e
+		r.cache[key] = e
 	}
-	cellCache.Unlock()
+	return e
+}
+
+// runCell memoizes fn by key for the life of the runner, consulting the
+// persistent store first when one is configured. Concurrent callers of
+// the same key block until the first finishes, so duplicate cells
+// simulate exactly once even under the parallel executor. A panicking
+// fn is captured as the cell's error (and recorded in the store) rather
+// than unwinding the sweep.
+//
+// T must round-trip through encoding/json unchanged for stored results
+// to reproduce byte-identical tables; float64s and structs of exported
+// float64 fields do.
+func runCell[T any](r *Runner, key CellKey, fn func() (T, error)) (T, error) {
+	e := r.entry(key)
 	e.once.Do(func() {
-		v, err := fn()
-		e.val, e.err = v, err
+		e.val, e.err = computeCell(r, key, fn)
 	})
 	if e.err != nil {
 		var zero T
@@ -153,17 +391,110 @@ func cached[T any](key CellKey, fn func() (T, error)) (T, error) {
 	return v, nil
 }
 
-// ClearCache drops every memoized cell result. Tests use it to force
-// re-simulation; production sweeps have no reason to call it.
-func ClearCache() {
-	cellCache.Lock()
-	cellCache.m = map[CellKey]*cacheEntry{}
-	cellCache.Unlock()
+func computeCell[T any](r *Runner, key CellKey, fn func() (T, error)) (any, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := r.store()
+	sk := key.storeKey()
+	if st != nil {
+		if v, err, served := loadCell[T](r, st, key, sk); served {
+			return v, err
+		}
+	}
+	v, err := runIsolated(key, fn)
+	r.cellsRun.Add(1)
+	if err != nil && !isInfeasible(err) {
+		r.noteErr(err)
+	}
+	if st != nil {
+		r.persistCell(sk, v, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
-// CacheSize reports the number of memoized cells.
-func CacheSize() int {
-	cellCache.Lock()
-	defer cellCache.Unlock()
-	return len(cellCache.m)
+// loadCell serves a cell from the persistent store. served=false means
+// a miss (absent, corrupt, or an error entry being retried under
+// -resume) and the caller must simulate.
+func loadCell[T any](r *Runner, st *store.Store, key CellKey, sk store.Key) (any, error, bool) {
+	ent, err := st.Get(sk)
+	if err != nil {
+		// Schema mismatch or tampered entry: surface it, don't guess.
+		r.noteErr(err)
+		return nil, err, true
+	}
+	if ent == nil {
+		return nil, nil, false
+	}
+	switch ent.Status {
+	case store.StatusOK:
+		var v T
+		if err := json.Unmarshal(ent.Value, &v); err != nil {
+			return nil, nil, false // undecodable value: re-run the cell
+		}
+		r.storeHits.Add(1)
+		return v, nil, true
+	case store.StatusInfeasible:
+		r.storeHits.Add(1)
+		return nil, &affinity.ErrInfeasible{Scheme: key.Scheme, Ranks: key.Ranks, System: key.System}, true
+	case store.StatusError:
+		if r.resume() {
+			return nil, nil, false // -resume retries recorded failures
+		}
+		r.storeHits.Add(1)
+		err := fmt.Errorf("experiments: cell %s failed in an earlier run (re-run with -resume to retry): %s", key, ent.Error)
+		r.noteErr(err)
+		return nil, err, true
+	}
+	return nil, nil, false // unknown status: treat as a miss
+}
+
+// persistCell records a completed cell. Cancellation and timeout
+// outcomes are never persisted — they depend on wall-clock conditions,
+// not on the cell — so the cell re-runs next time.
+func (r *Runner) persistCell(sk store.Key, v any, err error) {
+	st := r.store()
+	var perr error
+	switch {
+	case err == nil:
+		perr = st.Put(sk, v)
+	case isInfeasible(err):
+		perr = st.PutInfeasible(sk)
+	case isCanceled(err):
+		return
+	default:
+		perr = st.PutError(sk, err.Error())
+	}
+	if perr != nil {
+		r.noteErr(perr)
+	}
+}
+
+// runIsolated invokes fn, converting a panic into an error so one
+// broken cell renders as ERR instead of killing the sweep.
+func runIsolated[T any](key CellKey, fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiments: cell %s panicked: %v", key, p)
+		}
+	}()
+	return fn()
+}
+
+func isInfeasible(err error) bool {
+	var inf *affinity.ErrInfeasible
+	return errors.As(err, &inf)
+}
+
+// isCanceled reports whether err describes the sweep being stopped (ctx
+// cancellation, a cell deadline, or an engine abort) rather than the
+// cell itself failing.
+func isCanceled(err error) bool {
+	var ce *sim.CanceledError
+	return errors.As(err, &ce) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }

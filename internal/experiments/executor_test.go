@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -9,9 +10,7 @@ import (
 // remaining workers stop claiming indices: a panicking grid must not
 // simulate the rest of its cells before re-panicking on the caller.
 func TestParMapPanicShortCircuits(t *testing.T) {
-	orig := Parallelism()
-	defer SetParallelism(orig)
-	SetParallelism(8)
+	r := NewRunner(nil, Options{Parallelism: 8})
 
 	const n = 10000
 	gate := make(chan struct{})
@@ -19,7 +18,7 @@ func TestParMapPanicShortCircuits(t *testing.T) {
 	var recovered any
 	func() {
 		defer func() { recovered = recover() }()
-		parMap(n, func(i int) int {
+		parMap(r, n, func(i int) int {
 			if i == 0 {
 				close(gate) // release the other workers, then fail
 				panic("cell 0 exploded")
@@ -43,15 +42,30 @@ func TestParMapPanicShortCircuits(t *testing.T) {
 // TestParMapCompletesAllIndices is the non-panicking baseline: every
 // index runs exactly once and lands in order.
 func TestParMapCompletesAllIndices(t *testing.T) {
-	orig := Parallelism()
-	defer SetParallelism(orig)
 	for _, workers := range []int{1, 4} {
-		SetParallelism(workers)
-		out := parMap(100, func(i int) int { return i * i })
+		r := NewRunner(nil, Options{Parallelism: workers})
+		out := parMap(r, 100, func(i int) int { return i * i })
 		for i, v := range out {
 			if v != i*i {
 				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
 			}
 		}
+	}
+}
+
+// TestParMapStopsOnCancel checks that canceling the runner's context
+// stops workers from claiming new indices.
+func TestParMapStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(ctx, Options{Parallelism: 4})
+	var executed atomic.Int64
+	parMap(r, 10000, func(i int) int {
+		if executed.Add(1) == 8 {
+			cancel()
+		}
+		return i
+	})
+	if got := executed.Load(); got > 1000 {
+		t.Fatalf("%d cells executed after cancellation; claim-stop failed", got)
 	}
 }

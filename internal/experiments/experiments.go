@@ -2,12 +2,14 @@
 // evaluation: each experiment is a registered runner that executes the
 // relevant workloads on the simulated systems and emits tables shaped like
 // the paper's artifacts. The cmd/mcbench tool and the repository's
-// benchmark harness both drive this registry.
+// benchmark harness both drive this registry through a Runner, which owns
+// cancellation, the worker pool, and the (optionally persistent) result
+// cache.
 package experiments
 
 import (
-	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"multicore/internal/affinity"
@@ -27,6 +29,18 @@ const (
 	Full
 )
 
+// String names the scale; it participates in persistent store keys, so
+// the names are part of the on-disk format.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
 // Experiment is one reproducible paper artifact.
 type Experiment struct {
 	// ID is the artifact name: "fig2".."fig17", "table2".."table14".
@@ -35,8 +49,10 @@ type Experiment struct {
 	Title string
 	// Paper states the headline result the paper reports for it.
 	Paper string
-	// Run executes the experiment and returns its tables.
-	Run func(s Scale) []*report.Table
+	// Run executes the experiment on the given runner and returns its
+	// tables. Call it through Runner.Run, which adds panic isolation
+	// and cancellation handling.
+	Run func(r *Runner, s Scale) []*report.Table
 }
 
 var registry []Experiment
@@ -96,14 +112,15 @@ type cellValue struct {
 
 // cellString renders a cell value in the paper's style: fmt formats a
 // feasible value, infeasible placements show the paper's dash, and any
-// other error is a programming bug.
-func cellString(title string, c cellValue, format func(float64) string) string {
+// other failure (a panicked cell, a deadlock, a stored error under a
+// non-resume run) renders as ERR — the sweep continues and the message
+// is available via Runner.CellErrors.
+func cellString(c cellValue, format func(float64) string) string {
 	if c.err != nil {
-		var inf *affinity.ErrInfeasible
-		if errors.As(c.err, &inf) {
+		if isInfeasible(c.err) {
 			return report.NA
 		}
-		panic(fmt.Sprintf("experiments: %s: %v", title, c.err))
+		return report.Err
 	}
 	return format(c.v)
 }
@@ -111,9 +128,9 @@ func cellString(title string, c cellValue, format func(float64) string) string {
 // numactlTable builds a paper-style placement table: rows are
 // (ranks, system), columns the six schemes; infeasible cells show the
 // paper's dash. The (ranks, system, scheme) grid is declared up front and
-// executed on the shared worker pool; rows are assembled in declared
+// executed on the runner's worker pool; rows are assembled in declared
 // order, so the table is identical however many workers run.
-func numactlTable(title string, sweep []sysRanks, run func(system string, ranks int, scheme affinity.Scheme) (float64, error)) *report.Table {
+func numactlTable(r *Runner, title string, sweep []sysRanks, run func(system string, ranks int, scheme affinity.Scheme) (float64, error)) *report.Table {
 	t := report.New(title,
 		"MPI tasks", "System", "Default", "One MPI + Local Alloc", "One MPI + Membind",
 		"Two MPI + Local Alloc", "Two MPI + Membind", "Interleave")
@@ -130,14 +147,14 @@ func numactlTable(title string, sweep []sysRanks, run func(system string, ranks 
 			}
 		}
 	}
-	vals := parMap(len(grid), func(i int) cellValue {
+	vals := parMap(r, len(grid), func(i int) cellValue {
 		v, err := run(grid[i].system, grid[i].ranks, grid[i].scheme)
 		return cellValue{v, err}
 	})
 	for i := 0; i < len(grid); i += len(numactlColumns) {
 		cells := []string{fmt.Sprint(grid[i].ranks), grid[i].system}
 		for j := range numactlColumns {
-			cells = append(cells, cellString(title, vals[i+j], report.Seconds))
+			cells = append(cells, cellString(vals[i+j], report.Seconds))
 		}
 		t.AddRow(cells...)
 	}
@@ -146,8 +163,9 @@ func numactlTable(title string, sweep []sysRanks, run func(system string, ranks 
 
 // speedupTable builds a multi-core speedup table: rows are (cores, system)
 // with one column per labelled workload. Baselines and sweep cells are
-// declared as one grid and executed on the shared worker pool.
-func speedupTable(title string, sweep []sysRanks, labels []string,
+// declared as one grid and executed on the runner's worker pool. A failed
+// baseline renders its whole column as ERR (no ratio is computable).
+func speedupTable(r *Runner, title string, sweep []sysRanks, labels []string,
 	run func(system string, ranks int, which int) (float64, error)) *report.Table {
 	cols := append([]string{"Number of cores", "System"}, labels...)
 	t := report.New(title, cols...)
@@ -167,7 +185,7 @@ func speedupTable(title string, sweep []sysRanks, labels []string,
 			}
 		}
 	}
-	vals := parMap(len(grid), func(i int) cellValue {
+	vals := parMap(r, len(grid), func(i int) cellValue {
 		v, err := run(grid[i].system, grid[i].ranks, grid[i].which)
 		return cellValue{v, err}
 	})
@@ -176,16 +194,21 @@ func speedupTable(title string, sweep []sysRanks, labels []string,
 		base := make([]float64, len(labels))
 		for w := range labels {
 			if vals[i].err != nil {
-				panic(fmt.Sprintf("experiments: %s baseline: %v", title, vals[i].err))
+				base[w] = math.NaN()
+			} else {
+				base[w] = vals[i].v
 			}
-			base[w] = vals[i].v
 			i++
 		}
 		for _, ranks := range sr.Ranks {
 			cells := []string{fmt.Sprint(ranks), sr.System}
 			for w := range labels {
+				c := vals[i]
+				if c.err == nil && math.IsNaN(base[w]) {
+					c = cellValue{err: fmt.Errorf("experiments: %s: no baseline for %s", title, labels[w])}
+				}
 				b := base[w]
-				cells = append(cells, cellString(title, vals[i], func(v float64) string {
+				cells = append(cells, cellString(c, func(v float64) string {
 					return report.F(b / v)
 				}))
 				i++
@@ -197,12 +220,15 @@ func speedupTable(title string, sweep []sysRanks, labels []string,
 }
 
 // runJob is the shared job helper: MPICH2 (the paper's NPB/application
-// stack) on the named system under a scheme. workload names the cell for
-// trace capture (SetTraceDir); when tracing is enabled the cell's trace
-// is written as a side effect.
-func runJob(workload, system string, ranks int, scheme affinity.Scheme, body func(*mpi.Rank)) (*mpi.Result, error) {
-	tr, flush := traceCell(cellLabel(workload, system, ranks, scheme))
-	res, err := core.Run(core.Job{
+// stack) on the named system under a scheme, simulated under the runner's
+// context bounded by the per-cell timeout. workload names the cell for
+// trace capture; when tracing is enabled the cell's trace is written as a
+// side effect.
+func (r *Runner) runJob(workload, system string, ranks int, scheme affinity.Scheme, body func(*mpi.Rank)) (*mpi.Result, error) {
+	tr, flush := r.traceCell(cellLabel(workload, system, ranks, scheme))
+	ctx, cancel := r.jobContext()
+	defer cancel()
+	res, err := core.RunContext(ctx, core.Job{
 		System:  system,
 		Ranks:   ranks,
 		Scheme:  scheme,

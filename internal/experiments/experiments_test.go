@@ -143,14 +143,18 @@ func TestTable2HasDashesAt16OneMPI(t *testing.T) {
 	}
 }
 
-// mustRun executes an experiment at Quick scale.
+// mustRun executes an experiment at Quick scale on the shared default
+// runner (its cache keeps cells shared across tests to one simulation).
 func mustRun(t *testing.T, id string) []*report.Table {
 	t.Helper()
 	e, ok := ByID(id)
 	if !ok {
 		t.Fatalf("no experiment %q", id)
 	}
-	tabs := e.Run(Quick)
+	tabs, err := Default().Run(e, Quick)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
 	if len(tabs) == 0 {
 		t.Fatalf("%s returned no tables", id)
 	}
@@ -172,7 +176,10 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tabs := e.Run(Quick)
+			tabs, err := Default().Run(e, Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
 			if len(tabs) == 0 {
 				t.Fatalf("%s returned no tables", e.ID)
 			}

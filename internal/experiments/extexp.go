@@ -29,7 +29,7 @@ func init() {
 	})
 }
 
-func runExtLatency(s Scale) []*report.Table {
+func runExtLatency(r *Runner, s Scale) []*report.Table {
 	t := report.New("LMbench-style dependent-load latency (ns)",
 		"Working set", "Tiger local", "DMZ local", "DMZ remote", "Longs local", "Longs 4-hop")
 	cfgs := []struct {
@@ -42,8 +42,10 @@ func runExtLatency(s Scale) []*report.Table {
 		{"longs", affinity.OneMPILocalAlloc},
 		{"longs", affinity.OneMPIMembind},
 	}
-	curves := parMap(len(cfgs), func(i int) []lmbench.Point {
-		res, err := core.Run(core.Job{System: cfgs[i].system, Ranks: 1, Scheme: cfgs[i].scheme},
+	curves := parMap(r, len(cfgs), func(i int) []lmbench.Point {
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := core.RunContext(ctx, core.Job{System: cfgs[i].system, Ranks: 1, Scheme: cfgs[i].scheme},
 			func(r *mpi.Rank) {
 				pts := lmbench.Run(r, lmbench.Params{})
 				for _, p := range pts {
@@ -70,7 +72,7 @@ func runExtLatency(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runExtOpenMP(s Scale) []*report.Table {
+func runExtOpenMP(r *Runner, s Scale) []*report.Table {
 	class := npb.ClassA
 	if s == Full {
 		class = npb.ClassB
@@ -87,13 +89,15 @@ func runExtOpenMP(s Scale) []*report.Table {
 		{"pure MPI, one rank/socket", 8, 1, affinity.OneMPILocalAlloc},
 		{"hybrid, one rank/socket + 2 threads", 8, 2, affinity.OneMPILocalAlloc},
 	}
-	rows := parMap(len(cases), func(i int) []string {
+	rows := parMap(r, len(cases), func(i int) []string {
 		c := cases[i]
 		body, err := npb.RunFTHybrid(class, c.threads)
 		if err != nil {
 			panic(err)
 		}
-		res, err := core.Run(core.Job{System: "longs", Ranks: c.ranks, Scheme: c.scheme,
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := core.RunContext(ctx, core.Job{System: "longs", Ranks: c.ranks, Scheme: c.scheme,
 			Impl: mpi.MPICH2()}, body)
 		if err != nil {
 			panic(err)
@@ -117,7 +121,7 @@ func init() {
 	})
 }
 
-func runAblateMigration(s Scale) []*report.Table {
+func runAblateMigration(r *Runner, s Scale) []*report.Table {
 	t := report.New("Migration-period sweep: LAMMPS chain (cache-friendly) vs LJ (streaming), 8 ranks on Longs",
 		"Migration period", "Chain time (s)", "LJ time (s)")
 	spec := machine.Longs()
@@ -128,14 +132,19 @@ func runAblateMigration(s Scale) []*report.Table {
 		}
 		cfg := mpi.Config{Spec: spec, Impl: mpi.MPICH2(), Bindings: b,
 			OSMigrationPeriod: period}
-		res := mpi.Run(cfg, func(r *mpi.Rank) {
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := mpi.RunContext(ctx, cfg, func(r *mpi.Rank) {
 			lammps.Run(r, lammps.Params{Bench: bench, Steps: 20})
 		})
+		if err != nil {
+			panic(err)
+		}
 		return res.Max(lammps.MetricTime)
 	}
 	periods := []float64{0, 10e-3, 1e-3, 100e-6}
 	benches := []lammps.Benchmark{lammps.Chain, lammps.LJ}
-	times := parMap(len(periods)*len(benches), func(i int) float64 {
+	times := parMap(r, len(periods)*len(benches), func(i int) float64 {
 		return timeFor(benches[i%len(benches)], periods[i/len(benches)])
 	})
 	for i, p := range periods {
@@ -160,7 +169,7 @@ func init() {
 	})
 }
 
-func runExtNPB(s Scale) []*report.Table {
+func runExtNPB(r *Runner, s Scale) []*report.Table {
 	class := npb.ClassW
 	if s == Full {
 		class = npb.ClassA
@@ -178,7 +187,7 @@ func runExtNPB(s Scale) []*report.Table {
 		{8, affinity.OneMPILocalAlloc},
 		{8, affinity.OneMPIMembind},
 	}
-	times := parMap(len(kernels)*len(cells), func(i int) float64 {
+	times := parMap(r, len(kernels)*len(cells), func(i int) float64 {
 		k, c := kernels[i/len(cells)], cells[i%len(cells)]
 		var (
 			body func(*mpi.Rank)
@@ -195,7 +204,7 @@ func runExtNPB(s Scale) []*report.Table {
 		if err != nil {
 			panic(err)
 		}
-		res, err := runJob("npb-"+k+"-"+string(class), "longs", c.ranks, c.scheme, body)
+		res, err := r.runJob("npb-"+k+"-"+string(class), "longs", c.ranks, c.scheme, body)
 		if err != nil {
 			panic(err)
 		}
@@ -223,7 +232,7 @@ func init() {
 	})
 }
 
-func runExtCluster(s Scale) []*report.Table {
+func runExtCluster(r *Runner, s Scale) []*report.Table {
 	class := npb.ClassA
 	if s == Full {
 		class = npb.ClassB
@@ -245,9 +254,11 @@ func runExtCluster(s Scale) []*report.Table {
 		{"2 nodes, GigE", 2, mpi.GigE()},
 		{"4 nodes, GigE", 4, mpi.GigE()},
 	}
-	rows := parMap(len(cases), func(i int) []string {
+	rows := parMap(r, len(cases), func(i int) []string {
 		c := cases[i]
-		res, err := core.Run(core.Job{System: "dmz", Ranks: 4,
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := core.RunContext(ctx, core.Job{System: "dmz", Ranks: 4,
 			Scheme: affinity.TwoMPILocalAlloc, Impl: mpi.MPICH2(),
 			Nodes: c.nodes, Net: c.net}, body)
 		if err != nil {

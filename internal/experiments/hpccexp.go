@@ -53,12 +53,12 @@ func hplN(s Scale) int {
 	return 1536
 }
 
-func runFig8(s Scale) []*report.Table {
+func runFig8(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 8: HPL GFlop/s, 16 cores on Longs (plus DMZ reference)",
 		"System", "Option", "GFlop/s")
 	longs := machine.Longs()
 	opts := hpcc.LongsOptions()
-	rows := parMap(len(opts)+1, func(i int) []string {
+	rows := parMap(r, len(opts)+1, func(i int) []string {
 		if i == len(opts) {
 			return []string{"DMZ", hpcc.DMZOption().Name,
 				report.F(hpcc.HPL(machine.DMZ(), hpcc.DMZOption(), hplN(s)/2))}
@@ -71,7 +71,7 @@ func runFig8(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig9(s Scale) []*report.Table {
+func runFig9(r *Runner, s Scale) []*report.Table {
 	n := 512
 	fftN := 1 << 20
 	if s == Full {
@@ -82,7 +82,7 @@ func runFig9(s Scale) []*report.Table {
 		"Option", "Single DGEMM", "Star DGEMM", "Single FFT", "Star FFT")
 	longs := machine.Longs()
 	opts := hpcc.LongsOptions()
-	rows := parMap(len(opts), func(i int) []string {
+	rows := parMap(r, len(opts), func(i int) []string {
 		opt := opts[i]
 		return []string{opt.Name,
 			report.F(hpcc.DGEMM(longs, opt, false, n)),
@@ -96,12 +96,12 @@ func runFig9(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig10(s Scale) []*report.Table {
+func runFig10(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 10: per-core STREAM triad GB/s, Single vs Star (Longs)",
 		"Option", "Single", "Star", "Single:Star ratio")
 	longs := machine.Longs()
 	opts := hpcc.LongsOptions()
-	rows := parMap(len(opts), func(i int) []string {
+	rows := parMap(r, len(opts), func(i int) []string {
 		opt := opts[i]
 		single := hpcc.STREAM(longs, opt, false)
 		star := hpcc.STREAM(longs, opt, true)
@@ -113,12 +113,12 @@ func runFig10(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig11(s Scale) []*report.Table {
+func runFig11(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 11: RandomAccess GUPS per core (Longs)",
 		"Option", "Single", "Star", "MPI", "Single:Star ratio")
 	longs := machine.Longs()
 	opts := hpcc.LongsOptions()
-	rows := parMap(len(opts), func(i int) []string {
+	rows := parMap(r, len(opts), func(i int) []string {
 		opt := opts[i]
 		single := hpcc.RandomAccess(longs, opt, hpcc.RASingle)
 		star := hpcc.RandomAccess(longs, opt, hpcc.RAStar)
@@ -131,7 +131,7 @@ func runFig11(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig12(s Scale) []*report.Table {
+func runFig12(r *Runner, s Scale) []*report.Table {
 	n := 1024
 	if s == Full {
 		n = 2048
@@ -141,7 +141,7 @@ func runFig12(s Scale) []*report.Table {
 		"Option", "PTRANS GB/s per core", "PingPong MB/s", "Ring MB/s")
 	longs := machine.Longs()
 	opts := hpcc.LongsOptions()
-	rows := parMap(len(opts), func(i int) []string {
+	rows := parMap(r, len(opts), func(i int) []string {
 		opt := opts[i]
 		pp := hpcc.PingPong(longs, opt, msg)
 		ring := hpcc.Ring(longs, opt, msg)
@@ -156,12 +156,12 @@ func runFig12(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig13(s Scale) []*report.Table {
+func runFig13(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 13: communication latency with runtime options (Longs, 8 B messages)",
 		"Option", "PingPong us", "Ring us")
 	longs := machine.Longs()
 	opts := hpcc.LongsOptions()
-	rows := parMap(len(opts), func(i int) []string {
+	rows := parMap(r, len(opts), func(i int) []string {
 		opt := opts[i]
 		pp := hpcc.PingPong(longs, opt, 8)
 		ring := hpcc.Ring(longs, opt, 8)

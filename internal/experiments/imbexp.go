@@ -61,12 +61,12 @@ func imbImpls() []*mpi.Impl {
 	return []*mpi.Impl{mpi.MPICH2(), mpi.LAM(), mpi.OpenMPI()}
 }
 
-func runFig14(s Scale) []*report.Table {
+func runFig14(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 14: PingPong latency (us) and bandwidth (MB/s) by implementation",
 		"Bytes", "MPICH2 lat", "LAM lat", "OpenMPI lat", "MPICH2 bw", "LAM bw", "OpenMPI bw")
 	sizes := imbSizes(s)
 	impls := imbImpls()
-	pts := parMap(len(sizes)*len(impls), func(i int) imb.Point {
+	pts := parMap(r, len(sizes)*len(impls), func(i int) imb.Point {
 		return imb.PingPong(dmzPair(impls[i%len(impls)], 0, 2), sizes[i/len(impls)], 20)
 	})
 	for i, size := range sizes {
@@ -82,12 +82,12 @@ func runFig14(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig15(s Scale) []*report.Table {
+func runFig15(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 15: Exchange period (us) and bandwidth (MB/s) by implementation",
 		"Bytes", "MPICH2 t", "LAM t", "OpenMPI t", "MPICH2 bw", "LAM bw", "OpenMPI bw")
 	sizes := imbSizes(s)
 	impls := imbImpls()
-	pts := parMap(len(sizes)*len(impls), func(i int) imb.Point {
+	pts := parMap(r, len(sizes)*len(impls), func(i int) imb.Point {
 		return imb.Exchange(dmzPairN(impls[i%len(impls)], 4), sizes[i/len(impls)], 15)
 	})
 	for i, size := range sizes {
@@ -130,12 +130,12 @@ func bindingConfigs() []struct {
 	}
 }
 
-func runFig16(s Scale) []*report.Table {
+func runFig16(r *Runner, s Scale) []*report.Table {
 	t := report.New("Figure 16: OpenMPI PingPong with affinity configurations",
 		append([]string{"Bytes"}, fig16Cols()...)...)
 	sizes := imbSizes(s)
 	cfgs := bindingConfigs()
-	pts := parMap(len(sizes)*len(cfgs), func(i int) imb.Point {
+	pts := parMap(r, len(sizes)*len(cfgs), func(i int) imb.Point {
 		return imb.PingPong(dmzPair(mpi.OpenMPI(), cfgs[i%len(cfgs)].Cores...), sizes[i/len(cfgs)], 20)
 	})
 	for i, size := range sizes {
@@ -156,14 +156,14 @@ func fig16Cols() []string {
 	return cols
 }
 
-func runFig17(s Scale) []*report.Table {
+func runFig17(r *Runner, s Scale) []*report.Table {
 	cols := append([]string{"Bytes"}, fig16Cols()...)
 	cols = append(cols, "4 procs MB/s")
 	t := report.New("Figure 17: OpenMPI Exchange with affinity configurations", cols...)
 	sizes := imbSizes(s)
 	cfgs := bindingConfigs()
 	stride := len(cfgs) + 1
-	pts := parMap(len(sizes)*stride, func(i int) imb.Point {
+	pts := parMap(r, len(sizes)*stride, func(i int) imb.Point {
 		size, j := sizes[i/stride], i%stride
 		if j == len(cfgs) {
 			return imb.Exchange(dmzPairN(mpi.OpenMPI(), 4), size, 15)

@@ -31,25 +31,25 @@ func init() {
 		ID:    "fig4",
 		Title: "BLAS-1 DAXPY performance, ACML (aggregate and per core)",
 		Paper: "In-cache DAXPY scales with cores; out-of-cache runs collide on the memory link.",
-		Run:   func(s Scale) []*report.Table { return runDaxpy(s, blas.ACML) },
+		Run:   func(r *Runner, s Scale) []*report.Table { return runDaxpy(r, s, blas.ACML) },
 	})
 	register(Experiment{
 		ID:    "fig5",
 		Title: "BLAS-1 DAXPY performance per core, vanilla",
 		Paper: "One vs two MPI tasks per socket: the second task gains little once vectors leave cache.",
-		Run:   func(s Scale) []*report.Table { return runDaxpyPerSocket(s, blas.Vanilla) },
+		Run:   func(r *Runner, s Scale) []*report.Table { return runDaxpyPerSocket(r, s, blas.Vanilla) },
 	})
 	register(Experiment{
 		ID:    "fig6",
 		Title: "BLAS-3 DGEMM performance, ACML",
 		Paper: "DGEMM is cache-friendly: near-peak rates, aggregate scales with core count.",
-		Run:   func(s Scale) []*report.Table { return runDgemm(s, blas.ACML) },
+		Run:   func(r *Runner, s Scale) []*report.Table { return runDgemm(r, s, blas.ACML) },
 	})
 	register(Experiment{
 		ID:    "fig7",
 		Title: "BLAS-3 DGEMM performance per core, vanilla",
 		Paper: "Per-core DGEMM holds up with two tasks per socket even for the unoptimized code.",
-		Run:   func(s Scale) []*report.Table { return runDgemmPerSocket(s, blas.Vanilla) },
+		Run:   func(r *Runner, s Scale) []*report.Table { return runDgemmPerSocket(r, s, blas.Vanilla) },
 	})
 }
 
@@ -71,8 +71,8 @@ func streamCores(spec *machine.Spec) []topology.CoreID {
 // triadAggregate runs the triad on the first n cores of the activation
 // order and returns aggregate bandwidth in GB/s. Memoized: Figure 3 is
 // Figure 2 normalized per core, so the grids share every cell.
-func triadAggregate(spec *machine.Spec, n int, vecBytes float64) float64 {
-	v, _ := cached(CellKey{
+func triadAggregate(r *Runner, spec *machine.Spec, n int, vecBytes float64) (float64, error) {
+	return runCell(r, CellKey{
 		Workload: fmt.Sprintf("stream-triad/%g", vecBytes),
 		System:   spec.Topo.Name, Ranks: n,
 	}, func() (float64, error) {
@@ -81,31 +81,39 @@ func triadAggregate(spec *machine.Spec, n int, vecBytes float64) float64 {
 		for i, c := range order {
 			bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
 		}
-		tr, flush := traceCell(cellLabel(fmt.Sprintf("stream-triad-%g", vecBytes),
+		tr, flush := r.traceCell(cellLabel(fmt.Sprintf("stream-triad-%g", vecBytes),
 			spec.Topo.Name, n, affinity.Default))
-		res := mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings,
+		ctx, cancel := r.jobContext()
+		defer cancel()
+		res, err := mpi.RunContext(ctx, mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings,
 			Trace: tr, Observe: tr != nil}, func(r *mpi.Rank) {
 			stream.RunTriad(r, stream.Params{VectorBytes: vecBytes, Iters: 2})
 		})
+		if err != nil {
+			return 0, err
+		}
 		if flush != nil {
 			flush()
 		}
 		return res.Sum(stream.MetricBandwidth) / units.Giga, nil
 	})
-	return v
 }
 
 // triadGrid evaluates the (active cores × system) STREAM grid on the
 // worker pool and returns values indexed [n-1][system]; infeasible cells
 // (more cores than the system has) are NaN.
-func triadGrid(maxCores int, vec float64) [][]float64 {
+func triadGrid(r *Runner, maxCores int, vec float64) [][]float64 {
 	specs := figSystems()
-	flat := parMap(maxCores*len(specs), func(i int) float64 {
+	flat := parMap(r, maxCores*len(specs), func(i int) float64 {
 		n, spec := i/len(specs)+1, specs[i%len(specs)]
 		if n > spec.Topo.NumCores() {
 			return math.NaN()
 		}
-		return triadAggregate(spec, n, vec)
+		v, err := triadAggregate(r, spec, n, vec)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
 	})
 	grid := make([][]float64, maxCores)
 	for n := 0; n < maxCores; n++ {
@@ -118,14 +126,14 @@ func figSystems() []*machine.Spec {
 	return []*machine.Spec{machine.Tiger(), machine.DMZ(), machine.Longs()}
 }
 
-func runFig2(s Scale) []*report.Table {
+func runFig2(r *Runner, s Scale) []*report.Table {
 	vec := 16.0 * units.MB
 	if s == Full {
 		vec = 64 * units.MB
 	}
 	t := report.New("Figure 2: aggregate STREAM triad bandwidth (GB/s)",
 		"Active cores", "Tiger", "DMZ", "Longs")
-	for n, row := range triadGrid(16, vec) {
+	for n, row := range triadGrid(r, 16, vec) {
 		cells := []string{fmt.Sprint(n + 1)}
 		for _, v := range row {
 			if math.IsNaN(v) {
@@ -139,14 +147,14 @@ func runFig2(s Scale) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runFig3(s Scale) []*report.Table {
+func runFig3(r *Runner, s Scale) []*report.Table {
 	vec := 16.0 * units.MB
 	if s == Full {
 		vec = 64 * units.MB
 	}
 	t := report.New("Figure 3: per-core STREAM triad bandwidth (GB/s)",
 		"Active cores", "Tiger", "DMZ", "Longs")
-	for n, row := range triadGrid(16, vec) {
+	for n, row := range triadGrid(r, 16, vec) {
 		cells := []string{fmt.Sprint(n + 1)}
 		for _, v := range row {
 			if math.IsNaN(v) {
@@ -170,26 +178,33 @@ func daxpySizes(s Scale) []int {
 }
 
 // runTasksOnDMZ runs body on n tasks placed like the paper's DMZ runs
-// (spread across sockets first) and returns the result.
-func runTasksOnDMZ(n int, body func(*mpi.Rank)) *mpi.Result {
+// (spread across sockets first) and returns the result. It panics on a
+// run error — Runner.Run converts that into an experiment error.
+func runTasksOnDMZ(r *Runner, n int, body func(*mpi.Rank)) *mpi.Result {
 	spec := machine.DMZ()
 	order := streamCores(spec)[:n]
 	bindings := make([]affinity.Binding, n)
 	for i, c := range order {
 		bindings[i] = affinity.Binding{Core: c, MemPolicy: 1 /* LocalAlloc */}
 	}
-	return mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, body)
+	ctx, cancel := r.jobContext()
+	defer cancel()
+	res, err := mpi.RunContext(ctx, mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, body)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
-func runDaxpy(s Scale, v blas.Variant) []*report.Table {
+func runDaxpy(r *Runner, s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 4: DAXPY (%s) on DMZ — aggregate and per-core MFlop/s", v),
 		"Vector length", "Total (1)", "Total (2)", "Per core (2)", "Total (4)", "Per core (4)")
 	sizes := daxpySizes(s)
 	taskCounts := []int{1, 2, 4}
-	totals := parMap(len(sizes)*len(taskCounts), func(i int) float64 {
+	totals := parMap(r, len(sizes)*len(taskCounts), func(i int) float64 {
 		n, tasks := sizes[i/len(taskCounts)], taskCounts[i%len(taskCounts)]
-		res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
+		res := runTasksOnDMZ(r, tasks, func(r *mpi.Rank) {
 			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
 		})
 		return res.Sum(blas.MetricDaxpyFlops) / units.Mega
@@ -209,20 +224,20 @@ func runDaxpy(s Scale, v blas.Variant) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runDaxpyPerSocket(s Scale, v blas.Variant) []*report.Table {
+func runDaxpyPerSocket(r *Runner, s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 5: DAXPY (%s) per-core MFlop/s — one vs two tasks per socket (DMZ)", v),
 		"Vector length", "1 task/socket (2 tasks)", "2 tasks/socket (2 tasks)")
 	sizes := daxpySizes(s)
-	vals := parMap(2*len(sizes), func(i int) float64 {
+	vals := parMap(r, 2*len(sizes), func(i int) float64 {
 		n, packed := sizes[i/2], i%2 == 1
 		body := func(r *mpi.Rank) {
 			blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: v, Iters: 4})
 		}
 		if packed { // cores 0 and 1
-			return runPackedOnDMZ(2, body).Mean(blas.MetricDaxpyFlops)
+			return runPackedOnDMZ(r, 2, body).Mean(blas.MetricDaxpyFlops)
 		}
-		return runTasksOnDMZ(2, body).Mean(blas.MetricDaxpyFlops) // cores 0 and 2
+		return runTasksOnDMZ(r, 2, body).Mean(blas.MetricDaxpyFlops) // cores 0 and 2
 	})
 	for i, n := range sizes {
 		t.AddRow(fmt.Sprint(n), report.F(vals[2*i]/units.Mega), report.F(vals[2*i+1]/units.Mega))
@@ -230,14 +245,21 @@ func runDaxpyPerSocket(s Scale, v blas.Variant) []*report.Table {
 	return []*report.Table{t}
 }
 
-// runPackedOnDMZ packs n tasks onto as few sockets as possible.
-func runPackedOnDMZ(n int, body func(*mpi.Rank)) *mpi.Result {
+// runPackedOnDMZ packs n tasks onto as few sockets as possible. Like
+// runTasksOnDMZ, it panics on a run error.
+func runPackedOnDMZ(r *Runner, n int, body func(*mpi.Rank)) *mpi.Result {
 	spec := machine.DMZ()
 	bindings := make([]affinity.Binding, n)
 	for i := 0; i < n; i++ {
 		bindings[i] = affinity.Binding{Core: topology.CoreID(i), MemPolicy: 1}
 	}
-	return mpi.Run(mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, body)
+	ctx, cancel := r.jobContext()
+	defer cancel()
+	res, err := mpi.RunContext(ctx, mpi.Config{Spec: spec, Impl: mpi.LAM(), Bindings: bindings}, body)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 func dgemmSizes(s Scale) []int {
@@ -248,15 +270,15 @@ func dgemmSizes(s Scale) []int {
 	return sizes
 }
 
-func runDgemm(s Scale, v blas.Variant) []*report.Table {
+func runDgemm(r *Runner, s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 6: DGEMM (%s) on DMZ — aggregate and per-core GFlop/s", v),
 		"Matrix order", "Total (1)", "Total (2)", "Per core (2)", "Total (4)", "Per core (4)")
 	sizes := dgemmSizes(s)
 	taskCounts := []int{1, 2, 4}
-	totals := parMap(len(sizes)*len(taskCounts), func(i int) float64 {
+	totals := parMap(r, len(sizes)*len(taskCounts), func(i int) float64 {
 		n, tasks := sizes[i/len(taskCounts)], taskCounts[i%len(taskCounts)]
-		res := runTasksOnDMZ(tasks, func(r *mpi.Rank) {
+		res := runTasksOnDMZ(r, tasks, func(r *mpi.Rank) {
 			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
 		})
 		return res.Sum(blas.MetricDgemmFlops) / units.Giga
@@ -276,20 +298,20 @@ func runDgemm(s Scale, v blas.Variant) []*report.Table {
 	return []*report.Table{t}
 }
 
-func runDgemmPerSocket(s Scale, v blas.Variant) []*report.Table {
+func runDgemmPerSocket(r *Runner, s Scale, v blas.Variant) []*report.Table {
 	t := report.New(
 		fmt.Sprintf("Figure 7: DGEMM (%s) per-core GFlop/s — one vs two tasks per socket (DMZ)", v),
 		"Matrix order", "1 task/socket (2 tasks)", "2 tasks/socket (2 tasks)")
 	sizes := dgemmSizes(s)
-	vals := parMap(2*len(sizes), func(i int) float64 {
+	vals := parMap(r, 2*len(sizes), func(i int) float64 {
 		n, packed := sizes[i/2], i%2 == 1
 		body := func(r *mpi.Rank) {
 			blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: v, Iters: 1})
 		}
 		if packed {
-			return runPackedOnDMZ(2, body).Mean(blas.MetricDgemmFlops)
+			return runPackedOnDMZ(r, 2, body).Mean(blas.MetricDgemmFlops)
 		}
-		return runTasksOnDMZ(2, body).Mean(blas.MetricDgemmFlops)
+		return runTasksOnDMZ(r, 2, body).Mean(blas.MetricDgemmFlops)
 	})
 	for i, n := range sizes {
 		t.AddRow(fmt.Sprint(n), report.F(vals[2*i]/units.Giga), report.F(vals[2*i+1]/units.Giga))

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"multicore/internal/affinity"
-	"multicore/internal/mpi"
 	"multicore/internal/npb"
 	"multicore/internal/report"
+	"multicore/internal/workload"
 )
 
 func init() {
@@ -38,73 +38,60 @@ func npbClass(s Scale) npb.Class {
 	return npb.ClassA
 }
 
-// npbTime runs one NAS kernel and returns its benchmark time. Results are
-// memoized: Table 2/3's Default columns and Table 4's sweep share cells.
-func npbTime(kernel string, class npb.Class, system string, ranks int, scheme affinity.Scheme, s Scale) (float64, error) {
-	return cached(CellKey{
+// npbTime runs one NAS kernel (resolved through the workload registry)
+// and returns its benchmark time. Results are memoized: Table 2/3's
+// Default columns and Table 4's sweep share cells.
+func npbTime(r *Runner, kernel string, class npb.Class, system string, ranks int, scheme affinity.Scheme, s Scale) (float64, error) {
+	return runCell(r, CellKey{
 		Workload: "npb/" + kernel + "/" + string(class),
 		System:   system, Ranks: ranks, Scheme: scheme, Scale: s,
 	}, func() (float64, error) {
-		var (
-			body func(*mpi.Rank)
-			key  string
-			err  error
-		)
-		switch kernel {
-		case "cg":
-			body, err = npb.RunCG(class)
-			key = npb.MetricCGTime
-		case "ft":
-			body, err = npb.RunFT(class)
-			key = npb.MetricFTTime
-		default:
-			panic("experiments: unknown NAS kernel " + kernel)
-		}
+		wl, err := workload.New(workload.Spec{Name: kernel, Class: string(class)})
 		if err != nil {
 			return 0, err
 		}
-		res, err := runJob("npb-"+kernel+"-"+string(class), system, ranks, scheme, body)
+		res, err := r.runJob("npb-"+kernel+"-"+string(class), system, ranks, scheme, wl.Body)
 		if err != nil {
 			return 0, err
 		}
-		return res.Max(key), nil
+		return res.Max(wl.Metrics[0].Key), nil
 	})
 }
 
-func runTable2(s Scale) []*report.Table {
+func runTable2(r *Runner, s Scale) []*report.Table {
 	class := npbClass(s)
 	var tables []*report.Table
 	for _, kernel := range []string{"cg", "ft"} {
 		k := kernel
-		tables = append(tables, numactlTable(
+		tables = append(tables, numactlTable(r,
 			"Table 2 ("+k+"): effect of numactl options on NAS "+k+" (Longs), seconds",
 			[]sysRanks{{System: "longs", Ranks: []int{2, 4, 8, 16}}},
 			func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-				return npbTime(k, class, system, ranks, scheme, s)
+				return npbTime(r, k, class, system, ranks, scheme, s)
 			}))
 	}
 	return tables
 }
 
-func runTable3(s Scale) []*report.Table {
+func runTable3(r *Runner, s Scale) []*report.Table {
 	class := npbClass(s)
 	var tables []*report.Table
 	for _, kernel := range []string{"cg", "ft"} {
 		k := kernel
-		tables = append(tables, numactlTable(
+		tables = append(tables, numactlTable(r,
 			"Table 3 ("+k+"): effect of numactl options on NAS "+k+" (DMZ), seconds",
 			[]sysRanks{{System: "dmz", Ranks: []int{2, 4}}},
 			func(system string, ranks int, scheme affinity.Scheme) (float64, error) {
-				return npbTime(k, class, system, ranks, scheme, s)
+				return npbTime(r, k, class, system, ranks, scheme, s)
 			}))
 	}
 	return tables
 }
 
-func runTable4(s Scale) []*report.Table {
+func runTable4(r *Runner, s Scale) []*report.Table {
 	class := npbClass(s)
 	kernels := []string{"CG", "FT"}
-	t := speedupTable("Table 4: NAS multi-core speedup",
+	t := speedupTable(r, "Table 4: NAS multi-core speedup",
 		[]sysRanks{
 			{System: "dmz", Ranks: []int{2, 4}},
 			{System: "longs", Ranks: []int{2, 4, 8, 16}},
@@ -116,7 +103,7 @@ func runTable4(s Scale) []*report.Table {
 			if which == 1 {
 				k = "ft"
 			}
-			return npbTime(k, class, system, ranks, affinity.Default, s)
+			return npbTime(r, k, class, system, ranks, affinity.Default, s)
 		})
 	return []*report.Table{t}
 }

@@ -5,34 +5,18 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 
 	"multicore/internal/affinity"
 	"multicore/internal/sim"
 )
 
-// Per-cell trace capture for mcbench -trace: when a directory is set,
-// every cell routed through runJob records a sim.Trace and writes it to
-// <dir>/<label>.trace.json. Each cell owns a private engine, so trace
-// content depends only on the cell's configuration; files are
-// byte-identical however many pool workers run (the determinism
-// regression covers this). Tracing is disabled by default and costs a
-// mutex probe per cell when off.
-
-var tracing struct {
-	sync.Mutex
-	dir     string
-	written map[string]bool
-}
-
-// SetTraceDir enables per-cell trace capture into dir; "" disables.
-// cmd/mcbench wires its -trace flag here.
-func SetTraceDir(dir string) {
-	tracing.Lock()
-	defer tracing.Unlock()
-	tracing.dir = dir
-	tracing.written = map[string]bool{}
-}
+// Per-cell trace capture for mcbench -trace: when a runner has a trace
+// directory, every cell routed through runJob records a sim.Trace and
+// writes it to <dir>/<label>.trace.json. Each cell owns a private
+// engine, so trace content depends only on the cell's configuration;
+// files are byte-identical however many pool workers run (the
+// determinism regression covers this). Tracing is disabled by default
+// and costs a mutex probe per cell when off.
 
 // cellLabel names one simulated cell for trace files.
 func cellLabel(workload, system string, ranks int, scheme affinity.Scheme) string {
@@ -43,14 +27,14 @@ func cellLabel(workload, system string, ranks int, scheme affinity.Scheme) strin
 // that writes its file; both are nil when tracing is disabled or the
 // cell has already been captured (artifacts sharing cells produce one
 // file, like the result cache produces one simulation).
-func traceCell(label string) (*sim.Trace, func()) {
-	tracing.Lock()
-	defer tracing.Unlock()
-	if tracing.dir == "" || tracing.written[label] {
+func (r *Runner) traceCell(label string) (*sim.Trace, func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.opts.TraceDir == "" || r.traceWritten[label] {
 		return nil, nil
 	}
-	tracing.written[label] = true
-	path := filepath.Join(tracing.dir, sanitizeLabel(label)+".trace.json")
+	r.traceWritten[label] = true
+	path := filepath.Join(r.opts.TraceDir, sanitizeLabel(label)+".trace.json")
 	tr := &sim.Trace{}
 	return tr, func() {
 		if err := tr.WriteFile(path); err != nil {

@@ -6,15 +6,12 @@ import (
 	"testing"
 )
 
-// captureTraces renders the experiment with per-cell tracing into dir and
-// returns the trace files' contents by name.
+// captureTraces renders the experiment on a fresh runner with per-cell
+// tracing into dir and returns the trace files' contents by name.
 func captureTraces(t *testing.T, e Experiment, dir string, workers int) map[string][]byte {
 	t.Helper()
-	ClearCache()
-	SetParallelism(workers)
-	SetTraceDir(dir)
-	renderAll(e)
-	SetTraceDir("")
+	r := NewRunner(nil, Options{Parallelism: workers, TraceDir: dir})
+	renderAll(t, r, e)
 	files := map[string][]byte{}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -40,9 +37,6 @@ func TestTraceFilesSerialParallelIdentical(t *testing.T) {
 	if !ok {
 		t.Fatal("no experiment fig2")
 	}
-	orig := Parallelism()
-	defer SetParallelism(orig)
-	defer ClearCache()
 
 	serial := captureTraces(t, e, t.TempDir(), 1)
 	parallel := captureTraces(t, e, t.TempDir(), 8)
@@ -66,29 +60,32 @@ func TestTraceFilesSerialParallelIdentical(t *testing.T) {
 	}
 }
 
-// TestTraceCellDedup checks that a label is captured once per SetTraceDir
+// TestTraceCellDedup checks that a label is captured once per trace-dir
 // epoch: artifacts sharing a cell produce a single file, mirroring the
 // result cache.
 func TestTraceCellDedup(t *testing.T) {
 	dir := t.TempDir()
-	SetTraceDir(dir)
-	defer SetTraceDir("")
-	tr, flush := traceCell("cell-a")
+	r := NewRunner(nil, Options{TraceDir: dir})
+	tr, flush := r.traceCell("cell-a")
 	if tr == nil || flush == nil {
 		t.Fatal("first capture refused")
 	}
-	if tr2, _ := traceCell("cell-a"); tr2 != nil {
+	if tr2, _ := r.traceCell("cell-a"); tr2 != nil {
 		t.Fatal("duplicate label captured twice")
 	}
-	if tr3, _ := traceCell("cell b/with:odd chars"); tr3 == nil {
+	if tr3, _ := r.traceCell("cell b/with:odd chars"); tr3 == nil {
 		t.Fatal("distinct label refused")
 	}
 	flush()
 	if _, err := os.Stat(filepath.Join(dir, "cell-a.trace.json")); err != nil {
 		t.Fatalf("trace file not written: %v", err)
 	}
-	SetTraceDir("")
-	if tr4, _ := traceCell("cell-c"); tr4 != nil {
+	r.SetTraceDir("")
+	if tr4, _ := r.traceCell("cell-c"); tr4 != nil {
 		t.Fatal("tracing disabled but capture granted")
+	}
+	r.SetTraceDir(dir)
+	if tr5, _ := r.traceCell("cell-a"); tr5 == nil {
+		t.Fatal("new trace-dir epoch should reset the dedup set")
 	}
 }

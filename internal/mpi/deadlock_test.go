@@ -1,0 +1,81 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"multicore/internal/machine"
+	"multicore/internal/sim"
+)
+
+// TestHeadToHeadRendezvousDeadlocks is the classic MPI protocol bug: both
+// ranks issue a blocking Send above the eager threshold, so each waits
+// for the other's Recv that never comes. RunContext must return a
+// *sim.DeadlockError naming both ranks parked on their rendezvous waits
+// rather than hanging the process.
+func TestHeadToHeadRendezvousDeadlocks(t *testing.T) {
+	im := MPICH2()
+	res, err := RunContext(context.Background(), jobOn(machine.DMZ(), im, 0, 2), func(r *Rank) {
+		r.Send(1-r.ID(), im.EagerThreshold+1)
+		r.Recv(1 - r.ID())
+	})
+	if res != nil {
+		t.Fatal("deadlocked run returned a result")
+	}
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want *sim.DeadlockError", err)
+	}
+	names := map[string]string{}
+	for _, b := range dl.Blocked {
+		names[b.Name] = b.Wait
+	}
+	for _, rank := range []string{"rank0", "rank1"} {
+		wait, ok := names[rank]
+		if !ok {
+			t.Fatalf("%s not in blocked set %v", rank, dl.Blocked)
+		}
+		if !strings.Contains(wait, "rendezvous to") {
+			t.Fatalf("%s wait label %q should name the rendezvous", rank, wait)
+		}
+	}
+}
+
+// TestEagerHeadToHeadCompletes is the contrast case: the same exchange
+// below the eager threshold buffers and completes.
+func TestEagerHeadToHeadCompletes(t *testing.T) {
+	im := MPICH2()
+	res, err := RunContext(context.Background(), jobOn(machine.DMZ(), im, 0, 2), func(r *Rank) {
+		r.Send(1-r.ID(), im.EagerThreshold-1)
+		r.Recv(1 - r.ID())
+	})
+	if err != nil {
+		t.Fatalf("eager exchange should complete: %v", err)
+	}
+	if res.Messages != 2 {
+		t.Fatalf("messages = %d, want 2", res.Messages)
+	}
+}
+
+// TestRunContextDeadlineAborts checks that an expired deadline aborts a
+// run as *sim.CanceledError unwrapping to DeadlineExceeded.
+func TestRunContextDeadlineAborts(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := RunContext(ctx, jobOn(machine.DMZ(), MPICH2(), 0, 2), func(r *Rank) {
+		r.Barrier()
+	})
+	if res != nil {
+		t.Fatal("aborted run returned a result")
+	}
+	var ce *sim.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *sim.CanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("should unwrap to DeadlineExceeded, got %v", err)
+	}
+}

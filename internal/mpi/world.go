@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -212,8 +213,23 @@ type World struct {
 
 // Run executes body as an SPMD program, one rank per binding, and returns
 // the job result. Each run builds a fresh engine and machine, so results
-// are reproducible and independent.
+// are reproducible and independent. A deadlocked workload panics; sweeps
+// that must survive bad cells use RunContext instead.
 func Run(cfg Config, body func(*Rank)) *Result {
+	res, err := RunContext(context.Background(), cfg, body)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is Run with cancellation and structured failure: the run
+// stops early when ctx is canceled or its deadline passes (returning
+// *sim.CanceledError), and a deadlocked workload returns
+// *sim.DeadlockError naming the blocked ranks and their wait labels
+// instead of hanging or panicking. On error the returned Result is nil
+// and every engine goroutine has been released.
+func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Result, error) {
 	if cfg.Impl == nil {
 		cfg.Impl = OpenMPI()
 	}
@@ -316,7 +332,9 @@ func Run(cfg Config, body func(*Rank)) *Result {
 			}
 		})
 	}
-	eng.Run()
+	if err := eng.RunContext(ctx); err != nil {
+		return nil, err
+	}
 	res.Time = eng.Now()
 	res.Values = w.values
 	res.Timeline = w.timeline
@@ -326,7 +344,7 @@ func Run(cfg Config, body func(*Rank)) *Result {
 	if w.trace != nil && cfg.Observe {
 		emitResourceCounters(w.trace, n, res.Stats.Resources)
 	}
-	return res
+	return res, nil
 }
 
 // emitResourceCounters appends the observed per-resource used-rate

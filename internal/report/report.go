@@ -140,3 +140,8 @@ func Seconds(v float64) string { return fmt.Sprintf("%.3f", v) }
 // NA is the cell used where the paper shows a dash (infeasible
 // configuration).
 const NA = "-"
+
+// Err is the cell used when a simulation failed (a panicked cell, a
+// deadlock, a recorded failure from an earlier run). The paper has no
+// such cells; we render them explicitly rather than aborting the sweep.
+const Err = "ERR"

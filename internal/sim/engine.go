@@ -16,10 +16,65 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ModelVersion names the simulation model's semantic generation. It is
+// baked into persistent result-store keys (internal/store), so bump it
+// whenever an engine or machine-model change alters simulated results —
+// the same events that require regenerating engine_golden.json.
+const ModelVersion = "mc-sim/3"
+
+// BlockedProc describes one process stuck at deadlock detection time: its
+// name and the wait label it blocked on (e.g. "recv from 3").
+type BlockedProc struct {
+	Name string
+	Wait string
+}
+
+// DeadlockError is returned by RunContext when the event heap drains while
+// processes are still blocked: no event can ever wake them, so the
+// simulation would otherwise sit in a silent hang. Blocked lists the stuck
+// processes sorted by name, each with the label of the wait it is parked
+// on, which is usually enough to identify the protocol bug (two ranks in
+// head-to-head rendezvous sends, a Recv with no matching Send, ...).
+type DeadlockError struct {
+	Time    float64
+	Live    int
+	Blocked []BlockedProc
+}
+
+func (e *DeadlockError) Error() string {
+	names := make([]string, len(e.Blocked))
+	for i, b := range e.Blocked {
+		names[i] = fmt.Sprintf("%s (%s)", b.Name, b.Wait)
+	}
+	return fmt.Sprintf("sim: deadlock at t=%g: %d live processes, blocked: %v",
+		e.Time, e.Live, names)
+}
+
+// CanceledError is returned by RunContext when the run's context is
+// canceled (SIGINT) or its deadline passes (per-cell wall-clock timeout).
+// It wraps the context error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) distinguish the two.
+type CanceledError struct {
+	Time  float64 // simulated time reached when the run stopped
+	Cause error   // the context's error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run aborted at t=%g: %v", e.Time, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// ctxCheckStride is how many events RunContext processes between context
+// polls: frequent enough that timeouts bite within microseconds of real
+// time, rare enough that the poll never shows up in profiles.
+const ctxCheckStride = 1024
 
 // Engine is a discrete-event simulator instance. The zero value is not
 // usable; create one with NewEngine.
@@ -32,6 +87,12 @@ type Engine struct {
 
 	liveProcs    int
 	blockedProcs map[*Proc]string
+
+	// killing is set by abort: woken processes unwind via a procKilled
+	// panic instead of resuming their bodies, so cancellation and
+	// deadlock detection release every goroutine instead of leaking
+	// parked workers for the life of the process.
+	killing bool
 
 	// idleWorkers are parked goroutines from finished processes, reused by
 	// Spawn so steady-state process churn creates no new goroutines.
@@ -208,12 +269,32 @@ type spawnReq struct {
 	body func(*Proc)
 }
 
+// procKilled is the panic value used to unwind a blocked process during
+// abort; the worker loop swallows it and recycles the goroutine.
+type procKilled struct{}
+
+// runBody executes a process body, absorbing the procKilled unwind that
+// abort injects into blocked processes. Any other panic propagates: a
+// workload bug must surface, not vanish into a worker goroutine.
+func runBody(req spawnReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); !ok {
+				panic(r)
+			}
+		}
+	}()
+	req.body(req.p)
+}
+
 func (e *Engine) newWorker() *worker {
 	w := &worker{run: make(chan spawnReq, 1), wake: make(chan struct{}, 1)}
 	go func() {
 		for req := range w.run {
 			<-req.p.wake
-			req.body(req.p)
+			if !e.killing { // a kill before first resume skips the body entirely
+				runBody(req)
+			}
 			if e.obs != nil {
 				e.procStateChange(req.p, stateBlockedQueue)
 			}
@@ -270,12 +351,20 @@ func (e *Engine) resume(p *Proc) {
 // reports.
 func (p *Proc) block(kind procState, why string) {
 	e := p.eng
+	if e.killing {
+		// A dying process tried to block again while unwinding (e.g. a
+		// deferred cleanup sleeping); re-panic rather than park forever.
+		panic(procKilled{})
+	}
 	e.blockedProcs[p] = why
 	if e.obs != nil {
 		e.procStateChange(p, kind)
 	}
 	e.yield <- struct{}{}
 	<-p.wake
+	if e.killing {
+		panic(procKilled{})
+	}
 }
 
 // Sleep advances the process by d seconds of simulated time. Negative or
@@ -297,12 +386,34 @@ func (p *Proc) Sleep(d float64) {
 
 // Run executes events until the queue is empty. It panics if processes
 // remain blocked when no event can wake them (a deadlock) so that protocol
-// bugs in workloads surface immediately.
+// bugs in workloads surface immediately. Sweeps that must survive bad
+// cells use RunContext instead and receive the deadlock as a structured
+// error.
+func (e *Engine) Run() {
+	if err := e.RunContext(context.Background()); err != nil {
+		panic(err)
+	}
+}
+
+// RunContext executes events until the queue is empty, the context is
+// canceled (or its deadline passes), or a deadlock is detected. It returns
+// nil on a clean drain, *CanceledError on cancellation, and *DeadlockError
+// when the event heap empties while processes are still blocked — the
+// watchdog that turns a would-be silent hang into a diagnosis naming the
+// blocked processes and their wait labels.
+//
+// On any return the engine has released every goroutine it created;
+// a non-nil error leaves the simulation state unusable (create a fresh
+// engine per run, as every caller in this repository already does).
 //
 // Between the last event of a timestamp and the first event of the next,
-// Run flushes any pending flow-network changes: admissions accumulated at
-// the current time are settled and filled in one batch (see FlowNet.flush).
-func (e *Engine) Run() {
+// the loop flushes any pending flow-network changes: admissions
+// accumulated at the current time are settled and filled in one batch
+// (see FlowNet.flush).
+func (e *Engine) RunContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return e.cancel(err)
+	}
 	for {
 		if e.net.dirty && (len(e.queue) == 0 || e.queue[0].at > e.now) {
 			e.net.flush()
@@ -320,6 +431,11 @@ func (e *Engine) Run() {
 			panic(fmt.Sprintf("sim: exceeded MaxTime %g", e.MaxTime))
 		}
 		e.statEvents++
+		if e.statEvents%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return e.cancel(err)
+			}
+		}
 		switch ev.kind {
 		case evResume:
 			e.resume(ev.proc)
@@ -329,23 +445,72 @@ func (e *Engine) Run() {
 			ev.fire()
 		}
 	}
-	// Park no longer needed: release the idle worker goroutines so engines
-	// do not pin goroutines after their run completes.
+	if e.liveProcs > 0 {
+		blocked := make([]BlockedProc, 0, len(e.blockedProcs))
+		for p, why := range e.blockedProcs {
+			blocked = append(blocked, BlockedProc{Name: p.name, Wait: why})
+		}
+		sort.Slice(blocked, func(i, j int) bool { return blocked[i].Name < blocked[j].Name })
+		err := &DeadlockError{Time: e.now, Live: e.liveProcs, Blocked: blocked}
+		e.abort()
+		return err
+	}
+	e.shutdown()
+	return nil
+}
+
+// cancel aborts a canceled run and wraps the context error.
+func (e *Engine) cancel(cause error) error {
+	err := &CanceledError{Time: e.now, Cause: cause}
+	e.abort()
+	return err
+}
+
+// abort unwinds every live process and releases all worker goroutines.
+// Live processes are parked on their wake channels in one of two places:
+// blocked inside block() (tracked in blockedProcs), or waiting for their
+// start resume event (still in the queue as evResume). Waking them with
+// killing set makes block() unwind via procKilled and makes the worker
+// skip never-started bodies, so liveProcs drains to zero without running
+// any further simulation.
+func (e *Engine) abort() {
+	e.killing = true
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
+		if ev.kind == evResume {
+			e.kill(ev.proc)
+		}
+	}
+	for len(e.blockedProcs) > 0 {
+		for p := range e.blockedProcs {
+			e.kill(p)
+			break
+		}
+	}
+	e.shutdown()
+}
+
+// kill unwinds one parked process (no-op if it already finished — a
+// sleeping process appears both in the queue and in blockedProcs).
+func (e *Engine) kill(p *Proc) {
+	if p.done {
+		return
+	}
+	delete(e.blockedProcs, p)
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// shutdown releases the idle worker goroutines so engines do not pin
+// goroutines after their run completes, and folds the engine's activity
+// counters into the process-wide totals.
+func (e *Engine) shutdown() {
 	for i, w := range e.idleWorkers {
 		close(w.run)
 		e.idleWorkers[i] = nil
 	}
 	e.idleWorkers = e.idleWorkers[:0]
 	e.publishActivity()
-	if e.liveProcs > 0 {
-		names := make([]string, 0, len(e.blockedProcs))
-		for p, why := range e.blockedProcs {
-			names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
-		}
-		sort.Strings(names)
-		panic(fmt.Sprintf("sim: deadlock at t=%g: %d live processes, blocked: %v",
-			e.now, e.liveProcs, names))
-	}
 }
 
 // WaitQueue is a FIFO of blocked processes, the building block for

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextDeadlockError checks the watchdog: when the event heap
+// drains with processes still blocked, RunContext returns a structured
+// *DeadlockError naming every stuck process (sorted) with its wait label,
+// instead of hanging or panicking.
+func TestRunContextDeadlockError(t *testing.T) {
+	e := NewEngine()
+	var q WaitQueue
+	e.Spawn("zeta", func(p *Proc) { q.Wait(p, "recv from 1") })
+	e.Spawn("alpha", func(p *Proc) { q.Wait(p, "rendezvous to 0") })
+	e.Spawn("fine", func(p *Proc) { p.Sleep(1) })
+	err := e.RunContext(context.Background())
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want *DeadlockError", err)
+	}
+	if dl.Live != 2 {
+		t.Fatalf("Live = %d, want 2", dl.Live)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Fatalf("Blocked = %v, want 2 entries", dl.Blocked)
+	}
+	if dl.Blocked[0].Name != "alpha" || dl.Blocked[1].Name != "zeta" {
+		t.Fatalf("blocked names not sorted: %v", dl.Blocked)
+	}
+	if dl.Blocked[0].Wait != "rendezvous to 0" || dl.Blocked[1].Wait != "recv from 1" {
+		t.Fatalf("wait labels lost: %v", dl.Blocked)
+	}
+	if dl.Time != 1 {
+		t.Fatalf("deadlock detected at t=%g, want 1 (after the healthy proc finished)", dl.Time)
+	}
+}
+
+// TestRunContextPreCanceled checks that an already-canceled context stops
+// the run before any event fires.
+func TestRunContextPreCanceled(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Spawn("p", func(p *Proc) { ran = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunContext(ctx)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CanceledError should unwrap to context.Canceled, got %v", err)
+	}
+	if ran {
+		t.Fatal("process body ran despite pre-canceled context")
+	}
+}
+
+// TestRunContextCancelMidRun cancels the context partway through a long
+// simulation and checks the run aborts at an intermediate simulated time
+// with every goroutine released (the engine would deadlock the test
+// otherwise).
+func TestRunContextCancelMidRun(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	e.Spawn("spinner", func(p *Proc) {
+		// Far more events than ctxCheckStride, so the poll must fire.
+		for i := 0; i < 1_000_000; i++ {
+			p.Sleep(1)
+		}
+	})
+	e.At(10, func() { cancel() })
+	err := e.RunContext(ctx)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CanceledError", err)
+	}
+	if ce.Time < 10 || ce.Time > 10+2*ctxCheckStride {
+		t.Fatalf("aborted at t=%g, want shortly after 10", ce.Time)
+	}
+}
+
+// TestRunPanicsOnDeadlockValue pins the legacy contract: Run panics with
+// the *DeadlockError value so old callers still fail loudly with the
+// structured diagnosis.
+func TestRunPanicsOnDeadlockValue(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if _, ok := p.(*DeadlockError); !ok {
+			t.Fatalf("panic value is %T, want *DeadlockError", p)
+		}
+	}()
+	e := NewEngine()
+	var q WaitQueue
+	e.Spawn("stuck", func(p *Proc) { q.Wait(p, "forever") })
+	e.Run()
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+
+	"multicore/internal/schema"
 )
 
 // Trace is a sink for simulation spans and counter samples that renders
@@ -70,12 +72,15 @@ func (t *Trace) ThreadName(pid, tid int, name string) {
 // Len reports the number of recorded events.
 func (t *Trace) Len() int { return len(t.events) }
 
-// WriteJSON emits the trace in Chrome trace-event JSON object form.
+// WriteJSON emits the trace in Chrome trace-event JSON object form. The
+// envelope carries the repository-wide artifact schema_version (trace
+// viewers ignore unknown top-level keys).
 func (t *Trace) WriteJSON(w io.Writer) error {
 	out := struct {
+		SchemaVersion   int          `json:"schema_version"`
 		TraceEvents     []traceEvent `json:"traceEvents"`
 		DisplayTimeUnit string       `json:"displayTimeUnit"`
-	}{TraceEvents: t.events, DisplayTimeUnit: "ms"}
+	}{SchemaVersion: schema.Version, TraceEvents: t.events, DisplayTimeUnit: "ms"}
 	if out.TraceEvents == nil {
 		out.TraceEvents = []traceEvent{}
 	}

@@ -1,0 +1,187 @@
+// Package store implements the on-disk, content-addressed result store
+// behind `mcbench -store`: one JSON file per experiment cell, keyed by a
+// SHA-256 hash of the cell's identity (workload, system, ranks, placement
+// scheme, problem scale) plus the simulation model version. A sweep that
+// dies halfway — SIGINT, a per-cell timeout, one panicking cell — leaves
+// every completed cell durably on disk, so re-running with -resume
+// executes only the missing or failed cells and reproduces byte-identical
+// tables.
+//
+// Entries are written atomically (temp file + rename), so an interrupt
+// can truncate at most an uncommitted temp file, never a committed entry.
+// Loads tolerate corruption: an entry that fails to parse is treated as a
+// miss and the cell simply re-runs. A schema_version mismatch, by
+// contrast, is rejected with a clear error — silently reinterpreting an
+// old layout could corrupt tables instead of regenerating them.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"multicore/internal/schema"
+)
+
+// Key identifies one simulated cell. Every field participates in the
+// content hash, so two cells with equal keys must be byte-for-byte the
+// same simulation. Model carries sim.ModelVersion: results from an older
+// model generation never alias results from the current one.
+type Key struct {
+	Workload string `json:"workload"`
+	System   string `json:"system"`
+	Ranks    int    `json:"ranks"`
+	Scheme   string `json:"scheme"`
+	Scale    string `json:"scale"`
+	Model    string `json:"model_version"`
+}
+
+// hash returns the content address of the key: a SHA-256 over the fields
+// separated by NUL bytes (no field can contain one).
+func (k Key) hash() string {
+	h := sha256.New()
+	for _, s := range []string{k.Workload, k.System, fmt.Sprint(k.Ranks), k.Scheme, k.Scale, k.Model} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry statuses.
+const (
+	// StatusOK marks a successful cell; Value holds its result.
+	StatusOK = "ok"
+	// StatusInfeasible marks a placement the scheme cannot host (the
+	// dashes in the paper's tables) — a deterministic non-result that is
+	// as cacheable as a success.
+	StatusInfeasible = "infeasible"
+	// StatusError marks a failed cell (panic, deadlock); Error holds the
+	// message. Failed cells re-run under -resume.
+	StatusError = "error"
+)
+
+// Entry is the schema-versioned JSON document stored per cell.
+type Entry struct {
+	SchemaVersion int             `json:"schema_version"`
+	Key           Key             `json:"key"`
+	Status        string          `json:"status"`
+	Value         json.RawMessage `json:"value,omitempty"`
+	Error         string          `json:"error,omitempty"`
+}
+
+// Store is a directory of cell entries. It is safe for concurrent use by
+// multiple goroutines (each operation touches a single file atomically);
+// concurrent *processes* sharing a directory are also safe because writes
+// are rename-based and content-addressed.
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %v", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.hash()+".json")
+}
+
+// Get loads the entry for k. A missing or unparseable (corrupt/truncated)
+// file returns (nil, nil) — the cell re-runs. A parseable entry with a
+// mismatched schema_version or a non-matching key is an error: the store
+// holds artifacts this build cannot interpret.
+func (s *Store) Get(k Key) (*Entry, error) {
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %v", path, err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, nil // corrupt entry: treat as a miss, the cell re-runs
+	}
+	if err := schema.Check(path, e.SchemaVersion); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if e.Key != k {
+		return nil, fmt.Errorf("store: %s holds key %+v, expected %+v (hash collision or tampered entry)", path, e.Key, k)
+	}
+	return &e, nil
+}
+
+// Put persists a successful cell result. v must round-trip through
+// encoding/json unchanged (float64s and structs of exported fields do).
+func (s *Store) Put(k Key, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encoding value for %+v: %v", k, err)
+	}
+	return s.write(Entry{SchemaVersion: schema.Version, Key: k, Status: StatusOK, Value: raw})
+}
+
+// PutInfeasible records a placement the scheme cannot host.
+func (s *Store) PutInfeasible(k Key) error {
+	return s.write(Entry{SchemaVersion: schema.Version, Key: k, Status: StatusInfeasible})
+}
+
+// PutError records a failed cell so a later run can report — or, under
+// -resume, retry — it without consulting logs.
+func (s *Store) PutError(k Key, msg string) error {
+	return s.write(Entry{SchemaVersion: schema.Version, Key: k, Status: StatusError, Error: msg})
+}
+
+// write commits an entry atomically: encode to a temp file in the store
+// directory, then rename over the final path.
+func (s *Store) write(e Entry) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding entry: %v", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: closing entry: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(e.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: committing entry: %v", err)
+	}
+	return nil
+}
+
+// Len counts committed entries (uncommitted temp files are excluded).
+func (s *Store) Len() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range ents {
+		if filepath.Ext(ent.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

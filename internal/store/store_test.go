@@ -1,0 +1,201 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multicore/internal/schema"
+)
+
+func testKey(workload string) Key {
+	return Key{Workload: workload, System: "longs", Ranks: 8,
+		Scheme: "localalloc", Scale: "quick", Model: "mc-sim/test"}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("cg/A")
+	type pair struct{ A, B float64 }
+	want := pair{A: 1.25, B: 0.0625}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	ent, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent == nil || ent.Status != StatusOK {
+		t.Fatalf("entry = %+v, want ok", ent)
+	}
+	var got pair
+	if err := json.Unmarshal(ent.Value, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round-trip %+v != %+v", got, want)
+	}
+}
+
+func TestMissingIsNilNil(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	ent, err := s.Get(testKey("absent"))
+	if ent != nil || err != nil {
+		t.Fatalf("miss = (%+v, %v), want (nil, nil)", ent, err)
+	}
+}
+
+// TestCorruptEntryIsAMiss: a truncated or garbage file must read as a
+// miss (the cell re-runs), never as an error that wedges the sweep.
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := testKey("ft/A")
+	if err := s.Put(k, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("want 1 entry file, got %d (%v)", len(ents), err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	for _, garbage := range []string{"", "{trunc", "not json at all"} {
+		if err := os.WriteFile(path, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ent, err := s.Get(k)
+		if ent != nil || err != nil {
+			t.Fatalf("corrupt %q: got (%+v, %v), want miss", garbage, ent, err)
+		}
+	}
+}
+
+// TestSchemaMismatchRejected: a parseable entry from a different schema
+// generation must be a hard error, not silently reinterpreted.
+func TestSchemaMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := testKey("hpl")
+	if err := s.Put(k, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, ents[0].Name())
+	data, _ := os.ReadFile(path)
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.SchemaVersion = schema.Version + 1
+	out, _ := json.Marshal(e)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(k); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+// TestKeyMismatchRejected: an entry whose embedded key disagrees with the
+// requested key (tampering, or an impossibly unlucky hash collision) is a
+// hard error.
+func TestKeyMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := testKey("ep")
+	if err := s.Put(k, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	other := testKey("mg")
+	ents, _ := os.ReadDir(dir)
+	src := filepath.Join(dir, ents[0].Name())
+	data, _ := os.ReadFile(src)
+	if err := os.WriteFile(s.path(other), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Get(other)
+	if err == nil || !strings.Contains(err.Error(), "holds key") {
+		t.Fatalf("key mismatch not rejected: %v", err)
+	}
+}
+
+func TestStatuses(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	ki := testKey("infeasible-cell")
+	if err := s.PutInfeasible(ki); err != nil {
+		t.Fatal(err)
+	}
+	ent, err := s.Get(ki)
+	if err != nil || ent == nil || ent.Status != StatusInfeasible {
+		t.Fatalf("infeasible entry = (%+v, %v)", ent, err)
+	}
+	ke := testKey("failed-cell")
+	if err := s.PutError(ke, "deadlock at t=3"); err != nil {
+		t.Fatal(err)
+	}
+	ent, err = s.Get(ke)
+	if err != nil || ent == nil || ent.Status != StatusError || ent.Error != "deadlock at t=3" {
+		t.Fatalf("error entry = (%+v, %v)", ent, err)
+	}
+	if n, err := s.Len(); err != nil || n != 2 {
+		t.Fatalf("Len = (%d, %v), want 2", n, err)
+	}
+}
+
+// TestOverwrite: re-putting a key (the -resume retry path) replaces the
+// old status.
+func TestOverwrite(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k := testKey("retry")
+	if err := s.PutError(k, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	ent, err := s.Get(k)
+	if err != nil || ent.Status != StatusOK {
+		t.Fatalf("after overwrite = (%+v, %v), want ok", ent, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (overwrite, not append)", n)
+	}
+}
+
+// TestKeyHashDistinguishesFields: every key field must participate in
+// the content address.
+func TestKeyHashDistinguishesFields(t *testing.T) {
+	base := testKey("w")
+	variants := []Key{base}
+	k := base
+	k.Workload = "w2"
+	variants = append(variants, k)
+	k = base
+	k.System = "dmz"
+	variants = append(variants, k)
+	k = base
+	k.Ranks = 4
+	variants = append(variants, k)
+	k = base
+	k.Scheme = "membind"
+	variants = append(variants, k)
+	k = base
+	k.Scale = "full"
+	variants = append(variants, k)
+	k = base
+	k.Model = "mc-sim/other"
+	variants = append(variants, k)
+	seen := map[string]Key{}
+	for _, v := range variants {
+		h := v.hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("keys %+v and %+v share hash %s", prev, v, h)
+		}
+		seen[h] = v
+	}
+}

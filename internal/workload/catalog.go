@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+
+	"multicore/internal/apps/amber"
+	"multicore/internal/apps/lammps"
+	"multicore/internal/apps/pop"
+	"multicore/internal/kernels/blas"
+	"multicore/internal/kernels/cg"
+	"multicore/internal/kernels/fft"
+	"multicore/internal/kernels/hpl"
+	"multicore/internal/kernels/lmbench"
+	"multicore/internal/kernels/ptrans"
+	"multicore/internal/kernels/rnda"
+	"multicore/internal/kernels/stream"
+	"multicore/internal/mpi"
+	"multicore/internal/npb"
+	"multicore/internal/units"
+)
+
+// Display formatters shared by the catalog entries.
+func Seconds(v float64) string { return units.Duration(v) }
+func Rate(v float64) string    { return units.Rate(v) }
+func Flops(v float64) string   { return units.Flops(v) }
+func GUPS(v float64) string    { return fmt.Sprintf("%.4f GUPS", v) }
+func GFlops(v float64) string  { return fmt.Sprintf("%.2f GFlop/s", v) }
+
+// Family defaults, matching the historical cmd/mcrun invocations.
+const (
+	defaultDaxpyN   = 1 << 22
+	defaultDgemmN   = 800
+	defaultFFTN     = 1 << 22
+	defaultPtransN  = 2048
+	defaultHPLN     = 2048
+	defaultMDSteps  = 10 // AMBER and POP single runs
+	defaultNPBClass = npb.ClassA
+	defaultMGClass  = npb.ClassW
+)
+
+func init() {
+	Register("stream", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { stream.RunTriad(r, stream.Params{}) },
+			Metrics: []Metric{{stream.MetricBandwidth, "triad bandwidth", Rate}},
+		}, nil
+	})
+
+	Register("daxpy", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		n := s.N
+		if n == 0 {
+			n = defaultDaxpyN
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { blas.RunDaxpy(r, blas.DaxpyParams{N: n, Variant: blas.ACML}) },
+			Metrics: []Metric{{blas.MetricDaxpyFlops, "DAXPY", Flops}},
+		}, nil
+	})
+
+	Register("dgemm", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		n := s.N
+		if n == 0 {
+			n = defaultDgemmN
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { blas.RunDgemm(r, blas.DgemmParams{N: n, Variant: blas.ACML}) },
+			Metrics: []Metric{{blas.MetricDgemmFlops, "DGEMM", Flops}},
+		}, nil
+	})
+
+	Register("fft", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		n := s.N
+		if n == 0 {
+			n = defaultFFTN
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { fft.RunDist(r, fft.DistParams{TotalN: n}) },
+			Metrics: []Metric{{fft.MetricFlops, "FFT", Flops}},
+		}, nil
+	})
+
+	Register("ra", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { rnda.Run(r, rnda.Params{MPI: true}) },
+			Metrics: []Metric{{rnda.MetricGUPS, "RandomAccess", GUPS}},
+		}, nil
+	})
+
+	Register("ptrans", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		n := s.N
+		if n == 0 {
+			n = defaultPtransN
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { ptrans.Run(r, ptrans.Params{N: n}) },
+			Metrics: []Metric{{ptrans.MetricBandwidth, "PTRANS", Rate}},
+		}, nil
+	})
+
+	Register("hpl", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		n := s.N
+		if n == 0 {
+			n = defaultHPLN
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { hpl.Run(r, hpl.Params{N: n}) },
+			Metrics: []Metric{{hpl.MetricGFlops, "HPL", GFlops}},
+		}, nil
+	})
+
+	registerNPB("cg", npb.RunCG, defaultNPBClass, Metric{cg.MetricTime, "CG time", Seconds})
+	registerNPB("ft", npb.RunFT, defaultNPBClass, Metric{npb.MetricFTTime, "FT time", Seconds})
+	registerNPB("ep", npb.RunEP, defaultNPBClass, Metric{npb.MetricEPTime, "EP time", Seconds})
+	registerNPB("mg", npb.RunMG, defaultMGClass, Metric{npb.MetricMGTime, "MG time", Seconds})
+
+	Register("lmbench", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		return Workload{
+			Body: func(r *mpi.Rank) {
+				for _, pt := range lmbench.Run(r, lmbench.Params{}) {
+					r.Report(fmt.Sprintf("%s%.0f", lmbench.MetricPrefix, pt.WorkingSetBytes), pt.LatencySeconds)
+				}
+			},
+		}, nil
+	})
+
+	Register("amber", func(s Spec) (Workload, error) {
+		if s.Arg == "" {
+			return Workload{}, fmt.Errorf("workload: amber needs a benchmark, e.g. amber:JAC")
+		}
+		bench, err := amber.ByName(s.Arg)
+		if err != nil {
+			return Workload{}, err
+		}
+		steps := s.Steps
+		if steps == 0 {
+			steps = defaultMDSteps
+		}
+		return Workload{
+			Body: func(r *mpi.Rank) { amber.Run(r, amber.Params{Bench: bench, Steps: steps}) },
+			Metrics: []Metric{
+				{amber.MetricTotalTime, "MD loop time", Seconds},
+				{amber.MetricFFTTime, "FFT phase time", Seconds},
+			},
+		}, nil
+	})
+
+	Register("lammps", func(s Spec) (Workload, error) {
+		if s.Arg == "" {
+			return Workload{}, fmt.Errorf("workload: lammps needs a benchmark: lammps:<lj|chain|eam>")
+		}
+		bench, err := lammps.ByName(s.Arg)
+		if err != nil {
+			return Workload{}, err
+		}
+		return Workload{
+			Body:    func(r *mpi.Rank) { lammps.Run(r, lammps.Params{Bench: bench, Steps: s.Steps}) },
+			Metrics: []Metric{{lammps.MetricTime, "MD loop time", Seconds}},
+		}, nil
+	})
+
+	Register("pop", func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		steps := s.Steps
+		if steps == 0 {
+			steps = defaultMDSteps
+		}
+		return Workload{
+			Body: func(r *mpi.Rank) { pop.Run(r, pop.Params{Steps: steps}) },
+			Metrics: []Metric{
+				{pop.MetricBaroclinic, "baroclinic time", Seconds},
+				{pop.MetricBarotropic, "barotropic time", Seconds},
+			},
+		}, nil
+	})
+}
+
+// registerNPB installs one NAS kernel: the run constructor validates the
+// class, so the factory surfaces bad -class values as errors.
+func registerNPB(name string, run func(npb.Class) (func(*mpi.Rank), error), def npb.Class, m Metric) {
+	Register(name, func(s Spec) (Workload, error) {
+		if err := noArg(s); err != nil {
+			return Workload{}, err
+		}
+		class := def
+		if s.Class != "" {
+			class = npb.Class(s.Class)
+		}
+		body, err := run(class)
+		if err != nil {
+			return Workload{}, err
+		}
+		return Workload{Body: body, Metrics: []Metric{m}}, nil
+	})
+}
