@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N]
-//	        [-store DIR] [-resume] [-timeout D] [-json FILE] <id>...|all|list
+//	        [-store DIR] [-resume] [-timeout D] [-json FILE]
+//	        [-faults PLAN] [-fault-seed N] [-retries N] <id>...|all|list
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
 //
@@ -13,7 +14,11 @@
 // panicking cell renders as ERR instead of killing the run, and with
 // -store every completed cell is persisted so the next invocation (add
 // -resume to also retry failed cells) re-runs only what is missing and
-// reproduces byte-identical tables.
+// reproduces byte-identical tables. Concurrent -store runs over the same
+// directory are serialized by an advisory lock. With -faults, the
+// deterministic perturbations of a fault plan (see internal/fault) are
+// injected into every cell; -retries re-attempts cells that fail
+// transiently.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"multicore/internal/experiments"
+	"multicore/internal/fault"
 	"multicore/internal/report"
 	"multicore/internal/schema"
 	"multicore/internal/sim"
@@ -49,6 +55,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per simulated cell (0 = unbounded), e.g. 30s")
 	jsonOut := flag.String("json", "", "write per-experiment benchmark records (wall time, events, settles, allocs) to FILE; runs experiments serially")
 	note := flag.String("note", "", "free-form note recorded in the -json output")
+	faults := flag.String("faults", "", `deterministic fault plan injected into every cell, e.g. "noise:core=3,period=1ms,frac=0.1;linkdown:s0-s1,t=2ms..5ms"`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's random draws (phases, cell failures)")
+	retries := flag.Int("retries", 0, "re-attempts per cell that fails with a transient fault (0 = no retry)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -72,11 +81,23 @@ func main() {
 	if *resume && *storeDir == "" {
 		fatalf("-resume needs -store DIR (there is nothing to resume from)")
 	}
+	if *retries < 0 {
+		fatalf("-retries must be non-negative")
+	}
 	opts := experiments.Options{
-		Parallelism: *jobs,
-		Resume:      *resume,
-		CellTimeout: *timeout,
-		TraceDir:    *traceDir,
+		Parallelism:  *jobs,
+		Resume:       *resume,
+		CellTimeout:  *timeout,
+		TraceDir:     *traceDir,
+		Retries:      *retries,
+		RetryBackoff: 100 * time.Millisecond,
+	}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Faults = plan
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -88,6 +109,17 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		// Serialize whole sweeps: a second mcbench on the same store would
+		// resimulate every cell this one has in flight.
+		if ok, err := st.TryLock(); err != nil {
+			fatalf("%v", err)
+		} else if !ok {
+			fmt.Fprintf(os.Stderr, "mcbench: store %s is locked by another run; waiting...\n", *storeDir)
+			if err := st.Lock(); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		defer st.Unlock()
 		opts.Store = st
 	}
 

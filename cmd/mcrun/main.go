@@ -12,7 +12,10 @@
 //
 // The run is cancellable (SIGINT/SIGTERM) and optionally bounded by
 // -timeout; a deadlocked workload reports the blocked ranks and exits
-// instead of hanging.
+// instead of hanging. With -faults a deterministic perturbation plan
+// (OS noise, degraded links/memory controllers, stragglers, message
+// delays — see internal/fault) is injected into the run, seeded by
+// -fault-seed; -retries re-attempts runs that fail transiently.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"multicore/internal/affinity"
 	"multicore/internal/core"
+	"multicore/internal/fault"
 	"multicore/internal/machine"
 	"multicore/internal/mpi"
 	"multicore/internal/report"
@@ -68,6 +72,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print engine stats (event/flow counters, per-process state times)")
 	nodes := flag.Int("nodes", 1, "number of cluster nodes (ranks are per node)")
 	netName := flag.String("net", "rapidarray", "inter-node fabric: rapidarray or gige")
+	faults := flag.String("faults", "", `deterministic fault plan, e.g. "noise:core=3,period=1ms,frac=0.1;linkdown:s0-s1,t=2ms..5ms"`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's random draws")
+	retries := flag.Int("retries", 0, "re-attempts when the run fails with a transient fault (0 = no retry)")
 	flag.Parse()
 
 	sch, err := affinity.ParseScheme(*scheme)
@@ -112,6 +119,17 @@ func main() {
 	if *trace != "" {
 		job.Trace = &sim.Trace{}
 	}
+	var plan *fault.Plan
+	if *faults != "" {
+		plan, err = fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		job.Faults = plan
+	}
+	if *retries < 0 {
+		fatalf("-retries must be non-negative")
+	}
 	if *machineFile != "" {
 		spec, err := machine.LoadSpec(*machineFile)
 		if err != nil {
@@ -128,7 +146,27 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := core.RunContext(ctx, job, wl.Body)
+	// Retry loop: only transient failures (injected by the fault plan) are
+	// re-attempted; deterministic failures repeat identically and surface
+	// immediately. Each attempt sees fresh, seeded fault draws.
+	cell := fmt.Sprintf("%s/%s/r%d/%s", spec, *system, *ranks, *scheme)
+	var res *mpi.Result
+	for attempt := 0; ; attempt++ {
+		if *trace != "" {
+			job.Trace = &sim.Trace{} // don't accumulate spans across attempts
+		}
+		if plan != nil {
+			err = plan.CellError(cell, attempt)
+		}
+		if err == nil {
+			res, err = core.RunContext(ctx, job, wl.Body)
+		}
+		if err == nil || !fault.IsTransient(err) || attempt >= *retries || ctx.Err() != nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "mcrun: attempt %d/%d failed transiently: %v (retrying)\n",
+			attempt+1, *retries+1, err)
+	}
 	if err != nil {
 		var dl *sim.DeadlockError
 		if errors.As(err, &dl) {
@@ -142,6 +180,9 @@ func main() {
 		var ce *sim.CanceledError
 		if errors.As(err, &ce) {
 			fatalf("run aborted at simulated t=%s: %v", units.Duration(ce.Time), ce.Cause)
+		}
+		if fault.IsTransient(err) {
+			fatalf("run failed transiently after %d attempt(s): %v", *retries+1, err)
 		}
 		fatalf("%v", err)
 	}

@@ -48,6 +48,11 @@ type Job struct {
 	// Observe enables detailed engine observation (per-process state
 	// times, per-resource rate timelines) snapshotted in Result.Stats.
 	Observe bool
+	// Faults, when non-nil, injects deterministic perturbations into the
+	// run (see internal/fault): OS noise, degraded links and memory
+	// controllers, straggler ranks, message delays. Nil keeps the run
+	// byte-identical to the idealized fault-free machine.
+	Faults mpi.Perturb
 }
 
 // resolve returns the machine spec for the job.
@@ -96,6 +101,7 @@ func RunContext(ctx context.Context, j Job, body func(*mpi.Rank)) (*mpi.Result, 
 		Seed:          j.Seed,
 		Trace:         j.Trace,
 		Observe:       j.Observe,
+		Faults:        j.Faults,
 	}
 	if j.BufMode != nil {
 		cfg.BufMode = *j.BufMode

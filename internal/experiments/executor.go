@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"multicore/internal/affinity"
+	"multicore/internal/fault"
 	"multicore/internal/report"
 	"multicore/internal/sim"
 	"multicore/internal/store"
@@ -45,6 +47,19 @@ type Options struct {
 	// TraceDir, when non-empty, writes one Chrome trace file per cell
 	// routed through runJob (mcbench -trace).
 	TraceDir string
+	// Faults, when non-nil, injects the plan's deterministic perturbations
+	// into every cell (mcbench -faults). The canonical plan string and its
+	// seed join the store key, so perturbed results never alias clean ones.
+	Faults *fault.Plan
+	// Retries bounds re-attempts of a cell that fails with a transient
+	// error (fault.IsTransient); zero disables retrying. Deterministic
+	// failures — panics, deadlocks, infeasible placements — are never
+	// retried.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt with deterministic seeded jitter. Zero retries
+	// immediately.
+	RetryBackoff time.Duration
 }
 
 // Runner executes experiments: it owns the worker pool, the in-process
@@ -189,6 +204,19 @@ func (r *Runner) resume() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.opts.Resume
+}
+
+// Faults returns the runner's fault plan, nil when unperturbed.
+func (r *Runner) Faults() *fault.Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Faults
+}
+
+func (r *Runner) retryPolicy() (int, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Retries, r.opts.RetryBackoff
 }
 
 // jobContext derives the context one cell simulates under: the runner's
@@ -336,9 +364,11 @@ func (k CellKey) String() string {
 
 // storeKey maps the in-process key to the persistent store's identity.
 // sim.ModelVersion participates so entries from an older engine
-// generation never alias current results.
-func (k CellKey) storeKey() store.Key {
-	return store.Key{
+// generation never alias current results; the runner's fault plan (its
+// canonical string and seed) participates so perturbed results never
+// alias clean ones.
+func (r *Runner) storeKey(k CellKey) store.Key {
+	sk := store.Key{
 		Workload: k.Workload,
 		System:   k.System,
 		Ranks:    k.Ranks,
@@ -346,6 +376,11 @@ func (k CellKey) storeKey() store.Key {
 		Scale:    k.Scale.String(),
 		Model:    sim.ModelVersion,
 	}
+	if plan := r.Faults(); plan != nil {
+		sk.Faults = plan.String()
+		sk.FaultSeed = plan.Seed()
+	}
+	return sk
 }
 
 type cacheEntry struct {
@@ -396,13 +431,13 @@ func computeCell[T any](r *Runner, key CellKey, fn func() (T, error)) (any, erro
 		return nil, err
 	}
 	st := r.store()
-	sk := key.storeKey()
+	sk := r.storeKey(key)
 	if st != nil {
 		if v, err, served := loadCell[T](r, st, key, sk); served {
 			return v, err
 		}
 	}
-	v, err := runIsolated(key, fn)
+	v, err := runWithRetries(r, key, fn)
 	r.cellsRun.Add(1)
 	if err != nil && !isInfeasible(err) {
 		r.noteErr(err)
@@ -471,6 +506,58 @@ func (r *Runner) persistCell(sk store.Key, v any, err error) {
 	if perr != nil {
 		r.noteErr(perr)
 	}
+}
+
+// runWithRetries attempts a cell up to 1+Retries times. Only transient
+// failures (fault.IsTransient) are retried: injected chaos and flaky
+// resources depend on the attempt, while panics, deadlocks, and
+// infeasible placements are properties of the cell and repeat
+// identically. Between attempts it backs off exponentially from
+// RetryBackoff with deterministic seeded jitter — reproducible given the
+// plan seed, but decorrelated across cells so a sweep's retries don't
+// stampede. Cancellation cuts the backoff short. When the budget is
+// exhausted the last transient error is returned: the cell renders as
+// ERR and is recorded once, exactly like any other failed cell.
+func runWithRetries[T any](r *Runner, key CellKey, fn func() (T, error)) (T, error) {
+	plan := r.Faults()
+	retries, backoff := r.retryPolicy()
+	cell := key.String()
+	var seed int64
+	if plan != nil {
+		seed = plan.Seed()
+	}
+	var v T
+	var err error
+	for attempt := 0; ; attempt++ {
+		v, err = runAttempt(r, key, plan, cell, attempt, fn)
+		if err == nil || !fault.IsTransient(err) || isCanceled(err) || attempt >= retries {
+			return v, err
+		}
+		if backoff > 0 {
+			d := time.Duration(float64(backoff) * math.Pow(2, float64(attempt)) *
+				fault.BackoffJitter(seed, cell, attempt))
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-r.ctx.Done():
+				t.Stop()
+				var zero T
+				return zero, r.ctx.Err()
+			}
+		}
+	}
+}
+
+// runAttempt is one try at a cell: the fault plan may inject a transient
+// failure for this (cell, attempt) before the simulation runs.
+func runAttempt[T any](r *Runner, key CellKey, plan *fault.Plan, cell string, attempt int, fn func() (T, error)) (T, error) {
+	if plan != nil {
+		if ferr := plan.CellError(cell, attempt); ferr != nil {
+			var zero T
+			return zero, ferr
+		}
+	}
+	return runIsolated(key, fn)
 }
 
 // runIsolated invokes fn, converting a panic into an error so one

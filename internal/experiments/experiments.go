@@ -228,14 +228,20 @@ func (r *Runner) runJob(workload, system string, ranks int, scheme affinity.Sche
 	tr, flush := r.traceCell(cellLabel(workload, system, ranks, scheme))
 	ctx, cancel := r.jobContext()
 	defer cancel()
-	res, err := core.RunContext(ctx, core.Job{
+	job := core.Job{
 		System:  system,
 		Ranks:   ranks,
 		Scheme:  scheme,
 		Impl:    mpi.MPICH2(),
 		Trace:   tr,
 		Observe: tr != nil,
-	}, body)
+	}
+	// Guarded assignment: a nil *fault.Plan inside the non-nil interface
+	// would still dispatch, losing the fault-free fast paths.
+	if plan := r.Faults(); plan != nil {
+		job.Faults = plan
+	}
+	res, err := core.RunContext(ctx, job, body)
 	if flush != nil && err == nil {
 		flush()
 	}

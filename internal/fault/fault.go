@@ -1,0 +1,302 @@
+// Package fault is the deterministic, seed-driven perturbation subsystem:
+// it turns a parseable fault-plan spec (see Parse) into injectors that the
+// machine, MPI, and experiment layers consult while a simulation runs.
+// The paper's measurements were taken on real Opteron systems where OS
+// noise, contended HyperTransport links, saturated memory controllers, and
+// straggler ranks are part of the signal; a Plan reintroduces those
+// perturbations into the otherwise idealized simulator — reproducibly.
+//
+// Two properties are contractual:
+//
+//   - With no plan installed, every consumer keeps a nil hook and the
+//     simulation is byte-identical to the fault-free model.
+//   - Given the same (plan, seed), every injected decision is identical:
+//     all randomness is stateless, derived by hashing the seed with the
+//     identity of the decision (core, cell, attempt, ...), never from
+//     shared RNG state, so results do not depend on scheduling order or
+//     worker count.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"multicore/internal/machine"
+)
+
+// Transient marks an error as retryable: the failure depends on the
+// attempt (an injected fault, a flaky resource), not deterministically on
+// the cell, so a bounded retry may succeed. The experiment runner retries
+// only transient errors; deterministic failures (panics, deadlocks) are
+// reported immediately.
+type Transient struct{ Err error }
+
+func (t *Transient) Error() string { return t.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (t *Transient) Unwrap() error { return t.Err }
+
+// IsTransient reports whether err is (or wraps) a transient failure.
+func IsTransient(err error) bool {
+	var tr *Transient
+	return errors.As(err, &tr)
+}
+
+// window is one [start, end) time interval; end may be +Inf ("rest of the
+// run").
+type window struct{ start, end float64 }
+
+func (w window) contains(t float64) bool { return t >= w.start && t < w.end }
+
+// rule kinds.
+const (
+	kindNoise     = "noise"
+	kindLinkDown  = "linkdown"
+	kindMCSlow    = "mcslow"
+	kindStraggler = "straggler"
+	kindMsgDelay  = "msgdelay"
+	kindCellErr   = "cellerr"
+)
+
+// any is the wildcard value of an integer selector ("*").
+const anyID = -1
+
+// rule is one parsed fault clause.
+type rule struct {
+	kind string
+
+	core, socket int // noise / mcslow selectors (anyID = all)
+	rank         int // straggler selector
+	src, dst     int // msgdelay selectors (anyID = all)
+	linkA, linkB int // linkdown endpoints (sockets)
+
+	period, frac float64 // noise: burst period and fraction of it lost
+	factor       float64 // capacity multiplier (linkdown/mcslow) or slowdown (straggler)
+	delay        float64 // msgdelay: injected latency, seconds
+	p            float64 // cellerr: per-attempt failure probability
+
+	windows  []window // time windows (empty = whole run where applicable)
+	workload string   // cellerr: substring filter on the cell key
+}
+
+// Plan is a parsed fault plan bound to a seed. A nil *Plan injects
+// nothing; consumers must keep their hooks nil rather than installing a
+// nil Plan (a nil Plan inside a non-nil interface still dispatches).
+type Plan struct {
+	seed  int64
+	rules []rule
+}
+
+// Seed returns the seed the plan was bound to.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// splitmix64 is the stateless mixing function behind every seeded draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit hashes the plan seed with the decision identifiers into [0, 1).
+func (p *Plan) unit(ids ...uint64) float64 {
+	h := splitmix64(uint64(p.seed) ^ 0xd6e8feb86659fd93)
+	for _, id := range ids {
+		h = splitmix64(h ^ id)
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// hashString folds a string into one identifier (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// BackoffJitter returns a deterministic multiplier in [0.5, 1.5) for retry
+// backoff of the given cell and attempt: jittered, but reproducible given
+// the seed, so two runs of the same sweep retry on the same schedule.
+func BackoffJitter(seed int64, cell string, attempt int) float64 {
+	h := splitmix64(uint64(seed) ^ 0xa24baed4963ee407)
+	h = splitmix64(h ^ hashString(cell))
+	h = splitmix64(h ^ uint64(attempt))
+	return 0.5 + float64(h>>11)/(1<<53)
+}
+
+// ComputeTime implements machine.Perturb: it maps an on-core execution
+// duration through the periodic OS-noise model. Each matching noise rule
+// steals frac of every period in one burst at a seed-derived, per-core
+// phase; work only progresses outside bursts, so a phase that spans a
+// burst is inflated by exactly the burst time it straddles.
+func (p *Plan) ComputeTime(core int, now, d float64) float64 {
+	if d <= 0 {
+		return d
+	}
+	for i, r := range p.rules {
+		if r.kind != kindNoise || r.frac <= 0 {
+			continue
+		}
+		if r.core != anyID && r.core != core {
+			continue
+		}
+		phase := p.unit(uint64(i), 0x6e6f697365, uint64(core)) * r.period
+		// Noise only inflates: the clamp absorbs the ulp of rounding in
+		// (now + d) - now when no burst intersects the phase.
+		if nd := noiseEnd(now, d, r.period, r.frac*r.period, phase) - now; nd > d {
+			d = nd
+		}
+	}
+	return d
+}
+
+// noiseEnd returns the wall time at which work of duration w finishes when
+// started at t on a core that loses the burst [kP+phase, kP+phase+B) of
+// every period P. Closed form: no iteration over periods, so arbitrarily
+// fine noise stays O(1) per compute phase.
+func noiseEnd(t, w, period, burst, phase float64) float64 {
+	if w <= 0 || burst <= 0 {
+		return t + w
+	}
+	avail := period - burst
+	// Position within the period, measured from the burst start.
+	pos := math.Mod(t-phase, period)
+	if pos < 0 {
+		pos += period
+	}
+	if pos < burst {
+		// Starting inside a burst: no work until it ends.
+		t += burst - pos
+		pos = burst
+	}
+	if left := period - pos; w <= left {
+		return t + w // finishes before the next burst
+	} else {
+		w -= left
+		t += left
+	}
+	// Now at a burst start. Whole periods first, then the remainder.
+	full := math.Floor(w / avail)
+	t += full * period
+	w -= full * avail
+	if w <= 0 {
+		return t
+	}
+	return t + burst + w
+}
+
+// capWindows collects the capacity windows of the rules selected by pick.
+func (p *Plan) capWindows(pick func(r rule) bool) []machine.CapWindow {
+	var out []machine.CapWindow
+	for _, r := range p.rules {
+		if !pick(r) {
+			continue
+		}
+		ws := r.windows
+		if len(ws) == 0 {
+			ws = []window{{0, math.Inf(1)}}
+		}
+		for _, w := range ws {
+			out = append(out, machine.CapWindow{Start: w.start, End: w.end, Factor: r.factor})
+		}
+	}
+	return out
+}
+
+// MCWindows implements machine.Perturb: the degradation windows of the
+// socket's memory controller.
+func (p *Plan) MCWindows(socket int) []machine.CapWindow {
+	return p.capWindows(func(r rule) bool {
+		return r.kind == kindMCSlow && (r.socket == anyID || r.socket == socket)
+	})
+}
+
+// LinkWindows implements machine.Perturb: the degradation windows of the
+// link between sockets a and b (order-insensitive).
+func (p *Plan) LinkWindows(a, b int) []machine.CapWindow {
+	return p.capWindows(func(r rule) bool {
+		return r.kind == kindLinkDown &&
+			((r.linkA == a && r.linkB == b) || (r.linkA == b && r.linkB == a))
+	})
+}
+
+// SendDelay implements mpi.Perturb: the extra latency injected into a
+// src->dst message issued at simulated time now (the sum of every
+// matching msgdelay rule whose window contains now).
+func (p *Plan) SendDelay(src, dst int, now float64) float64 {
+	total := 0.0
+	for _, r := range p.rules {
+		if r.kind != kindMsgDelay {
+			continue
+		}
+		if r.src != anyID && r.src != src {
+			continue
+		}
+		if r.dst != anyID && r.dst != dst {
+			continue
+		}
+		if len(r.windows) > 0 {
+			hit := false
+			for _, w := range r.windows {
+				if w.contains(now) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		total += r.delay
+	}
+	return total
+}
+
+// RankFactor implements mpi.Perturb: the compute slowdown of a straggler
+// rank (the product of every matching straggler rule), 1 when unaffected.
+func (p *Plan) RankFactor(rank int) float64 {
+	f := 1.0
+	for _, r := range p.rules {
+		if r.kind == kindStraggler && r.rank == rank {
+			f *= r.factor
+		}
+	}
+	return f
+}
+
+// CellError draws the injected outcome of one attempt at one experiment
+// cell: a *Transient error with probability p per matching cellerr rule,
+// nil otherwise. The draw depends only on (seed, cell, rule, attempt), so
+// retries of the same cell see fresh, but reproducible, draws.
+func (p *Plan) CellError(cell string, attempt int) error {
+	for i, r := range p.rules {
+		if r.kind != kindCellErr {
+			continue
+		}
+		if r.workload != "" && !strings.Contains(cell, r.workload) {
+			continue
+		}
+		if p.unit(uint64(i), 0x63656c6c, hashString(cell), uint64(attempt)) < r.p {
+			return &Transient{Err: fmt.Errorf(
+				"fault: injected transient failure in cell %s (attempt %d)", cell, attempt)}
+		}
+	}
+	return nil
+}
+
+// InjectsCellErrors reports whether the plan contains any cellerr rule —
+// i.e. whether sweeps should expect transient cell failures worth
+// retrying.
+func (p *Plan) InjectsCellErrors() bool {
+	for _, r := range p.rules {
+		if r.kind == kindCellErr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParsePlan asserts the fault-plan parser never panics, and that any
+// spec it accepts canonicalizes to a fixed point: Parse(String()) must
+// succeed and produce the same String. The canonical form joins store
+// keys, so a drifting canonicalization would silently fork cached results.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"noise:core=3,period=1ms,frac=0.1;linkdown:s0-s1,t=2ms..5ms",
+		"noise:core=*,period=500us,frac=0.05",
+		"linkdown:s1-s0,factor=0.25,t=1ms..2ms,t=4ms..6ms",
+		"mcslow:socket=*,factor=0.75,t=1ms..inf",
+		"straggler:rank=2,factor=1.5",
+		"msgdelay:delay=10us,src=0,dst=*",
+		"cellerr:p=0.3,workload=cg",
+		"noise:core=1e99,period=-1ms,frac=2",
+		";;;:::===",
+		"linkdown:s-1-s2",
+		"noise:core=3,period=9999999h,frac=0.999",
+		"msgdelay:delay=1ns,t=0s..inf,t=..",
+	}
+	for _, s := range seeds {
+		f.Add(s, int64(42))
+	}
+	f.Fuzz(func(t *testing.T, spec string, seed int64) {
+		p, err := Parse(spec, seed)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := Parse(canon, seed)
+		if err != nil {
+			t.Fatalf("canonical form rejected: Parse(%q) after Parse(%q): %v", canon, spec, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", spec, canon, got)
+		}
+		// Every injector must stay total and finite on accepted plans.
+		if d := p.ComputeTime(0, 0.001, 0.01); math.IsNaN(d) || d < 0.01 {
+			t.Fatalf("ComputeTime produced %g for 0.01s of work", d)
+		}
+		for _, w := range append(p.LinkWindows(0, 1), p.MCWindows(0)...) {
+			if math.IsNaN(w.Start) || math.IsNaN(w.Factor) || w.Factor <= 0 {
+				t.Fatalf("invalid capacity window %+v", w)
+			}
+		}
+		if d := p.SendDelay(0, 1, 0.001); math.IsNaN(d) || d < 0 {
+			t.Fatalf("SendDelay produced %g", d)
+		}
+		if f := p.RankFactor(0); math.IsNaN(f) || f < 1 {
+			t.Fatalf("RankFactor produced %g", f)
+		}
+		p.CellError("cell", 0)
+	})
+}

@@ -1,0 +1,327 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse compiles a fault-plan spec into a Plan bound to seed. The grammar
+// is semicolon-separated clauses, each `kind:field=value,...`:
+//
+//	noise:core=3,period=1ms,frac=0.1      periodic OS noise on core 3
+//	noise:core=*,period=500us,frac=0.05   ... on every core
+//	linkdown:s0-s1,t=2ms..5ms             HT link s0<->s1 degraded in a window
+//	linkdown:s0-s1,factor=0.25,t=1ms..2ms,t=4ms..6ms   flapping link
+//	mcslow:socket=1,factor=0.5            memory controller at half capacity
+//	straggler:rank=2,factor=1.5           rank 2 computes 1.5x slower
+//	msgdelay:delay=10us,src=0,dst=*       extra latency on messages from rank 0
+//	cellerr:p=0.3,workload=cg             30% transient failure per attempt
+//
+// Durations accept time.ParseDuration forms ("1ms", "2.5us") or bare
+// seconds with an "s" suffix ("0.001s"); windows are `t=START..END`
+// half-open intervals. Selectors take an integer or `*` (all). Repeated
+// clauses compose. The zero-value spec ("" after trimming) is an error:
+// "no faults" is expressed by not installing a plan at all.
+func Parse(spec string, seed int64) (*Plan, error) {
+	p := &Plan{seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("fault: empty plan spec")
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(clause, ":")
+		kind = strings.TrimSpace(kind)
+		if !ok || kind == "" {
+			return nil, fmt.Errorf("fault: clause %q: want kind:field=value,...", clause)
+		}
+		r, err := parseClause(kind, rest)
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		p.rules = append(p.rules, r)
+	}
+	if len(p.rules) == 0 {
+		return nil, fmt.Errorf("fault: plan spec %q has no clauses", spec)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for tests and compiled-in plans; it panics on error.
+func MustParse(spec string, seed int64) *Plan {
+	p, err := Parse(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseClause parses the fields of one clause into a rule.
+func parseClause(kind, rest string) (rule, error) {
+	r := rule{
+		kind: kind,
+		core: anyID, socket: anyID, rank: anyID, src: anyID, dst: anyID,
+		linkA: anyID, linkB: anyID,
+	}
+	switch kind {
+	case kindNoise, kindLinkDown, kindMCSlow, kindStraggler, kindMsgDelay, kindCellErr:
+	default:
+		return r, fmt.Errorf("unknown fault kind %q", kind)
+	}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(rest, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			// Positional link target: "s0-s1".
+			if kind == kindLinkDown {
+				a, b, err := parseLink(field)
+				if err != nil {
+					return r, err
+				}
+				r.linkA, r.linkB = a, b
+				continue
+			}
+			return r, fmt.Errorf("field %q: want key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if key != "t" && seen[key] {
+			return r, fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch {
+		case key == "core" && kind == kindNoise:
+			r.core, err = parseSelector(val)
+		case key == "period" && kind == kindNoise:
+			r.period, err = parseDur(val)
+		case key == "frac" && kind == kindNoise:
+			r.frac, err = parseFloat(val, 0, 0.999)
+		case key == "socket" && kind == kindMCSlow:
+			r.socket, err = parseSelector(val)
+		case key == "factor" && (kind == kindMCSlow || kind == kindLinkDown):
+			r.factor, err = parseFloat(val, 1e-9, 1)
+		case key == "factor" && kind == kindStraggler:
+			r.factor, err = parseFloat(val, 1, 1e6)
+		case key == "rank" && kind == kindStraggler:
+			r.rank, err = parseSelector(val)
+			if err == nil && r.rank == anyID {
+				err = fmt.Errorf("straggler rank must be a specific rank, not *")
+			}
+		case key == "delay" && kind == kindMsgDelay:
+			r.delay, err = parseDur(val)
+		case key == "src" && kind == kindMsgDelay:
+			r.src, err = parseSelector(val)
+		case key == "dst" && kind == kindMsgDelay:
+			r.dst, err = parseSelector(val)
+		case key == "p" && kind == kindCellErr:
+			r.p, err = parseFloat(val, 0, 1)
+		case key == "workload" && kind == kindCellErr:
+			if val == "" {
+				err = fmt.Errorf("empty workload filter")
+			}
+			r.workload = val
+		case key == "t" && (kind == kindLinkDown || kind == kindMCSlow || kind == kindMsgDelay):
+			var w window
+			w, err = parseWindow(val)
+			if err == nil {
+				r.windows = append(r.windows, w)
+			}
+		default:
+			return r, fmt.Errorf("field %q does not apply to %s", key, kind)
+		}
+		if err != nil {
+			return r, fmt.Errorf("field %q: %w", field, err)
+		}
+	}
+	// Required fields and defaults per kind.
+	switch kind {
+	case kindNoise:
+		if r.period <= 0 {
+			return r, fmt.Errorf("noise needs period > 0")
+		}
+		if !seen["frac"] {
+			return r, fmt.Errorf("noise needs frac")
+		}
+	case kindLinkDown:
+		if r.linkA == anyID {
+			return r, fmt.Errorf("linkdown needs a target like s0-s1")
+		}
+		if !seen["factor"] {
+			r.factor = 0.01 // near-dead link, still drainable
+		}
+	case kindMCSlow:
+		if !seen["factor"] {
+			return r, fmt.Errorf("mcslow needs factor")
+		}
+	case kindStraggler:
+		if r.rank == anyID {
+			return r, fmt.Errorf("straggler needs rank")
+		}
+		if !seen["factor"] {
+			return r, fmt.Errorf("straggler needs factor >= 1")
+		}
+	case kindMsgDelay:
+		if r.delay <= 0 {
+			return r, fmt.Errorf("msgdelay needs delay > 0")
+		}
+	case kindCellErr:
+		if !seen["p"] {
+			return r, fmt.Errorf("cellerr needs p")
+		}
+	}
+	sort.Slice(r.windows, func(i, j int) bool { return r.windows[i].start < r.windows[j].start })
+	return r, nil
+}
+
+// parseSelector parses an integer selector or the "*" wildcard.
+func parseSelector(s string) (int, error) {
+	if s == "*" {
+		return anyID, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 1<<20 {
+		return 0, fmt.Errorf("want a small non-negative integer or *")
+	}
+	return n, nil
+}
+
+// parseLink parses a "s0-s1" link target into its socket endpoints.
+func parseLink(s string) (int, int, error) {
+	as, bs, ok := strings.Cut(s, "-")
+	if !ok || !strings.HasPrefix(as, "s") || !strings.HasPrefix(bs, "s") {
+		return 0, 0, fmt.Errorf("field %q: want a link target like s0-s1", s)
+	}
+	a, err1 := strconv.Atoi(as[1:])
+	b, err2 := strconv.Atoi(bs[1:])
+	if err1 != nil || err2 != nil || a < 0 || b < 0 || a > 1<<20 || b > 1<<20 {
+		return 0, 0, fmt.Errorf("field %q: bad socket numbers", s)
+	}
+	if a == b {
+		return 0, 0, fmt.Errorf("field %q: link endpoints must differ", s)
+	}
+	return a, b, nil
+}
+
+// parseFloat parses a finite float in [lo, hi].
+func parseFloat(s string, lo, hi float64) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("want a finite number")
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("want a value in [%g, %g]", lo, hi)
+	}
+	return v, nil
+}
+
+// parseDur parses a duration into seconds: time.ParseDuration forms, or
+// bare seconds with an "s" suffix (the canonical String output, which may
+// carry an exponent ParseDuration rejects).
+func parseDur(s string) (float64, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		sec := d.Seconds()
+		if sec < 0 {
+			return 0, fmt.Errorf("want a non-negative duration")
+		}
+		return sec, nil
+	}
+	if num, okSuffix := strings.CutSuffix(s, "s"); okSuffix {
+		v, err := strconv.ParseFloat(num, 64)
+		if err == nil && !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("want a duration like 2ms or 0.002s")
+}
+
+// parseWindow parses a "START..END" time window (END may be "inf").
+func parseWindow(s string) (window, error) {
+	ss, es, ok := strings.Cut(s, "..")
+	if !ok {
+		return window{}, fmt.Errorf("want a window like 2ms..5ms")
+	}
+	start, err := parseDur(ss)
+	if err != nil {
+		return window{}, err
+	}
+	var end float64
+	if es == "inf" {
+		end = math.Inf(1)
+	} else {
+		end, err = parseDur(es)
+		if err != nil {
+			return window{}, err
+		}
+	}
+	if end <= start {
+		return window{}, fmt.Errorf("window end must be after start")
+	}
+	return window{start, end}, nil
+}
+
+// fmtDur renders seconds in the canonical duration form parseDur accepts.
+func fmtDur(sec float64) string {
+	return strconv.FormatFloat(sec, 'g', -1, 64) + "s"
+}
+
+func fmtSelector(n int) string {
+	if n == anyID {
+		return "*"
+	}
+	return strconv.Itoa(n)
+}
+
+// String renders the plan in canonical spec form: Parse(p.String(), seed)
+// yields a plan with the same String. The canonical form (not the raw
+// user input) joins the store key, so equivalent spellings of a plan
+// share cached results.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, r := range p.rules {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(r.kind)
+		b.WriteByte(':')
+		switch r.kind {
+		case kindNoise:
+			fmt.Fprintf(&b, "core=%s,period=%s,frac=%s",
+				fmtSelector(r.core), fmtDur(r.period), strconv.FormatFloat(r.frac, 'g', -1, 64))
+		case kindLinkDown:
+			fmt.Fprintf(&b, "s%d-s%d,factor=%s", r.linkA, r.linkB,
+				strconv.FormatFloat(r.factor, 'g', -1, 64))
+		case kindMCSlow:
+			fmt.Fprintf(&b, "socket=%s,factor=%s",
+				fmtSelector(r.socket), strconv.FormatFloat(r.factor, 'g', -1, 64))
+		case kindStraggler:
+			fmt.Fprintf(&b, "rank=%d,factor=%s", r.rank,
+				strconv.FormatFloat(r.factor, 'g', -1, 64))
+		case kindMsgDelay:
+			fmt.Fprintf(&b, "delay=%s,src=%s,dst=%s",
+				fmtDur(r.delay), fmtSelector(r.src), fmtSelector(r.dst))
+		case kindCellErr:
+			fmt.Fprintf(&b, "p=%s", strconv.FormatFloat(r.p, 'g', -1, 64))
+			if r.workload != "" {
+				fmt.Fprintf(&b, ",workload=%s", r.workload)
+			}
+		}
+		for _, w := range r.windows {
+			if math.IsInf(w.end, 1) {
+				fmt.Fprintf(&b, ",t=%s..inf", fmtDur(w.start))
+			} else {
+				fmt.Fprintf(&b, ",t=%s..%s", fmtDur(w.start), fmtDur(w.end))
+			}
+		}
+	}
+	return b.String()
+}

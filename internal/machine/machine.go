@@ -2,11 +2,38 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"multicore/internal/mem"
 	"multicore/internal/sim"
 	"multicore/internal/topology"
 )
+
+// CapWindow is one time window during which a resource runs at a reduced
+// capacity: in [Start, End) the resource's bandwidth is Base*Factor. An
+// infinite End means the degradation lasts for the rest of the run.
+type CapWindow struct {
+	Start, End float64
+	Factor     float64
+}
+
+// Perturb is the hook the deterministic fault layer (internal/fault)
+// presents to the machine model. A nil Perturb — the default everywhere —
+// keeps the machine byte-identical to the unperturbed model: no extra
+// events are scheduled and no per-operation calls are made.
+type Perturb interface {
+	// ComputeTime maps an on-core execution duration that starts at
+	// simulated time now on the given core to its perturbed duration
+	// (>= d), modeling periodic OS noise stealing cycles from the core.
+	ComputeTime(core int, now, d float64) float64
+	// MCWindows returns the capacity-degradation windows of the socket's
+	// memory controller.
+	MCWindows(socket int) []CapWindow
+	// LinkWindows returns the capacity-degradation windows of the
+	// HyperTransport link between sockets a and b (applied to both
+	// directions; a/b order is irrelevant).
+	LinkWindows(a, b int) []CapWindow
+}
 
 // Machine is an instantiated system: the spec's resources realized in a
 // simulation engine.
@@ -19,6 +46,11 @@ type Machine struct {
 	l2     []*sim.Resource    // per-core cache-hit service
 	links  [][2]*sim.Resource // per topology link: [forward A->B, reverse B->A]
 	caches []*mem.Cache
+
+	// perturb, when non-nil, injects deterministic faults (OS noise on
+	// compute durations; the capacity windows were already scheduled by
+	// ApplyFaults). Nil means the idealized fault-free machine.
+	perturb Perturb
 }
 
 // New realizes spec inside engine eng.
@@ -39,6 +71,60 @@ func New(eng *sim.Engine, spec *Spec) *Machine {
 		m.links = append(m.links, [2]*sim.Resource{fwd, rev})
 	}
 	return m
+}
+
+// ApplyFaults installs a fault injector on the machine. It must be called
+// before the simulation starts: the injector's capacity-degradation
+// windows (slowed memory controllers, degraded or flapping links) are
+// realized as engine events that re-rate the affected resource's flows at
+// each window boundary, and its compute-time perturbation is consulted on
+// every subsequent compute phase. A nil injector is a no-op.
+func (m *Machine) ApplyFaults(p Perturb) {
+	if p == nil {
+		return
+	}
+	m.perturb = p
+	for s := range m.mcs {
+		m.scheduleCapWindows(m.mcs[s], p.MCWindows(s))
+	}
+	for i, l := range m.Topo().Links {
+		ws := p.LinkWindows(int(l.A), int(l.B))
+		m.scheduleCapWindows(m.links[i][0], ws)
+		m.scheduleCapWindows(m.links[i][1], ws)
+	}
+}
+
+// scheduleCapWindows turns degradation windows into capacity-change events.
+// Overlapping windows are applied in event order (later boundary wins).
+func (m *Machine) scheduleCapWindows(r *sim.Resource, ws []CapWindow) {
+	base := r.Cap
+	net := m.Eng.Net()
+	for _, w := range ws {
+		factor := w.Factor
+		if factor < 1e-9 {
+			// A fully-down link would stall its flows forever; floor the
+			// cut so the simulation always terminates.
+			factor = 1e-9
+		}
+		start := w.Start
+		if start < m.Eng.Now() {
+			start = m.Eng.Now()
+		}
+		degraded := base * factor
+		m.Eng.At(start, func() { net.SetCapacity(r, degraded) })
+		if !math.IsInf(w.End, 1) && w.End > start {
+			m.Eng.At(w.End, func() { net.SetCapacity(r, base) })
+		}
+	}
+}
+
+// perturbedCompute maps an on-core execution duration through the fault
+// injector's OS-noise model; identity when no injector is installed.
+func (m *Machine) perturbedCompute(core topology.CoreID, now, d float64) float64 {
+	if m.perturb == nil || d <= 0 {
+		return d
+	}
+	return m.perturb.ComputeTime(int(core), now, d)
 }
 
 // Topo returns the machine's topology.
@@ -147,7 +233,7 @@ func (c *CPU) Compute(flops, eff float64) {
 	if eff <= 0 || eff > 1 {
 		panic(fmt.Sprintf("machine: compute efficiency %g out of (0,1]", eff))
 	}
-	d := flops / (c.m.Spec.PeakFlops() * eff)
+	d := c.m.perturbedCompute(c.core, c.proc.Now(), flops/(c.m.Spec.PeakFlops()*eff))
 	c.ComputeSeconds += d
 	c.proc.Sleep(d)
 }
@@ -276,11 +362,11 @@ func (c *CPU) execute(label string, plans []accessPlan, flops, eff float64) {
 		if eff <= 0 || eff > 1 {
 			panic(fmt.Sprintf("machine: compute efficiency %g out of (0,1]", eff))
 		}
-		d := flops/(c.m.Spec.PeakFlops()*eff) + hitTime
+		d := c.m.perturbedCompute(c.core, c.proc.Now(), flops/(c.m.Spec.PeakFlops()*eff)+hitTime)
 		c.ComputeSeconds += d
 		c.proc.Sleep(d)
 	} else if hitTime > 0 {
-		c.proc.Sleep(hitTime)
+		c.proc.Sleep(c.m.perturbedCompute(c.core, c.proc.Now(), hitTime))
 	}
 	for _, f := range flows {
 		c.proc.WaitFlow(f)

@@ -59,6 +59,13 @@ func (r *Rank) sendPrepare(dst int, bytes float64) {
 
 	// Send-side software cost: lock the segment, post the descriptor.
 	r.proc.Sleep(im.Sub.LockLatency + im.Overhead/2)
+	if w.cfg.Faults != nil {
+		// Injected message delay (fault layer): extra latency charged on
+		// the sending process before the payload moves.
+		if d := w.cfg.Faults.SendDelay(r.id, dst, r.Now()); d > 0 {
+			r.proc.Sleep(d)
+		}
+	}
 
 	topo := w.cfg.Spec.Topo
 	peer := w.ranks[dst]

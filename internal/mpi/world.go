@@ -79,6 +79,20 @@ func GigE() *NetSpec {
 	return &NetSpec{Name: "GigE", Latency: 25e-6, Bandwidth: 125e6, Overhead: 20e-6}
 }
 
+// Perturb is the fault injector's MPI-facing interface: the machine-level
+// hooks plus the message- and rank-level perturbations only this layer can
+// apply. internal/fault's Plan implements it; a nil injector keeps every
+// run byte-identical to the unperturbed model.
+type Perturb interface {
+	machine.Perturb
+	// SendDelay returns extra latency (seconds) injected into a message
+	// from rank src to rank dst issued at simulated time now.
+	SendDelay(src, dst int, now float64) float64
+	// RankFactor returns the compute slowdown factor (>= 1) of a
+	// straggler rank; 1 for unaffected ranks.
+	RankFactor(rank int) float64
+}
+
 // Config describes one MPI job: the system, implementation profile, and
 // per-rank placement.
 type Config struct {
@@ -113,6 +127,11 @@ type Config struct {
 	// times and per-resource used-rate timelines, snapshotted into
 	// Result.Stats.
 	Observe bool
+	// Faults, when non-nil, injects deterministic perturbations (OS
+	// noise, degraded links and controllers, straggler ranks, message
+	// delays) into the run. Nil — the default — keeps the run
+	// byte-identical to the idealized fault-free machine.
+	Faults Perturb
 }
 
 // Result is what a finished job reports.
@@ -205,6 +224,15 @@ type World struct {
 	irecvNames []string // "rank<i>.irecv"
 
 	finished int
+	// endTime records when the last rank finished. With faults active the
+	// capacity-window events scheduled by ApplyFaults may outlive the
+	// workload, so the makespan is read from here instead of the engine
+	// clock at queue drain.
+	endTime float64
+
+	// rankFactors caches the per-rank straggler slowdown (nil when no
+	// fault plan is set, so the clean path costs one nil check).
+	rankFactors []float64
 
 	barrierGen   int
 	barrierCount int
@@ -246,7 +274,9 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Result, err
 	}
 	w := &World{cfg: cfg, eng: eng, values: map[string][]float64{}, trace: cfg.Trace}
 	for nd := 0; nd < nodes; nd++ {
-		w.machines = append(w.machines, machine.New(eng, cfg.Spec))
+		m := machine.New(eng, cfg.Spec)
+		m.ApplyFaults(cfg.Faults)
+		w.machines = append(w.machines, m)
 	}
 	if nodes > 1 {
 		w.net = cfg.Net
@@ -318,7 +348,16 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Result, err
 			res.RankCompute[i] = r.cpu.ComputeSeconds
 			res.RankMemBytes[i] = r.cpu.MemBytes
 			w.finished++
+			if w.finished == n {
+				w.endTime = p.Now()
+			}
 		})
+	}
+	if cfg.Faults != nil {
+		w.rankFactors = make([]float64, n)
+		for i := range w.rankFactors {
+			w.rankFactors[i] = cfg.Faults.RankFactor(i)
+		}
 	}
 	if cfg.OSMigrationPeriod > 0 {
 		eng.Spawn("os-scheduler", func(p *sim.Proc) {
@@ -336,6 +375,11 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Result, err
 		return nil, err
 	}
 	res.Time = eng.Now()
+	if cfg.Faults != nil {
+		// Trailing capacity-window events may have advanced the engine
+		// clock past the workload; the makespan is the last rank's finish.
+		res.Time = w.endTime
+	}
 	res.Values = w.values
 	res.Timeline = w.timeline
 	res.Messages = w.messages
@@ -459,8 +503,13 @@ func (r *Rank) Alloc(name string, bytes float64) *mem.Region {
 	return r.cpu.Alloc(fmt.Sprintf("r%d/%s", r.id, name), bytes, r.dist)
 }
 
-// Compute advances the rank by a compute phase.
+// Compute advances the rank by a compute phase. A straggler rank (fault
+// injection) computes at reduced effective efficiency, inflating the
+// phase by its slowdown factor.
 func (r *Rank) Compute(flops, eff float64) {
+	if fs := r.w.rankFactors; fs != nil && fs[r.id] > 1 {
+		eff /= fs[r.id]
+	}
 	r.cpu.Compute(flops, eff)
 	r.account(catCompute, "compute")
 }

@@ -36,6 +36,9 @@ func (t *Table) AddRow(cells ...string) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
 // Cell returns the cell at (row, col).
 func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
 

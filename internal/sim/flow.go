@@ -563,6 +563,30 @@ func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling f
 	return f
 }
 
+// SetCapacity changes r's capacity at the current simulated time — the
+// engine-level rate-perturbation point used by the deterministic fault
+// layer (degraded HyperTransport links, slowed memory controllers). Flows
+// currently crossing r have their progress settled under the old rates
+// and are re-rated under the new capacity at the end of the current
+// timestamp, exactly like an admission; any scheduled completion check is
+// invalidated. A resource with no active flows just takes the new
+// capacity for future admissions.
+func (n *FlowNet) SetCapacity(r *Resource, c float64) {
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 1) {
+		panic(fmt.Sprintf("sim: resource %q capacity set to invalid %g at t=%g", r.Name, c, n.eng.now))
+	}
+	if c == r.Cap {
+		return
+	}
+	r.Cap = c
+	if r.net == nil {
+		r.net = n
+	}
+	if len(r.flows) > 0 {
+		n.markDirty(r.flows[0].f)
+	}
+}
+
 // OnDone registers cb to run when the flow completes. If the flow has
 // already completed, cb runs immediately.
 func (f *Flow) OnDone(n *FlowNet, cb func()) {

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuarantineCorruptEntry: a corrupt entry must be preserved under
+// corrupt/ (not silently shadow the key forever), counted, and the key
+// must behave as a miss that a fresh Put repairs. Removing the quarantine
+// in Get fails the corrupt/ assertions below.
+func TestQuarantineCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := testKey("corrupt-me")
+	if err := s.Put(k, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ent, err := s.Get(k)
+	if ent != nil || err != nil {
+		t.Fatalf("corrupt entry = (%+v, %v), want miss", ent, err)
+	}
+	if got := s.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+	qpath := filepath.Join(dir, "corrupt", filepath.Base(s.path(k)))
+	data, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatalf("corrupt entry not preserved: %v", err)
+	}
+	if string(data) != "{garbage" {
+		t.Fatalf("quarantined bytes = %q", data)
+	}
+	if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still at original path (err=%v)", err)
+	}
+	// The key is a plain miss now; a re-run repairs it.
+	if err := s.Put(k, 8.5); err != nil {
+		t.Fatal(err)
+	}
+	ent, err = s.Get(k)
+	if err != nil || ent == nil || ent.Status != StatusOK {
+		t.Fatalf("after repair = (%+v, %v), want ok", ent, err)
+	}
+	// Quarantined files must not count as committed entries.
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+// TestLockExcludesSecondStore: the advisory lock must exclude another
+// Store over the same directory — flock is per open file description, so
+// two in-process Stores model two processes. Removing the flock calls
+// makes b.TryLock succeed and fails the test.
+func TestLockExcludesSecondStore(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Open(dir)
+	b, _ := Open(dir)
+	ok, err := a.TryLock()
+	if err != nil || !ok {
+		t.Fatalf("first TryLock = (%v, %v), want acquired", ok, err)
+	}
+	ok, err = b.TryLock()
+	if err != nil || ok {
+		t.Fatalf("second TryLock = (%v, %v), want refused", ok, err)
+	}
+	// Blocking Lock must wait for the release, then acquire.
+	acquired := make(chan error, 1)
+	go func() { acquired <- b.Lock() }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("Lock acquired while held (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := a.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("Lock after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Lock did not acquire after Unlock")
+	}
+	if err := b.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Fully released: a third holder acquires immediately.
+	if ok, err := a.TryLock(); err != nil || !ok {
+		t.Fatalf("TryLock after full release = (%v, %v)", ok, err)
+	}
+	a.Unlock()
+}
+
+// TestUnlockWithoutLock: Unlock on a never-locked store is a no-op.
+func TestUnlockWithoutLock(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteRetriesTransientFailure: a commit that fails transiently must
+// be retried within one Put; removing the retry loop in write fails this.
+func TestWriteRetriesTransientFailure(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	fails := 2
+	s.commit = func(oldpath, newpath string) error {
+		if fails > 0 {
+			fails--
+			return fmt.Errorf("injected transient rename failure")
+		}
+		return os.Rename(oldpath, newpath)
+	}
+	k := testKey("flaky-fs")
+	if err := s.Put(k, 1.5); err != nil {
+		t.Fatalf("Put with %d transient failures: %v", 2, err)
+	}
+	ent, err := s.Get(k)
+	if err != nil || ent == nil || ent.Status != StatusOK {
+		t.Fatalf("after retried write = (%+v, %v), want ok", ent, err)
+	}
+}
+
+// TestWriteRetriesExhausted: a persistently failing commit surfaces an
+// error naming the attempt budget, and leaves no committed entry behind.
+func TestWriteRetriesExhausted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.commit = func(oldpath, newpath string) error {
+		return fmt.Errorf("injected permanent rename failure")
+	}
+	err := s.Put(testKey("dead-fs"), 1.5)
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("%d attempts", writeAttempts)) {
+		t.Fatalf("exhausted write error = %v", err)
+	}
+	if n, _ := s.Len(); n != 0 {
+		t.Fatalf("failed write left %d committed entries", n)
+	}
+}
+
+// TestFaultKeyHashing: the fault plan and seed must fork the content
+// address, and a fault-free key must keep its historical address (the
+// fields are hashed only when a plan is present).
+func TestFaultKeyHashing(t *testing.T) {
+	clean := testKey("w")
+	if clean.hash() != (Key{Workload: "w", System: "longs", Ranks: 8,
+		Scheme: "localalloc", Scale: "quick", Model: "mc-sim/test"}).hash() {
+		t.Fatal("zero fault fields changed a clean key's hash")
+	}
+	faulted := clean
+	faulted.Faults = "noise:core=0,period=0.001s,frac=0.1"
+	faulted.FaultSeed = 1
+	if faulted.hash() == clean.hash() {
+		t.Fatal("fault plan does not fork the content address")
+	}
+	reseeded := faulted
+	reseeded.FaultSeed = 2
+	if reseeded.hash() == faulted.hash() {
+		t.Fatal("fault seed does not fork the content address")
+	}
+}

@@ -1,0 +1,82 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// The advisory store lock serializes whole sweeps, not individual writes:
+// per-entry atomicity already comes from rename-based commits, but two
+// `mcbench -store` processes sharing a directory would each resimulate the
+// cells the other has in flight (both miss, both run, last write wins).
+// flock(2) is per open file description, so two Stores in one process
+// contend exactly like two processes do — which is how the tests exercise
+// it without forking.
+
+func (s *Store) lockPath() string { return filepath.Join(s.dir, ".lock") }
+
+// openLock opens (creating if needed) the lock file. Caller holds s.mu.
+func (s *Store) openLock() error {
+	if s.lockFile != nil {
+		return nil
+	}
+	f, err := os.OpenFile(s.lockPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening lock file: %v", err)
+	}
+	s.lockFile = f
+	return nil
+}
+
+// TryLock attempts to acquire the store's advisory lock without blocking.
+// It returns false when another holder (process or Store instance) has it.
+func (s *Store) TryLock() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.openLock(); err != nil {
+		return false, err
+	}
+	err := syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: locking %s: %v", s.lockPath(), err)
+	}
+	return true, nil
+}
+
+// Lock acquires the store's advisory lock, blocking until the current
+// holder releases it.
+func (s *Store) Lock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.openLock(); err != nil {
+		return err
+	}
+	if err := syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("store: locking %s: %v", s.lockPath(), err)
+	}
+	return nil
+}
+
+// Unlock releases the advisory lock (a no-op if it was never taken).
+func (s *Store) Unlock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lockFile == nil {
+		return nil
+	}
+	err := syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_UN)
+	s.lockFile.Close()
+	s.lockFile = nil
+	if err != nil {
+		return fmt.Errorf("store: unlocking %s: %v", s.lockPath(), err)
+	}
+	return nil
+}

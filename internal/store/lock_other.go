@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+// Non-unix platforms have no flock(2); the advisory sweep lock degrades
+// to a no-op. Per-entry atomicity (temp file + rename) still holds, so
+// concurrent sweeps are correct — just possibly duplicating work.
+
+// TryLock always succeeds on platforms without advisory file locks.
+func (s *Store) TryLock() (bool, error) { return true, nil }
+
+// Lock is a no-op on platforms without advisory file locks.
+func (s *Store) Lock() error { return nil }
+
+// Unlock is a no-op on platforms without advisory file locks.
+func (s *Store) Unlock() error { return nil }

@@ -7,12 +7,16 @@
 // executes only the missing or failed cells and reproduces byte-identical
 // tables.
 //
-// Entries are written atomically (temp file + rename), so an interrupt
-// can truncate at most an uncommitted temp file, never a committed entry.
-// Loads tolerate corruption: an entry that fails to parse is treated as a
-// miss and the cell simply re-runs. A schema_version mismatch, by
+// Entries are written atomically (temp file + rename, retried a few times
+// on transient filesystem errors), so an interrupt can truncate at most an
+// uncommitted temp file, never a committed entry. Loads tolerate
+// corruption: an entry that fails to parse is quarantined into the store's
+// corrupt/ subdirectory (preserved for diagnosis, logged once) and treated
+// as a miss, so the cell simply re-runs. A schema_version mismatch, by
 // contrast, is rejected with a clear error — silently reinterpreting an
-// old layout could corrupt tables instead of regenerating them.
+// old layout could corrupt tables instead of regenerating them. Whole-sweep
+// exclusion between processes sharing a directory is available via
+// Lock/TryLock (an advisory lock on <dir>/.lock).
 package store
 
 import (
@@ -23,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"multicore/internal/schema"
 )
@@ -30,21 +36,32 @@ import (
 // Key identifies one simulated cell. Every field participates in the
 // content hash, so two cells with equal keys must be byte-for-byte the
 // same simulation. Model carries sim.ModelVersion: results from an older
-// model generation never alias results from the current one.
+// model generation never alias results from the current one. Faults and
+// FaultSeed carry the canonical fault plan (internal/fault) and its seed:
+// perturbed results never alias clean ones, and two distinct perturbations
+// never alias each other.
 type Key struct {
-	Workload string `json:"workload"`
-	System   string `json:"system"`
-	Ranks    int    `json:"ranks"`
-	Scheme   string `json:"scheme"`
-	Scale    string `json:"scale"`
-	Model    string `json:"model_version"`
+	Workload  string `json:"workload"`
+	System    string `json:"system"`
+	Ranks     int    `json:"ranks"`
+	Scheme    string `json:"scheme"`
+	Scale     string `json:"scale"`
+	Model     string `json:"model_version"`
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
 }
 
 // hash returns the content address of the key: a SHA-256 over the fields
-// separated by NUL bytes (no field can contain one).
+// separated by NUL bytes (no field can contain one). The fault fields are
+// hashed only when a plan is present, so every pre-existing clean entry
+// keeps its address.
 func (k Key) hash() string {
 	h := sha256.New()
-	for _, s := range []string{k.Workload, k.System, fmt.Sprint(k.Ranks), k.Scheme, k.Scale, k.Model} {
+	fields := []string{k.Workload, k.System, fmt.Sprint(k.Ranks), k.Scheme, k.Scale, k.Model}
+	if k.Faults != "" {
+		fields = append(fields, k.Faults, fmt.Sprint(k.FaultSeed))
+	}
+	for _, s := range fields {
 		h.Write([]byte(s))
 		h.Write([]byte{0})
 	}
@@ -76,9 +93,21 @@ type Entry struct {
 // Store is a directory of cell entries. It is safe for concurrent use by
 // multiple goroutines (each operation touches a single file atomically);
 // concurrent *processes* sharing a directory are also safe because writes
-// are rename-based and content-addressed.
+// are rename-based and content-addressed. For whole-sweep exclusion (two
+// mcbench -store runs would each resimulate the other's in-flight cells)
+// take the advisory Lock.
 type Store struct {
 	dir string
+
+	quarantined atomic.Int64
+	warnOnce    sync.Once
+
+	mu       sync.Mutex
+	lockFile *os.File
+
+	// commit is the final rename of a write; tests inject failures here
+	// to exercise the retry path.
+	commit func(oldpath, newpath string) error
 }
 
 // Open creates the directory if needed and returns a store over it.
@@ -86,7 +115,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %v", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, commit: os.Rename}, nil
 }
 
 // Dir returns the store's directory.
@@ -111,7 +140,10 @@ func (s *Store) Get(k Key) (*Entry, error) {
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, nil // corrupt entry: treat as a miss, the cell re-runs
+		// Corrupt entry: quarantine it for diagnosis and treat the key as
+		// a miss, so the cell re-runs and overwrites nothing interesting.
+		s.quarantine(path)
+		return nil, nil
 	}
 	if err := schema.Check(path, e.SchemaVersion); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -143,30 +175,69 @@ func (s *Store) PutError(k Key, msg string) error {
 	return s.write(Entry{SchemaVersion: schema.Version, Key: k, Status: StatusError, Error: msg})
 }
 
+// quarantine moves an undecodable entry into <dir>/corrupt/, preserving
+// it for diagnosis instead of silently leaving it to shadow the re-run's
+// fresh write. Logged once per store — a chaos sweep can quarantine many
+// entries and one line is enough to point at the directory.
+func (s *Store) quarantine(path string) {
+	dst := filepath.Join(s.dir, "corrupt", filepath.Base(path))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return // leave it in place; the next write renames over it anyway
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return
+	}
+	s.quarantined.Add(1)
+	s.warnOnce.Do(func() {
+		fmt.Fprintf(os.Stderr,
+			"store: quarantined corrupt entry %s (further corrupt entries quarantined silently)\n", dst)
+	})
+}
+
+// Quarantined reports how many corrupt entries this store has moved to
+// its corrupt/ subdirectory.
+func (s *Store) Quarantined() int { return int(s.quarantined.Load()) }
+
+// writeAttempts bounds the retries of a failed entry commit. Temp-file
+// creation and the final rename can fail transiently on shared
+// filesystems; each attempt restarts from a fresh temp file.
+const writeAttempts = 3
+
 // write commits an entry atomically: encode to a temp file in the store
-// directory, then rename over the final path.
+// directory, then rename over the final path, retrying the file
+// operations a bounded number of times.
 func (s *Store) write(e Entry) error {
 	data, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding entry: %v", err)
 	}
 	data = append(data, '\n')
+	var lastErr error
+	for attempt := 0; attempt < writeAttempts; attempt++ {
+		if lastErr = s.writeOnce(data, s.path(e.Key)); lastErr == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("store: committing entry after %d attempts: %v", writeAttempts, lastErr)
+}
+
+func (s *Store) writeOnce(data []byte, path string) error {
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
-		return fmt.Errorf("store: %v", err)
+		return fmt.Errorf("creating temp file: %v", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: writing entry: %v", err)
+		return fmt.Errorf("writing entry: %v", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: closing entry: %v", err)
+		return fmt.Errorf("closing entry: %v", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(e.Key)); err != nil {
+	if err := s.commit(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: committing entry: %v", err)
+		return fmt.Errorf("renaming entry: %v", err)
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec asserts that CLI workload specs never panic the parser or
+// the registry dispatch: ParseSpec on arbitrary input either errors or
+// yields a Spec whose String round-trips, and New on that spec (with
+// arbitrary class/steps/size overrides) returns a workload or an error —
+// the factories must reject hostile parameters, not crash on them.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []struct {
+		spec  string
+		class string
+		steps int
+		n     int
+	}{
+		{"stream", "", 0, 0},
+		{"cg", "A", 0, 0},
+		{"amber:JAC", "", 100, 0},
+		{"lammps:eam", "", -5, 0},
+		{"daxpy", "", 0, 1 << 20},
+		{"hpl", "Z", 0, -1},
+		{"pop:variant", "", 0, 0},
+		{":arg", "", 0, 0},
+		{"ft:A:B", "W", 7, 7},
+		{"unknown-workload", "", 0, 0},
+		{"ra", "x", 1 << 30, 1 << 30},
+	}
+	for _, s := range seeds {
+		f.Add(s.spec, s.class, s.steps, s.n)
+	}
+	f.Fuzz(func(t *testing.T, raw, class string, steps, n int) {
+		spec, err := ParseSpec(raw)
+		if err != nil {
+			return
+		}
+		// The CLI form must round-trip for specs without embedded colons
+		// in the arg (ParseSpec cuts at the first colon).
+		if rt := spec.String(); !strings.HasPrefix(raw, rt) && rt != raw {
+			if _, err := ParseSpec(rt); err != nil {
+				t.Fatalf("re-rendered spec %q (from %q) does not re-parse: %v", rt, raw, err)
+			}
+		}
+		spec.Class = class
+		spec.Steps = steps
+		spec.N = n
+		w, err := New(spec)
+		if err != nil {
+			return
+		}
+		if w.Body == nil {
+			t.Fatalf("New(%+v) returned a workload with no body", spec)
+		}
+	})
+}
