@@ -4,8 +4,9 @@
 // Usage:
 //
 //	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N]
-//	        [-store DIR] [-resume] [-timeout D] [-json FILE]
-//	        [-faults PLAN] [-fault-seed N] [-retries N] <id>...|all|list
+//	        [-store DIR] [-resume] [-timeout D] [-json FILE] [-delta FILE]
+//	        [-settle N] [-faults PLAN] [-fault-seed N] [-retries N]
+//	        <id>...|all|list
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
 //
@@ -53,8 +54,10 @@ func main() {
 	storeDir := flag.String("store", "", "directory of the persistent cell-result store (created if missing)")
 	resume := flag.Bool("resume", false, "with -store: re-run cells whose stored status is error instead of reporting the recorded failure")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per simulated cell (0 = unbounded), e.g. 30s")
-	jsonOut := flag.String("json", "", "write per-experiment benchmark records (wall time, events, settles, allocs) to FILE; runs experiments serially")
+	jsonOut := flag.String("json", "", "write per-experiment benchmark records (wall time, events, settles, allocs, ranks, peak heap) to FILE; runs experiments serially")
+	deltaFile := flag.String("delta", "", "with -json: compare the new records against the committed snapshot FILE and fail on a >10% wall-time or allocation regression")
 	note := flag.String("note", "", "free-form note recorded in the -json output")
+	settle := flag.Int("settle", 0, "per-cell parallel settle workers; >1 opts into component-mode settling (0/1 = serial union settling)")
 	faults := flag.String("faults", "", `deterministic fault plan injected into every cell, e.g. "noise:core=3,period=1ms,frac=0.1;linkdown:s0-s1,t=2ms..5ms"`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's random draws (phases, cell failures)")
 	retries := flag.Int("retries", 0, "re-attempts per cell that fails with a transient fault (0 = no retry)")
@@ -84,13 +87,17 @@ func main() {
 	if *retries < 0 {
 		fatalf("-retries must be non-negative")
 	}
+	if *deltaFile != "" && *jsonOut == "" {
+		fatalf("-delta needs -json FILE (there are no records to compare)")
+	}
 	opts := experiments.Options{
-		Parallelism:  *jobs,
-		Resume:       *resume,
-		CellTimeout:  *timeout,
-		TraceDir:     *traceDir,
-		Retries:      *retries,
-		RetryBackoff: 100 * time.Millisecond,
+		Parallelism:   *jobs,
+		Resume:        *resume,
+		CellTimeout:   *timeout,
+		TraceDir:      *traceDir,
+		Retries:       *retries,
+		RetryBackoff:  100 * time.Millisecond,
+		SettleWorkers: *settle,
 	}
 	if *faults != "" {
 		plan, err := fault.Parse(*faults, *faultSeed)
@@ -198,6 +205,13 @@ func main() {
 			records[i] = measure(exps[i].ID, func() { runOne(r, i) })
 		}
 		writeBenchJSON(*jsonOut, *note, *scale, records)
+		if *deltaFile != "" {
+			if err := checkBenchDelta(*deltaFile, records); err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mcbench: no regression against %s\n", *deltaFile)
+		}
 	case *jobs <= 1 || len(exps) == 1:
 		for i := range exps {
 			runOne(runner, i)
@@ -271,36 +285,115 @@ func isCancellation(err error) bool {
 }
 
 // benchRecord is one experiment's measured cost: wall time plus the
-// simulation activity (engine events, flow-network settling passes, flows)
-// and heap allocations it performed.
+// simulation activity (engine events, flow-network settling passes, flows,
+// processes spawned) and heap behavior it exhibited. Ranks counts every
+// simulated process — MPI ranks plus transient helpers — so
+// peak_heap_bytes/ranks is the memory-per-rank figure scale regressions
+// show up in.
 type benchRecord struct {
-	ID      string  `json:"id"`
-	Seconds float64 `json:"seconds"`
-	Events  uint64  `json:"events"`
-	Flows   uint64  `json:"flows"`
-	Settles uint64  `json:"settles"`
-	Mallocs uint64  `json:"mallocs"`
+	ID            string  `json:"id"`
+	Seconds       float64 `json:"seconds"`
+	Events        uint64  `json:"events"`
+	Flows         uint64  `json:"flows"`
+	Settles       uint64  `json:"settles"`
+	Mallocs       uint64  `json:"mallocs"`
+	Ranks         uint64  `json:"ranks"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
 }
 
 // measure runs fn and attributes the process-wide activity and allocation
-// deltas to it; only valid when experiments run one at a time.
+// deltas to it; only valid when experiments run one at a time. Peak heap
+// is sampled by a 10ms ticker (plus a final read), so it is a lower bound
+// that is within one GC cycle of the true peak — stable enough for the
+// order-of-magnitude bytes-per-rank tracking the snapshots do.
 func measure(id string, fn func()) benchRecord {
 	var m0, m1 runtime.MemStats
-	ev0, fl0, st0 := sim.Activity()
+	ev0, fl0, st0, sp0 := sim.Activity()
 	runtime.ReadMemStats(&m0)
+	peak := m0.HeapAlloc
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+			}
+		}
+	}()
 	start := time.Now()
 	fn()
 	secs := time.Since(start).Seconds()
+	close(stop)
+	<-done
 	runtime.ReadMemStats(&m1)
-	ev1, fl1, st1 := sim.Activity()
-	return benchRecord{
-		ID:      id,
-		Seconds: secs,
-		Events:  ev1 - ev0,
-		Flows:   fl1 - fl0,
-		Settles: st1 - st0,
-		Mallocs: m1.Mallocs - m0.Mallocs,
+	if m1.HeapAlloc > peak {
+		peak = m1.HeapAlloc
 	}
+	ev1, fl1, st1, sp1 := sim.Activity()
+	return benchRecord{
+		ID:            id,
+		Seconds:       secs,
+		Events:        ev1 - ev0,
+		Flows:         fl1 - fl0,
+		Settles:       st1 - st0,
+		Mallocs:       m1.Mallocs - m0.Mallocs,
+		Ranks:         sp1 - sp0,
+		PeakHeapBytes: peak,
+	}
+}
+
+// checkBenchDelta compares fresh records against a committed snapshot and
+// reports an error when any experiment regressed by more than 10% in wall
+// time or allocations. Experiments absent from the snapshot are skipped
+// (new artifacts are not regressions); wall time is only compared when
+// the baseline ran long enough (≥50ms) for the ratio to mean anything.
+func checkBenchDelta(path string, records []benchRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading -delta baseline: %v", err)
+	}
+	var base struct {
+		Experiments []benchRecord `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("decoding -delta baseline %s: %v", path, err)
+	}
+	byID := make(map[string]benchRecord, len(base.Experiments))
+	for _, r := range base.Experiments {
+		byID[r.ID] = r
+	}
+	const tolerance = 1.10
+	var regressions []string
+	for _, r := range records {
+		b, ok := byID[r.ID]
+		if !ok {
+			continue
+		}
+		if b.Seconds >= 0.05 && r.Seconds > b.Seconds*tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: wall time %.3fs vs baseline %.3fs (+%.0f%%)",
+					r.ID, r.Seconds, b.Seconds, 100*(r.Seconds/b.Seconds-1)))
+		}
+		if b.Mallocs > 0 && float64(r.Mallocs) > float64(b.Mallocs)*tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d mallocs vs baseline %d (+%.0f%%)",
+					r.ID, r.Mallocs, b.Mallocs, 100*(float64(r.Mallocs)/float64(b.Mallocs)-1)))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression vs %s:\n  %s", path, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // writeBenchJSON writes the schema-versioned benchmark envelope to path.

@@ -60,6 +60,19 @@ type Options struct {
 	// per attempt with deterministic seeded jitter. Zero retries
 	// immediately.
 	RetryBackoff time.Duration
+	// SettleWorkers, when > 1, opts every cell routed through runJob into
+	// component-mode parallel flow settling with at most that many workers
+	// per cell (mcbench -settle). 0 or 1 keeps the legacy serial union
+	// settling, whose float accumulation the golden artifacts pin.
+	//
+	// Composition with Parallelism is multiplicative — up to Parallelism
+	// cells may each want SettleWorkers fill goroutines — so the engine
+	// backstops the product with a process-wide token budget of
+	// GOMAXPROCS-1 extra settle workers (see sim.Engine.SetSettleWorkers).
+	// A cell that cannot acquire tokens settles with fewer workers without
+	// blocking, and component-mode output is byte-identical for every
+	// worker count, so the shortfall never changes results.
+	SettleWorkers int
 }
 
 // Runner executes experiments: it owns the worker pool, the in-process
@@ -211,6 +224,14 @@ func (r *Runner) Faults() *fault.Plan {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.opts.Faults
+}
+
+// SettleWorkers reports the per-cell settle-worker bound; 0 or 1 means
+// the legacy serial union settling.
+func (r *Runner) SettleWorkers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.SettleWorkers
 }
 
 func (r *Runner) retryPolicy() (int, time.Duration) {
@@ -366,15 +387,23 @@ func (k CellKey) String() string {
 // sim.ModelVersion participates so entries from an older engine
 // generation never alias current results; the runner's fault plan (its
 // canonical string and seed) participates so perturbed results never
-// alias clean ones.
+// alias clean ones. Component-mode settling (SettleWorkers > 1) tags the
+// model string: its per-component float accumulation can differ from the
+// union-mode baseline in the last ULPs, so the two must never share
+// entries. The worker count itself is deliberately absent — component
+// mode is byte-identical for every count.
 func (r *Runner) storeKey(k CellKey) store.Key {
+	model := sim.ModelVersion
+	if r.SettleWorkers() > 1 {
+		model += "+csettle"
+	}
 	sk := store.Key{
 		Workload: k.Workload,
 		System:   k.System,
 		Ranks:    k.Ranks,
 		Scheme:   k.Scheme.String(),
 		Scale:    k.Scale.String(),
-		Model:    sim.ModelVersion,
+		Model:    model,
 	}
 	if plan := r.Faults(); plan != nil {
 		sk.Faults = plan.String()

@@ -14,7 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table4", "table7", "table8", "table9",
 		"table10", "table11", "table12", "table13", "table14",
 		"ablate-coherence", "ablate-topology", "ablate-sublayer", "ext-hybrid",
-		"ext-latency", "ext-openmp", "ext-npb", "ext-cluster", "ablate-collectives", "ablate-migration",
+		"ext-latency", "ext-openmp", "ext-npb", "ext-cluster", "ext-scale",
+		"ablate-collectives", "ablate-migration",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"multicore/internal/report"
+)
+
+// renderWith runs one experiment under the given (cell parallelism,
+// settle workers) pair and returns its tables rendered to CSV.
+func renderWith(t *testing.T, id string, parallelism, settleWorkers int) string {
+	t.Helper()
+	r := NewRunner(context.Background(), Options{
+		Parallelism:   parallelism,
+		SettleWorkers: settleWorkers,
+	})
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %q", id)
+	}
+	tables, err := r.Run(e, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString((*report.Table).CSV(tb))
+	}
+	return b.String()
+}
+
+// TestComponentSettleComposesWithCellParallelism: the nesting policy —
+// cells on the runner's worker pool, each engine filling components under
+// SettleWorkers, the product backstopped by the process-wide settle-token
+// budget (GOMAXPROCS-1; see sim's TestSettleTokenBudget). Whatever slice
+// of that budget each cell actually wins, component-mode output is
+// worker-count independent, so every (parallelism, settle) combination
+// must render byte-identical tables.
+func TestComponentSettleComposesWithCellParallelism(t *testing.T) {
+	const id = "ext-hybrid"
+	base := renderWith(t, id, 1, 2)
+	for _, tc := range []struct{ par, settle int }{
+		{4, 2}, {1, 8}, {4, 8},
+	} {
+		got := renderWith(t, id, tc.par, tc.settle)
+		if got != base {
+			t.Errorf("parallelism=%d settle=%d: tables differ from parallelism=1 settle=2 baseline:\n%s\n---\n%s",
+				tc.par, tc.settle, got, base)
+		}
+	}
+}
+
+// TestExtScaleSerialMatchesComponentMode: the scale experiment's rounded
+// tables must not depend on the settling mode — union (default) and
+// component mode solve the same max-min program and agree to table
+// precision.
+func TestExtScaleSerialMatchesComponentMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ext-scale sweep skipped in -short mode")
+	}
+	serial := renderWith(t, "ext-scale", 2, 0)
+	parallel := renderWith(t, "ext-scale", 2, 4)
+	if serial != parallel {
+		t.Errorf("ext-scale tables differ across settle modes:\n%s\n---\n%s", serial, parallel)
+	}
+}

@@ -202,6 +202,13 @@ type CPU struct {
 	// Stats.
 	ComputeSeconds float64
 	MemBytes       float64
+
+	// Reusable scratch for execute: the started-flow list and the path
+	// buffer that splices the prefetch window in. Start copies paths into
+	// flow-owned storage, so the buffer can be reused across admissions
+	// within one batch.
+	flowScratch []*sim.Flow
+	pathScratch []*sim.Resource
 }
 
 // CPU binds a process to a core, returning its execution context.
@@ -211,6 +218,12 @@ func (m *Machine) CPU(p *sim.Proc, core topology.CoreID) *CPU {
 	}
 	return &CPU{m: m, core: core, proc: p}
 }
+
+// Rebind attaches the execution context to a new process. It exists for
+// helper-process recycling (mpi Isend/Irecv clones): the context's core,
+// caches, and accumulated stats carry over; only the process executing on
+// it changes. The previous process must have finished.
+func (c *CPU) Rebind(p *sim.Proc) { c.proc = p }
 
 // Core returns the core this context is bound to.
 func (c *CPU) Core() topology.CoreID { return c.core }
@@ -344,7 +357,7 @@ func (c *CPU) execute(label string, plans []accessPlan, flops, eff float64) {
 	win := c.window(plans)
 	hitTime := 0.0
 	net := c.m.Eng.Net()
-	var flows []*sim.Flow
+	flows := c.flowScratch[:0]
 	for _, p := range plans {
 		hitTime += p.hitTime
 		for _, s := range p.specs {
@@ -353,7 +366,8 @@ func (c *CPU) execute(label string, plans []accessPlan, flops, eff float64) {
 			}
 			path := s.Path
 			if win != nil && s.Ceiling == 0 {
-				path = append(append([]*sim.Resource{}, path...), win)
+				path = append(append(c.pathScratch[:0], path...), win)
+				c.pathScratch = path[:0]
 			}
 			flows = append(flows, net.Start(label, s.Bytes, path, s.Ceiling))
 		}
@@ -371,6 +385,13 @@ func (c *CPU) execute(label string, plans []accessPlan, flops, eff float64) {
 	for _, f := range flows {
 		c.proc.WaitFlow(f)
 	}
+	// All waits have returned and nothing else holds these flows: this
+	// call owns them, so they go back to the arena (see FlowNet.Release).
+	for i, f := range flows {
+		net.Release(f)
+		flows[i] = nil
+	}
+	c.flowScratch = flows[:0]
 }
 
 // Access performs one memory access batch, blocking for its full cost.

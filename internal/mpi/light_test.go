@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/machine"
+	"multicore/internal/sim"
+)
+
+// lightTraffic is a mixed-protocol workload touching every helper path:
+// eager and rendezvous point-to-point (below and above MPICH2's 128KB
+// switch), nonblocking overlap through Isend/Irecv, Sendrecv's paired
+// helpers, and a collective built on p2p underneath.
+func lightTraffic(r *Rank) {
+	n := r.Size()
+	right, left := (r.ID()+1)%n, (r.ID()+n-1)%n
+	for i := 0; i < 3; i++ {
+		r.Sendrecv(right, 4096, left) // eager
+	}
+	if r.ID() == 0 {
+		r.Send(1, 512*1024) // rendezvous
+	} else if r.ID() == 1 {
+		r.Recv(0)
+	}
+	req := r.Irecv(left)
+	q := r.Isend(right, 64*1024)
+	r.Compute(1e6, 0.9)
+	r.WaitAll(req, q)
+	r.Allreduce(8192)
+	r.Report("t", r.Now())
+}
+
+// runLightTraffic executes the mixed workload with the given helper
+// backing and returns the result plus the byte-exact trace.
+func runLightTraffic(t *testing.T, light bool, nodes int) (*Result, []byte) {
+	t.Helper()
+	old := lightHelpers
+	lightHelpers = light
+	defer func() { lightHelpers = old }()
+	spec := machine.Longs()
+	bindings, err := affinity.Layout(affinity.Default, spec.Topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: spec, Impl: MPICH2(), Bindings: bindings,
+		Trace: &sim.Trace{}, Observe: true}
+	if nodes > 1 {
+		cfg.Nodes = nodes
+		cfg.Net = RapidArray()
+	}
+	res, err := RunContext(context.Background(), cfg, lightTraffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestLightHelperEquivalence: the continuation-backed helper processes
+// must reproduce the goroutine-backed helpers exactly — same makespan
+// bits, same message and byte counts, same per-rank metrics, and a
+// byte-identical trace — across intra-node and inter-node traffic.
+func TestLightHelperEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes int
+	}{
+		{"intra-node", 1},
+		{"cluster", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			heavy, heavyTrace := runLightTraffic(t, false, tc.nodes)
+			lightRes, lightTrace := runLightTraffic(t, true, tc.nodes)
+			if math.Float64bits(heavy.Time) != math.Float64bits(lightRes.Time) {
+				t.Errorf("makespan differs: goroutine helpers %.17g, continuation helpers %.17g",
+					heavy.Time, lightRes.Time)
+			}
+			if heavy.Messages != lightRes.Messages || heavy.Bytes != lightRes.Bytes {
+				t.Errorf("traffic differs: %d msgs/%.0f B vs %d msgs/%.0f B",
+					heavy.Messages, heavy.Bytes, lightRes.Messages, lightRes.Bytes)
+			}
+			if !reflect.DeepEqual(heavy.Values, lightRes.Values) {
+				t.Errorf("per-rank metrics differ:\n goroutine: %v\n continuation: %v",
+					heavy.Values, lightRes.Values)
+			}
+			if !reflect.DeepEqual(heavy.Breakdown, lightRes.Breakdown) {
+				t.Errorf("time breakdowns differ:\n goroutine: %+v\n continuation: %+v",
+					heavy.Breakdown, lightRes.Breakdown)
+			}
+			if !bytes.Equal(heavyTrace, lightTrace) {
+				t.Errorf("traces differ: %d bytes vs %d bytes", len(heavyTrace), len(lightTrace))
+			}
+		})
+	}
+}

@@ -18,7 +18,12 @@ func segmentCost(im *Impl, bytes float64) float64 {
 	return (segs - 1) * (im.Sub.LockLatency + im.Sub.WakeLatency) / 2
 }
 
-// message is an in-flight point-to-point message.
+// message is an in-flight point-to-point message. Messages are pooled on
+// the World (newMessage/freeMessage): the sender side allocates one per
+// send, the receiver returns it once the drain completes, so sustained
+// traffic at 10k+ ranks recycles a small arena instead of allocating per
+// message. The wait queue is embedded so its backing storage recycles
+// with the message.
 type message struct {
 	src, dst int
 	bytes    float64
@@ -27,7 +32,7 @@ type message struct {
 	// rendezvous: the sender blocks on senderQ until the receiver has
 	// drained the transfer.
 	rendezvous bool
-	senderQ    *sim.WaitQueue
+	senderQ    sim.WaitQueue
 
 	// eager: readyAt is when the copy-in completed (the receiver cannot
 	// start draining earlier).
@@ -35,6 +40,27 @@ type message struct {
 
 	// network marks an inter-node message (already landed at the NIC).
 	network bool
+}
+
+// newMessage services a message from the world's pool.
+func (w *World) newMessage() *message {
+	if n := len(w.msgFree); n > 0 {
+		m := w.msgFree[n-1]
+		w.msgFree[n-1] = nil
+		w.msgFree = w.msgFree[:n-1]
+		q := m.senderQ // empty; the copy keeps its backing storage
+		*m = message{senderQ: q}
+		return m
+	}
+	return &message{}
+}
+
+// freeMessage returns a fully-drained message to the pool. Only the
+// receiver calls it, at the end of its Recv: by then the message has left
+// the inbox, the sender (rendezvous) has been woken and never touches the
+// message after its wait returns, and no other reference exists.
+func (w *World) freeMessage(m *message) {
+	w.msgFree = append(w.msgFree, m)
 }
 
 // Send transmits bytes to rank dst, blocking per the transport protocol:
@@ -93,8 +119,8 @@ func (r *Rank) sendTransfer(dst int, bytes float64) {
 		// Rendezvous: post the offer, wake the receiver if it is
 		// already waiting, and block until the transfer is drained.
 		r.proc.Sleep(im.RendezvousOverhead)
-		m := &message{src: r.id, dst: dst, bytes: bytes, bufNode: buf,
-			rendezvous: true, senderQ: &sim.WaitQueue{}}
+		m := w.newMessage()
+		m.src, m.dst, m.bytes, m.bufNode, m.rendezvous = r.id, dst, bytes, buf, true
 		peer.deliver(m)
 		m.senderQ.Wait(r.proc, w.rdvLabels[dst])
 		r.account(catMPI, "rendezvous-wait")
@@ -110,8 +136,61 @@ func (r *Rank) sendTransfer(dst int, bytes float64) {
 		r.proc.Transfer("eager-in", bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
 		r.account(catCopy, "eager-in")
 	}
-	m := &message{src: r.id, dst: dst, bytes: bytes, bufNode: buf, readyAt: r.Now()}
+	m := w.newMessage()
+	m.src, m.dst, m.bytes, m.bufNode, m.readyAt = r.id, dst, bytes, buf, r.Now()
 	peer.deliver(m)
+}
+
+// sendTransferThen is the continuation form of sendTransfer, used by the
+// lightweight Isend helper. Every blocking call maps to its *Then twin
+// with values computed at the same points relative to the blocks, so the
+// two forms schedule byte-identically (TestLightHelperEquivalence pins
+// this).
+func (r *Rank) sendTransferThen(dst int, bytes float64, k func()) {
+	w := r.w
+	im := w.cfg.Impl
+	peer := w.ranks[dst]
+
+	if peer.node != r.node {
+		r.sendNetworkThen(peer, bytes, k)
+		return
+	}
+
+	buf := w.bufNode(r.id, dst, bytes)
+	topo := w.cfg.Spec.Topo
+
+	if bytes > im.EagerThreshold {
+		r.proc.SleepThen(im.RendezvousOverhead, func() {
+			m := w.newMessage()
+			m.src, m.dst, m.bytes, m.bufNode, m.rendezvous = r.id, dst, bytes, buf, true
+			peer.deliver(m)
+			m.senderQ.WaitThen(r.proc, w.rdvLabels[dst], func() {
+				r.account(catMPI, "rendezvous-wait")
+				k()
+			})
+		})
+		return
+	}
+
+	post := func() {
+		m := w.newMessage()
+		m.src, m.dst, m.bytes, m.bufNode, m.readyAt = r.id, dst, bytes, buf, r.Now()
+		peer.deliver(m)
+		k()
+	}
+	if bytes > 0 {
+		r.proc.SleepThen(segmentCost(im, bytes), func() {
+			inflate := r.mach.ContentionInflate(buf) / im.CopyEfficiency
+			path := r.mach.CopyPath(r.cpu.Core(), r.home, buf)
+			hops := topo.Hops(r.home, buf) + topo.Hops(topo.SocketOf(r.bind.Core), buf)
+			r.proc.TransferThen("eager-in", bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops), func() {
+				r.account(catCopy, "eager-in")
+				post()
+			})
+		})
+		return
+	}
+	post()
 }
 
 // sendNetwork moves a message between nodes: the sender copies out of its
@@ -129,8 +208,33 @@ func (r *Rank) sendNetwork(peer *Rank, bytes float64) {
 		r.proc.Transfer("net-send", bytes, path, 0)
 		r.account(catCopy, "net-send")
 	}
-	m := &message{src: r.id, dst: peer.id, bytes: bytes, network: true, readyAt: r.Now()}
+	m := w.newMessage()
+	m.src, m.dst, m.bytes, m.network, m.readyAt = r.id, peer.id, bytes, true, r.Now()
 	peer.deliver(m)
+}
+
+// sendNetworkThen is the continuation form of sendNetwork.
+func (r *Rank) sendNetworkThen(peer *Rank, bytes float64, k func()) {
+	w := r.w
+	r.proc.SleepThen(w.net.Overhead+w.net.Latency, func() {
+		r.account(catMPI, "net-sw")
+		post := func() {
+			m := w.newMessage()
+			m.src, m.dst, m.bytes, m.network, m.readyAt = r.id, peer.id, bytes, true, r.Now()
+			peer.deliver(m)
+			k()
+		}
+		if bytes > 0 {
+			path := append(r.mach.ReadPath(r.cpu.Core(), r.home),
+				w.nics[r.node][0], w.fabric, w.nics[peer.node][1])
+			r.proc.TransferThen("net-send", bytes, path, 0, func() {
+				r.account(catCopy, "net-send")
+				post()
+			})
+			return
+		}
+		post()
+	})
 }
 
 // deliver places a message in the destination inbox and wakes a waiting
@@ -175,6 +279,7 @@ func (r *Rank) Recv(src int) {
 				r.mach.WritePath(r.cpu.Core(), r.home), 0)
 			r.account(catCopy, "net-recv")
 		}
+		w.freeMessage(m)
 		return
 	}
 
@@ -197,6 +302,7 @@ func (r *Rank) Recv(src int) {
 		r.proc.Transfer("rendezvous", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
 		r.account(catCopy, "rendezvous-copy")
 		m.senderQ.WakeAll(w.eng)
+		w.freeMessage(m)
 		return
 	}
 
@@ -214,6 +320,116 @@ func (r *Rank) Recv(src int) {
 		r.proc.Transfer("eager-out", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops))
 		r.account(catCopy, "eager-out")
 	}
+	w.freeMessage(m)
+}
+
+// recvThen is the continuation form of Recv, used by the lightweight
+// Irecv helper; scheduling parity with Recv is pinned by
+// TestLightHelperEquivalence.
+func (r *Rank) recvThen(src int, k func()) {
+	if src == r.id {
+		panic(fmt.Sprintf("mpi: rank %d receiving from itself", r.id))
+	}
+	w := r.w
+
+	var await func()
+	await = func() {
+		if len(r.inbox[src]) == 0 {
+			q := r.recvQ[src]
+			if q == nil {
+				q = &sim.WaitQueue{}
+				r.recvQ[src] = q
+			}
+			q.WaitThen(r.proc, w.recvLabels[src], await)
+			return
+		}
+		m := r.inbox[src][0]
+		r.inbox[src] = r.inbox[src][1:]
+		r.drainThen(m, k)
+	}
+	await()
+}
+
+// drainThen is the continuation form of Recv's post-match half: the
+// protocol-specific drain of one matched message.
+func (r *Rank) drainThen(m *message, k func()) {
+	w := r.w
+	im := w.cfg.Impl
+
+	if m.network {
+		r.proc.SleepThen(w.net.Overhead+im.Overhead/2, func() {
+			land := func() {
+				r.account(catMPI, "recv-wait")
+				if m.bytes > 0 {
+					r.proc.TransferThen("net-recv", m.bytes,
+						r.mach.WritePath(r.cpu.Core(), r.home), 0, func() {
+							r.account(catCopy, "net-recv")
+							w.freeMessage(m)
+							k()
+						})
+					return
+				}
+				w.freeMessage(m)
+				k()
+			}
+			if m.readyAt > r.Now() {
+				r.proc.SleepThen(m.readyAt-r.Now(), land)
+				return
+			}
+			land()
+		})
+		return
+	}
+
+	r.proc.SleepThen(im.Sub.WakeLatency+im.Overhead/2, func() {
+		r.account(catMPI, "recv-wait")
+
+		if m.rendezvous {
+			sender := w.ranks[m.src]
+			topo := w.cfg.Spec.Topo
+			path := r.mach.CopyPath(sender.cpu.Core(), sender.home, m.bufNode)
+			path = append(path, r.mach.CopyPath(r.cpu.Core(), m.bufNode, r.home)...)
+			inflate := r.mach.ContentionInflate(m.bufNode) / im.CopyEfficiency
+			hops := topo.Hops(sender.home, m.bufNode) + topo.Hops(m.bufNode, r.home) +
+				topo.Hops(topo.SocketOf(sender.bind.Core), topo.SocketOf(r.bind.Core))
+			r.proc.SleepThen(segmentCost(im, m.bytes), func() {
+				r.proc.TransferThen("rendezvous", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops), func() {
+					r.account(catCopy, "rendezvous-copy")
+					m.senderQ.WakeAll(w.eng)
+					w.freeMessage(m)
+					k()
+				})
+			})
+			return
+		}
+
+		drain := func() {
+			if m.bytes > 0 {
+				topo := w.cfg.Spec.Topo
+				r.proc.SleepThen(segmentCost(im, m.bytes), func() {
+					inflate := r.mach.ContentionInflate(m.bufNode) / im.CopyEfficiency
+					path := r.mach.CopyPath(r.cpu.Core(), m.bufNode, r.home)
+					hops := topo.Hops(m.bufNode, r.home) + topo.Hops(topo.SocketOf(r.bind.Core), m.bufNode)
+					r.proc.TransferThen("eager-out", m.bytes*inflate, path, w.cfg.Spec.CopyCeiling(hops), func() {
+						r.account(catCopy, "eager-out")
+						w.freeMessage(m)
+						k()
+					})
+				})
+				return
+			}
+			w.freeMessage(m)
+			k()
+		}
+		if m.readyAt > r.Now() {
+			r.proc.SleepThen(m.readyAt-r.Now(), func() {
+				r.account(catMPI, "recv-wait")
+				drain()
+			})
+			return
+		}
+		drain()
+	})
 }
 
 // Request is a handle for a non-blocking operation.
@@ -222,6 +438,15 @@ type Request struct {
 	q    sim.WaitQueue
 }
 
+// lightHelpers selects the backing of Isend/Irecv helper processes:
+// continuation-backed (no goroutine or stack per in-flight message) when
+// true, classic goroutine-backed when false. The two backings simulate
+// byte-identically by construction — every *Then primitive consumes event
+// sequence numbers exactly like its blocking twin — which
+// TestLightHelperEquivalence pins. The toggle exists for that test and
+// for bisecting regressions; production code never flips it.
+var lightHelpers = true
+
 // Isend starts a non-blocking send; complete it with Wait. The software
 // preparation cost runs inline on the caller (the CPU cannot post two
 // messages at once); only the data movement overlaps.
@@ -229,15 +454,23 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 	r.sendPrepare(dst, bytes)
 	req := &Request{}
 	helper := r.helper()
-	r.w.eng.Spawn(r.w.isendNames[r.id], func(p *sim.Proc) {
-		helper.proc = p
-		helper.cpu = r.mach.CPU(p, r.bind.Core)
-		helper.acct = p.Now()
-		helper.sendTransfer(dst, bytes)
+	finish := func() {
 		req.done = true
 		req.q.WakeAll(r.w.eng)
 		r.releaseHelper(helper)
-	})
+	}
+	if lightHelpers {
+		r.w.eng.SpawnCont(r.w.isendNames[r.id], func(p *sim.Proc) {
+			helper.bindProc(p)
+			helper.sendTransferThen(dst, bytes, finish)
+		})
+	} else {
+		r.w.eng.Spawn(r.w.isendNames[r.id], func(p *sim.Proc) {
+			helper.bindProc(p)
+			helper.sendTransfer(dst, bytes)
+			finish()
+		})
+	}
 	return req
 }
 
@@ -245,16 +478,39 @@ func (r *Rank) Isend(dst int, bytes float64) *Request {
 func (r *Rank) Irecv(src int) *Request {
 	req := &Request{}
 	helper := r.helper()
-	r.w.eng.Spawn(r.w.irecvNames[r.id], func(p *sim.Proc) {
-		helper.proc = p
-		helper.cpu = r.mach.CPU(p, r.bind.Core)
-		helper.acct = p.Now()
-		helper.Recv(src)
+	finish := func() {
 		req.done = true
 		req.q.WakeAll(r.w.eng)
 		r.releaseHelper(helper)
-	})
+	}
+	if lightHelpers {
+		r.w.eng.SpawnCont(r.w.irecvNames[r.id], func(p *sim.Proc) {
+			helper.bindProc(p)
+			helper.recvThen(src, finish)
+		})
+	} else {
+		r.w.eng.Spawn(r.w.irecvNames[r.id], func(p *sim.Proc) {
+			helper.bindProc(p)
+			helper.Recv(src)
+			finish()
+		})
+	}
 	return req
+}
+
+// bindProc attaches a helper clone to its freshly spawned process. A
+// recycled clone rebinds its existing CPU context instead of allocating a
+// new one; behavior is identical either way (helpers never Compute, so
+// the context carries no accumulated state a fresh one wouldn't).
+func (h *Rank) bindProc(p *sim.Proc) {
+	h.proc = p
+	if h.cpu == nil {
+		h.cpu = h.mach.CPU(p, h.bind.Core)
+	} else {
+		h.cpu.Rebind(p)
+	}
+	h.acct = p.Now()
+	h.acctCompute = h.cpu.ComputeSeconds
 }
 
 // helper clones the rank identity for a non-blocking helper process. The
@@ -272,11 +528,11 @@ func (r *Rank) helper() *Rank {
 		h := r.helperFree[n-1]
 		r.helperFree[n-1] = nil
 		r.helperFree = r.helperFree[:n-1]
-		h.acctCompute = 0
 		return h
 	}
 	h := *r
 	h.bd = &TimeBreakdown{}
+	h.cpu = nil // bindProc gives the clone its own context; never share r's
 	h.acctCompute = 0
 	r.helpers++
 	h.tid = r.helpers

@@ -132,6 +132,12 @@ type Config struct {
 	// delays) into the run. Nil — the default — keeps the run
 	// byte-identical to the idealized fault-free machine.
 	Faults Perturb
+	// SettleWorkers, when > 1, opts the engine into component-mode
+	// parallel flow settling with at most that many workers (see
+	// sim.Engine.SetSettleWorkers; output is deterministic and identical
+	// for every value > 1). 0 or 1 keeps the legacy serial union
+	// settling the golden hashes pin.
+	SettleWorkers int
 }
 
 // Result is what a finished job reports.
@@ -215,6 +221,9 @@ type World struct {
 	timeline []PhaseSpan
 	trace    *sim.Trace
 
+	// msgFree pools in-flight message descriptors (see newMessage).
+	msgFree []*message
+
 	// Pre-formatted per-rank strings for the hot paths: wait-reason labels
 	// and helper process names, so Recv loops and Isend/Irecv spawns do
 	// not re-run fmt.Sprintf per call.
@@ -271,6 +280,9 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Result, err
 	eng := sim.NewEngine()
 	if cfg.Observe {
 		eng.EnableObservation()
+	}
+	if cfg.SettleWorkers > 1 {
+		eng.SetSettleWorkers(cfg.SettleWorkers)
 	}
 	w := &World{cfg: cfg, eng: eng, values: map[string][]float64{}, trace: cfg.Trace}
 	for nd := 0; nd < nodes; nd++ {
@@ -360,15 +372,24 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Result, err
 		}
 	}
 	if cfg.OSMigrationPeriod > 0 {
-		eng.Spawn("os-scheduler", func(p *sim.Proc) {
+		// Continuation-backed: the jitter source is a self-rescheduling
+		// tick, not a call stack, so it costs no goroutine.
+		eng.SpawnCont("os-scheduler", func(p *sim.Proc) {
 			victim := 0
-			for w.finished < n {
-				p.Sleep(cfg.OSMigrationPeriod)
-				// The migrated task loses its cache contents.
-				v := w.ranks[victim%n]
-				v.mach.Cache(v.bind.Core).Flush()
-				victim++
+			var step func()
+			step = func() {
+				if w.finished >= n {
+					return
+				}
+				p.SleepThen(cfg.OSMigrationPeriod, func() {
+					// The migrated task loses its cache contents.
+					v := w.ranks[victim%n]
+					v.mach.Cache(v.bind.Core).Flush()
+					victim++
+					step()
+				})
 			}
+			step()
 		})
 	}
 	if err := eng.RunContext(ctx); err != nil {

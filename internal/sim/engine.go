@@ -98,12 +98,25 @@ type Engine struct {
 	// Spawn so steady-state process churn creates no new goroutines.
 	idleWorkers []*worker
 
+	// freeLight recycles finished lightweight processes (SpawnCont) so
+	// helper churn — one isend/irecv helper per message at 10k+ ranks —
+	// allocates no Proc in steady state. Only used while detailed
+	// observation is off: the observer retains every spawned Proc.
+	freeLight []*Proc
+
+	// settleWorkers selects the settling mode and bounds how many
+	// flow-network components a single flush may fill concurrently (see
+	// FlowNet.fillAll). 1 — the default — keeps the legacy union fill
+	// whose float accumulation the golden hashes pin.
+	settleWorkers int
+
 	net *FlowNet
 
 	// Always-on activity counters (see Stats).
 	statEvents  uint64
 	statFlows   uint64
 	statSettles uint64
+	statSpawns  uint64
 
 	// obs enables detailed observation when non-nil (EnableObservation).
 	obs *observer
@@ -116,11 +129,33 @@ type Engine struct {
 // NewEngine creates an empty simulation.
 func NewEngine() *Engine {
 	e := &Engine{
-		yield:        make(chan struct{}, 1),
-		blockedProcs: make(map[*Proc]string),
+		yield:         make(chan struct{}, 1),
+		blockedProcs:  make(map[*Proc]string),
+		settleWorkers: 1,
 	}
 	e.net = newFlowNet(e)
 	return e
+}
+
+// SetSettleWorkers selects the flow-settling mode. n <= 1 — the default —
+// keeps the legacy behavior: one progressive-filling pass per flush over
+// the union of the touched components, the arithmetic the golden trace
+// hashes pin. n > 1 opts into component mode for scale runs: independent
+// components fill concurrently under at most n workers. Component-mode
+// output is deterministic and identical for every n > 1 — the per-
+// component arithmetic never depends on worker count, token availability,
+// or thread timing — but its rates can differ from union mode by float
+// rounding (same max-min solution, different accumulation order), so
+// switching modes is a per-engine decision made before the run. Sweeps
+// that run many cells in parallel lower n so cells × settle workers stays
+// within the machine (see experiments.Options.Parallelism); a process-
+// wide token budget of GOMAXPROCS-1 extra workers bounds the product
+// regardless.
+func (e *Engine) SetSettleWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.settleWorkers = n
 }
 
 // Now returns the current simulated time in seconds.
@@ -232,11 +267,28 @@ func (e *Engine) scheduleResume(t float64, p *Proc) {
 
 // Proc is a simulated process. Its methods must only be called from within
 // the process's own body function.
+//
+// A Proc has one of two backings. Goroutine-backed processes (Spawn) run
+// arbitrary re-entrant bodies that block mid-call-stack; control transfers
+// through channel handoff. Lightweight processes (SpawnCont) have no
+// goroutine at all: their body is a chain of explicit continuations that
+// the scheduler invokes inline, so blocking costs one closure instead of
+// a stack plus two channel operations per resume. Both backings share the
+// same wake paths (scheduleResume, WaitQueue, flow waiters), observation
+// states, and deadlock reporting.
 type Proc struct {
 	eng  *Engine
 	name string
 	wake chan struct{}
 	done bool
+
+	// light marks a continuation-backed process; cont is the armed
+	// continuation the next resume will invoke (nil while running), and
+	// start is the body's entry point, kept as a bare func(*Proc) so
+	// spawning never allocates a wrapper closure.
+	light bool
+	cont  func()
+	start func(*Proc)
 
 	// Observation state (only touched when the engine's observer is
 	// active): current state, when it was entered, and accumulated
@@ -323,6 +375,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	}
 	p := &Proc{eng: e, name: name, wake: w.wake}
 	e.liveProcs++
+	e.statSpawns++
 	if e.obs != nil {
 		p.state = stateBlockedQueue // parked until the start event fires
 		p.stateSince = e.now
@@ -331,6 +384,50 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	w.run <- spawnReq{p: p, body: body}
 	e.scheduleResume(e.now, p)
 	return p
+}
+
+// SpawnCont creates a lightweight, continuation-backed process that will
+// begin executing start at the current simulated time. The body must be
+// written in continuation-passing style: instead of blocking, it arms the
+// next step with SleepThen, WaitThen, WaitFlowThen, or TransferThen and
+// returns. When a step returns without arming a continuation the process
+// is finished. Scheduling order is identical to Spawn — the start event
+// consumes the same sequence number — so converting a process between
+// backings never reorders a simulation.
+func (e *Engine) SpawnCont(name string, start func(p *Proc)) *Proc {
+	var p *Proc
+	if n := len(e.freeLight); n > 0 && e.obs == nil {
+		p = e.freeLight[n-1]
+		e.freeLight[n-1] = nil
+		e.freeLight = e.freeLight[:n-1]
+		*p = Proc{eng: e, light: true}
+	} else {
+		p = &Proc{eng: e, light: true}
+	}
+	p.name = name
+	p.start = start
+	e.liveProcs++
+	e.statSpawns++
+	if e.obs != nil {
+		p.state = stateBlockedQueue // parked until the start event fires
+		p.stateSince = e.now
+		e.obs.procs = append(e.obs.procs, p)
+	}
+	e.scheduleResume(e.now, p)
+	return p
+}
+
+// finishLight retires a completed lightweight process, mirroring the tail
+// of the worker loop for goroutine-backed processes.
+func (e *Engine) finishLight(p *Proc) {
+	if e.obs != nil {
+		e.procStateChange(p, stateBlockedQueue)
+	}
+	p.done = true
+	e.liveProcs--
+	if e.obs == nil {
+		e.freeLight = append(e.freeLight, p)
+	}
 }
 
 // resume hands control to p and waits until it blocks or finishes.
@@ -342,8 +439,37 @@ func (e *Engine) resume(p *Proc) {
 	if e.obs != nil {
 		e.procStateChange(p, stateRunning)
 	}
+	if p.light {
+		if f := p.start; f != nil {
+			p.start = nil
+			f(p)
+		} else {
+			k := p.cont
+			p.cont = nil
+			k()
+		}
+		if p.cont == nil {
+			e.finishLight(p)
+		}
+		return
+	}
 	p.wake <- struct{}{}
 	<-e.yield
+}
+
+// park records a lightweight process as blocked and arms k as the step to
+// run when it is next resumed. It is the continuation-backed analogue of
+// block.
+func (p *Proc) park(kind procState, why string, k func()) {
+	if k == nil {
+		panic("sim: lightweight process " + p.name + " parked without a continuation")
+	}
+	e := p.eng
+	e.blockedProcs[p] = why
+	if e.obs != nil {
+		e.procStateChange(p, kind)
+	}
+	p.cont = k
 }
 
 // block yields control back to the scheduler and waits to be woken. The
@@ -384,6 +510,29 @@ func (p *Proc) Sleep(d float64) {
 	p.block(stateSleeping, "sleep")
 }
 
+// SleepThen advances the process by d seconds and then runs k. On a
+// lightweight process it arms k as the continuation and returns
+// immediately; on a goroutine-backed process it sleeps inline and calls k
+// on the same stack. Either way the schedule sequence is identical to
+// Sleep, so protocol code written against the *Then primitives simulates
+// byte-identically on both backings.
+func (p *Proc) SleepThen(d float64, k func()) {
+	if !p.light {
+		p.Sleep(d)
+		k()
+		return
+	}
+	if math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: process %s sleeping NaN seconds at t=%g", p.name, p.eng.now))
+	}
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.scheduleResume(e.now+d, p)
+	p.park(stateSleeping, "sleep", k)
+}
+
 // Run executes events until the queue is empty. It panics if processes
 // remain blocked when no event can wake them (a deadlock) so that protocol
 // bugs in workloads surface immediately. Sweeps that must survive bad
@@ -414,6 +563,16 @@ func (e *Engine) RunContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return e.cancel(err)
 	}
+	// A panic on the scheduler side (an event callback, a lightweight
+	// process's continuation, the flow network) must not strand the
+	// engine's parked goroutines: release them, then let the panic
+	// propagate to the caller's isolation layer.
+	defer func() {
+		if r := recover(); r != nil {
+			e.abort()
+			panic(r)
+		}
+	}()
 	for {
 		if e.net.dirty && (len(e.queue) == 0 || e.queue[0].at > e.now) {
 			e.net.flush()
@@ -492,11 +651,20 @@ func (e *Engine) abort() {
 
 // kill unwinds one parked process (no-op if it already finished — a
 // sleeping process appears both in the queue and in blockedProcs).
+// Goroutine-backed processes unwind via the procKilled panic; lightweight
+// processes have no stack to unwind, so dropping the armed continuation
+// retires them directly.
 func (e *Engine) kill(p *Proc) {
 	if p.done {
 		return
 	}
 	delete(e.blockedProcs, p)
+	if p.light {
+		p.cont = nil
+		p.start = nil
+		e.finishLight(p)
+		return
+	}
 	p.wake <- struct{}{}
 	<-e.yield
 }
@@ -519,14 +687,34 @@ func (e *Engine) shutdown() {
 // It is a head-indexed ring over one backing slice: WakeOne advances head
 // instead of re-slicing, and Wait compacts the live tail back to the front
 // once the dead prefix dominates, so sustained Wait/WakeOne churn reuses
-// constant storage instead of crawling through the backing array.
+// constant storage instead of crawling through the backing array. After a
+// burst, the backing array is released once the queue drains if it dwarfs
+// the high-watermark of the era that follows — a queue that once held 10k
+// waiters must not pin 10k slots for the engine's lifetime.
 type WaitQueue struct {
 	waiters []*Proc
 	head    int
+	// maxLive is the largest Len() observed since the queue last went
+	// empty; it is the shrink heuristic's estimate of steady-state demand.
+	maxLive int
 }
 
-// Wait blocks the calling process until another process wakes it.
-func (q *WaitQueue) Wait(p *Proc, why string) {
+// shrinkMinCap is the capacity below which a drained queue never releases
+// its backing array: reallocating tiny slices would defeat the zero-alloc
+// steady state for the common small queues (mailboxes, barriers).
+const shrinkMinCap = 64
+
+// maybeShrink releases an oversized backing array once the queue is
+// empty. Called only at empty transitions.
+func (q *WaitQueue) maybeShrink() {
+	if cap(q.waiters) >= shrinkMinCap && q.maxLive < cap(q.waiters)/4 {
+		q.waiters = nil
+	}
+	q.maxLive = 0
+}
+
+// enqueue appends p, compacting the dead prefix when it dominates.
+func (q *WaitQueue) enqueue(p *Proc) {
 	if q.head > 0 && q.head*2 >= len(q.waiters) {
 		n := copy(q.waiters, q.waiters[q.head:])
 		for i := n; i < len(q.waiters); i++ {
@@ -536,7 +724,28 @@ func (q *WaitQueue) Wait(p *Proc, why string) {
 		q.head = 0
 	}
 	q.waiters = append(q.waiters, p)
+	if live := len(q.waiters) - q.head; live > q.maxLive {
+		q.maxLive = live
+	}
+}
+
+// Wait blocks the calling process until another process wakes it.
+func (q *WaitQueue) Wait(p *Proc, why string) {
+	q.enqueue(p)
 	p.block(stateBlockedQueue, why)
+}
+
+// WaitThen enqueues the process and runs k once another process wakes it:
+// the continuation form of Wait, usable from either backing (see
+// Proc.SleepThen for the dispatch contract).
+func (q *WaitQueue) WaitThen(p *Proc, why string, k func()) {
+	if !p.light {
+		q.Wait(p, why)
+		k()
+		return
+	}
+	q.enqueue(p)
+	p.park(stateBlockedQueue, why, k)
 }
 
 // WakeOne wakes the oldest waiter, if any, at the current time.
@@ -553,6 +762,7 @@ func (q *WaitQueue) WakeOne(e *Engine) bool {
 	if q.head == len(q.waiters) {
 		q.waiters = q.waiters[:0]
 		q.head = 0
+		q.maybeShrink()
 	}
 	e.scheduleResume(e.now, p)
 	return true
@@ -566,6 +776,7 @@ func (q *WaitQueue) WakeAll(e *Engine) {
 	}
 	q.waiters = q.waiters[:0]
 	q.head = 0
+	q.maybeShrink()
 }
 
 // Len reports the number of blocked processes.

@@ -3,6 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Resource is a capacity-limited element of the flow network: a memory
@@ -79,6 +82,14 @@ func (r *Resource) Utilization(now float64) float64 {
 }
 
 // Flow is a fluid transfer of a byte volume across a path of resources.
+//
+// Flows are slab objects: FlowNet.Start services the spawn from a free
+// list when the previous owner released its flow back (see release), so
+// the transfer churn that dominates spawn/teardown at 10k+ ranks recycles
+// a fixed arena instead of allocating per message. The path is copied
+// into flow-owned storage at admission, which both decouples the arena
+// from caller buffers and lets callers reuse path scratch across Start
+// calls.
 type Flow struct {
 	remaining float64
 	ceiling   float64 // per-flow rate cap; 0 means unlimited
@@ -87,6 +98,7 @@ type Flow struct {
 	waiters   []*Proc
 	onDone    []func()
 	done      bool
+	released  bool // returned to the arena; guards double release
 	label     string
 	seq       uint64
 	epoch     uint64 // visit stamp for component discovery
@@ -95,10 +107,16 @@ type Flow struct {
 
 	// slots[k] is the index of path crossing k in path[k].flows, kept in
 	// sync by the swap-deletes so retirement needs no membership scans.
-	// slotsBuf keeps typical paths allocation-free, and waitersBuf does
-	// the same for the common single-waiter (Transfer) case.
+	// slotsBuf keeps typical paths allocation-free, pathBuf does the same
+	// for the flow-owned path copy, and waitersBuf for the common
+	// single-waiter (Transfer) case. Long paths spill into pathSpill and
+	// slotsSpill, which the arena retains so a recycled flow reuses the
+	// allocations.
 	slots      []int32
 	slotsBuf   [8]int32
+	pathBuf    [8]*Resource
+	pathSpill  []*Resource
+	slotsSpill []int32
 	waitersBuf [2]*Proc
 }
 
@@ -147,6 +165,10 @@ type FlowNet struct {
 	seq        uint64 // flow admission order, for deterministic completion
 	epoch      uint64 // current discovery/filling pass
 
+	// freeFlows is the arena's free list: flows released by their owners
+	// after completion, recycled by Start.
+	freeFlows []*Flow
+
 	// dirty marks admissions awaiting a flush; dirtySeeds are the flows
 	// whose components must be re-filled.
 	dirty      bool
@@ -154,18 +176,66 @@ type FlowNet struct {
 
 	// activeRes lists every resource with at least one active flow;
 	// the remaining slices are reusable scratch for component discovery,
-	// filling, and retirement.
+	// filling, and retirement. compFlows holds the discovered components
+	// back to back, compEnds the end index of each.
 	activeRes []*Resource
 	compFlows []*Flow
-	unfrozen  []*Flow
+	compEnds  []int
 	resQueue  []*Resource
-	fillRes   []*Resource
 	seeds     []*Flow
 	finished  []*Flow
+
+	// scratches[i] is the private filling scratch of concurrent settle
+	// worker i; scratches[0] doubles as the serial path's scratch.
+	scratches []*fillScratch
+}
+
+// fillScratch is the per-worker reusable state of one progressive-filling
+// pass; giving each settle worker its own keeps parallel fills race-free.
+type fillScratch struct {
+	res      []*Resource
+	unfrozen []*Flow
 }
 
 func newFlowNet(e *Engine) *FlowNet {
-	return &FlowNet{eng: e}
+	return &FlowNet{eng: e, scratches: []*fillScratch{{}}}
+}
+
+// settleTokens is the process-wide budget of extra settle workers: an
+// engine that wants to fill k components concurrently takes k-1 tokens
+// (non-blocking; a shortfall just means fewer workers, never waiting).
+// Capacity GOMAXPROCS-1 bounds cells × settle workers near the machine
+// width no matter how many engines run concurrently.
+var settleTokens chan struct{}
+
+func init() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	settleTokens = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		settleTokens <- struct{}{}
+	}
+}
+
+func acquireSettleTokens(want int) int {
+	got := 0
+	for got < want {
+		select {
+		case <-settleTokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func releaseSettleTokens(n int) {
+	for ; n > 0; n-- {
+		settleTokens <- struct{}{}
+	}
 }
 
 // addFlow registers f as active.
@@ -221,51 +291,59 @@ func (n *FlowNet) settle() {
 	n.lastSettle = n.eng.now
 }
 
-// component returns every active flow connected to the seed flows through
-// shared resources, in admission order. Duplicate seeds are tolerated.
-func (n *FlowNet) component(seeds []*Flow) []*Flow {
+// components discovers the connected component of every seed flow,
+// leaving them back to back in compFlows with per-component end indices
+// in compEnds. Components are disjoint by construction (a seed whose
+// component was already discovered is skipped), each sorted into
+// admission order, and listed in first-seed order — the deterministic
+// unit of work for both serial and parallel filling. Duplicate seeds are
+// tolerated.
+func (n *FlowNet) components(seeds []*Flow) {
 	n.epoch++
 	ep := n.epoch
 	out := n.compFlows[:0]
+	ends := n.compEnds[:0]
 	queue := n.resQueue[:0]
-	for _, f := range seeds {
-		if f.epoch == ep {
+	for _, s := range seeds {
+		if s.epoch == ep {
 			continue
 		}
-		f.epoch = ep
-		out = append(out, f)
-		for _, r := range f.path {
+		start := len(out)
+		s.epoch = ep
+		out = append(out, s)
+		for _, r := range s.path {
 			if r.epoch != ep {
 				r.epoch = ep
 				queue = append(queue, r)
 			}
 		}
-	}
-	for len(queue) > 0 {
-		r := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		for _, fr := range r.flows {
-			f := fr.f
-			if f.epoch == ep {
-				continue
-			}
-			f.epoch = ep
-			out = append(out, f)
-			for _, r2 := range f.path {
-				if r2.epoch != ep {
-					r2.epoch = ep
-					queue = append(queue, r2)
+		for len(queue) > 0 {
+			r := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, fr := range r.flows {
+				f := fr.f
+				if f.epoch == ep {
+					continue
+				}
+				f.epoch = ep
+				out = append(out, f)
+				for _, r2 := range f.path {
+					if r2.epoch != ep {
+						r2.epoch = ep
+						queue = append(queue, r2)
+					}
 				}
 			}
 		}
+		// Discovery visits flows in swap-delete (arbitrary) order;
+		// admission order keeps every later pass (filling, used-rate
+		// refresh) deterministic.
+		sortFlowsBySeq(out[start:])
+		ends = append(ends, len(out))
 	}
-	// Discovery visits flows in swap-delete (arbitrary) order; admission
-	// order keeps every later pass (filling, used-rate refresh)
-	// deterministic.
-	sortFlowsBySeq(out)
 	n.compFlows = out
+	n.compEnds = ends
 	n.resQueue = queue[:0]
-	return out
 }
 
 // sortFlowsBySeq orders flows by admission seq with an insertion sort:
@@ -283,12 +361,103 @@ func sortFlowsBySeq(fs []*Flow) {
 	}
 }
 
+// parallelSettleMinFlows is the total component size below which fillAll
+// stays serial: filling is cheap enough there that worker handoff costs
+// more than it saves.
+const parallelSettleMinFlows = 128
+
+// fillAll fills every component discovered by the last components() call.
+//
+// With settleWorkers <= 1 (the default) it runs the legacy single
+// progressive-filling pass over the union of the components, preserving
+// the exact floating-point accumulation sequence of the historical
+// engine — the arithmetic the golden trace hashes pin.
+//
+// With settleWorkers > 1 the engine switches to component mode: each
+// component fills independently under its own pre-assigned epoch
+// (base+1+i) and private scratch. Components are disjoint, so the
+// per-component sums are identical no matter how many workers execute
+// them or in what order — the deterministic merge rule. Component-mode
+// rates can differ from union-mode rates by float rounding (the max-min
+// solution is the same real number, accumulated through a different
+// increment sequence), so the mode is an explicit opt-in for scale runs,
+// chosen once per engine, and its output is a pure function of the mode —
+// never of worker count, token availability, or thread timing. The worker
+// count is bounded by the engine's settleWorkers cap and the process-wide
+// settleTokens budget.
+func (n *FlowNet) fillAll() {
+	k := len(n.compEnds)
+	if k == 0 {
+		return
+	}
+	if n.eng.settleWorkers <= 1 {
+		// Union mode: compFlows concatenates the components, each sorted
+		// by admission seq, which preserves every order the union pass is
+		// sensitive to (per-resource sums are component-local, and the
+		// shared level accumulates order-independent minima).
+		n.epoch++
+		n.fill(n.compFlows, n.scratches[0], n.epoch)
+		return
+	}
+	// One fresh filling epoch per component, never shared across workers.
+	base := n.epoch
+	n.epoch += uint64(k)
+	workers := 1
+	if k > 1 && len(n.compFlows) >= parallelSettleMinFlows {
+		workers = k
+		if workers > n.eng.settleWorkers {
+			workers = n.eng.settleWorkers
+		}
+		workers = 1 + acquireSettleTokens(workers-1)
+	}
+	if workers <= 1 {
+		s := n.scratches[0]
+		start := 0
+		for i, end := range n.compEnds {
+			n.fill(n.compFlows[start:end], s, base+1+uint64(i))
+			start = end
+		}
+		return
+	}
+	defer releaseSettleTokens(workers - 1)
+	for len(n.scratches) < workers {
+		n.scratches = append(n.scratches, &fillScratch{})
+	}
+	var next atomic.Int64
+	run := func(s *fillScratch) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= k {
+				return
+			}
+			start := 0
+			if i > 0 {
+				start = n.compEnds[i-1]
+			}
+			n.fill(n.compFlows[start:n.compEnds[i]], s, base+1+uint64(i))
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		s := n.scratches[w]
+		go func() {
+			defer wg.Done()
+			run(s)
+		}()
+	}
+	run(n.scratches[0]) // the caller is worker 0
+	wg.Wait()
+}
+
 // fill runs progressive filling over the given flows, which must form a
 // union of connected components: every other flow's rate is unaffected.
-func (n *FlowNet) fill(flows []*Flow) {
-	n.epoch++
-	ep := n.epoch
-	res := n.fillRes[:0]
+// ep must be a fresh epoch stamp (newer than any stamp on the flows or
+// their resources) owned exclusively by this pass; s is the pass's
+// private scratch. Both are the caller's to coordinate, which is what
+// lets fillAll run disjoint components concurrently.
+func (n *FlowNet) fill(flows []*Flow, s *fillScratch, ep uint64) {
+	res := s.res[:0]
 	for _, f := range flows {
 		f.rate = 0
 		for _, r := range f.path {
@@ -302,7 +471,7 @@ func (n *FlowNet) fill(flows []*Flow) {
 			r.active++
 		}
 	}
-	unfrozen := append(n.unfrozen[:0], flows...)
+	unfrozen := append(s.unfrozen[:0], flows...)
 	level := 0.0
 	for len(unfrozen) > 0 {
 		// Smallest additional rate increment any constraint allows.
@@ -383,8 +552,8 @@ func (n *FlowNet) fill(flows []*Flow) {
 			r.usedRate += f.rate
 		}
 	}
-	n.fillRes = res
-	n.unfrozen = unfrozen[:0]
+	s.res = res
+	s.unfrozen = unfrozen[:0]
 }
 
 // markDirty queues f's component for the next flush and invalidates any
@@ -402,7 +571,8 @@ func (n *FlowNet) markDirty(f *Flow) {
 func (n *FlowNet) flush() {
 	n.dirty = false
 	n.settle()
-	n.fill(n.component(n.dirtySeeds))
+	n.components(n.dirtySeeds)
+	n.fillAll()
 	for i := range n.dirtySeeds {
 		n.dirtySeeds[i] = nil
 	}
@@ -413,7 +583,8 @@ func (n *FlowNet) flush() {
 // recomputeTouched re-fills the components containing the seed flows and
 // schedules the next completion event.
 func (n *FlowNet) recomputeTouched(seeds []*Flow) {
-	n.fill(n.component(seeds))
+	n.components(seeds)
+	n.fillAll()
 	n.scheduleNextCompletion()
 }
 
@@ -539,12 +710,40 @@ func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling f
 	}
 	n.eng.statFlows++
 	n.seq++
-	f := &Flow{remaining: bytes, ceiling: ceiling, path: path, label: label, seq: n.seq, net: n}
+	var f *Flow
+	if m := len(n.freeFlows); m > 0 {
+		f = n.freeFlows[m-1]
+		n.freeFlows[m-1] = nil
+		n.freeFlows = n.freeFlows[:m-1]
+		pathSpill, slotsSpill := f.pathSpill, f.slotsSpill
+		*f = Flow{pathSpill: pathSpill, slotsSpill: slotsSpill}
+	} else {
+		f = &Flow{}
+	}
+	f.remaining = bytes
+	f.ceiling = ceiling
+	f.label = label
+	f.seq = n.seq
+	f.net = n
+	// Copy the path into flow-owned storage so the arena never aliases a
+	// caller's buffer (callers are free to reuse path scratch).
+	if len(path) <= len(f.pathBuf) {
+		f.path = f.pathBuf[:len(path)]
+	} else {
+		if cap(f.pathSpill) < len(path) {
+			f.pathSpill = make([]*Resource, len(path))
+		}
+		f.path = f.pathSpill[:len(path)]
+	}
+	copy(f.path, path)
 	f.waiters = f.waitersBuf[:0]
 	if len(path) <= len(f.slotsBuf) {
 		f.slots = f.slotsBuf[:len(path)]
 	} else {
-		f.slots = make([]int32, len(path))
+		if cap(f.slotsSpill) < len(path) {
+			f.slotsSpill = make([]int32, len(path))
+		}
+		f.slots = f.slotsSpill[:len(path)]
 	}
 	n.addFlow(f)
 	for k, r := range path {
@@ -561,6 +760,23 @@ func (n *FlowNet) Start(label string, bytes float64, path []*Resource, ceiling f
 	}
 	n.markDirty(f)
 	return f
+}
+
+// Release returns a completed flow to the arena for reuse by a later
+// Start. Ownership rule: only the call that started the flow and is the
+// sole holder of its reference after completion — Transfer, TransferAll,
+// the machine-level execute loop — may release it, and only once every
+// wait on it has returned. Flows started through raw Start and handed to
+// other code are never released; they simply fall to the GC, which is
+// always safe. Releasing an unfinished or already-released flow is a
+// no-op (the latter guards against recycling a flow that already carries
+// a new transfer).
+func (n *FlowNet) Release(f *Flow) {
+	if f == nil || !f.done || f.released {
+		return
+	}
+	f.released = true
+	n.freeFlows = append(n.freeFlows, f)
 }
 
 // SetCapacity changes r's capacity at the current simulated time — the
@@ -608,26 +824,71 @@ func (p *Proc) WaitFlow(f *Flow) {
 	p.block(stateBlockedFlow, f.label)
 }
 
+// WaitFlowThen is the continuation form of WaitFlow: it arranges for k
+// to run once f completes. For a goroutine-backed process it waits inline
+// and then calls k; for a light process it parks the continuation. Both
+// forms consume event sequence numbers identically to WaitFlow, so a
+// conversion between them cannot change a simulation.
+func (p *Proc) WaitFlowThen(f *Flow, k func()) {
+	if f.done {
+		// Still yield once so zero-time transfers keep FIFO fairness.
+		p.SleepThen(0, k)
+		return
+	}
+	if !p.light {
+		f.waiters = append(f.waiters, p)
+		p.block(stateBlockedFlow, f.label)
+		k()
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.park(stateBlockedFlow, f.label, k)
+}
+
 // Transfer starts a flow and blocks until it completes. It is the common
-// case for memory streams and message copies.
+// case for memory streams and message copies. Transfer owns the flow it
+// starts, so it recycles it through the arena on completion.
 func (p *Proc) Transfer(label string, bytes float64, path []*Resource, ceiling float64) {
 	if bytes <= 0 {
 		return
 	}
-	f := p.eng.net.Start(label, bytes, path, ceiling)
+	net := p.eng.net
+	f := net.Start(label, bytes, path, ceiling)
 	p.WaitFlow(f)
+	net.Release(f)
+}
+
+// TransferThen is the continuation form of Transfer: it starts the flow
+// and runs k once it completes; an empty transfer runs k immediately,
+// mirroring Transfer's early return.
+func (p *Proc) TransferThen(label string, bytes float64, path []*Resource, ceiling float64, k func()) {
+	if bytes <= 0 {
+		k()
+		return
+	}
+	net := p.eng.net
+	f := net.Start(label, bytes, path, ceiling)
+	p.WaitFlowThen(f, func() {
+		net.Release(f)
+		k()
+	})
 }
 
 // TransferAll starts several flows at once and blocks until every one of
 // them has completed (parallel transfers from a single process, e.g. an
-// access striped over multiple memory nodes).
+// access striped over multiple memory nodes). Like Transfer it owns the
+// flows it starts and recycles them once the last wait returns.
 func (p *Proc) TransferAll(label string, specs []FlowSpec) {
+	var startedBuf [16]*Flow
+	started := startedBuf[:0]
 	pending := 0
+	net := p.eng.net
 	for _, s := range specs {
 		if s.Bytes <= 0 {
 			continue
 		}
-		f := p.eng.net.Start(label, s.Bytes, s.Path, s.Ceiling)
+		f := net.Start(label, s.Bytes, s.Path, s.Ceiling)
+		started = append(started, f)
 		if !f.done {
 			pending++
 			f.waiters = append(f.waiters, p)
@@ -636,6 +897,9 @@ func (p *Proc) TransferAll(label string, specs []FlowSpec) {
 	for pending > 0 {
 		p.block(stateBlockedFlow, label)
 		pending--
+	}
+	for _, f := range started {
+		net.Release(f)
 	}
 }
 

@@ -57,11 +57,14 @@ type ResourceStats struct {
 // maintained; Procs and Resources are populated only when observation was
 // enabled before the run (EnableObservation).
 type Stats struct {
-	// Events counts fired scheduler events, Flows started flows, and
-	// Settles flow-network settling passes that advanced time.
+	// Events counts fired scheduler events, Flows started flows, Settles
+	// flow-network settling passes that advanced time, and Spawns
+	// processes created (MPI ranks plus transient helpers), whichever
+	// backing they run on.
 	Events  uint64
 	Flows   uint64
 	Settles uint64
+	Spawns  uint64
 
 	Procs     []ProcStats
 	Resources []ResourceStats
@@ -71,13 +74,15 @@ type Stats struct {
 // process. Tools that drive many engines (one per experiment cell) read
 // deltas of these around a unit of work instead of plumbing an engine
 // handle out of each cell.
-var globalEvents, globalFlows, globalSettles atomic.Uint64
+var globalEvents, globalFlows, globalSettles, globalSpawns atomic.Uint64
 
 // Activity snapshots the process-wide counters: scheduler events fired,
-// flows started, and settling passes, summed over all completed engine
-// runs since the last ResetActivity.
-func Activity() (events, flows, settles uint64) {
-	return globalEvents.Load(), globalFlows.Load(), globalSettles.Load()
+// flows started, settling passes, and processes spawned (ranks plus
+// helpers), summed over all completed engine runs since the last
+// ResetActivity. Spawns over heap growth is the bytes-per-rank signal the
+// benchmark snapshots track.
+func Activity() (events, flows, settles, spawns uint64) {
+	return globalEvents.Load(), globalFlows.Load(), globalSettles.Load(), globalSpawns.Load()
 }
 
 // ResetActivity zeroes the process-wide activity counters.
@@ -85,6 +90,7 @@ func ResetActivity() {
 	globalEvents.Store(0)
 	globalFlows.Store(0)
 	globalSettles.Store(0)
+	globalSpawns.Store(0)
 }
 
 // publishActivity folds one finished engine's counters into the
@@ -93,6 +99,7 @@ func (e *Engine) publishActivity() {
 	globalEvents.Add(e.statEvents)
 	globalFlows.Add(e.statFlows)
 	globalSettles.Add(e.statSettles)
+	globalSpawns.Add(e.statSpawns)
 }
 
 // observer holds the registration order of observed processes and
@@ -147,7 +154,7 @@ func (o *observer) recordSegment(r *Resource, start, end, rate float64) {
 // enabled, the per-process and per-resource detail, consistent up to the
 // current simulated time.
 func (e *Engine) Stats() Stats {
-	s := Stats{Events: e.statEvents, Flows: e.statFlows, Settles: e.statSettles}
+	s := Stats{Events: e.statEvents, Flows: e.statFlows, Settles: e.statSettles, Spawns: e.statSpawns}
 	if e.obs == nil {
 		return s
 	}
