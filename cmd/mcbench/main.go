@@ -7,8 +7,16 @@
 //	        [-store DIR] [-resume] [-timeout D] [-json FILE] [-delta FILE]
 //	        [-settle N] [-faults PLAN] [-fault-seed N] [-retries N]
 //	        <id>...|all|list
+//	mcbench -sweep GRID [-remote URL] [flags]
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
+//
+// With -sweep, mcbench runs an arbitrary workload × system × ranks ×
+// scheme grid (e.g. "workloads=stream,cg;systems=tiger,dmz;ranks=1,2;
+// schemes=default,localalloc") instead of a paper artifact and renders
+// one makespan table. Adding -remote URL submits the same grid to an
+// mcsweepd coordinator and streams per-cell results as workers complete
+// them; the remote table is byte-identical to the local serial one.
 //
 // Sweeps are resilient: SIGINT/SIGTERM cancels the running simulations
 // cleanly, a per-cell -timeout bounds any one cell's wall-clock cost, a
@@ -43,6 +51,7 @@ import (
 	"multicore/internal/schema"
 	"multicore/internal/sim"
 	"multicore/internal/store"
+	"multicore/internal/sweepd"
 )
 
 func main() {
@@ -61,22 +70,19 @@ func main() {
 	faults := flag.String("faults", "", `deterministic fault plan injected into every cell, e.g. "noise:core=3,period=1ms,frac=0.1;linkdown:s0-s1,t=2ms..5ms"`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's random draws (phases, cell failures)")
 	retries := flag.Int("retries", 0, "re-attempts per cell that fails with a transient fault (0 = no retry)")
+	sweep := flag.String("sweep", "", `grid sweep instead of paper artifacts, e.g. "workloads=stream,cg;systems=tiger;ranks=1,2;schemes=default,localalloc"`)
+	remote := flag.String("remote", "", "with -sweep: submit the grid to this mcsweepd coordinator URL and stream results")
 	flag.Usage = usage
 	flag.Parse()
 
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *sweep == "" {
 		usage()
 		os.Exit(2)
 	}
 
-	var sc experiments.Scale
-	switch *scale {
-	case "quick":
-		sc = experiments.Quick
-	case "full":
-		sc = experiments.Full
-	default:
-		fatalf("unknown scale %q (want quick or full)", *scale)
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	if *jobs < 1 {
 		fatalf("-j must be at least 1")
@@ -137,6 +143,20 @@ func main() {
 	defer stop()
 
 	render := renderer(*format)
+
+	if *sweep != "" {
+		if flag.NArg() != 0 {
+			fatalf("-sweep and experiment ids are mutually exclusive")
+		}
+		if *jsonOut != "" {
+			fatalf("-json applies to paper artifacts, not -sweep grids")
+		}
+		runSweep(ctx, *sweep, *remote, *scale, opts, render, *faults, *faultSeed, *retries, *jobs, *storeDir)
+		return
+	}
+	if *remote != "" {
+		fatalf("-remote needs -sweep GRID (paper artifacts always run locally)")
+	}
 
 	var ids []string
 	for _, arg := range flag.Args() {
@@ -199,10 +219,19 @@ func main() {
 		// deliberately not consulted here for the same reason.
 		benchOpts := opts
 		benchOpts.Store = nil
+		// Peak heap is only attributable to an experiment when its cells
+		// run serially: with -j > 1 the sampled peak spans however many
+		// cells were in flight, so the column is omitted rather than
+		// recording a misleading per-experiment number.
+		sampleHeap := *jobs <= 1
+		if !sampleHeap {
+			fmt.Fprintf(os.Stderr, "mcbench: -j %d > 1: peak_heap_bytes omitted from %s (peaks are only per-experiment when cells run serially)\n",
+				*jobs, *jsonOut)
+		}
 		records := make([]benchRecord, len(exps))
 		for i := range exps {
 			r := experiments.NewRunner(ctx, benchOpts)
-			records[i] = measure(exps[i].ID, func() { runOne(r, i) })
+			records[i] = measure(exps[i].ID, sampleHeap, func() { runOne(r, i) })
 		}
 		writeBenchJSON(*jsonOut, *note, *scale, records)
 		if *deltaFile != "" {
@@ -276,6 +305,64 @@ func main() {
 	}
 }
 
+// runSweep executes a -sweep grid: locally on one runner (the serial
+// golden path when -j 1), or against an mcsweepd coordinator with
+// -remote. Both paths assemble the table through sweepd.Table, so a
+// distributed sweep's output is byte-identical to the serial run's.
+func runSweep(ctx context.Context, gridStr, remote, scale string, opts experiments.Options,
+	render func(*report.Table) string, faults string, faultSeed int64, retries, jobs int, storeDir string) {
+	g, err := sweepd.ParseGrid(gridStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	g.Scale = scale
+	var results map[string]sweepd.CellResult
+	var simulated, hits int
+	if remote != "" {
+		if storeDir != "" {
+			fatalf("-store belongs to the workers in remote mode (they share the cell cache)")
+		}
+		req := sweepd.SweepRequest{
+			SchemaVersion: schema.Version,
+			Grid:          g,
+			Faults:        faults,
+			FaultSeed:     faultSeed,
+			Retries:       retries,
+		}
+		results = make(map[string]sweepd.CellResult)
+		total := len(g.Cells())
+		sum, err := sweepd.Submit(ctx, remote, req, func(res sweepd.CellResult) {
+			results[res.Cell.Key()] = res
+			fmt.Fprintf(os.Stderr, "cell %d/%d %s: %s\n", len(results), total, res.Cell.Key(), res.Status)
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		simulated, hits = sum.Simulated, sum.StoreHits
+		if sum.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "mcbench: %d cells failed (rendered ERR)\n", sum.Errors)
+		}
+		if sum.Divergent > 0 {
+			fmt.Fprintf(os.Stderr, "mcbench: WARNING: coordinator observed %d divergent cell fingerprints\n", sum.Divergent)
+		}
+	} else {
+		runner := experiments.NewRunner(ctx, opts)
+		results = sweepd.RunLocal(runner, g, jobs)
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: interrupted\n")
+			os.Exit(130)
+		}
+		for _, e := range runner.CellErrors() {
+			fmt.Fprintf(os.Stderr, "mcbench: cell error: %v\n", e)
+		}
+		simulated, hits = runner.CellsRun(), runner.StoreHits()
+	}
+	fmt.Print(render(sweepd.Table(g, results)))
+	if remote != "" || storeDir != "" {
+		fmt.Fprintf(os.Stderr, "cells: %d simulated, %d store hits\n", simulated, hits)
+	}
+}
+
 // isCancellation reports whether err only says "the sweep was stopped".
 func isCancellation(err error) bool {
 	var ce *sim.CanceledError
@@ -298,38 +385,47 @@ type benchRecord struct {
 	Settles       uint64  `json:"settles"`
 	Mallocs       uint64  `json:"mallocs"`
 	Ranks         uint64  `json:"ranks"`
-	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	// PeakHeapBytes is omitted (zero) when the worker pool is active
+	// (-j > 1): a sampled peak spanning concurrent cells is not a
+	// per-experiment number.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // measure runs fn and attributes the process-wide activity and allocation
 // deltas to it; only valid when experiments run one at a time. Peak heap
 // is sampled by a 10ms ticker (plus a final read), so it is a lower bound
 // that is within one GC cycle of the true peak — stable enough for the
-// order-of-magnitude bytes-per-rank tracking the snapshots do.
-func measure(id string, fn func()) benchRecord {
+// order-of-magnitude bytes-per-rank tracking the snapshots do. With
+// sampleHeap false (cells run on a parallel pool) the peak is not
+// sampled and the record's PeakHeapBytes stays zero.
+func measure(id string, sampleHeap bool, fn func()) benchRecord {
 	var m0, m1 runtime.MemStats
 	ev0, fl0, st0, sp0 := sim.Activity()
 	runtime.ReadMemStats(&m0)
 	peak := m0.HeapAlloc
 	stop := make(chan struct{})
 	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		t := time.NewTicker(10 * time.Millisecond)
-		defer t.Stop()
-		var m runtime.MemStats
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				runtime.ReadMemStats(&m)
-				if m.HeapAlloc > peak {
-					peak = m.HeapAlloc
+	if sampleHeap {
+		go func() {
+			defer close(done)
+			t := time.NewTicker(10 * time.Millisecond)
+			defer t.Stop()
+			var m runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					runtime.ReadMemStats(&m)
+					if m.HeapAlloc > peak {
+						peak = m.HeapAlloc
+					}
 				}
 			}
-		}
-	}()
+		}()
+	} else {
+		close(done)
+	}
 	start := time.Now()
 	fn()
 	secs := time.Since(start).Seconds()
@@ -340,23 +436,29 @@ func measure(id string, fn func()) benchRecord {
 		peak = m1.HeapAlloc
 	}
 	ev1, fl1, st1, sp1 := sim.Activity()
-	return benchRecord{
-		ID:            id,
-		Seconds:       secs,
-		Events:        ev1 - ev0,
-		Flows:         fl1 - fl0,
-		Settles:       st1 - st0,
-		Mallocs:       m1.Mallocs - m0.Mallocs,
-		Ranks:         sp1 - sp0,
-		PeakHeapBytes: peak,
+	rec := benchRecord{
+		ID:      id,
+		Seconds: secs,
+		Events:  ev1 - ev0,
+		Flows:   fl1 - fl0,
+		Settles: st1 - st0,
+		Mallocs: m1.Mallocs - m0.Mallocs,
+		Ranks:   sp1 - sp0,
 	}
+	if sampleHeap {
+		rec.PeakHeapBytes = peak
+	}
+	return rec
 }
 
 // checkBenchDelta compares fresh records against a committed snapshot and
 // reports an error when any experiment regressed by more than 10% in wall
 // time or allocations. Experiments absent from the snapshot are skipped
-// (new artifacts are not regressions); wall time is only compared when
-// the baseline ran long enough (≥50ms) for the ratio to mean anything.
+// (new artifacts are not regressions) but logged, so lost coverage is
+// visible — and if *nothing* overlaps (say, a baseline captured at a
+// different -scale), the gate errors out instead of passing vacuously.
+// Wall time is only compared when the baseline ran long enough (≥50ms)
+// for the ratio to mean anything.
 func checkBenchDelta(path string, records []benchRecord) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -373,12 +475,15 @@ func checkBenchDelta(path string, records []benchRecord) error {
 		byID[r.ID] = r
 	}
 	const tolerance = 1.10
-	var regressions []string
+	var regressions, skipped []string
+	compared := 0
 	for _, r := range records {
 		b, ok := byID[r.ID]
 		if !ok {
+			skipped = append(skipped, r.ID)
 			continue
 		}
+		compared++
 		if b.Seconds >= 0.05 && r.Seconds > b.Seconds*tolerance {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: wall time %.3fs vs baseline %.3fs (+%.0f%%)",
@@ -389,6 +494,14 @@ func checkBenchDelta(path string, records []benchRecord) error {
 				fmt.Sprintf("%s: %d mallocs vs baseline %d (+%.0f%%)",
 					r.ID, r.Mallocs, b.Mallocs, 100*(float64(r.Mallocs)/float64(b.Mallocs)-1)))
 		}
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: -delta: no baseline in %s for %s (skipped — regression coverage lost)\n",
+			path, strings.Join(skipped, ", "))
+	}
+	if compared == 0 {
+		return fmt.Errorf("-delta: none of the %d fresh records match an experiment in %s — nothing was compared (baseline from a different id set or -scale?)",
+			len(records), path)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("benchmark regression vs %s:\n  %s", path, strings.Join(regressions, "\n  "))

@@ -1,0 +1,115 @@
+// Command mcsweepd is the distributed sweep service: one binary serving
+// either role of the coordinator/worker system in internal/sweepd.
+//
+// Coordinator mode shards submitted sweeps across registered workers and
+// streams per-cell results back to clients as NDJSON:
+//
+//	mcsweepd -serve 127.0.0.1:9141 [-lease 15s] [-max-attempts 5]
+//
+// Worker mode pulls cell leases, simulates them through the experiment
+// executor with the (shared) result store as a global cache, and reports
+// results; run any number against one coordinator:
+//
+//	mcsweepd -worker http://127.0.0.1:9141 -store /shared/cellstore [-j N]
+//
+// Clients submit sweeps with `mcbench -sweep GRID -remote URL`. Workers
+// heartbeat their leases; kill -9 a worker mid-cell and the coordinator
+// re-queues its cells after the lease expires, with results guaranteed
+// byte-identical to a serial run by the per-cell determinism
+// fingerprints.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"multicore/internal/sweepd"
+)
+
+func main() {
+	serve := flag.String("serve", "", "coordinator mode: listen address, e.g. 127.0.0.1:9141")
+	worker := flag.String("worker", "", "worker mode: coordinator base URL, e.g. http://127.0.0.1:9141")
+	storeDir := flag.String("store", "", "worker mode: shared result-store directory (global cell cache)")
+	name := flag.String("name", "", "worker mode: label reported to the coordinator (default: hostname)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker mode: cells simulated concurrently")
+	settle := flag.Int("settle", 0, "worker mode: per-cell parallel settle workers (see mcbench -settle)")
+	lease := flag.Duration("lease", 15*time.Second, "coordinator mode: lease duration workers must heartbeat within")
+	maxAttempts := flag.Int("max-attempts", 5, "coordinator mode: lease assignments per cell before it fails")
+	quiet := flag.Bool("quiet", false, "suppress per-event logging")
+	flag.Parse()
+
+	if (*serve == "") == (*worker == "") {
+		fmt.Fprintln(os.Stderr, "mcsweepd: exactly one of -serve ADDR or -worker URL is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *serve != "" {
+		coord := sweepd.NewCoordinator(sweepd.CoordinatorOptions{
+			Lease:       *lease,
+			MaxAttempts: *maxAttempts,
+			Logf:        logf,
+		})
+		defer coord.Close()
+		srv := &http.Server{Addr: *serve, Handler: coord.Handler()}
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe() }()
+		log.Printf("mcsweepd: coordinating on %s (lease %s)", *serve, *lease)
+		select {
+		case err := <-errc:
+			fatalf("%v", err)
+		case <-ctx.Done():
+		}
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+		return
+	}
+
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = host
+	}
+	w, err := sweepd.NewWorker(sweepd.WorkerOptions{
+		Coordinator:   *worker,
+		Store:         *storeDir,
+		Name:          *name,
+		Parallelism:   *jobs,
+		SettleWorkers: *settle,
+		Logf:          logf,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("mcsweepd: worker %q serving %s (store %q, %d slots)", *name, *worker, *storeDir, *jobs)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fatalf("%v", err)
+	}
+	cells, hits := w.Stats()
+	log.Printf("mcsweepd: worker done: %d cells simulated, %d store hits", cells, hits)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcsweepd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -239,6 +239,28 @@ func compactSockets(topo *topology.System, nsock int) []topology.SocketID {
 	return out
 }
 
+// CLIName renders the scheme's CLI spelling — the inverse of
+// ParseScheme. Grid sweeps and the distributed sweep protocol use it as
+// the canonical on-the-wire scheme encoding, so the names are part of
+// the protocol.
+func (s Scheme) CLIName() string {
+	switch s {
+	case Default:
+		return "default"
+	case OneMPILocalAlloc:
+		return "localalloc"
+	case OneMPIMembind:
+		return "membind"
+	case TwoMPILocalAlloc:
+		return "2mpi-localalloc"
+	case TwoMPIMembind:
+		return "2mpi-membind"
+	case Interleave:
+		return "interleave"
+	}
+	return fmt.Sprintf("scheme%d", int(s))
+}
+
 // ParseScheme resolves a scheme's CLI name. Accepted names: default,
 // localalloc, membind, 2mpi-localalloc, 2mpi-membind, interleave.
 func ParseScheme(name string) (Scheme, error) {

@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"multicore/internal/schema"
 )
@@ -111,11 +113,45 @@ type Store struct {
 }
 
 // Open creates the directory if needed and returns a store over it.
+// Stale temp files — orphaned by a crash between temp-file creation and
+// the committing rename — are swept on open, age-gated so the temp files
+// of live concurrent writers are never touched.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %v", dir, err)
 	}
+	sweepStaleTemps(dir)
 	return &Store{dir: dir, commit: os.Rename}, nil
+}
+
+// staleTempAge is how old an uncommitted put-*.tmp file must be before
+// Open removes it. A live writer commits (or unlinks) its temp file
+// within milliseconds; an hour of age means the writing process died
+// mid-commit and the orphan would otherwise leak forever.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps removes orphaned temp files. Best-effort: an
+// unreadable or already-removed entry (a concurrent Open sweeping the
+// same directory) is skipped, never an error.
+func sweepStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, "put-") || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		if time.Since(info.ModTime()) < staleTempAge {
+			continue
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
 }
 
 // Dir returns the store's directory.

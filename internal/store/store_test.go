@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"multicore/internal/schema"
 )
@@ -197,5 +198,45 @@ func TestKeyHashDistinguishesFields(t *testing.T) {
 			t.Fatalf("keys %+v and %+v share hash %s", prev, v, h)
 		}
 		seen[h] = v
+	}
+}
+
+// TestOpenSweepsStaleTemps: a crash between temp-file creation and the
+// committing rename leaks put-*.tmp orphans; Open removes them once they
+// are old enough that no live writer can own them, and leaves fresh temp
+// files (a concurrent writer mid-commit) alone.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "put-dead.tmp")
+	fresh := filepath.Join(dir, "put-live.tmp")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A committed entry and an unrelated file must survive the sweep.
+	s0, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Put(testKey("sweep/stale"), 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived Open: err=%v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file removed by Open: %v", err)
+	}
+	if ent, err := s0.Get(testKey("sweep/stale")); err != nil || ent == nil {
+		t.Errorf("committed entry lost after sweep: ent=%v err=%v", ent, err)
 	}
 }

@@ -1,0 +1,93 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Submit posts a sweep to a coordinator and consumes the NDJSON result
+// stream, invoking onCell for every completed cell as it arrives (so
+// callers can render tables filling in live). Each received result's
+// fingerprint is recomputed locally — a mismatch means the wire mangled
+// a value (or a worker diverged) and fails the sweep rather than
+// silently producing a wrong table. Connection refusals are retried
+// briefly so clients can race a just-started coordinator.
+func Submit(ctx context.Context, coordinator string, req SweepRequest, onCell func(CellResult)) (*Summary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: encoding sweep request: %v", err)
+	}
+	client := &http.Client{} // no timeout: the stream lasts as long as the sweep
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+PathSweep, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err = client.Do(hreq)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= 10 {
+			return nil, fmt.Errorf("sweepd: submitting sweep to %s: %v", coordinator, err)
+		}
+		t := time.NewTimer(300 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("sweepd: coordinator rejected sweep: %s", bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("sweepd: decoding stream event: %v", err)
+		}
+		switch ev.Type {
+		case "cell":
+			if ev.Cell == nil {
+				return nil, fmt.Errorf("sweepd: cell event without a cell")
+			}
+			if got := Fingerprint(*ev.Cell); got != ev.Cell.Fingerprint {
+				return nil, fmt.Errorf("sweepd: cell %s fingerprint mismatch: streamed %s, recomputed %s",
+					ev.Cell.Cell.Key(), ev.Cell.Fingerprint, got)
+			}
+			if onCell != nil {
+				onCell(*ev.Cell)
+			}
+		case "done":
+			if ev.Summary == nil {
+				return nil, fmt.Errorf("sweepd: done event without a summary")
+			}
+			return ev.Summary, nil
+		case "error":
+			return nil, fmt.Errorf("sweepd: coordinator error: %s", ev.Message)
+		default:
+			return nil, fmt.Errorf("sweepd: unknown stream event type %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweepd: reading result stream: %v", err)
+	}
+	return nil, fmt.Errorf("sweepd: result stream ended before the sweep completed")
+}

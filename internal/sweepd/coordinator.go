@@ -1,0 +1,556 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"multicore/internal/schema"
+)
+
+// CoordinatorOptions tunes the control plane. The zero value gives
+// production defaults; tests shrink the lease to exercise expiry fast.
+type CoordinatorOptions struct {
+	// Lease is how long a worker may hold a cell without heartbeating
+	// before the coordinator re-queues it. Default 15s.
+	Lease time.Duration
+	// MaxAttempts bounds lease assignments per cell (crashed workers,
+	// transient failures); past it the cell finalizes as an error.
+	// Default 5.
+	MaxAttempts int
+	// PollWait caps a worker long-poll. Default 5s.
+	PollWait time.Duration
+	// Logf receives coordinator events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Lease <= 0 {
+		o.Lease = 15 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 5 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// cell lifecycle states.
+const (
+	cellQueued = iota
+	cellLeased
+	cellDone
+)
+
+// cellState is one deduplicated cell execution: however many concurrent
+// sweeps reference it (refs), it is queued, leased, and completed once.
+type cellState struct {
+	asg     Assignment // Attempt tracks the current lease generation
+	state   int
+	refs    int
+	worker  string
+	expiry  time.Time
+	result  *CellResult
+	waiters []chan<- CellResult
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	name     string
+	lastSeen time.Time
+}
+
+// Coordinator shards sweep cells across registered workers. It is pure
+// control plane: results live in the workers' shared store (and
+// in-memory only while a sweep still needs them), so a coordinator
+// restart loses queue state but never completed results.
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu         sync.Mutex
+	cells      map[string]*cellState
+	queue      []string
+	workers    map[string]*workerState
+	nextWorker int
+	divergent  int
+	doneCells  int
+	finals     map[string]string // finalized cell id → fingerprint
+	wake       chan struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator and starts its lease janitor
+// (stopped by Close).
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	c := &Coordinator{
+		opts:    opts.withDefaults(),
+		cells:   map[string]*cellState{},
+		workers: map[string]*workerState{},
+		finals:  map[string]string{},
+		wake:    make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// Close stops the lease janitor. In-flight HTTP requests are the
+// server's to drain.
+func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// janitor re-queues expired leases even when no worker is polling, so a
+// sweep whose only worker died still completes once a worker returns.
+func (c *Coordinator) janitor() {
+	interval := c.opts.Lease / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.reapExpiredLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// signalLocked wakes every long-poller; callers hold c.mu.
+func (c *Coordinator) signalLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// reapExpiredLocked re-queues (or, past the attempt budget, fails) every
+// leased cell whose worker stopped heartbeating. Callers hold c.mu.
+func (c *Coordinator) reapExpiredLocked() {
+	now := time.Now()
+	woke := false
+	for id, st := range c.cells {
+		if st.state != cellLeased || now.Before(st.expiry) {
+			continue
+		}
+		c.opts.Logf("lease expired: cell %s attempt %d on worker %s", id, st.asg.Attempt, st.worker)
+		if st.asg.Attempt >= c.opts.MaxAttempts {
+			res := resultFor(st.asg.Cell, 0, fmt.Errorf(
+				"sweepd: cell lease expired %d times (last worker %s); giving up", st.asg.Attempt, st.worker))
+			res.Attempt = st.asg.Attempt
+			c.finalizeLocked(id, st, res)
+			continue
+		}
+		st.state = cellQueued
+		st.worker = ""
+		c.queue = append(c.queue, id)
+		woke = true
+	}
+	if woke {
+		c.signalLocked()
+	}
+}
+
+// finalizeLocked completes a cell: records the result, notifies every
+// waiting sweep, and evicts the state once no sweep references it.
+// Callers hold c.mu.
+func (c *Coordinator) finalizeLocked(id string, st *cellState, res CellResult) {
+	st.state = cellDone
+	st.result = &res
+	c.doneCells++
+	c.rememberFinalLocked(id, res.Fingerprint)
+	for _, w := range st.waiters {
+		w <- res
+	}
+	st.waiters = nil
+	if st.refs <= 0 {
+		delete(c.cells, id)
+	}
+}
+
+// maxFinals bounds the finalized-fingerprint memory used for the
+// determinism cross-check on late duplicate completions. Past the bound
+// the map resets: losing old fingerprints only disables the cross-check
+// for leases stale by thousands of cells, never correctness.
+const maxFinals = 65536
+
+// rememberFinalLocked records a finalized cell's fingerprint so a stale
+// worker completing the same cell after eviction is still cross-checked
+// for divergence. Callers hold c.mu.
+func (c *Coordinator) rememberFinalLocked(id, fingerprint string) {
+	if len(c.finals) >= maxFinals {
+		c.finals = map[string]string{}
+	}
+	c.finals[id] = fingerprint
+}
+
+// removeQueuedLocked drops id from the pending queue. Callers hold c.mu.
+func (c *Coordinator) removeQueuedLocked(id string) {
+	for i, q := range c.queue {
+		if q == id {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathSweep, c.handleSweep)
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+PathPoll, c.handlePoll)
+	mux.HandleFunc("POST "+PathComplete, c.handleComplete)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	mux.HandleFunc("GET "+PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, v *T) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("sweepd: decoding request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// subscribe registers one sweep's cells: existing executions gain a
+// reference, new cells are queued. Already-completed results are
+// delivered immediately on ch, which must have capacity for every cell.
+func (c *Coordinator) subscribe(req SweepRequest, cells []CellSpec, ch chan CellResult) []string {
+	ids := make([]string, len(cells))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	queued := false
+	for i, cell := range cells {
+		id := dedupKey(cell, req.Faults, req.FaultSeed, req.Retries)
+		ids[i] = id
+		st, ok := c.cells[id]
+		if !ok {
+			st = &cellState{asg: Assignment{
+				ID: id, Cell: cell,
+				Faults: req.Faults, FaultSeed: req.FaultSeed, Retries: req.Retries,
+			}}
+			c.cells[id] = st
+			c.queue = append(c.queue, id)
+			queued = true
+		}
+		st.refs++
+		if st.state == cellDone {
+			ch <- *st.result
+		} else {
+			st.waiters = append(st.waiters, ch)
+		}
+	}
+	if queued {
+		c.signalLocked()
+	}
+	return ids
+}
+
+// release drops one sweep's references: unreferenced queued cells are
+// removed (nobody wants them), unreferenced done cells evicted (the
+// store has them), leased cells left to complete (the worker will
+// persist to the store either way).
+func (c *Coordinator) release(ids []string, ch chan CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		st, ok := c.cells[id]
+		if !ok {
+			continue
+		}
+		st.refs--
+		for i, w := range st.waiters {
+			if w == ch {
+				st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+				break
+			}
+		}
+		if st.refs <= 0 {
+			switch st.state {
+			case cellQueued:
+				c.removeQueuedLocked(id)
+				delete(c.cells, id)
+			case cellDone:
+				delete(c.cells, id)
+			}
+		}
+	}
+}
+
+// handleSweep validates a submission, subscribes to its cells, and
+// streams completions as NDJSON until the grid is full.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := schema.Check("sweep request", req.SchemaVersion); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Grid.Scale == "" {
+		http.Error(w, "sweepd: sweep grid has no scale", http.StatusBadRequest)
+		return
+	}
+	if err := req.Grid.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cells := req.Grid.Cells()
+	c.opts.Logf("sweep submitted: %d cells (%s)", len(cells), req.Grid)
+
+	// Cell keys can repeat inside one grid only via aliased specs; the
+	// channel is sized for every subscription so finalize never blocks.
+	ch := make(chan CellResult, len(cells))
+	ids := c.subscribe(req, cells, ch)
+	defer c.release(ids, ch)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	var sum Summary
+	sum.Cells = len(cells)
+	for n := 0; n < len(cells); n++ {
+		select {
+		case res := <-ch:
+			switch res.Status {
+			case StatusInfeasible:
+				sum.Infeasible++
+			case StatusError:
+				sum.Errors++
+			}
+			if res.Simulated {
+				sum.Simulated++
+			} else if res.Status != StatusError {
+				sum.StoreHits++
+			}
+			if !emit(StreamEvent{Type: "cell", Cell: &res}) {
+				return // client gone; release via defer
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+	c.mu.Lock()
+	sum.Divergent = c.divergent
+	c.mu.Unlock()
+	emit(StreamEvent{Type: "done", Summary: &sum})
+	c.opts.Logf("sweep complete: %d cells, %d simulated, %d store hits, %d errors",
+		sum.Cells, sum.Simulated, sum.StoreHits, sum.Errors)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := schema.Check("worker registration", req.SchemaVersion); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.nextWorker++
+	id := fmt.Sprintf("w%d", c.nextWorker)
+	c.workers[id] = &workerState{name: req.Name, lastSeen: time.Now()}
+	c.mu.Unlock()
+	c.opts.Logf("worker registered: %s (%s)", id, req.Name)
+	writeJSON(w, RegisterResponse{Worker: id, LeaseMillis: c.opts.Lease.Milliseconds()})
+}
+
+// knownWorker checks registration; unknown IDs (a coordinator restart)
+// get 404 so the worker re-registers.
+func (c *Coordinator) knownWorker(w http.ResponseWriter, id string) bool {
+	c.mu.Lock()
+	ws, ok := c.workers[id]
+	if ok {
+		ws.lastSeen = time.Now()
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("sweepd: unknown worker %q (re-register)", id), http.StatusNotFound)
+	}
+	return ok
+}
+
+// popLocked leases the queue head to a worker. Callers hold c.mu.
+func (c *Coordinator) popLocked(worker string) *Assignment {
+	for len(c.queue) > 0 {
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		st, ok := c.cells[id]
+		if !ok || st.state != cellQueued {
+			continue // evicted or already handled
+		}
+		st.state = cellLeased
+		st.worker = worker
+		st.expiry = time.Now().Add(c.opts.Lease)
+		st.asg.Attempt++
+		asg := st.asg
+		return &asg
+	}
+	return nil
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !c.knownWorker(w, req.Worker) {
+		return
+	}
+	wait := time.Duration(req.WaitMillis) * time.Millisecond
+	if wait <= 0 || wait > c.opts.PollWait {
+		wait = c.opts.PollWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		c.reapExpiredLocked()
+		asg := c.popLocked(req.Worker)
+		wake := c.wake
+		c.mu.Unlock()
+		if asg != nil {
+			c.opts.Logf("leased cell %s attempt %d to %s", asg.ID, asg.Attempt, req.Worker)
+			writeJSON(w, PollResponse{Assignment: asg})
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, PollResponse{})
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			writeJSON(w, PollResponse{})
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !c.knownWorker(w, req.Worker) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.cells[req.ID]
+	if !ok {
+		// State evicted (sweep finished or abandoned); the worker already
+		// persisted the result to the shared store, so nothing is lost —
+		// but a finalized fingerprint still gets the determinism check.
+		if fp, done := c.finals[req.ID]; done && fp != req.Result.Fingerprint {
+			c.divergent++
+			c.opts.Logf("DIVERGENT cell %s: finalized %s vs %s from %s",
+				req.ID, fp, req.Result.Fingerprint, req.Worker)
+		}
+		writeJSON(w, struct{}{})
+		return
+	}
+	if st.state == cellDone {
+		// A re-assigned lease raced its original worker: first result
+		// won. Cross-check determinism — equal cells must produce equal
+		// fingerprints on any worker.
+		if st.result != nil && st.result.Fingerprint != req.Result.Fingerprint {
+			c.divergent++
+			c.opts.Logf("DIVERGENT cell %s: %s from %s vs %s from %s",
+				req.ID, st.result.Fingerprint, st.result.Worker, req.Result.Fingerprint, req.Worker)
+		}
+		writeJSON(w, struct{}{})
+		return
+	}
+	res := req.Result
+	res.Worker = req.Worker
+	res.Attempt = req.Attempt
+	if res.Status == StatusError && res.Transient && st.asg.Attempt < c.opts.MaxAttempts {
+		// Transient failure with budget left: re-lease, possibly to a
+		// different worker. Deterministic failures finalize immediately —
+		// they repeat identically anywhere.
+		c.opts.Logf("transient failure on cell %s attempt %d (%s); re-queueing", req.ID, req.Attempt, res.Error)
+		st.state = cellQueued
+		st.worker = ""
+		c.queue = append(c.queue, req.ID)
+		c.signalLocked()
+		writeJSON(w, struct{}{})
+		return
+	}
+	c.finalizeLocked(req.ID, st, res)
+	writeJSON(w, struct{}{})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !c.knownWorker(w, req.Worker) {
+		return
+	}
+	var resp HeartbeatResponse
+	c.mu.Lock()
+	for _, id := range req.IDs {
+		st, ok := c.cells[id]
+		if ok && st.state == cellLeased && st.worker == req.Worker {
+			st.expiry = time.Now().Add(c.opts.Lease)
+		} else {
+			resp.Lost = append(resp.Lost, id)
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	st := Status{Workers: len(c.workers), Divergent: c.divergent, Done: c.doneCells}
+	for _, cs := range c.cells {
+		switch cs.state {
+		case cellQueued:
+			st.Queued++
+		case cellLeased:
+			st.Leased++
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, st)
+}

@@ -1,0 +1,124 @@
+package sweepd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGridCanonical(t *testing.T) {
+	g, err := ParseGrid("workloads=stream,cg,stream;systems=tiger,dmz;ranks=1,2,4;schemes=default,localalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Workloads) != 2 {
+		t.Errorf("duplicate workload not removed: %v", g.Workloads)
+	}
+	g.Scale = "quick"
+	want := "workloads=stream,cg;systems=tiger,dmz;ranks=1,2,4;schemes=default,localalloc;scale=quick"
+	if g.String() != want {
+		t.Errorf("canonical form = %q, want %q", g.String(), want)
+	}
+	// Round-trip: parsing the canonical form (minus scale) reproduces it.
+	g2, err := ParseGrid(strings.TrimSuffix(g.String(), ";scale=quick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Scale = "quick"
+	if g2.String() != want {
+		t.Errorf("round-trip = %q, want %q", g2.String(), want)
+	}
+	if n := len(g.Cells()); n != 2*2*3*2 {
+		t.Errorf("got %d cells, want 24", n)
+	}
+}
+
+func TestParseGridDefaultsAndOverrides(t *testing.T) {
+	g, err := ParseGrid("workloads=cg;systems=tiger;ranks=2;class=B;steps=5;n=1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Schemes) != 1 || g.Schemes[0] != "default" {
+		t.Errorf("schemes default = %v, want [default]", g.Schemes)
+	}
+	if g.Class != "B" || g.Steps != 5 || g.N != 1024 {
+		t.Errorf("overrides not parsed: %+v", g)
+	}
+	g.Scale = "quick"
+	c := g.Cells()[0]
+	if !strings.Contains(c.Key(), "[class=B]") || !strings.Contains(c.Key(), "[steps=5]") || !strings.Contains(c.Key(), "[n=1024]") {
+		t.Errorf("cell key misses overrides: %s", c.Key())
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                                     // no dimensions
+		"workloads=cg",                         // missing systems/ranks
+		"workloads=cg;systems=tiger;ranks=0",   // bad rank
+		"workloads=cg;systems=tiger;ranks=x",   // unparseable rank
+		"workloads=cg;systems=tiger;ranks=2;schemes=bogus", // unknown scheme
+		"wibble=1;workloads=cg;systems=tiger;ranks=2",      // unknown section
+		"workloads=;systems=tiger;ranks=2",                 // empty value
+		"workloads=bogus;systems=tiger;ranks=2",            // unregistered workload
+		"workloads=cg;systems=sunway;ranks=2",              // unknown system
+		"workloads=cg;systems=tiger;ranks=2;class=Z",       // invalid NPB class
+	} {
+		if _, err := ParseGrid(bad); err == nil {
+			t.Errorf("ParseGrid(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	cell := CellSpec{Workload: "stream", System: "tiger", Ranks: 2, Scheme: "default", Scale: "quick"}
+	a := CellResult{Cell: cell, Status: StatusOK, Seconds: 1.0625}
+	b := CellResult{Cell: cell, Status: StatusOK, Seconds: 1.0625,
+		Worker: "w7", Simulated: true, Attempt: 3} // observability fields must not matter
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprint depends on observability fields")
+	}
+	c := a
+	c.Seconds = 1.0625000000000002 // one ulp
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("fingerprint misses a one-ulp value change")
+	}
+	d := a
+	d.Status = StatusError
+	d.Seconds = 0
+	d.Error = "boom"
+	if Fingerprint(a) == Fingerprint(d) {
+		t.Error("fingerprint misses a status change")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	g := Grid{Workloads: []string{"stream"}, Systems: []string{"tiger"}, Ranks: []int{1, 2},
+		Schemes: []string{"default", "localalloc"}, Scale: "quick"}
+	results := map[string]CellResult{}
+	cells := g.Cells()
+	for i, c := range cells {
+		res := CellResult{Cell: c}
+		switch i {
+		case 0:
+			res.Status = StatusOK
+			res.Seconds = 1.5
+		case 1:
+			res.Status = StatusInfeasible
+		case 2:
+			res.Status = StatusError
+			res.Error = "boom"
+		default:
+			continue // missing result renders ERR too
+		}
+		results[c.Key()] = res
+	}
+	text := Table(g, results).Text()
+	for _, want := range []string{"1.500", "-", "ERR"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table misses %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, g.String()) {
+		t.Errorf("table title is not the canonical grid:\n%s", text)
+	}
+}

@@ -1,0 +1,183 @@
+package sweepd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// Wire protocol between clients, the coordinator, and workers. Every
+// request that opens a conversation (sweep submission, worker
+// registration) carries schema.Version and is rejected on mismatch, so a
+// stale binary fails loudly instead of exchanging artifacts it would
+// misread.
+
+// API paths served by Coordinator.Handler.
+const (
+	PathSweep     = "/api/v1/sweep"
+	PathRegister  = "/api/v1/worker/register"
+	PathPoll      = "/api/v1/worker/poll"
+	PathComplete  = "/api/v1/worker/complete"
+	PathHeartbeat = "/api/v1/worker/heartbeat"
+	PathStatus    = "/api/v1/status"
+	PathHealthz   = "/healthz"
+)
+
+// Cell result statuses, mirroring the store's entry statuses.
+const (
+	StatusOK         = "ok"
+	StatusInfeasible = "infeasible"
+	StatusError      = "error"
+)
+
+// SweepRequest is a client's sweep submission.
+type SweepRequest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Grid          Grid   `json:"grid"`
+	Faults        string `json:"faults,omitempty"`
+	FaultSeed     int64  `json:"fault_seed,omitempty"`
+	Retries       int    `json:"retries,omitempty"`
+}
+
+// CellResult is one completed cell, streamed to clients and reported by
+// workers. Seconds is the simulated makespan (StatusOK only). The
+// Worker, Simulated, and Attempt fields are observability — they vary
+// run to run and are excluded from the fingerprint.
+type CellResult struct {
+	Cell        CellSpec `json:"cell"`
+	Status      string   `json:"status"`
+	Seconds     float64  `json:"seconds,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Transient   bool     `json:"transient,omitempty"`
+	Fingerprint string   `json:"fingerprint"`
+	Worker      string   `json:"worker,omitempty"`
+	Simulated   bool     `json:"simulated,omitempty"`
+	Attempt     int      `json:"attempt,omitempty"`
+}
+
+// Fingerprint reduces a cell result to an exact signature over its
+// deterministic fields: the cell identity, the status, the bit pattern
+// of the makespan (hex float, so equal fingerprints mean equal bits, not
+// equal roundings), and the error text. Any worker — and the serial
+// golden path — must produce the same fingerprint for the same cell.
+func Fingerprint(res CellResult) string {
+	h := sha256.New()
+	for _, f := range []string{
+		res.Cell.Key(),
+		res.Status,
+		strconv.FormatFloat(res.Seconds, 'x', -1, 64),
+		res.Error,
+	} {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// StreamEvent is one NDJSON line of a sweep response stream: "cell"
+// events as results complete (any order — the client indexes by cell
+// key), then exactly one "done" event with the sweep summary. An
+// "error" event aborts the stream.
+type StreamEvent struct {
+	Type    string      `json:"type"`
+	Cell    *CellResult `json:"cell,omitempty"`
+	Summary *Summary    `json:"summary,omitempty"`
+	Message string      `json:"message,omitempty"`
+}
+
+// Summary totals one sweep's outcomes as streamed to one client.
+// Simulated counts cells a worker actually ran for this sweep;
+// StoreHits counts cells served from the shared store without
+// simulating. Divergent counts fingerprint mismatches observed by the
+// coordinator (duplicate completions that disagreed) — always zero
+// unless determinism is broken.
+type Summary struct {
+	Cells      int `json:"cells"`
+	Simulated  int `json:"simulated"`
+	StoreHits  int `json:"store_hits"`
+	Infeasible int `json:"infeasible"`
+	Errors     int `json:"errors"`
+	Divergent  int `json:"divergent"`
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name,omitempty"`
+}
+
+// RegisterResponse assigns the worker its ID and the lease duration it
+// must heartbeat within.
+type RegisterResponse struct {
+	Worker      string `json:"worker"`
+	LeaseMillis int64  `json:"lease_millis"`
+}
+
+// PollRequest asks for one cell lease, long-polling up to WaitMillis.
+type PollRequest struct {
+	Worker     string `json:"worker"`
+	WaitMillis int64  `json:"wait_millis,omitempty"`
+}
+
+// Assignment is one leased cell: the spec plus the sweep-level fault
+// plan and retry budget it must run under. ID is the coordinator's dedup
+// key; completions and heartbeats name cells by it. Attempt counts
+// lease assignments of this cell (1-based).
+type Assignment struct {
+	ID        string   `json:"id"`
+	Cell      CellSpec `json:"cell"`
+	Faults    string   `json:"faults,omitempty"`
+	FaultSeed int64    `json:"fault_seed,omitempty"`
+	Retries   int      `json:"retries,omitempty"`
+	Attempt   int      `json:"attempt"`
+}
+
+// PollResponse carries at most one assignment; nil means "no work yet,
+// poll again".
+type PollResponse struct {
+	Assignment *Assignment `json:"assignment,omitempty"`
+}
+
+// CompleteRequest reports a finished cell.
+type CompleteRequest struct {
+	Worker  string     `json:"worker"`
+	ID      string     `json:"id"`
+	Attempt int        `json:"attempt"`
+	Result  CellResult `json:"result"`
+}
+
+// HeartbeatRequest renews the worker's leases on the named cells.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	IDs    []string `json:"ids"`
+}
+
+// HeartbeatResponse lists cells the worker no longer holds (its lease
+// expired and was re-assigned); the worker aborts those runs and never
+// reports them.
+type HeartbeatResponse struct {
+	Lost []string `json:"lost,omitempty"`
+}
+
+// Status is the coordinator's observable state (GET /api/v1/status).
+type Status struct {
+	Workers   int `json:"workers"`
+	Queued    int `json:"queued"`
+	Leased    int `json:"leased"`
+	Done      int `json:"done"`
+	Divergent int `json:"divergent"`
+}
+
+// dedupKey joins a cell's identity with the sweep-level parameters that
+// change its result, so concurrent sweeps share an execution exactly
+// when the simulations would be byte-identical.
+func dedupKey(c CellSpec, faults string, seed int64, retries int) string {
+	if faults == "" {
+		return c.Key()
+	}
+	// The retry budget changes whether a transiently failing cell
+	// eventually succeeds, so it joins the key — but only under a fault
+	// plan, which is the only source of transient failures.
+	return fmt.Sprintf("%s|faults=%s|seed=%d|retries=%d", c.Key(), faults, seed, retries)
+}

@@ -1,0 +1,345 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multicore/internal/experiments"
+	"multicore/internal/fault"
+	"multicore/internal/schema"
+	"multicore/internal/store"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:9141".
+	Coordinator string
+	// Store, when non-empty, is the shared result-store directory: cells
+	// already on disk are served without simulating, and every completed
+	// cell is persisted for other workers and later sweeps. The store's
+	// rename-based writes give per-entry atomicity, so workers share the
+	// directory without the whole-sweep flock mcbench takes.
+	Store string
+	// Name labels the worker in coordinator logs.
+	Name string
+	// Parallelism is how many cells this worker runs concurrently;
+	// < 1 means 1.
+	Parallelism int
+	// SettleWorkers opts cells into component-mode parallel settling
+	// (see experiments.Options.SettleWorkers).
+	SettleWorkers int
+	// Client is the HTTP client; nil uses a default with a timeout above
+	// the coordinator's poll window.
+	Client *http.Client
+	// Logf receives worker events; nil discards them.
+	Logf func(format string, args ...any)
+
+	// beforeCell, when non-nil, runs before each assignment executes;
+	// tests use it to stall a worker so its lease expires mid-cell.
+	beforeCell func(Assignment)
+}
+
+// Worker pulls cell leases from a coordinator, executes them through
+// experiments.Runner (store cache, fault injection, transient retries
+// included), and reports results. Safe for one Run call at a time.
+type Worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	logf   func(string, ...any)
+
+	id          string
+	leaseMillis int64
+	st          *store.Store
+
+	mu       sync.Mutex
+	inflight map[string]context.CancelFunc // leased cell id -> abort
+
+	cellsRun  atomic.Int64
+	storeHits atomic.Int64
+}
+
+// NewWorker builds a worker; Run does the network work.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("sweepd: worker needs a coordinator URL")
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	w := &Worker{
+		opts:     opts,
+		client:   opts.Client,
+		logf:     opts.Logf,
+		inflight: map[string]context.CancelFunc{},
+	}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	if opts.Store != "" {
+		st, err := store.Open(opts.Store)
+		if err != nil {
+			return nil, err
+		}
+		w.st = st
+	}
+	return w, nil
+}
+
+// Stats reports how many cells this worker simulated and how many it
+// served from the shared store.
+func (w *Worker) Stats() (cellsRun, storeHits int) {
+	return int(w.cellsRun.Load()), int(w.storeHits.Load())
+}
+
+func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("sweepd: encoding %s request: %v", path, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := w.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 1024))
+		return &httpError{code: hresp.StatusCode, msg: fmt.Sprintf("sweepd: %s: %s", path, bytes.TrimSpace(msg))}
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(hresp.Body).Decode(resp)
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// register announces the worker, retrying until the coordinator is
+// reachable or ctx ends — worker processes may start before the
+// coordinator.
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 200 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		err := w.post(ctx, PathRegister, RegisterRequest{SchemaVersion: schema.Version, Name: w.opts.Name}, &resp)
+		if err == nil {
+			w.id = resp.Worker
+			w.leaseMillis = resp.LeaseMillis
+			w.logf("registered as %s (lease %dms)", w.id, w.leaseMillis)
+			return nil
+		}
+		if httpCode(err) == http.StatusBadRequest {
+			return err // schema mismatch: retrying cannot help
+		}
+		w.logf("register failed (%v); retrying", err)
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// httpCode extracts the status code of a coordinator error response;
+// 0 means a transport-level failure.
+func httpCode(err error) int {
+	if e, ok := err.(*httpError); ok {
+		return e.code
+	}
+	return 0
+}
+
+// Run registers and serves cell leases until ctx is canceled. Cells run
+// on Parallelism concurrent slots; a heartbeat goroutine renews every
+// in-flight lease and aborts runs whose lease the coordinator took away.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < w.opts.Parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.slotLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// slotLoop is one poll→run→complete loop.
+func (w *Worker) slotLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		var resp PollResponse
+		err := w.post(ctx, PathPoll, PollRequest{Worker: w.id, WaitMillis: 5000}, &resp)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if httpCode(err) == http.StatusNotFound {
+				// Coordinator restarted and forgot us; re-register.
+				if rerr := w.register(ctx); rerr != nil {
+					return
+				}
+				continue
+			}
+			w.logf("poll failed: %v", err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		}
+		if resp.Assignment == nil {
+			continue
+		}
+		w.runAssignment(ctx, *resp.Assignment)
+	}
+}
+
+// runAssignment executes one leased cell and reports it. A run aborted
+// by cancellation (worker shutdown or a lost lease) is never reported:
+// cancellation describes this worker stopping, not the cell, and the
+// coordinator will re-lease the cell elsewhere.
+func (w *Worker) runAssignment(ctx context.Context, asg Assignment) {
+	cellCtx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.inflight[asg.ID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.inflight, asg.ID)
+		w.mu.Unlock()
+		cancel()
+	}()
+
+	if w.opts.beforeCell != nil {
+		w.opts.beforeCell(asg)
+	}
+	res, canceled := w.executeCell(cellCtx, asg)
+	if canceled {
+		w.logf("cell %s attempt %d aborted (%s)", asg.ID, asg.Attempt, cellCtx.Err())
+		return
+	}
+	res.Worker = w.id
+	if err := w.post(ctx, PathComplete, CompleteRequest{
+		Worker: w.id, ID: asg.ID, Attempt: asg.Attempt, Result: res,
+	}, nil); err != nil && ctx.Err() == nil {
+		w.logf("reporting cell %s failed: %v", asg.ID, err)
+	}
+}
+
+// executeCell wraps experiments.Runner around one cell. Each assignment
+// gets a fresh runner — cross-attempt and cross-worker dedup belongs to
+// the shared store, and a re-leased cell must actually re-run rather
+// than hit a memoized in-process failure. Resume is set so stored error
+// entries re-run when the coordinator explicitly re-leases a cell.
+func (w *Worker) executeCell(ctx context.Context, asg Assignment) (CellResult, bool) {
+	spec, scheme, scale, err := resolveCell(asg.Cell)
+	if err != nil {
+		return resultFor(asg.Cell, 0, err), false
+	}
+	opts := experiments.Options{
+		Parallelism:   1,
+		Resume:        true,
+		Retries:       asg.Retries,
+		RetryBackoff:  50 * time.Millisecond,
+		SettleWorkers: w.opts.SettleWorkers,
+		Store:         nil,
+	}
+	if w.st != nil {
+		opts.Store = w.st
+	}
+	if asg.Faults != "" {
+		plan, perr := fault.Parse(asg.Faults, asg.FaultSeed)
+		if perr != nil {
+			return resultFor(asg.Cell, 0, perr), false
+		}
+		opts.Faults = plan
+	}
+	r := experiments.NewRunner(ctx, opts)
+	secs, err := r.RunWorkloadCell(spec, asg.Cell.System, asg.Cell.Ranks, scheme, scale)
+	if err != nil && isCanceled(err) {
+		return CellResult{}, true
+	}
+	w.cellsRun.Add(int64(r.CellsRun()))
+	w.storeHits.Add(int64(r.StoreHits()))
+	res := resultFor(asg.Cell, secs, err)
+	res.Simulated = r.CellsRun() > 0
+	return res, false
+}
+
+// heartbeatLoop renews every in-flight lease at a third of the lease
+// interval and aborts cells the coordinator re-assigned away.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	interval := time.Duration(w.leaseMillis) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		w.mu.Lock()
+		ids := make([]string, 0, len(w.inflight))
+		for id := range w.inflight {
+			ids = append(ids, id)
+		}
+		w.mu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		var resp HeartbeatResponse
+		if err := w.post(ctx, PathHeartbeat, HeartbeatRequest{Worker: w.id, IDs: ids}, &resp); err != nil {
+			if ctx.Err() == nil {
+				w.logf("heartbeat failed: %v", err)
+			}
+			continue
+		}
+		if len(resp.Lost) == 0 {
+			continue
+		}
+		w.mu.Lock()
+		for _, id := range resp.Lost {
+			if cancel, ok := w.inflight[id]; ok {
+				w.logf("lease lost for cell %s; aborting", id)
+				cancel()
+			}
+		}
+		w.mu.Unlock()
+	}
+}
