@@ -5,18 +5,31 @@
 //
 //	mcbench [-scale quick|full] [-format text|md|csv] [-out DIR] [-j N]
 //	        [-store DIR] [-resume] [-timeout D] [-json FILE] [-delta FILE]
-//	        [-settle N] [-faults PLAN] [-fault-seed N] [-retries N]
-//	        <id>...|all|list
-//	mcbench -sweep GRID [-remote URL] [flags]
+//	        [-delta-tol F] [-settle N] [-faults PLAN] [-fault-seed N]
+//	        [-retries N] <id>...|all|list
+//	mcbench -sweep GRID [-remote URL] [-screen] [-promote-margin F]
+//	        [-uncertainty-bound F] [-calibrate] [flags]
+//	mcbench -calibrate -store DIR
 //
 // Experiment ids are the paper artifact names: fig2..fig17, table2..table14.
 //
 // With -sweep, mcbench runs an arbitrary workload × system × ranks ×
 // scheme grid (e.g. "workloads=stream,cg;systems=tiger,dmz;ranks=1,2;
-// schemes=default,localalloc") instead of a paper artifact and renders
-// one makespan table. Adding -remote URL submits the same grid to an
-// mcsweepd coordinator and streams per-cell results as workers complete
-// them; the remote table is byte-identical to the local serial one.
+// schemes=default,localalloc"; ranks accepts lo..hi ranges) instead of
+// a paper artifact and renders one makespan table. Adding -remote URL
+// submits the same grid to an mcsweepd coordinator and streams per-cell
+// results as workers complete them; the remote table is byte-identical
+// to the local serial one.
+//
+// Adding -screen engages the two-tier executor: every cell is priced by
+// the analytic roofline model (internal/analytic) and only cells the
+// model cannot settle — schemes within -promote-margin of a ranking
+// flip, estimates above -uncertainty-bound, families without a profile
+// — are simulated. Estimated cells render as ~seconds, promoted cells
+// as seconds*. With -calibrate the estimator first fits per-class
+// correction factors from the -store's simulated results and prints the
+// residual-error report; standalone `mcbench -calibrate -store DIR`
+// prints just the report.
 //
 // Sweeps are resilient: SIGINT/SIGTERM cancels the running simulations
 // cleanly, a per-cell -timeout bounds any one cell's wall-clock cost, a
@@ -45,6 +58,8 @@ import (
 	"syscall"
 	"time"
 
+	"multicore/internal/affinity"
+	"multicore/internal/analytic"
 	"multicore/internal/experiments"
 	"multicore/internal/fault"
 	"multicore/internal/report"
@@ -52,6 +67,7 @@ import (
 	"multicore/internal/sim"
 	"multicore/internal/store"
 	"multicore/internal/sweepd"
+	"multicore/internal/workload"
 )
 
 func main() {
@@ -72,10 +88,16 @@ func main() {
 	retries := flag.Int("retries", 0, "re-attempts per cell that fails with a transient fault (0 = no retry)")
 	sweep := flag.String("sweep", "", `grid sweep instead of paper artifacts, e.g. "workloads=stream,cg;systems=tiger;ranks=1,2;schemes=default,localalloc"`)
 	remote := flag.String("remote", "", "with -sweep: submit the grid to this mcsweepd coordinator URL and stream results")
+	screen := flag.Bool("screen", false, "with -sweep: two-tier execution — price every cell analytically, simulate only promoted cells (scheme crossovers and high-uncertainty estimates)")
+	promoteMargin := flag.Float64("promote-margin", sweepd.DefaultPromoteMargin, "with -screen: fractional closeness of two schemes' estimates that promotes both to simulation")
+	uncBound := flag.Float64("uncertainty-bound", sweepd.DefaultUncertaintyBound, "with -screen: model uncertainty above which a cell promotes to simulation")
+	calibrate := flag.Bool("calibrate", false, "with -store: fit per-workload-class correction factors from stored simulation results and report residual error (applied to -screen estimates)")
+	screenBench := flag.Int("screen-bench", 0, "with -json: benchmark analytic screening over a synthetic grid of at least N cells and record the throughput")
+	deltaTol := flag.Float64("delta-tol", 0.10, "with -delta: fractional wall-time/allocation regression tolerated before failing")
 	flag.Usage = usage
 	flag.Parse()
 
-	if flag.NArg() == 0 && *sweep == "" {
+	if flag.NArg() == 0 && *sweep == "" && !*calibrate && *screenBench == 0 {
 		usage()
 		os.Exit(2)
 	}
@@ -95,6 +117,21 @@ func main() {
 	}
 	if *deltaFile != "" && *jsonOut == "" {
 		fatalf("-delta needs -json FILE (there are no records to compare)")
+	}
+	if *deltaTol <= 0 {
+		fatalf("-delta-tol must be positive")
+	}
+	if *screen && *sweep == "" {
+		fatalf("-screen needs -sweep GRID (paper artifacts always simulate)")
+	}
+	if *calibrate && *storeDir == "" {
+		fatalf("-calibrate needs -store DIR (calibration fits against stored simulation results)")
+	}
+	if *screenBench != 0 && *jsonOut == "" {
+		fatalf("-screen-bench needs -json FILE (it records a benchmark)")
+	}
+	if *screenBench < 0 {
+		fatalf("-screen-bench must be non-negative")
 	}
 	opts := experiments.Options{
 		Parallelism:   *jobs,
@@ -151,11 +188,19 @@ func main() {
 		if *jsonOut != "" {
 			fatalf("-json applies to paper artifacts, not -sweep grids")
 		}
-		runSweep(ctx, *sweep, *remote, *scale, opts, render, *faults, *faultSeed, *retries, *jobs, *storeDir)
+		cfg := screenCfg{enabled: *screen, margin: *promoteMargin, bound: *uncBound, calibrate: *calibrate}
+		runSweep(ctx, *sweep, *remote, *scale, opts, render, *faults, *faultSeed, *retries, *jobs, *storeDir, cfg)
 		return
 	}
 	if *remote != "" {
 		fatalf("-remote needs -sweep GRID (paper artifacts always run locally)")
+	}
+	if *calibrate && flag.NArg() == 0 {
+		// Standalone calibration report: fit against the store and print.
+		if _, err := calibrateEstimator(analytic.New(), opts.Store); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	var ids []string
@@ -233,13 +278,21 @@ func main() {
 			r := experiments.NewRunner(ctx, benchOpts)
 			records[i] = measure(exps[i].ID, sampleHeap, func() { runOne(r, i) })
 		}
-		writeBenchJSON(*jsonOut, *note, *scale, records)
+		var sInfo *screenInfo
+		if *screenBench > 0 {
+			var rec benchRecord
+			rec, sInfo = measureScreen(*screenBench)
+			records = append(records, rec)
+			fmt.Fprintf(os.Stderr, "mcbench: screened %d cells in %.3fs (%.0f cells/sec, single-threaded)\n",
+				sInfo.Cells, sInfo.Seconds, sInfo.CellsPerSec)
+		}
+		writeBenchJSON(*jsonOut, *note, *scale, records, sInfo)
 		if *deltaFile != "" {
-			if err := checkBenchDelta(*deltaFile, records); err != nil {
+			if err := checkBenchDelta(*deltaFile, records, *deltaTol); err != nil {
 				fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "mcbench: no regression against %s\n", *deltaFile)
+			fmt.Fprintf(os.Stderr, "mcbench: no regression against %s (tolerance %.0f%%)\n", *deltaFile, 100**deltaTol)
 		}
 	case *jobs <= 1 || len(exps) == 1:
 		for i := range exps {
@@ -305,19 +358,33 @@ func main() {
 	}
 }
 
+// screenCfg carries the two-tier executor settings into runSweep.
+type screenCfg struct {
+	enabled       bool
+	margin, bound float64
+	calibrate     bool
+}
+
 // runSweep executes a -sweep grid: locally on one runner (the serial
 // golden path when -j 1), or against an mcsweepd coordinator with
 // -remote. Both paths assemble the table through sweepd.Table, so a
 // distributed sweep's output is byte-identical to the serial run's.
+// With -screen, tier A prices every cell analytically and only promoted
+// cells reach the simulator — locally through sweepd.RunScreened, or on
+// the coordinator, which screens the grid in-process and leases only
+// the promoted sliver to workers.
 func runSweep(ctx context.Context, gridStr, remote, scale string, opts experiments.Options,
-	render func(*report.Table) string, faults string, faultSeed int64, retries, jobs int, storeDir string) {
+	render func(*report.Table) string, faults string, faultSeed int64, retries, jobs int, storeDir string, cfg screenCfg) {
 	g, err := sweepd.ParseGrid(gridStr)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	g.Scale = scale
+	if cfg.enabled && faults != "" {
+		fatalf("-screen cannot price fault plans (drop -faults or -screen)")
+	}
 	var results map[string]sweepd.CellResult
-	var simulated, hits int
+	var sum sweepd.Summary
 	if remote != "" {
 		if storeDir != "" {
 			fatalf("-store belongs to the workers in remote mode (they share the cell cache)")
@@ -329,16 +396,23 @@ func runSweep(ctx context.Context, gridStr, remote, scale string, opts experimen
 			FaultSeed:     faultSeed,
 			Retries:       retries,
 		}
+		if cfg.enabled {
+			req.Screen = true
+			req.PromoteMargin = cfg.margin
+			req.UncertaintyBound = cfg.bound
+		}
 		results = make(map[string]sweepd.CellResult)
 		total := len(g.Cells())
-		sum, err := sweepd.Submit(ctx, remote, req, func(res sweepd.CellResult) {
+		s, err := sweepd.Submit(ctx, remote, req, func(res sweepd.CellResult) {
 			results[res.Cell.Key()] = res
 			fmt.Fprintf(os.Stderr, "cell %d/%d %s: %s\n", len(results), total, res.Cell.Key(), res.Status)
 		})
 		if err != nil {
 			fatalf("%v", err)
 		}
-		simulated, hits = sum.Simulated, sum.StoreHits
+		if s != nil {
+			sum = *s
+		}
 		if sum.Errors > 0 {
 			fmt.Fprintf(os.Stderr, "mcbench: %d cells failed (rendered ERR)\n", sum.Errors)
 		}
@@ -347,7 +421,20 @@ func runSweep(ctx context.Context, gridStr, remote, scale string, opts experimen
 		}
 	} else {
 		runner := experiments.NewRunner(ctx, opts)
-		results = sweepd.RunLocal(runner, g, jobs)
+		if cfg.enabled {
+			e := analytic.New()
+			if cfg.calibrate {
+				if _, err := calibrateEstimator(e, opts.Store); err != nil {
+					fatalf("%v", err)
+				}
+			}
+			sopts := sweepd.ScreenOptions{PromoteMargin: cfg.margin, UncertaintyBound: cfg.bound}
+			var decisions []sweepd.ScreenDecision
+			results, decisions = sweepd.RunScreened(runner, e, g, sopts, jobs)
+			sum = sweepd.ScreenSummary(decisions, results)
+		} else {
+			results = sweepd.RunLocal(runner, g, jobs)
+		}
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: interrupted\n")
 			os.Exit(130)
@@ -355,12 +442,89 @@ func runSweep(ctx context.Context, gridStr, remote, scale string, opts experimen
 		for _, e := range runner.CellErrors() {
 			fmt.Fprintf(os.Stderr, "mcbench: cell error: %v\n", e)
 		}
-		simulated, hits = runner.CellsRun(), runner.StoreHits()
+		sum.Simulated, sum.StoreHits = runner.CellsRun(), runner.StoreHits()
 	}
 	fmt.Print(render(sweepd.Table(g, results)))
-	if remote != "" || storeDir != "" {
-		fmt.Fprintf(os.Stderr, "cells: %d simulated, %d store hits\n", simulated, hits)
+	if cfg.enabled {
+		fmt.Fprintf(os.Stderr, "cells: %d screened analytically, %d promoted to simulation\n",
+			sum.Screened, sum.Promoted)
 	}
+	if remote != "" || storeDir != "" {
+		fmt.Fprintf(os.Stderr, "cells: %d simulated, %d store hits\n", sum.Simulated, sum.StoreHits)
+	}
+}
+
+// calibrateEstimator fits the estimator's per-class correction factors
+// from the persistent store's ok-status entries, installs them, and
+// prints the residual-error report.
+func calibrateEstimator(e *analytic.Estimator, st *store.Store) (analytic.Calibration, error) {
+	if st == nil {
+		return analytic.Calibration{}, fmt.Errorf("-calibrate needs -store DIR")
+	}
+	entries, err := st.List()
+	if err != nil {
+		return analytic.Calibration{}, err
+	}
+	obs := make([]sweepd.StoreObservation, 0, len(entries))
+	for _, ent := range entries {
+		var secs float64
+		if ent.Status == store.StatusOK {
+			if err := json.Unmarshal(ent.Value, &secs); err != nil {
+				continue // not a makespan cell (table artifact, etc.)
+			}
+		}
+		obs = append(obs, sweepd.StoreObservation{
+			Workload: ent.Key.Workload,
+			System:   ent.Key.System,
+			Ranks:    ent.Key.Ranks,
+			Scheme:   ent.Key.Scheme,
+			Faults:   ent.Key.Faults,
+			Status:   ent.Status,
+			Seconds:  secs,
+		})
+	}
+	cal, err := sweepd.CalibrateFromStore(e, obs)
+	if err != nil {
+		return cal, err
+	}
+	e.SetCalibration(cal.Factors)
+	fmt.Fprint(os.Stderr, cal.String())
+	return cal, nil
+}
+
+// screenInfo is the throughput record of a -screen-bench run.
+type screenInfo struct {
+	Cells       int     `json:"cells"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// measureScreen benchmarks the analytic screening tier single-threaded
+// over a synthetic grid of at least minCells cells: every registry
+// workload × every system × every placement scheme, with the rank
+// dimension grown until the grid is big enough. The wall time and
+// allocation count land in the benchmark records (id "screen") so the
+// delta gate tracks screening regressions like any experiment.
+func measureScreen(minCells int) (benchRecord, *screenInfo) {
+	systems := []string{"tiger", "dmz", "longs"}
+	schemes := make([]string, len(affinity.Schemes))
+	for i, s := range affinity.Schemes {
+		schemes[i] = s.CLIName()
+	}
+	workloads := workload.Names()
+	per := len(workloads) * len(systems) * len(schemes)
+	maxRanks := (minCells + per - 1) / per
+	ranks := make([]int, maxRanks)
+	for i := range ranks {
+		ranks[i] = i + 1
+	}
+	g := sweepd.Grid{Workloads: workloads, Systems: systems, Ranks: ranks, Schemes: schemes, Scale: "quick"}
+	e := analytic.New()
+	var n int
+	rec := measure("screen", false, func() {
+		n = len(sweepd.ScreenGrid(e, g, sweepd.ScreenOptions{}))
+	})
+	return rec, &screenInfo{Cells: n, Seconds: rec.Seconds, CellsPerSec: float64(n) / rec.Seconds}
 }
 
 // isCancellation reports whether err only says "the sweep was stopped".
@@ -452,14 +616,14 @@ func measure(id string, sampleHeap bool, fn func()) benchRecord {
 }
 
 // checkBenchDelta compares fresh records against a committed snapshot and
-// reports an error when any experiment regressed by more than 10% in wall
-// time or allocations. Experiments absent from the snapshot are skipped
+// reports an error when any experiment regressed by more than the -delta-tol
+// fraction in wall time or allocations. Experiments absent from the snapshot are skipped
 // (new artifacts are not regressions) but logged, so lost coverage is
 // visible — and if *nothing* overlaps (say, a baseline captured at a
 // different -scale), the gate errors out instead of passing vacuously.
 // Wall time is only compared when the baseline ran long enough (≥50ms)
 // for the ratio to mean anything.
-func checkBenchDelta(path string, records []benchRecord) error {
+func checkBenchDelta(path string, records []benchRecord, tol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading -delta baseline: %v", err)
@@ -474,7 +638,7 @@ func checkBenchDelta(path string, records []benchRecord) error {
 	for _, r := range base.Experiments {
 		byID[r.ID] = r
 	}
-	const tolerance = 1.10
+	tolerance := 1 + tol
 	var regressions, skipped []string
 	compared := 0
 	for _, r := range records {
@@ -510,15 +674,17 @@ func checkBenchDelta(path string, records []benchRecord) error {
 }
 
 // writeBenchJSON writes the schema-versioned benchmark envelope to path.
-func writeBenchJSON(path, note, scale string, records []benchRecord) {
+// A non-nil screen record adds the analytic-screening throughput section.
+func writeBenchJSON(path, note, scale string, records []benchRecord, sInfo *screenInfo) {
 	env := struct {
 		SchemaVersion int           `json:"schema_version"`
 		Note          string        `json:"note,omitempty"`
 		Scale         string        `json:"scale"`
 		Go            string        `json:"go"`
 		MaxProcs      int           `json:"maxprocs"`
+		Screen        *screenInfo   `json:"screen,omitempty"`
 		Experiments   []benchRecord `json:"experiments"`
-	}{SchemaVersion: schema.Version, Note: note, Scale: scale, Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0), Experiments: records}
+	}{SchemaVersion: schema.Version, Note: note, Scale: scale, Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0), Screen: sInfo, Experiments: records}
 	data, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {
 		fatalf("encoding %s: %v", path, err)

@@ -17,6 +17,15 @@
 // re-queues its cells after the lease expires, with results guaranteed
 // byte-identical to a serial run by the per-cell determinism
 // fingerprints.
+//
+// Screened sweeps (`mcbench -sweep GRID -remote URL -screen`) never
+// reach the workers in full: the coordinator prices the whole grid
+// through the analytic screening tier in-process — about a microsecond
+// per cell — and leases only the promoted cells (scheme crossovers
+// within the client's promote margin, high-uncertainty estimates, and
+// families without an analytic profile). A million-cell grid submission
+// streams back mostly "estimated" cells immediately and occupies the
+// worker fleet only with the contested sliver.
 package main
 
 import (

@@ -1,0 +1,168 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"multicore/internal/affinity"
+	"multicore/internal/workload"
+)
+
+// Observation is one measured (simulated) cell used to calibrate the
+// estimator.
+type Observation struct {
+	Workload workload.Spec
+	System   string
+	Ranks    int
+	Scheme   affinity.Scheme
+	// Seconds is the simulated makespan.
+	Seconds float64
+}
+
+// ClassReport summarizes calibration quality for one workload
+// family/system class.
+type ClassReport struct {
+	Class     string
+	N         int     // observations fitted
+	Factor    float64 // fitted multiplicative correction
+	MedianErr float64 // median |est*factor - sim| / sim after correction
+	MaxErr    float64
+}
+
+// Calibration holds fitted per-class correction factors and the
+// residual-error report of the fit.
+type Calibration struct {
+	Factors map[string]float64
+	Classes []ClassReport
+	// MedianErr is the overall median relative error across every
+	// observation after correction; Skipped counts observations the
+	// estimator could not price (no profile, infeasible, zero time).
+	MedianErr float64
+	Skipped   int
+}
+
+// Calibrate fits one multiplicative correction factor per workload
+// class (family/system) as the geometric mean of simulated/estimated
+// ratios, then reports the residual relative error of the corrected
+// estimates. The fit is independent of observation order.
+func Calibrate(e *Estimator, obs []Observation) (Calibration, error) {
+	type cell struct {
+		class string
+		ratio float64 // simulated / raw estimate
+	}
+	var cells []cell
+	cal := Calibration{Factors: make(map[string]float64)}
+	for _, o := range obs {
+		if !(o.Seconds > 0) {
+			cal.Skipped++
+			continue
+		}
+		est, err := e.Cell(o.Workload, o.System, o.Ranks, o.Scheme)
+		if err != nil || !(est.Seconds > 0) {
+			cal.Skipped++
+			continue
+		}
+		// Factors are fitted against raw estimates, so recalibrating an
+		// already-calibrated estimator reproduces the same factors.
+		raw := est.Seconds
+		class := classOf(e, o)
+		e.mu.Lock()
+		if f, ok := e.factors[class]; ok && f > 0 {
+			raw = est.Seconds / f
+		}
+		e.mu.Unlock()
+		cells = append(cells, cell{class: class, ratio: o.Seconds / raw})
+	}
+	if len(cells) == 0 {
+		return cal, fmt.Errorf("analytic: no usable observations to calibrate from (%d skipped)", cal.Skipped)
+	}
+
+	byClass := make(map[string][]float64)
+	for _, c := range cells {
+		byClass[c.class] = append(byClass[c.class], c.ratio)
+	}
+	var all []float64
+	classes := make([]string, 0, len(byClass))
+	for class := range byClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		ratios := byClass[class]
+		var logSum float64
+		for _, r := range ratios {
+			logSum += math.Log(r)
+		}
+		factor := math.Exp(logSum / float64(len(ratios)))
+		cal.Factors[class] = factor
+		errs := make([]float64, len(ratios))
+		for i, r := range ratios {
+			// Corrected estimate = raw*factor; relative error vs sim is
+			// |raw*factor - sim|/sim = |factor/r - 1|.
+			errs[i] = math.Abs(factor/r - 1)
+		}
+		all = append(all, errs...)
+		cal.Classes = append(cal.Classes, ClassReport{
+			Class:     class,
+			N:         len(ratios),
+			Factor:    factor,
+			MedianErr: median(errs),
+			MaxErr:    maxOf(errs),
+		})
+	}
+	cal.MedianErr = median(all)
+	return cal, nil
+}
+
+func classOf(e *Estimator, o Observation) string {
+	// The profile family is the spec name for every current family; go
+	// through ProfileFor's cache anyway so class naming has one source.
+	e.mu.Lock()
+	pk := profileKey{name: o.Workload.Name, arg: o.Workload.Arg, class: o.Workload.Class,
+		steps: o.Workload.Steps, n: o.Workload.N, ranks: o.Ranks}
+	pe, ok := e.profiles[pk]
+	e.mu.Unlock()
+	if ok && pe.err == nil {
+		return Class(pe.prof.Family, o.System)
+	}
+	return Class(o.Workload.Name, o.System)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// String renders the residual-error report, one class per line plus an
+// overall summary. Deterministic: classes are sorted.
+func (c Calibration) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calibration: %d classes, overall median error %.1f%%", len(c.Classes), 100*c.MedianErr)
+	if c.Skipped > 0 {
+		fmt.Fprintf(&b, " (%d observations skipped)", c.Skipped)
+	}
+	b.WriteByte('\n')
+	for _, cr := range c.Classes {
+		fmt.Fprintf(&b, "  %-16s n=%-3d factor=%.3f median=%.1f%% max=%.1f%%\n",
+			cr.Class, cr.N, cr.Factor, 100*cr.MedianErr, 100*cr.MaxErr)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package analytic_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/analytic"
+	"multicore/internal/experiments"
+	"multicore/internal/workload"
+)
+
+type obsCell struct {
+	spec   workload.Spec
+	system string
+	ranks  int
+	scheme affinity.Scheme
+	secs   float64
+	err    error
+}
+
+// simulate runs every feasible cell of the cross product through the
+// simulator on a worker pool and returns the observations.
+func simulate(t *testing.T, workloads []string, systems []string, ranks []int, schemes []affinity.Scheme) []obsCell {
+	t.Helper()
+	var cells []obsCell
+	for _, w := range workloads {
+		spec, err := workload.ParseSpec(w)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", w, err)
+		}
+		for _, sys := range systems {
+			for _, r := range ranks {
+				for _, sch := range schemes {
+					cells = append(cells, obsCell{spec: spec, system: sys, ranks: r, scheme: sch})
+				}
+			}
+		}
+	}
+	r := experiments.NewRunner(context.Background(), experiments.Options{Parallelism: runtime.GOMAXPROCS(0)})
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c *obsCell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.secs, c.err = r.RunWorkloadCell(c.spec, c.system, c.ranks, c.scheme, experiments.Quick)
+		}(&cells[i])
+	}
+	wg.Wait()
+	return cells
+}
+
+// TestTuneDump prints per-cell sim vs raw-estimate ratios. Run with
+//
+//	MCBENCH_TUNE=1 go test ./internal/analytic -run TestTuneDump -v
+//
+// It is a tuning aid, not a regression test: the dump is the raw
+// material for adjusting the closed forms in price().
+func TestTuneDump(t *testing.T) {
+	if os.Getenv("MCBENCH_TUNE") == "" {
+		t.Skip("tuning aid; set MCBENCH_TUNE=1 to enable")
+	}
+	workloads := []string{"stream", "daxpy", "dgemm", "fft", "ra", "ptrans", "hpl", "cg", "ft", "ep", "mg", "lmbench", "amber:JAC", "lammps:lj", "pop"}
+	systems := []string{"tiger", "dmz", "longs"}
+	ranksList := []int{1, 2, 4}
+	schemes := []affinity.Scheme{affinity.Default, affinity.OneMPILocalAlloc, affinity.OneMPIMembind, affinity.Interleave}
+	cells := simulate(t, workloads, systems, ranksList, schemes)
+	e := analytic.New()
+	for _, c := range cells {
+		var inf *affinity.ErrInfeasible
+		if errors.As(c.err, &inf) {
+			continue
+		}
+		if c.err != nil {
+			fmt.Printf("%-12s %-6s r%-2d %-24s SIM-ERR %v\n", c.spec.String(), c.system, c.ranks, c.scheme, c.err)
+			continue
+		}
+		est, err := e.Cell(c.spec, c.system, c.ranks, c.scheme)
+		if err != nil {
+			fmt.Printf("%-12s %-6s r%-2d %-24s EST-ERR %v\n", c.spec.String(), c.system, c.ranks, c.scheme, err)
+			continue
+		}
+		fmt.Printf("%-12s %-6s r%-2d %-24s sim=%-10.4f est=%-10.4f ratio=%.3f (c=%.3g m=%.3g mpi=%.3g)\n",
+			c.spec.String(), c.system, c.ranks, c.scheme, c.secs, est.Seconds, c.secs/est.Seconds,
+			est.Compute, est.Memory, est.MPI)
+	}
+}

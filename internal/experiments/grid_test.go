@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"multicore/internal/workload"
+)
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("quick"); err != nil || s != Quick {
+		t.Errorf("ParseScale(quick) = %v, %v", s, err)
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Errorf("ParseScale(full) = %v, %v", s, err)
+	}
+	for _, bad := range []string{"", "Quick", "FULL", " quick", "quick ", "medium"} {
+		if _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestWorkloadKey(t *testing.T) {
+	cases := []struct {
+		spec workload.Spec
+		want string
+	}{
+		{workload.Spec{Name: "cg"}, "cg"},
+		{workload.Spec{Name: "amber", Arg: "JAC"}, "amber:JAC"},
+		{workload.Spec{Name: "cg", Class: "B"}, "cg[class=B]"},
+		{workload.Spec{Name: "lammps", Arg: "lj", Steps: 7}, "lammps:lj[steps=7]"},
+		{workload.Spec{Name: "stream", N: 1 << 20}, "stream[n=1048576]"},
+		// Parameter order in the key is fixed: class, steps, n.
+		{workload.Spec{Name: "cg", Class: "A", Steps: 3, N: 64}, "cg[class=A][steps=3][n=64]"},
+	}
+	for _, c := range cases {
+		if got := WorkloadKey(c.spec); got != c.want {
+			t.Errorf("WorkloadKey(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+	// Zero parameter values are defaults and must not leak into the key,
+	// or equal cells would land at different store addresses.
+	plain := WorkloadKey(workload.Spec{Name: "cg"})
+	zeroed := WorkloadKey(workload.Spec{Name: "cg", Class: "", Steps: 0, N: 0})
+	if plain != zeroed {
+		t.Errorf("zero-valued params changed the key: %q vs %q", plain, zeroed)
+	}
+}

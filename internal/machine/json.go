@@ -60,6 +60,28 @@ func UnmarshalJSONSpec(data []byte) (*Spec, error) {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return nil, fmt.Errorf("machine: parsing spec: %w", err)
 	}
+	// Validate the serialized fields by their JSON names before the
+	// unit conversions, so a bad file is reported in the vocabulary the
+	// author wrote it in ("mc_bandwidth_gbs", not "MCBandwidth") — and a
+	// zero from an omitted field is caught even where the generic
+	// Validate tolerates it.
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{
+		{"freq_ghz", j.FreqGHz},
+		{"flops_per_cycle", j.FlopsPerCycle},
+		{"mc_bandwidth_gbs", j.MCBandwidthGBs},
+		{"core_issue_gbs", j.CoreIssueGBs},
+		{"cache_kib", j.CacheKiB},
+		{"line_bytes", j.LineBytes},
+		{"l2_bandwidth_gbs", j.L2BandwidthGBs},
+		{"link_bandwidth_gbs", j.LinkBandwidthGBs},
+	} {
+		if !(f.value > 0) {
+			return nil, fmt.Errorf("machine: spec field %q must be positive (got %v)", f.name, f.value)
+		}
+	}
 	var topo *topology.System
 	if builtin := ByName(j.Topology); builtin != nil {
 		topo = builtin.Topo

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -59,6 +60,51 @@ func TestSpecJSONRejectsGarbage(t *testing.T) {
 	}
 	if _, err := UnmarshalJSONSpec([]byte(`{"topology":"dmz"}`)); err == nil {
 		t.Fatal("zero-valued parameters should fail validation")
+	}
+}
+
+// TestSpecJSONFieldValidation: every named numeric field is checked
+// individually — a zero or negative value fails with an error naming
+// the JSON field, so spec authors see "mc_bandwidth_gbs", not an
+// internal struct name.
+func TestSpecJSONFieldValidation(t *testing.T) {
+	data, err := MarshalJSONSpec(Tiger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base map[string]any
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	fields := []string{
+		"freq_ghz", "flops_per_cycle", "mc_bandwidth_gbs", "core_issue_gbs",
+		"cache_kib", "line_bytes", "l2_bandwidth_gbs", "link_bandwidth_gbs",
+	}
+	for _, field := range fields {
+		for _, bad := range []float64{0, -1} {
+			patched := map[string]any{}
+			for k, v := range base {
+				patched[k] = v
+			}
+			patched[field] = bad
+			enc, err := json.Marshal(patched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = UnmarshalJSONSpec(enc)
+			if err == nil {
+				t.Errorf("%s=%v accepted, want error", field, bad)
+				continue
+			}
+			if !strings.Contains(err.Error(), `"`+field+`"`) {
+				t.Errorf("%s=%v: error %q does not name the field", field, bad, err)
+			}
+		}
+	}
+	// The unmodified spec still parses — the loop above is testing the
+	// patches, not a broken baseline.
+	if _, err := UnmarshalJSONSpec(data); err != nil {
+		t.Fatalf("baseline spec rejected: %v", err)
 	}
 }
 

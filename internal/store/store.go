@@ -278,6 +278,42 @@ func (s *Store) writeOnce(data []byte, path string) error {
 	return nil
 }
 
+// List decodes every committed entry in the store, sorted by file name
+// (content address) so the order is deterministic. Corrupt entries are
+// quarantined and skipped exactly like Get; entries from another schema
+// generation are an error. Calibration (mcbench -calibrate) walks the
+// store through this.
+func (s *Store) List() ([]Entry, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %v", s.dir, err)
+	}
+	var out []Entry
+	for _, ent := range ents {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(s.dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // concurrently evicted
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %v", path, err)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			s.quarantine(path)
+			continue
+		}
+		if err := schema.Check(path, e.SchemaVersion); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 // Len counts committed entries (uncommitted temp files are excluded).
 func (s *Store) Len() (int, error) {
 	ents, err := os.ReadDir(s.dir)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"multicore/internal/analytic"
 	"multicore/internal/schema"
 )
 
@@ -73,6 +74,11 @@ type workerState struct {
 // restart loses queue state but never completed results.
 type Coordinator struct {
 	opts CoordinatorOptions
+	// est screens grids submitted with Screen set; the estimator's
+	// layout/profile caches are shared across sweeps (it is safe for
+	// concurrent use), so repeated screening submissions price cells
+	// from warm caches.
+	est *analytic.Estimator
 
 	mu         sync.Mutex
 	cells      map[string]*cellState
@@ -93,6 +99,7 @@ type Coordinator struct {
 func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
 		opts:    opts.withDefaults(),
+		est:     analytic.New(),
 		cells:   map[string]*cellState{},
 		workers: map[string]*workerState{},
 		finals:  map[string]string{},
@@ -316,8 +323,39 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if req.Screen && req.Faults != "" {
+		http.Error(w, "sweepd: screening estimates cannot price fault plans (drop -faults or screening)", http.StatusBadRequest)
+		return
+	}
 	cells := req.Grid.Cells()
-	c.opts.Logf("sweep submitted: %d cells (%s)", len(cells), req.Grid)
+	var sum Summary
+	sum.Cells = len(cells)
+
+	// Screening tier: price the whole grid in-process and lease only the
+	// promoted cells. The settled tier-A results stream first, so a
+	// million-cell submission fills most of its table before the first
+	// worker lease.
+	var settled []CellResult
+	if req.Screen {
+		decisions := ScreenGrid(c.est, req.Grid, ScreenOptions{
+			PromoteMargin:    req.PromoteMargin,
+			UncertaintyBound: req.UncertaintyBound,
+		})
+		cells = cells[:0]
+		for _, d := range decisions {
+			if d.Promote {
+				cells = append(cells, d.Cell)
+				continue
+			}
+			settled = append(settled, d.Result)
+		}
+		sum.Screened = len(settled)
+		sum.Promoted = len(cells)
+		c.opts.Logf("sweep screened: %d cells settled analytically, %d promoted to simulation (%s)",
+			sum.Screened, sum.Promoted, req.Grid)
+	} else {
+		c.opts.Logf("sweep submitted: %d cells (%s)", len(cells), req.Grid)
+	}
 
 	// Cell keys can repeat inside one grid only via aliased specs; the
 	// channel is sized for every subscription so finalize never blocks.
@@ -339,8 +377,18 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	var sum Summary
-	sum.Cells = len(cells)
+	for i := range settled {
+		res := settled[i]
+		switch res.Status {
+		case StatusInfeasible:
+			sum.Infeasible++
+		case StatusError:
+			sum.Errors++
+		}
+		if !emit(StreamEvent{Type: "cell", Cell: &res}) {
+			return
+		}
+	}
 	for n := 0; n < len(cells); n++ {
 		select {
 		case res := <-ch:
@@ -355,6 +403,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			} else if res.Status != StatusError {
 				sum.StoreHits++
 			}
+			// Every leased cell of a screened sweep is there because the
+			// screening tier promoted it.
+			res.Promoted = req.Screen
 			if !emit(StreamEvent{Type: "cell", Cell: &res}) {
 				return // client gone; release via defer
 			}

@@ -86,11 +86,11 @@ func ParseGrid(s string) (Grid, error) {
 			g.Systems = splitList(v)
 		case "ranks":
 			for _, rs := range splitList(v) {
-				n, err := strconv.Atoi(rs)
-				if err != nil || n < 1 {
-					return Grid{}, fmt.Errorf("sweepd: bad rank count %q", rs)
+				ns, err := parseRanks(rs)
+				if err != nil {
+					return Grid{}, err
 				}
-				g.Ranks = append(g.Ranks, n)
+				g.Ranks = appendRanks(g.Ranks, ns)
 			}
 		case "schemes":
 			g.Schemes = splitList(v)
@@ -119,6 +119,45 @@ func ParseGrid(s string) (Grid, error) {
 		return Grid{}, err
 	}
 	return g, nil
+}
+
+// parseRanks parses one ranks list item: a single count ("4") or an
+// inclusive range ("1..64"), the syntax that makes million-cell
+// screening grids expressible on a command line.
+func parseRanks(rs string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(rs, ".."); ok {
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || a < 1 || b < a {
+			return nil, fmt.Errorf("sweepd: bad rank range %q (want lo..hi with 1 <= lo <= hi)", rs)
+		}
+		ns := make([]int, 0, b-a+1)
+		for n := a; n <= b; n++ {
+			ns = append(ns, n)
+		}
+		return ns, nil
+	}
+	n, err := strconv.Atoi(rs)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("sweepd: bad rank count %q", rs)
+	}
+	return []int{n}, nil
+}
+
+// appendRanks appends deduplicating, preserving first occurrence —
+// the same contract splitList gives the string dimensions.
+func appendRanks(dst, ns []int) []int {
+	seen := make(map[int]bool, len(dst))
+	for _, n := range dst {
+		seen[n] = true
+	}
+	for _, n := range ns {
+		if !seen[n] {
+			seen[n] = true
+			dst = append(dst, n)
+		}
+	}
+	return dst
 }
 
 func splitList(v string) []string {
@@ -208,10 +247,25 @@ func (g Grid) String() string {
 	return b.String()
 }
 
+// joinInts renders a ranks list, compressing runs of consecutive
+// counts of length >= 3 to the lo..hi range form so a screening grid's
+// canonical string (and table title) stays readable at a million cells.
+// It round-trips through parseRanks.
 func joinInts(ns []int) string {
-	ss := make([]string, len(ns))
-	for i, n := range ns {
-		ss[i] = strconv.Itoa(n)
+	var ss []string
+	for i := 0; i < len(ns); {
+		j := i
+		for j+1 < len(ns) && ns[j+1] == ns[j]+1 {
+			j++
+		}
+		if j-i >= 2 {
+			ss = append(ss, fmt.Sprintf("%d..%d", ns[i], ns[j]))
+		} else {
+			for ; i <= j; i++ {
+				ss = append(ss, strconv.Itoa(ns[i]))
+			}
+		}
+		i = j + 1
 	}
 	return strings.Join(ss, ",")
 }

@@ -50,12 +50,44 @@ func TestParseGridDefaultsAndOverrides(t *testing.T) {
 	}
 }
 
+func TestParseGridRankRanges(t *testing.T) {
+	g, err := ParseGrid("workloads=stream;systems=tiger;ranks=1..8,16,2..4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 16}
+	if len(g.Ranks) != len(want) {
+		t.Fatalf("ranks = %v, want %v (ranges expanded, duplicates dropped)", g.Ranks, want)
+	}
+	for i, n := range want {
+		if g.Ranks[i] != n {
+			t.Fatalf("ranks = %v, want %v", g.Ranks, want)
+		}
+	}
+	// The canonical form compresses the consecutive run back to a range
+	// and round-trips.
+	g.Scale = "quick"
+	if got := g.String(); !strings.Contains(got, "ranks=1..8,16") {
+		t.Errorf("canonical form = %q, want a compressed ranks=1..8,16", got)
+	}
+	g2, err := ParseGrid(strings.TrimSuffix(g.String(), ";scale=quick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Ranks) != len(want) {
+		t.Errorf("round-trip ranks = %v, want %v", g2.Ranks, want)
+	}
+}
+
 func TestParseGridErrors(t *testing.T) {
 	for _, bad := range []string{
 		"",                                     // no dimensions
 		"workloads=cg",                         // missing systems/ranks
 		"workloads=cg;systems=tiger;ranks=0",   // bad rank
 		"workloads=cg;systems=tiger;ranks=x",   // unparseable rank
+		"workloads=cg;systems=tiger;ranks=4..2",   // inverted range
+		"workloads=cg;systems=tiger;ranks=0..4",   // range below 1
+		"workloads=cg;systems=tiger;ranks=1..x",   // unparseable range end
 		"workloads=cg;systems=tiger;ranks=2;schemes=bogus", // unknown scheme
 		"wibble=1;workloads=cg;systems=tiger;ranks=2",      // unknown section
 		"workloads=;systems=tiger;ranks=2",                 // empty value
@@ -67,6 +99,49 @@ func TestParseGridErrors(t *testing.T) {
 			t.Errorf("ParseGrid(%q) succeeded, want error", bad)
 		}
 	}
+}
+
+// FuzzParseGrid: any input either fails to parse or yields a grid that
+// validates and whose canonical form round-trips to an equal grid. The
+// seed corpus covers every section, the range syntax, and the error
+// shapes from TestParseGridErrors.
+func FuzzParseGrid(f *testing.F) {
+	for _, seed := range []string{
+		"workloads=stream,cg;systems=tiger,dmz;ranks=1,2,4;schemes=default,localalloc",
+		"workloads=cg;systems=tiger;ranks=1..8,16;schemes=interleave",
+		"workloads=cg;systems=tiger;ranks=2;class=B;steps=5;n=1024",
+		"workloads=stream;systems=longs;ranks=1..300",
+		"workloads=cg;systems=tiger;ranks=4..2",
+		"workloads=cg;systems=tiger;ranks=0",
+		"workloads=;systems=tiger;ranks=2",
+		"wibble=1",
+		"",
+		";;;",
+		"workloads=cg;systems=tiger;ranks=1..",
+		"workloads=cg;systems=tiger;ranks=..4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ParseGrid(s)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ParseGrid(%q) ok but Validate failed: %v", s, verr)
+		}
+		// Canonical string round-trips to an identical grid.
+		g.Scale = "quick"
+		canon := g.String()
+		g2, err := ParseGrid(strings.TrimSuffix(canon, ";scale=quick"))
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		g2.Scale = "quick"
+		if g2.String() != canon {
+			t.Fatalf("round-trip %q -> %q", canon, g2.String())
+		}
+	})
 }
 
 func TestFingerprintDeterministic(t *testing.T) {

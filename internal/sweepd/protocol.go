@@ -25,19 +25,34 @@ const (
 )
 
 // Cell result statuses, mirroring the store's entry statuses.
+// StatusEstimated is the screening tier's addition: the cell was priced
+// by the analytic model (internal/analytic) and not promoted to full
+// simulation, so Seconds is an estimate carrying Uncertainty.
 const (
 	StatusOK         = "ok"
 	StatusInfeasible = "infeasible"
 	StatusError      = "error"
+	StatusEstimated  = "estimated"
 )
 
-// SweepRequest is a client's sweep submission.
+// SweepRequest is a client's sweep submission. With Screen set the
+// coordinator prices every cell through the analytic screening tier
+// in-process and leases only the promoted cells (scheme crossovers
+// within PromoteMargin, or estimates whose uncertainty exceeds
+// UncertaintyBound) to workers; the rest stream back as "estimated".
 type SweepRequest struct {
 	SchemaVersion int    `json:"schema_version"`
 	Grid          Grid   `json:"grid"`
 	Faults        string `json:"faults,omitempty"`
 	FaultSeed     int64  `json:"fault_seed,omitempty"`
 	Retries       int    `json:"retries,omitempty"`
+	Screen        bool   `json:"screen,omitempty"`
+	// PromoteMargin is the fractional closeness at which two schemes'
+	// estimates count as a potential ranking flip (0 = use the default).
+	PromoteMargin float64 `json:"promote_margin,omitempty"`
+	// UncertaintyBound promotes any cell whose model uncertainty exceeds
+	// it (0 = use the default).
+	UncertaintyBound float64 `json:"uncertainty_bound,omitempty"`
 }
 
 // CellResult is one completed cell, streamed to clients and reported by
@@ -54,6 +69,13 @@ type CellResult struct {
 	Worker      string   `json:"worker,omitempty"`
 	Simulated   bool     `json:"simulated,omitempty"`
 	Attempt     int      `json:"attempt,omitempty"`
+	// Uncertainty is the analytic model's relative uncertainty band
+	// (StatusEstimated only). Promoted marks a simulated cell that the
+	// screening tier flagged for full simulation; it is observability,
+	// excluded from the fingerprint so promoted results stay
+	// byte-identical to unscreened runs of the same cell.
+	Uncertainty float64 `json:"uncertainty,omitempty"`
+	Promoted    bool    `json:"promoted,omitempty"`
 }
 
 // Fingerprint reduces a cell result to an exact signature over its
@@ -99,6 +121,10 @@ type Summary struct {
 	Infeasible int `json:"infeasible"`
 	Errors     int `json:"errors"`
 	Divergent  int `json:"divergent"`
+	// Screened counts cells the analytic tier settled without
+	// simulation; Promoted counts cells it escalated to the simulator.
+	Screened int `json:"screened,omitempty"`
+	Promoted int `json:"promoted,omitempty"`
 }
 
 // RegisterRequest announces a worker to the coordinator.

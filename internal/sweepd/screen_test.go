@@ -1,0 +1,271 @@
+package sweepd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"multicore/internal/analytic"
+	"multicore/internal/experiments"
+	"multicore/internal/schema"
+)
+
+func screenGrid() Grid {
+	return Grid{
+		Workloads: []string{"stream", "cg", "ra"},
+		Systems:   []string{"tiger", "longs"},
+		Ranks:     []int{1, 2, 4},
+		Schemes:   []string{"default", "localalloc", "membind", "interleave"},
+		Scale:     "quick",
+	}
+}
+
+// TestScreenGridPartition: every cell gets exactly one verdict — a
+// promotion with a reason, or a settled result with a fingerprint — and
+// the decisions come back in grid order.
+func TestScreenGridPartition(t *testing.T) {
+	g := screenGrid()
+	decisions := ScreenGrid(analytic.New(), g, ScreenOptions{})
+	cells := g.Cells()
+	if len(decisions) != len(cells) {
+		t.Fatalf("%d decisions for %d cells", len(decisions), len(cells))
+	}
+	for i, d := range decisions {
+		if d.Cell != cells[i] {
+			t.Fatalf("decision %d is %+v, want grid-order cell %+v", i, d.Cell, cells[i])
+		}
+		if d.Promote {
+			if d.Reason == "" {
+				t.Errorf("promoted cell %s has no reason", d.Cell.Key())
+			}
+			if d.Result.Status != "" {
+				t.Errorf("promoted cell %s also settled as %q", d.Cell.Key(), d.Result.Status)
+			}
+			continue
+		}
+		if d.Result.Status == "" {
+			t.Errorf("unpromoted cell %s has no result", d.Cell.Key())
+			continue
+		}
+		if d.Result.Fingerprint == "" {
+			t.Errorf("settled cell %s has no fingerprint", d.Cell.Key())
+		}
+		if d.Result.Status == StatusEstimated && !(d.Result.Seconds > 0) {
+			t.Errorf("estimated cell %s has non-positive seconds %v", d.Cell.Key(), d.Result.Seconds)
+		}
+	}
+}
+
+// TestScreenGridDeterministic: screening is pure math — two estimators
+// screening the same grid produce byte-equal decisions, fingerprints
+// included.
+func TestScreenGridDeterministic(t *testing.T) {
+	g := screenGrid()
+	a := ScreenGrid(analytic.New(), g, ScreenOptions{})
+	b := ScreenGrid(analytic.New(), g, ScreenOptions{})
+	for i := range a {
+		if a[i].Promote != b[i].Promote || a[i].Reason != b[i].Reason ||
+			a[i].Result.Fingerprint != b[i].Result.Fingerprint {
+			t.Fatalf("screening diverged at %s: %+v vs %+v", a[i].Cell.Key(), a[i], b[i])
+		}
+	}
+}
+
+// TestScreenPromotionMargin: with an absurdly wide margin every
+// estimable row pair promotes; with a zero-ish margin only genuinely
+// tied estimates do. The unknown-family path always promotes.
+func TestScreenPromotionMargin(t *testing.T) {
+	g := screenGrid()
+	wide := ScreenGrid(analytic.New(), g, ScreenOptions{PromoteMargin: 1e9})
+	var widePromoted, wideEstimable int
+	for _, d := range wide {
+		if d.HasEst {
+			wideEstimable++
+			if d.Promote {
+				widePromoted++
+			}
+		}
+	}
+	if widePromoted != wideEstimable {
+		t.Errorf("margin=1e9 promoted %d of %d estimable cells; rows with >=2 schemes must all promote",
+			widePromoted, wideEstimable)
+	}
+
+	narrow := ScreenGrid(analytic.New(), g, ScreenOptions{PromoteMargin: 1e-12})
+	var narrowPromoted int
+	for _, d := range narrow {
+		if d.HasEst && d.Promote && d.Reason == ReasonCrossover {
+			narrowPromoted++
+		}
+	}
+	if narrowPromoted >= widePromoted {
+		t.Errorf("margin=1e-12 promoted %d crossover cells, not fewer than the wide margin's %d",
+			narrowPromoted, widePromoted)
+	}
+
+	// A single-scheme row has no crossover to detect: a known family
+	// settles as an estimate, while a family the model has no profile
+	// for must promote — only the simulator can price it.
+	gk := Grid{Workloads: []string{"stream"}, Systems: []string{"tiger"},
+		Ranks: []int{1}, Schemes: []string{"default"}, Scale: "quick"}
+	dk := ScreenGrid(analytic.New(), gk, ScreenOptions{})
+	if len(dk) != 1 || dk[0].Promote || dk[0].Result.Status != StatusEstimated {
+		t.Fatalf("known family screened as %+v; want settled estimate", dk[0])
+	}
+	gu := gk
+	gu.Workloads = []string{"nosuchfamily"}
+	du := ScreenGrid(analytic.New(), gu, ScreenOptions{})
+	if len(du) != 1 || !du[0].Promote || du[0].Reason != ReasonUnestimable {
+		t.Fatalf("unprofiled family screened as %+v; want promotion (%s)", du[0], ReasonUnestimable)
+	}
+}
+
+// TestRunScreenedByteStable: the two-tier executor's promoted cells run
+// through the same path as a direct sweep, so (a) every result is
+// identical across worker counts, and (b) promoted cells' fingerprints
+// are byte-identical to an unscreened run's.
+func TestRunScreenedByteStable(t *testing.T) {
+	g := screenGrid()
+	opts := ScreenOptions{}
+
+	newRunner := func() *experiments.Runner {
+		return experiments.NewRunner(context.Background(), experiments.Options{Parallelism: 2})
+	}
+	res1, dec1 := RunScreened(newRunner(), analytic.New(), g, opts, 1)
+	res4, dec4 := RunScreened(newRunner(), analytic.New(), g, opts, 4)
+	if len(dec1) != len(dec4) || len(res1) != len(res4) {
+		t.Fatalf("worker counts changed the result shape: %d/%d vs %d/%d",
+			len(dec1), len(res1), len(dec4), len(res4))
+	}
+	for k, a := range res1 {
+		b, ok := res4[k]
+		if !ok {
+			t.Fatalf("cell %s missing at workers=4", k)
+		}
+		if a.Fingerprint != b.Fingerprint || a.Status != b.Status {
+			t.Errorf("cell %s differs across worker counts: %+v vs %+v", k, a, b)
+		}
+	}
+
+	// Promoted cells vs the direct (unscreened) golden run.
+	golden := RunLocal(newRunner(), g, 1)
+	var promoted int
+	for _, d := range dec1 {
+		if !d.Promote {
+			continue
+		}
+		promoted++
+		k := d.Cell.Key()
+		got, want := res1[k], golden[k]
+		if got.Fingerprint != want.Fingerprint {
+			t.Errorf("promoted cell %s fingerprint %s != direct run %s", k, got.Fingerprint, want.Fingerprint)
+		}
+		if !got.Promoted {
+			t.Errorf("promoted cell %s not marked Promoted in results", k)
+		}
+	}
+	if promoted == 0 {
+		t.Error("screening promoted nothing; the crossover rule is inert")
+	}
+	if promoted == len(dec1) {
+		t.Error("screening promoted everything; the estimate tier is inert")
+	}
+
+	sum := ScreenSummary(dec1, res1)
+	if sum.Cells != len(dec1) || sum.Promoted != promoted || sum.Screened != len(dec1)-promoted {
+		t.Errorf("summary %+v inconsistent with %d decisions / %d promoted", sum, len(dec1), promoted)
+	}
+}
+
+// TestScreenThroughput is the perf acceptance gate: screening must
+// sustain at least 1e5 cells/sec single-threaded on a >=100k-cell grid
+// (the scale the two-tier executor exists for). The real rate is well
+// above 1e6/sec, so the bound holds even on loaded CI machines.
+func TestScreenThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement; skipped with -short")
+	}
+	ranks := make([]int, 650)
+	for i := range ranks {
+		ranks[i] = i + 1
+	}
+	g := Grid{
+		Workloads: []string{"stream", "daxpy", "dgemm", "fft", "ra", "ptrans", "hpl", "cg", "ft", "ep", "mg", "lmbench", "pop"},
+		Systems:   []string{"tiger", "dmz", "longs"},
+		Ranks:     ranks,
+		Schemes:   []string{"default", "localalloc", "membind", "interleave"},
+		Scale:     "quick",
+	}
+	cells := len(g.Workloads) * len(g.Systems) * len(g.Ranks) * len(g.Schemes)
+	if cells < 100_000 {
+		t.Fatalf("grid has %d cells, want >= 100k", cells)
+	}
+	e := analytic.New()
+	start := time.Now()
+	decisions := ScreenGrid(e, g, ScreenOptions{})
+	elapsed := time.Since(start)
+	rate := float64(len(decisions)) / elapsed.Seconds()
+	t.Logf("screened %d cells in %v (%.0f cells/sec)", len(decisions), elapsed, rate)
+	if rate < 1e5 {
+		t.Errorf("screening rate %.0f cells/sec below the 1e5 acceptance floor", rate)
+	}
+}
+
+// TestCoordinatorScreenedSweep: a screened remote sweep settles most
+// cells in-process, leases only the promoted sliver, and the promoted
+// results are byte-identical to the serial golden path.
+func TestCoordinatorScreenedSweep(t *testing.T) {
+	g := screenGrid()
+	golden, _ := serialGolden(t, g)
+
+	_, srv := startCoordinator(t, CoordinatorOptions{})
+	storeDir := t.TempDir()
+	w1, _ := startE2EWorker(t, srv.URL, storeDir, "a", nil)
+
+	req := SweepRequest{SchemaVersion: schema.Version, Grid: g, Screen: true}
+	results := map[string]CellResult{}
+	sum, err := Submit(context.Background(), srv.URL, req, func(r CellResult) {
+		results[r.Cell.Key()] = r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == nil {
+		t.Fatal("no summary")
+	}
+	if sum.Cells != len(g.Cells()) {
+		t.Fatalf("summary cells = %d, want %d", sum.Cells, len(g.Cells()))
+	}
+	if sum.Screened == 0 || sum.Promoted == 0 {
+		t.Fatalf("summary %+v: want both screened and promoted cells", sum)
+	}
+	if sum.Screened+sum.Promoted != sum.Cells {
+		t.Fatalf("summary %+v: screened+promoted != cells", sum)
+	}
+	if sum.Simulated != sum.Promoted {
+		t.Errorf("worker simulated %d cells, want exactly the %d promoted", sum.Simulated, sum.Promoted)
+	}
+	run, _ := w1.Stats()
+	if run != sum.Promoted {
+		t.Errorf("worker ran %d cells, want %d", run, sum.Promoted)
+	}
+	for k, res := range results {
+		switch res.Status {
+		case StatusEstimated:
+			if res.Promoted {
+				t.Errorf("cell %s both estimated and promoted", k)
+			}
+		case StatusOK, StatusInfeasible, StatusError:
+			if res.Status == StatusOK && !res.Promoted {
+				t.Errorf("simulated cell %s not marked promoted in a screened sweep", k)
+			}
+			if res.Status == StatusOK {
+				if want := golden[k]; res.Fingerprint != want.Fingerprint {
+					t.Errorf("promoted cell %s fingerprint %s != serial %s", k, res.Fingerprint, want.Fingerprint)
+				}
+			}
+		default:
+			t.Errorf("cell %s has unexpected status %q", k, res.Status)
+		}
+	}
+}

@@ -43,8 +43,14 @@ func Table(g Grid, results map[string]CellResult) *report.Table {
 					switch {
 					case !ok:
 						cells = append(cells, report.Err)
+					case res.Status == StatusOK && res.Promoted:
+						// Promoted by the screening tier: simulated seconds,
+						// marked so a screened table shows its tier per cell.
+						cells = append(cells, report.Seconds(res.Seconds)+"*")
 					case res.Status == StatusOK:
 						cells = append(cells, report.Seconds(res.Seconds))
+					case res.Status == StatusEstimated:
+						cells = append(cells, "~"+report.Seconds(res.Seconds))
 					case res.Status == StatusInfeasible:
 						cells = append(cells, report.NA)
 					default:
@@ -107,7 +113,12 @@ func resultFor(c CellSpec, secs float64, err error) CellResult {
 // fan-out), and results are keyed by cell for Table. With workers <= 1
 // the grid runs strictly in declared order.
 func RunLocal(r *experiments.Runner, g Grid, workers int) map[string]CellResult {
-	cells := g.Cells()
+	return runCells(r, g.Cells(), workers)
+}
+
+// runCells is the cell-level worker pool shared by full sweeps
+// (RunLocal) and the promoted tier of screened sweeps (RunScreened).
+func runCells(r *experiments.Runner, cells []CellSpec, workers int) map[string]CellResult {
 	out := make([]CellResult, len(cells))
 	run := func(i int) {
 		c := cells[i]

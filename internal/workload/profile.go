@@ -1,0 +1,591 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file derives closed-form *analytic profiles* from the same cost
+// constants the simulated kernel bodies use: per-rank flop counts,
+// sequential and latency-bound memory traffic, working-set sizes, and
+// the communication pattern mix. The analytic screening tier
+// (internal/analytic) prices a profile against a machine spec in
+// microseconds, where the fluid simulation of the same body costs
+// O(events).
+//
+// Profiles are approximations by design: loop-carried cache warm-up,
+// contention transients, and collective skew are folded into constants,
+// and machine-dependent blocking factors use a fixed representative
+// geometry. Per-(family, system) calibration factors
+// (analytic.Calibrate) absorb constant error; what a profile must get
+// right is the *shape* — how work and traffic scale with the rank count
+// and how placement-sensitive each phase's memory traffic is.
+
+// CommPattern classifies one communication exchange of a profile.
+type CommPattern uint8
+
+const (
+	// CommBarrier is a dissemination barrier (Bytes ignored).
+	CommBarrier CommPattern = iota
+	// CommP2P is Count sequential point-to-point messages of Bytes each.
+	CommP2P
+	// CommRing is Count nearest-neighbour Sendrecv steps of Bytes each.
+	CommRing
+	// CommAlltoall is Count all-to-all operations moving Bytes per peer
+	// pair (the pairwise-exchange algorithm: ranks-1 sequential steps).
+	CommAlltoall
+	// CommAllgather is Count ring allgathers of Bytes per piece.
+	CommAllgather
+	// CommAllreduce is Count allreduces of a Bytes payload.
+	CommAllreduce
+	// CommBcast is Count broadcasts of a Bytes payload.
+	CommBcast
+)
+
+// Exchange is one communication term of a profile.
+type Exchange struct {
+	Pattern CommPattern
+	Count   float64 // operations over the whole run
+	Bytes   float64 // payload per operation (pattern-specific meaning)
+}
+
+// Phase is one kernel phase of a profile: a compute block overlapped
+// with its memory traffic, exactly like the simulator's CPU.Overlap.
+// All quantities are per-rank totals over the run.
+type Phase struct {
+	// EffFlops is the efficiency-weighted flop count of the phase:
+	// flops/efficiency, so compute seconds = EffFlops/PeakFlops.
+	EffFlops float64
+	// StreamBytes is the sequential DRAM traffic, with write streams
+	// already doubled (write-allocate + writeback, as in mem.Cache).
+	StreamBytes float64
+	// StreamWS, when positive and cache-resident, serves StreamBytes
+	// beyond one cold fill from L2 instead of DRAM.
+	StreamWS float64
+	// StreamCeiling optionally caps the stream DRAM rate in B/s,
+	// mirroring mem.Access.RateCeiling (e.g. the CG SpMV gather bound).
+	StreamCeiling float64
+	// RandomTouches and ChaseTouches count latency-bound line fetches
+	// (independent misses with MLP, and dependent MLP=1 chains).
+	RandomTouches float64
+	ChaseTouches  float64
+	// TouchWS is the region size behind the latency-bound touches; the
+	// cache-resident fraction min(1, cache/TouchWS) of them hits in L2.
+	TouchWS float64
+}
+
+// Profile is the per-rank closed-form work of one workload at one rank
+// count.
+type Profile struct {
+	// Family is the workload family name ("stream", "cg", ...).
+	Family string
+	// Phases are the kernel phases, priced independently and summed.
+	Phases []Phase
+	// ChaseSweep, when non-empty, is a latency-probe sweep (lmbench):
+	// for each region size, ChaseSweepTouches dependent touches run
+	// twice (warm-up + measured) with cache residency applied per size.
+	ChaseSweep        []float64
+	ChaseSweepTouches float64
+	// Exchanges lists the communication terms (empty for single-rank
+	// runs and communication-free kernels).
+	Exchanges []Exchange
+	// Uncertainty is the family's base relative model uncertainty: how
+	// far the closed form is trusted before calibration.
+	Uncertainty float64
+}
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1.
+func ceilLog2(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// ProfileFor derives the analytic profile of a workload spec at a rank
+// count. Unknown families return an error; the screening tier treats
+// those cells as unestimable and promotes them to full simulation.
+func ProfileFor(spec Spec, ranks int) (Profile, error) {
+	if ranks < 1 {
+		return Profile{}, fmt.Errorf("workload: profile needs a positive rank count, got %d", ranks)
+	}
+	p := float64(ranks)
+	switch spec.Name {
+	case "stream":
+		// 4 timed triad sweeps + 1 warm-up over three 32 MiB vectors:
+		// two read streams plus one doubled write stream per sweep.
+		v := 32.0 * 1024 * 1024
+		sweeps := 5.0
+		return Profile{
+			Family: "stream",
+			Phases: []Phase{{
+				EffFlops:    sweeps * 2 * (v / 8) / 0.5,
+				StreamBytes: sweeps * 4 * v,
+			}},
+			Uncertainty: 0.10,
+		}, nil
+
+	case "daxpy":
+		n := float64(defaulted(spec.N, defaultDaxpyN))
+		passes := 9.0 // 8 timed + warm-up
+		return Profile{
+			Family: "daxpy",
+			Phases: []Phase{{
+				EffFlops:    passes * 2 * n / 0.6,
+				StreamBytes: passes * 4 * 8 * n, // read x,y + doubled write y
+			}},
+			Uncertainty: 0.10,
+		}, nil
+
+	case "dgemm":
+		n := float64(defaulted(spec.N, defaultDgemmN))
+		passes := 3.0 // 2 timed + warm-up
+		const reuse = 48.0
+		return Profile{
+			Family: "dgemm",
+			Phases: []Phase{{
+				EffFlops:    passes * 2 * n * n * n / 0.85,
+				StreamBytes: passes * (2*8*n*n*n/reuse + 2*8*n*n),
+			}},
+			Uncertainty: 0.15,
+		}, nil
+
+	case "fft":
+		total := float64(defaulted(spec.N, defaultFFTN))
+		nLocal := total / p
+		iters := 2.0
+		// Two local sub-passes per iteration; the blocked transform makes
+		// a fixed ~2 read+write sweeps of the local data per sub-pass.
+		const memPasses = 2.0
+		flops := iters * (2*5*nLocal*math.Log2(math.Max(nLocal, 2)) + 6*nLocal)
+		prof := Profile{
+			Family: "fft",
+			Phases: []Phase{{
+				EffFlops:    flops / 0.22,
+				StreamBytes: iters * 2 * memPasses * 3 * 16 * nLocal,
+			}},
+			Uncertainty: 0.15,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommBarrier, Count: 1},
+				{Pattern: CommAlltoall, Count: iters * 2, Bytes: 16 * nLocal / p},
+			}
+		}
+		return prof, nil
+
+	case "ra":
+		table := 64.0 * 1024 * 1024
+		updates := 4 * table / 8
+		perRank := updates / p
+		prof := Profile{
+			Family: "ra",
+			Phases: []Phase{{
+				EffFlops:      perRank * 2 / 0.5,
+				RandomTouches: perRank,
+				TouchWS:       table / p,
+			}},
+			Uncertainty: 0.15,
+		}
+		if ranks > 1 {
+			perRound := 1024.0
+			rounds := perRank / perRound
+			prof.Exchanges = []Exchange{
+				{Pattern: CommAlltoall, Count: rounds, Bytes: perRound * (1 - 1/p) / (p - 1) * 8},
+			}
+		}
+		return prof, nil
+
+	case "ptrans":
+		n := float64(defaulted(spec.N, defaultPtransN))
+		localBytes := 8 * n * n / p
+		iters := 2.0
+		prof := Profile{
+			Family: "ptrans",
+			Phases: []Phase{{
+				EffFlops:    iters * (localBytes / 8) / 0.5,
+				StreamBytes: iters * 3 * localBytes, // read src + doubled write dst
+			}},
+			Uncertainty: 0.20,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommAlltoall, Count: iters, Bytes: 8 * n * n / (p * p)},
+			}
+		}
+		return prof, nil
+
+	case "hpl":
+		n := float64(defaulted(spec.N, defaultHPLN))
+		const nb = 64.0
+		panels := math.Floor(n / nb)
+		sumM := panels*n - nb*panels*(panels-1)/2 // sum of trailing heights
+		sumM2 := 0.0
+		for k := 0.0; k < panels; k++ {
+			m := n - k*nb
+			sumM2 += m * m
+		}
+		const reuse = 48.0
+		prof := Profile{
+			Family: "hpl",
+			Phases: []Phase{
+				{ // panel factorizations, owner work amortized over ranks
+					EffFlops:    nb * nb * sumM / 0.35 / p,
+					StreamBytes: 8 * nb * sumM / p,
+				},
+				{ // blocked trailing-matrix updates
+					EffFlops:    2 * nb * sumM2 / (0.8 * p),
+					StreamBytes: 16 * nb * sumM2 / (reuse * p),
+				},
+			},
+			Uncertainty: 0.20,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommBcast, Count: panels, Bytes: 8 * nb * (sumM / panels)},
+				{Pattern: CommBarrier, Count: 1},
+			}
+		}
+		return prof, nil
+
+	case "cg":
+		// NPB CG: ClassA N=14000 with 132 nonzeros per row, 15 outer x 25
+		// inner iterations on a 2D power-of-two process grid.
+		n, nnzRow, outer := 14000.0, 132.0, 15.0
+		switch spec.Class {
+		case "", "A":
+		case "W":
+			n, nnzRow, outer = 7000.0, 64.0, 15.0
+		case "B":
+			n, nnzRow, outer = 75000.0, 143.0, 75.0
+		default:
+			return Profile{}, fmt.Errorf("workload: no analytic profile for cg class %q", spec.Class)
+		}
+		inner := outer * 25
+		nnzLocal := n * nnzRow / p
+		cols := math.Pow(2, math.Floor(ceilLog2(ranks)/2))
+		blk := 8 * n / p
+		prof := Profile{
+			Family: "cg",
+			Phases: []Phase{
+				{ // SpMV: rate-bound matrix stream + x-vector gathers
+					EffFlops:      inner * 2 * nnzLocal / 0.12,
+					StreamBytes:   inner * 12 * nnzLocal,
+					StreamCeiling: 1.6e9,
+					RandomTouches: inner * nnzLocal,
+					TouchWS:       8 * n / cols,
+				},
+				{ // vector updates: axpy-style streams over the local block
+					EffFlops:    inner * 6 * (n / p) / 0.4,
+					StreamBytes: inner * 4 * blk,
+					StreamWS:    3 * blk,
+				},
+			},
+			Uncertainty: 0.20,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommP2P, Count: inner * ceilLog2(int(cols)+1), Bytes: 8 * n / (cols * math.Max(cols, 1))},
+				{Pattern: CommAllreduce, Count: inner * 2, Bytes: 8},
+			}
+		}
+		return prof, nil
+
+	case "ft":
+		// NPB FT: ClassA 256x256x128, 6 iterations; per iteration an
+		// evolve sweep, a local xy FFT, a global transpose, and a z FFT.
+		nx, ny, nz, iters := 256.0, 256.0, 128.0, 6.0
+		switch spec.Class {
+		case "", "A":
+		case "W":
+			nx, ny, nz, iters = 128.0, 128.0, 32.0, 6.0
+		case "B":
+			nx, ny, nz, iters = 512.0, 256.0, 256.0, 20.0
+		default:
+			return Profile{}, fmt.Errorf("workload: no analytic profile for ft class %q", spec.Class)
+		}
+		total := nx * ny * nz
+		nloc := total / p
+		allFlops := 5 * total * math.Log2(total) / p
+		prof := Profile{
+			Family: "ft",
+			Phases: []Phase{
+				{ // evolve: memory-bound sweep over the local volume
+					EffFlops:    iters * 6 * nloc / 0.25,
+					StreamBytes: iters * 3 * 16 * nloc,
+				},
+				{ // FFT passes: compute-bound, with read+write sweeps
+					EffFlops:      iters * allFlops / 0.22,
+					StreamBytes:   iters * 3 * 16 * nloc,
+					RandomTouches: iters * 1024 / p,
+					TouchWS:       16 * nloc,
+				},
+			},
+			Uncertainty: 0.20,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommAlltoall, Count: iters, Bytes: 16 * nloc / p},
+				{Pattern: CommAllreduce, Count: iters, Bytes: 16},
+			}
+		}
+		return prof, nil
+
+	case "ep":
+		m := 28.0
+		if spec.Class == "W" {
+			m = 25
+		} else if spec.Class == "B" {
+			m = 30
+		}
+		pairs := math.Pow(2, m) / p
+		prof := Profile{
+			Family:      "ep",
+			Phases:      []Phase{{EffFlops: 90 * pairs / 0.4}},
+			Uncertainty: 0.10,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{{Pattern: CommAllreduce, Count: 1, Bytes: 80}}
+		}
+		return prof, nil
+
+	case "mg":
+		n := 128.0 // ClassW
+		iters := 4.0
+		if spec.Class == "A" {
+			n = 256
+		} else if spec.Class == "B" {
+			n, iters = 256, 20
+		}
+		var flops, stream, pts23 float64
+		for s := n; s >= 4; s /= 2 {
+			pts := s * s * s / p
+			flops += 2 * 30 * pts / 0.3
+			stream += 2 * (2*8*pts + 2*4*pts)
+			pts23 += 2 * math.Pow(pts, 2.0/3.0)
+		}
+		prof := Profile{
+			Family: "mg",
+			Phases: []Phase{{
+				EffFlops:    iters * flops,
+				StreamBytes: iters * stream,
+			}},
+			Uncertainty: 0.20,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommRing, Count: iters * 2 * 6, Bytes: 8 * pts23 / 12},
+			}
+		}
+		return prof, nil
+
+	case "lmbench":
+		// lat_mem_rd: dependent chases over working-set sizes swept from
+		// cache-resident to memory-resident, two passes per size.
+		var sizes []float64
+		for s := 4.0 * 1024; s <= 64*1024*1024; s *= 4 {
+			sizes = append(sizes, s)
+		}
+		return Profile{
+			Family:            "lmbench",
+			ChaseSweep:        sizes,
+			ChaseSweepTouches: 20000,
+			Uncertainty:       0.15,
+		}, nil
+
+	case "amber":
+		return amberProfile(spec, ranks)
+
+	case "lammps":
+		return lammpsProfile(spec, ranks)
+
+	case "pop":
+		return popProfile(spec, ranks)
+	}
+	return Profile{}, fmt.Errorf("workload: no analytic profile for family %q", spec.Name)
+}
+
+func defaulted(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// amberProfile mirrors internal/apps/amber's PME/GB cost constants.
+func amberProfile(spec Spec, ranks int) (Profile, error) {
+	p := float64(ranks)
+	var atoms float64
+	gb := false
+	switch spec.Arg {
+	case "dhfr":
+		atoms = 22930
+	case "factor_ix":
+		atoms = 90906
+	case "JAC":
+		atoms = 23558
+	case "gb_cox2":
+		atoms, gb = 18056, true
+	case "gb_mb":
+		atoms, gb = 2492, true
+	default:
+		return Profile{}, fmt.Errorf("workload: no analytic profile for amber benchmark %q", spec.Arg)
+	}
+	steps := float64(defaulted(spec.Steps, defaultMDSteps))
+	if gb {
+		pairCount := atoms / p * 420
+		prof := Profile{
+			Family: "amber",
+			Phases: []Phase{
+				{ // GB pairwise forces over the full pair list
+					EffFlops:      steps * 2 * pairCount * 90 / 0.45,
+					StreamBytes:   steps * 8 * pairCount,
+					RandomTouches: steps * pairCount / 8,
+					TouchWS:       72 * atoms / p,
+				},
+				{ // integration over local atoms
+					EffFlops:    steps * 9 * atoms / p / 0.4,
+					StreamBytes: steps * 64 * atoms / p,
+					StreamWS:    72 * atoms / p,
+				},
+			},
+			Uncertainty: 0.25,
+		}
+		if ranks > 1 {
+			prof.Exchanges = []Exchange{
+				{Pattern: CommAllreduce, Count: steps, Bytes: 24 * atoms},
+			}
+		}
+		return prof, nil
+	}
+	pairCount := atoms / p * 190
+	gridPts := math.Pow(2, math.Ceil(math.Log2(atoms*11)))
+	fftFlops := 5 * gridPts * math.Log2(gridPts) / p
+	prof := Profile{
+		Family: "amber",
+		Phases: []Phase{
+			{ // direct-space pair forces
+				EffFlops:      steps * pairCount * 55 / 0.30,
+				StreamBytes:   steps * (8*pairCount + 24*atoms/p),
+				RandomTouches: steps * pairCount / 8,
+				TouchWS:       72 * atoms / p,
+			},
+			{ // reciprocal space: charge spread + FFTs + integration
+				EffFlops:    steps * (640*atoms/p/0.25 + 2*fftFlops/0.22 + 9*atoms/p/0.4),
+				StreamBytes: steps * (4*16*gridPts/p + 24*atoms/p),
+			},
+		},
+		Uncertainty: 0.25,
+	}
+	if ranks > 1 {
+		prof.Exchanges = []Exchange{
+			{Pattern: CommAlltoall, Count: steps * 4, Bytes: 16 * gridPts / (p * p)},
+			{Pattern: CommAllreduce, Count: steps, Bytes: 24 * atoms},
+		}
+	}
+	return prof, nil
+}
+
+// lammpsProfile mirrors internal/apps/lammps's per-benchmark constants.
+func lammpsProfile(spec Spec, ranks int) (Profile, error) {
+	p := float64(ranks)
+	var neighbors, flopsPerPair, passes, eff, gatherFrac, haloFactor float64
+	chase := false
+	switch spec.Arg {
+	case "lj":
+		neighbors, flopsPerPair, passes, eff, gatherFrac, haloFactor = 37, 45, 1, 0.30, 0.125, 6
+	case "chain":
+		neighbors, flopsPerPair, passes, eff, gatherFrac, haloFactor = 25, 30, 1, 0.30, 1.0, 1.5
+		chase = true
+	case "eam":
+		neighbors, flopsPerPair, passes, eff, gatherFrac, haloFactor = 45, 60, 2, 0.32, 0.125, 7
+	default:
+		return Profile{}, fmt.Errorf("workload: no analytic profile for lammps benchmark %q", spec.Arg)
+	}
+	atoms := 32000.0
+	steps := float64(spec.Steps)
+	if steps == 0 {
+		steps = 100
+	}
+	aLocal := atoms / p
+	pairCount := aLocal * neighbors
+	atomBytes := 3 * 24 * aLocal
+	listBytes := pairCount * 8
+	gathers := steps * pairCount * gatherFrac
+	rebuilds := math.Ceil(steps / 10)
+	force := Phase{ // pairwise force passes
+		EffFlops:    steps * passes * pairCount * flopsPerPair / eff,
+		StreamBytes: steps * passes * listBytes,
+		StreamWS:    listBytes,
+		TouchWS:     atomBytes / 3,
+	}
+	if chase {
+		force.ChaseTouches = gathers
+	} else {
+		force.RandomTouches = gathers
+	}
+	prof := Profile{
+		Family: "lammps",
+		Phases: []Phase{
+			force,
+			{ // neighbour-list rebuilds every 10 steps
+				EffFlops:    rebuilds * 20 * pairCount / 0.25,
+				StreamBytes: rebuilds * (atomBytes + 2*listBytes),
+			},
+			{ // integration over local atoms
+				EffFlops:    steps * 12 * aLocal / 0.4,
+				StreamBytes: steps * (atomBytes/3 + 2*atomBytes/3),
+				StreamWS:    atomBytes,
+			},
+		},
+		Uncertainty: 0.25,
+	}
+	if ranks > 1 {
+		haloBytes := haloFactor * math.Pow(aLocal, 2.0/3.0) * 24
+		exchanges := 2.0 // forward + reverse
+		if spec.Arg == "eam" {
+			exchanges = 3 // + mid-step density exchange
+		}
+		axes := math.Min(3, ceilLog2(ranks))
+		prof.Exchanges = []Exchange{
+			{Pattern: CommP2P, Count: steps * exchanges * axes * 2, Bytes: haloBytes},
+			{Pattern: CommAllreduce, Count: rebuilds, Bytes: 64},
+			{Pattern: CommBarrier, Count: 1},
+		}
+	}
+	return prof, nil
+}
+
+// popProfile mirrors internal/apps/pop's grid and cost constants.
+func popProfile(spec Spec, ranks int) (Profile, error) {
+	p := float64(ranks)
+	nx, ny, nz := 320.0, 384.0, 40.0
+	steps := float64(defaulted(spec.Steps, defaultMDSteps))
+	const cgIters = 150.0
+	pts2D := nx * ny / p
+	pts3D := pts2D * nz
+	tileEdge := math.Sqrt(pts2D)
+	prof := Profile{
+		Family: "pop",
+		Phases: []Phase{
+			{ // baroclinic: 3D stencil over the state fields
+				EffFlops:    steps * pts3D * 150 / 0.28,
+				StreamBytes: steps * (10*8*pts3D + 2*10*8*pts3D/3),
+			},
+			{ // barotropic: 2D CG solver sweeps
+				EffFlops:    steps * cgIters * pts2D * 18 / 0.3,
+				StreamBytes: steps * cgIters * 4 * 8 * pts2D,
+				StreamWS:    3 * 8 * pts2D,
+			},
+		},
+		Uncertainty: 0.25,
+	}
+	if ranks > 1 {
+		prof.Exchanges = []Exchange{
+			{Pattern: CommRing, Count: steps * 2, Bytes: 4 * tileEdge * nz * 8 * 2},
+			{Pattern: CommRing, Count: steps * cgIters, Bytes: 4 * tileEdge * 8},
+			{Pattern: CommAllreduce, Count: steps * cgIters * 2, Bytes: 8},
+		}
+	}
+	return prof, nil
+}
