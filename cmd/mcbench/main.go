@@ -86,7 +86,7 @@ func main() {
 	faults := flag.String("faults", "", `deterministic fault plan injected into every cell, e.g. "noise:core=3,period=1ms,frac=0.1;linkdown:s0-s1,t=2ms..5ms"`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's random draws (phases, cell failures)")
 	retries := flag.Int("retries", 0, "re-attempts per cell that fails with a transient fault (0 = no retry)")
-	sweep := flag.String("sweep", "", `grid sweep instead of paper artifacts, e.g. "workloads=stream,cg;systems=tiger;ranks=1,2;schemes=default,localalloc"`)
+	sweep := flag.String("sweep", "", `grid sweep instead of paper artifacts, e.g. "workloads=stream,cg;systems=tiger;ranks=1,2;schemes=default,localalloc" (systems take registered names or @FILE spec files)`)
 	remote := flag.String("remote", "", "with -sweep: submit the grid to this mcsweepd coordinator URL and stream results")
 	screen := flag.Bool("screen", false, "with -sweep: two-tier execution — price every cell analytically, simulate only promoted cells (scheme crossovers and high-uncertainty estimates)")
 	promoteMargin := flag.Float64("promote-margin", sweepd.DefaultPromoteMargin, "with -screen: fractional closeness of two schemes' estimates that promotes both to simulation")
@@ -542,13 +542,13 @@ func isCancellation(err error) bool {
 // peak_heap_bytes/ranks is the memory-per-rank figure scale regressions
 // show up in.
 type benchRecord struct {
-	ID            string  `json:"id"`
-	Seconds       float64 `json:"seconds"`
-	Events        uint64  `json:"events"`
-	Flows         uint64  `json:"flows"`
-	Settles       uint64  `json:"settles"`
-	Mallocs       uint64  `json:"mallocs"`
-	Ranks         uint64  `json:"ranks"`
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Events  uint64  `json:"events"`
+	Flows   uint64  `json:"flows"`
+	Settles uint64  `json:"settles"`
+	Mallocs uint64  `json:"mallocs"`
+	Ranks   uint64  `json:"ranks"`
 	// PeakHeapBytes is omitted (zero) when the worker pool is active
 	// (-j > 1): a sampled peak spanning concurrent cells is not a
 	// per-experiment number.

@@ -55,7 +55,7 @@ func impls(name string) *mpi.Impl {
 }
 
 func main() {
-	system := flag.String("system", "dmz", "system: tiger, dmz, longs")
+	system := flag.String("system", "dmz", "system: a registered machine (tiger, dmz, longs, hybrid16, epyc2x4, ...) or @FILE for a spec file")
 	machineFile := flag.String("machine", "", "JSON machine-spec file overriding -system (see machine.LoadSpec)")
 	ranks := flag.Int("ranks", 2, "MPI task count")
 	scheme := flag.String("scheme", "default", "placement: default, localalloc, membind, 2mpi-localalloc, 2mpi-membind, interleave")

@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	mctopo [tiger|dmz|longs|<spec>]...
+//	mctopo [-spec NAME] [NAME|@FILE|<topology>]...
 //
-// A <spec> builds a hypothetical machine with Longs-like parameters on a
-// custom fabric: ladder:RxC[xK], ring:N[xK], xbar:N[xK], line:N[xK].
+// NAME is any registered machine (tiger, dmz, longs, hybrid16, epyc2x4,
+// ...); @FILE loads a machine-spec JSON file. A bare <topology> string
+// builds a hypothetical machine with Longs-like parameters on a custom
+// fabric: ladder:RxC[xK], ring:N[xK], xbar:N[xK], line:N[xK], sock:K —
+// with core-class lists ("sock:8P+8E") and die splits ("line:2x32/4")
+// accepted in the cores position.
+//
+// -spec emits the machine's canonical schema-2 JSON instead of the
+// human-readable description — the starting point for a custom spec file.
 package main
 
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"multicore/internal/machine"
 	"multicore/internal/topology"
@@ -19,20 +27,37 @@ import (
 )
 
 func main() {
-	names := os.Args[1:]
-	if len(names) == 0 {
-		names = []string{"tiger", "dmz", "longs"}
+	args := os.Args[1:]
+	specOut := ""
+	if len(args) >= 2 && args[0] == "-spec" {
+		specOut = args[1]
+		args = args[2:]
+	} else if len(args) >= 1 && strings.HasPrefix(args[0], "-spec=") {
+		specOut = strings.TrimPrefix(args[0], "-spec=")
+		args = args[1:]
 	}
-	for i, name := range names {
-		spec := machine.ByName(name)
-		if spec == nil {
-			topo, err := topology.Parse(name)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mctopo: unknown system %q (want tiger, dmz, longs, or a spec like ladder:4x2)\n", name)
-				os.Exit(1)
-			}
-			spec = machine.Longs()
-			spec.Topo = topo
+	if specOut != "" {
+		spec, err := resolve(specOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mctopo: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := machine.MarshalJSONSpec(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mctopo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"tiger", "dmz", "longs"}
+	}
+	for i, name := range args {
+		spec, err := resolve(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mctopo: %v\n", err)
+			os.Exit(1)
 		}
 		if i > 0 {
 			fmt.Println()
@@ -41,13 +66,65 @@ func main() {
 	}
 }
 
+// resolve maps a CLI argument to a machine: registered names and @FILE
+// paths through the registry, bare topology strings onto Longs-like
+// parameters (with a fabric defaulted in for multi-die strings, so the
+// hypothetical machine still validates).
+func resolve(name string) (*machine.Spec, error) {
+	spec, rerr := machine.Resolve(name)
+	if rerr == nil {
+		return spec, nil
+	}
+	topo, terr := topology.Parse(name)
+	if terr != nil {
+		return nil, fmt.Errorf("%v; not a topology spec either (%v)", rerr, terr)
+	}
+	spec = machine.Longs()
+	spec.Topo = topo
+	if topo.NumDies() > 1 {
+		spec.FabricBandwidth = spec.MCBandwidth
+		spec.FabricLatency = spec.HopLatency / 2
+	}
+	return spec, nil
+}
+
 func describe(spec *machine.Spec) {
 	topo := spec.Topo
-	fmt.Printf("%s: %d sockets x %d cores = %d cores @ %.1f GHz (peak %s/core)\n",
-		topo.Name, topo.NumSockets, topo.CoresPerSock, topo.NumCores(),
+	cores := fmt.Sprintf("%d cores", topo.CoresPerSock)
+	if len(topo.Classes) > 0 {
+		var parts []string
+		for _, cl := range topo.Classes {
+			parts = append(parts, fmt.Sprintf("%d%s", cl.PerSocket, cl.Name))
+		}
+		cores = fmt.Sprintf("%s cores", strings.Join(parts, "+"))
+	}
+	fmt.Printf("%s: %d sockets x %s = %d cores @ %.1f GHz (peak %s/core)\n",
+		topo.Name, topo.NumSockets, cores, topo.NumCores(),
 		spec.FreqHz/1e9, units.Flops(spec.PeakFlops()))
+	for i, cl := range spec.Classes {
+		first := topo.CoresOn(0)[0]
+		for c := 0; c < topo.NumCores(); c++ {
+			if topo.ClassOf(topology.CoreID(c)) == i {
+				first = topology.CoreID(c)
+				break
+			}
+		}
+		fmt.Printf("  class %s: %d/socket @ %.1f GHz, peak %s, %s issue, %.0f KiB cache\n",
+			cl.Name, topo.Classes[i].PerSocket, spec.FreqOn(first)/1e9,
+			units.Flops(spec.PeakFlopsOn(first)), units.Rate(spec.IssueBWOn(first)),
+			spec.CacheBytesOn(first)/1024)
+	}
 	fmt.Printf("  memory: %s/socket effective, %s/core issue, %.0f KiB cache/core\n",
 		units.Rate(spec.MCBandwidth), units.Rate(spec.CoreIssueBW), spec.CacheBytes/1024)
+	if spec.LLCBytes > 0 {
+		fmt.Printf("  shared LLC: %.0f MiB per die (%.0f KiB/core share)\n",
+			spec.LLCBytes/(1024*1024), spec.LLCBytes/float64(topo.CoresPerDie())/1024)
+	}
+	if topo.NumDies() > 1 {
+		fmt.Printf("  dies: %d per socket (%d cores each), fabric %s, +%s per DRAM access\n",
+			topo.NumDies(), topo.CoresPerDie(),
+			units.Rate(spec.FabricBandwidth), units.Duration(spec.FabricLatency))
+	}
 	fmt.Printf("  links: %s per direction, latency %s local / +%s per hop\n",
 		units.Rate(spec.LinkBandwidth), units.Duration(spec.LocalLatency), units.Duration(spec.HopLatency))
 
@@ -78,7 +155,6 @@ func describe(spec *machine.Spec) {
 			continue
 		}
 		seen[h] = true
-		lat := spec.LocalLatency + float64(h)*spec.HopLatency
-		fmt.Printf("    %d hop(s): %s\n", h, units.Duration(lat))
+		fmt.Printf("    %d hop(s): %s\n", h, units.Duration(spec.NodeRoundTrip(0, topology.SocketID(s))))
 	}
 }

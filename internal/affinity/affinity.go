@@ -153,18 +153,13 @@ func Layout(scheme Scheme, topo *topology.System, nranks int) ([]Binding, error)
 
 	case Default, Interleave:
 		// OS default: balance across sockets in id order (no ladder
-		// awareness), first core of each socket before second cores.
+		// awareness), filling each socket's k-th core before any (k+1)-th.
+		// nranks <= NumCores was checked above, so i/n is always a valid
+		// per-socket index; on hybrid sockets the low core ids — the
+		// performance class — fill first, as a modern scheduler would.
 		out := make([]Binding, nranks)
 		for i := range out {
-			var core topology.CoreID
-			if i < n {
-				core = topo.CoresOn(topology.SocketID(i))[0]
-			} else {
-				if topo.CoresPerSock < 2 {
-					return nil, &ErrInfeasible{Scheme: scheme, Ranks: nranks, System: topo.Name}
-				}
-				core = topo.CoresOn(topology.SocketID(i - n))[1]
-			}
+			core := topo.CoresOn(topology.SocketID(i % n))[i/n]
 			home := int(topo.SocketOf(core))
 			if scheme == Interleave {
 				out[i] = Binding{Core: core, MemPolicy: mem.Interleave}

@@ -1,0 +1,85 @@
+package affinity
+
+import (
+	"testing"
+
+	"multicore/internal/topology"
+)
+
+// TestDefaultLayoutOnWideSockets checks the OS-default spread on sockets
+// wider than the paper's two cores: ranks round-robin across sockets,
+// filling each socket's core list in order.
+func TestDefaultLayoutOnWideSockets(t *testing.T) {
+	topo, err := topology.Parse("line:2x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Layout(Default, topo, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bind := range b {
+		wantSock := topology.SocketID(i % 2)
+		if topo.SocketOf(bind.Core) != wantSock {
+			t.Fatalf("rank %d on socket %d, want %d", i, topo.SocketOf(bind.Core), wantSock)
+		}
+		wantCore := topo.CoresOn(wantSock)[i/2]
+		if bind.Core != wantCore {
+			t.Fatalf("rank %d on core %d, want %d", i, bind.Core, wantCore)
+		}
+	}
+}
+
+// TestDefaultLayoutFillsPCoresFirst: on a hybrid socket the class-major
+// core ordering means the OS-default layout lands ranks on P cores
+// before any E core activates.
+func TestDefaultLayoutFillsPCoresFirst(t *testing.T) {
+	topo, err := topology.Parse("sock:8P+8E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Layout(Default, topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bind := range b {
+		if cl := topo.ClassOf(bind.Core); cl != 0 {
+			t.Fatalf("rank %d on class %d core %d; first 8 ranks should use P cores", i, cl, bind.Core)
+		}
+	}
+	b, err = Layout(Default, topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCores := 0
+	for _, bind := range b {
+		if topo.ClassOf(bind.Core) == 1 {
+			eCores++
+		}
+	}
+	if eCores != 8 {
+		t.Fatalf("full layout uses %d E cores, want 8", eCores)
+	}
+}
+
+// TestInterleaveLayoutMatchesDefaultCores: interleave changes the page
+// policy, not the task layout.
+func TestInterleaveLayoutMatchesDefaultCores(t *testing.T) {
+	topo, err := topology.Parse("line:2x32/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Layout(Default, topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := Layout(Interleave, topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i].Core != iv[i].Core {
+			t.Fatalf("rank %d: default core %d != interleave core %d", i, d[i].Core, iv[i].Core)
+		}
+	}
+}

@@ -90,6 +90,15 @@ type layoutInfo struct {
 	// price tree/pairwise collectives); ringHops over ring neighbours.
 	avgPairHops float64
 	ringHops    float64
+
+	// Per-core-class roofline inputs: the slowest placed core bounds an
+	// SPMD phase, because phases synchronize. On homogeneous systems
+	// every accessor returns the flat spec field, so these are the exact
+	// values the pre-heterogeneous estimator used.
+	minPeak    float64 // peak flop rate of the slowest placed core
+	minIssueBW float64 // issue bandwidth of the narrowest placed core
+	minCache   float64 // effective cache capacity of the smallest placed core
+	minL2BW    float64 // cache-hit service rate of the slowest placed core
 }
 
 type profileKey struct {
@@ -151,7 +160,7 @@ func (e *Estimator) Cell(spec workload.Spec, system string, ranks int, scheme af
 	e.mu.Lock()
 	m, ok := e.machines[system]
 	if !ok {
-		if s := machine.ByName(system); s != nil {
+		if s := machine.Lookup(system); s != nil {
 			m = &machineInfo{spec: s, peak: s.PeakFlops()}
 		}
 		e.machines[system] = m
@@ -209,9 +218,22 @@ func newLayoutInfo(m *machineInfo, ranks int, scheme affinity.Scheme) *layoutInf
 	sockRanks := make([]int, n) // ranks with traffic at each node
 	socks := make([]topology.SocketID, len(binds))
 	var sumMemHops, sumRT, sumMaxShare float64
+	li := &layoutInfo{}
 	for i, b := range binds {
 		home := topo.SocketOf(b.Core)
 		socks[i] = home
+		if peak := s.PeakFlopsOn(b.Core); i == 0 || peak < li.minPeak {
+			li.minPeak = peak
+		}
+		if bw := s.IssueBWOn(b.Core); i == 0 || bw < li.minIssueBW {
+			li.minIssueBW = bw
+		}
+		if cb := s.CacheBytesOn(b.Core); i == 0 || cb < li.minCache {
+			li.minCache = cb
+		}
+		if l2 := s.L2BandwidthOn(b.Core); i == 0 || l2 < li.minL2BW {
+			li.minL2BW = l2
+		}
 		dist := b.Placement(topo, n)
 		maxShare := 0.0
 		for node, frac := range dist {
@@ -221,7 +243,7 @@ func newLayoutInfo(m *machineInfo, ranks int, scheme affinity.Scheme) *layoutInf
 			sockLoad[node] += frac
 			sockRanks[node]++
 			hops := float64(topo.Hops(home, topology.SocketID(node)))
-			rt := s.LocalLatency + hops*s.HopLatency
+			rt := s.NodeRoundTrip(home, topology.SocketID(node))
 			sumMemHops += frac * hops
 			sumRT += frac * rt
 			// One flow per memory node runs concurrently; the rank waits
@@ -230,11 +252,9 @@ func newLayoutInfo(m *machineInfo, ranks int, scheme affinity.Scheme) *layoutInf
 		}
 		sumMaxShare += maxShare
 	}
-	li := &layoutInfo{
-		avgMemHops:   sumMemHops / float64(ranks),
-		avgRT:        sumRT / float64(ranks),
-		randPerTouch: sumMaxShare / float64(ranks),
-	}
+	li.avgMemHops = sumMemHops / float64(ranks)
+	li.avgRT = sumRT / float64(ranks)
+	li.randPerTouch = sumMaxShare / float64(ranks)
 	hot := 0
 	for node, l := range sockLoad {
 		if l > sockLoad[hot] {
@@ -274,7 +294,7 @@ func (e *Estimator) price(m *machineInfo, li *layoutInfo, pr *workload.Profile, 
 
 	// The single-stream rate is the lesser of the issue port and the
 	// prefetch window implied by the placement's mean round trip.
-	singleRate := s.CoreIssueBW
+	singleRate := li.minIssueBW
 	if s.PrefetchDepth > 0 && li.avgRT > 0 {
 		singleRate = math.Min(singleRate, s.PrefetchDepth*s.LineBytes/li.avgRT)
 	}
@@ -290,7 +310,7 @@ func (e *Estimator) price(m *machineInfo, li *layoutInfo, pr *workload.Profile, 
 		// Stream traffic: a cache-resident hot set serves everything
 		// past one cold fill from L2.
 		dram, hitBytes := ph.StreamBytes, 0.0
-		if ph.StreamWS > 0 && ph.StreamWS <= s.CacheBytes {
+		if ph.StreamWS > 0 && ph.StreamWS <= li.minCache {
 			dram = math.Min(ph.StreamWS, ph.StreamBytes)
 			hitBytes = ph.StreamBytes - dram
 		}
@@ -305,13 +325,13 @@ func (e *Estimator) price(m *machineInfo, li *layoutInfo, pr *workload.Profile, 
 		// concurrent per-node round trip.
 		missFrac := 1.0
 		if ph.TouchWS > 0 {
-			missFrac = 1 - math.Min(1, s.CacheBytes/ph.TouchWS)
+			missFrac = 1 - math.Min(1, li.minCache/ph.TouchWS)
 		}
 		tTouch := (ph.RandomTouches/mlp + ph.ChaseTouches) * missFrac * li.randPerTouch
-		hitTime := hitBytes/s.L2Bandwidth +
-			(ph.RandomTouches+ph.ChaseTouches)*(1-missFrac)*8/s.L2Bandwidth
+		hitTime := hitBytes/li.minL2BW +
+			(ph.RandomTouches+ph.ChaseTouches)*(1-missFrac)*8/li.minL2BW
 
-		c := ph.EffFlops/m.peak + hitTime
+		c := ph.EffFlops/li.minPeak + hitTime
 		mem := math.Max(tStream, tTouch)
 		tComp += c
 		tMem += mem
@@ -323,11 +343,11 @@ func (e *Estimator) price(m *machineInfo, li *layoutInfo, pr *workload.Profile, 
 	// fraction; hits are pipelined 8-byte L2 reads.
 	if len(pr.ChaseSweep) > 0 {
 		for _, size := range pr.ChaseSweep {
-			missFrac := 1 - math.Min(1, s.CacheBytes/size)
+			missFrac := 1 - math.Min(1, li.minCache/size)
 			warm := pr.ChaseSweepTouches * li.randPerTouch
 			measured := math.Max(
 				pr.ChaseSweepTouches*missFrac*li.randPerTouch,
-				pr.ChaseSweepTouches*(1-missFrac)*8/s.L2Bandwidth)
+				pr.ChaseSweepTouches*(1-missFrac)*8/li.minL2BW)
 			tMem += warm + measured
 			tKernel += warm + measured
 		}
@@ -361,10 +381,16 @@ func (e *Estimator) price(m *machineInfo, li *layoutInfo, pr *workload.Profile, 
 // msgTime prices one point-to-point message of the transport: software
 // overhead, hop latency, segment locking, and the copy through the
 // shared buffer (eager double copy below the threshold, rendezvous
-// handshake above), with the hop-dependent copy ceiling applied.
-func (e *Estimator) msgTime(m *machineInfo, bytes, hops float64) float64 {
+// handshake above), with the hop-dependent copy ceiling applied. On
+// chiplet sockets the copy crosses the on-package fabric, adding its
+// latency and bounding the copy rate; monolithic machines skip both
+// terms unchanged.
+func (e *Estimator) msgTime(m *machineInfo, li *layoutInfo, bytes, hops float64) float64 {
 	s, im := m.spec, e.impl
 	t := im.Overhead + im.Sub.LockLatency + im.Sub.WakeLatency + hops*s.HopLatency
+	if s.Topo.NumDies() > 1 {
+		t += s.FabricLatency
+	}
 	if bytes <= 0 {
 		return t
 	}
@@ -372,7 +398,10 @@ func (e *Estimator) msgTime(m *machineInfo, bytes, hops float64) float64 {
 		segs := math.Ceil(bytes / im.SegmentBytes)
 		t += (segs - 1) * (im.Sub.LockLatency + im.Sub.WakeLatency) / 2
 	}
-	copyBW := math.Min(s.CoreIssueBW, s.MCBandwidth) * im.CopyEfficiency
+	copyBW := math.Min(li.minIssueBW, s.MCBandwidth) * im.CopyEfficiency
+	if s.Topo.NumDies() > 1 {
+		copyBW = math.Min(copyBW, s.FabricBandwidth*im.CopyEfficiency)
+	}
 	if hops > 0 {
 		copyBW = math.Min(copyBW, s.CopyCeiling(int(math.Ceil(hops)))*im.CopyEfficiency)
 	}
@@ -393,31 +422,31 @@ const (
 func (e *Estimator) exchangeTime(m *machineInfo, li *layoutInfo, ex *workload.Exchange, ranks int) float64 {
 	n := float64(ranks)
 	rounds := math.Ceil(math.Log2(n))
-	reduceRate := 0.5 * m.peak // combine loops run at half peak
+	reduceRate := 0.5 * li.minPeak // combine loops run at half peak
 	var per float64
 	switch ex.Pattern {
 	case workload.CommBarrier:
-		per = rounds * e.msgTime(m, 8, li.avgPairHops)
+		per = rounds * e.msgTime(m, li, 8, li.avgPairHops)
 	case workload.CommP2P:
-		per = e.msgTime(m, ex.Bytes, li.avgPairHops)
+		per = e.msgTime(m, li, ex.Bytes, li.avgPairHops)
 	case workload.CommRing:
-		per = e.msgTime(m, ex.Bytes, li.ringHops)
+		per = e.msgTime(m, li, ex.Bytes, li.ringHops)
 	case workload.CommAlltoall:
-		per = (n - 1) * e.msgTime(m, ex.Bytes, li.avgPairHops)
+		per = (n - 1) * e.msgTime(m, li, ex.Bytes, li.avgPairHops)
 	case workload.CommAllgather:
-		per = (n - 1) * e.msgTime(m, ex.Bytes, li.ringHops)
+		per = (n - 1) * e.msgTime(m, li, ex.Bytes, li.ringHops)
 	case workload.CommAllreduce:
 		if ex.Bytes > allreduceLargeThreshold {
 			piece := ex.Bytes / n
-			per = 2*(n-1)*e.msgTime(m, piece, li.ringHops) + (n-1)*(piece/8)/reduceRate
+			per = 2*(n-1)*e.msgTime(m, li, piece, li.ringHops) + (n-1)*(piece/8)/reduceRate
 		} else {
-			per = rounds * (e.msgTime(m, ex.Bytes, li.avgPairHops) + (ex.Bytes/8)/reduceRate)
+			per = rounds * (e.msgTime(m, li, ex.Bytes, li.avgPairHops) + (ex.Bytes/8)/reduceRate)
 		}
 	case workload.CommBcast:
 		if ex.Bytes > bcastLargeThreshold {
-			per = 2 * (n - 1) * e.msgTime(m, ex.Bytes/n, li.ringHops)
+			per = 2 * (n - 1) * e.msgTime(m, li, ex.Bytes/n, li.ringHops)
 		} else {
-			per = rounds * e.msgTime(m, ex.Bytes, li.avgPairHops)
+			per = rounds * e.msgTime(m, li, ex.Bytes, li.avgPairHops)
 		}
 	}
 	return ex.Count * per

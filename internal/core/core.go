@@ -18,8 +18,9 @@ import (
 // Job describes one experiment run: a system, a rank count, a placement
 // scheme, and an MPI implementation profile.
 type Job struct {
-	// System is a paper system name ("tiger", "dmz", "longs") or use
-	// Spec to supply a custom machine.
+	// System is a registered machine name ("tiger", "dmz", "longs", the
+	// modern pack, a loaded custom spec's content-hash id) or "@FILE" to
+	// load a spec file; or use Spec to supply a custom machine directly.
 	System string
 	Spec   *machine.Spec
 	// Ranks is the number of MPI tasks.
@@ -65,9 +66,9 @@ func (j Job) resolve() (*machine.Spec, error) {
 	if j.Spec != nil {
 		return j.Spec, nil
 	}
-	spec := machine.ByName(j.System)
-	if spec == nil {
-		return nil, fmt.Errorf("core: unknown system %q (want tiger, dmz, or longs)", j.System)
+	spec, err := machine.Resolve(j.System)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	return spec, nil
 }

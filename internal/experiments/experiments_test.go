@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table10", "table11", "table12", "table13", "table14",
 		"ablate-coherence", "ablate-topology", "ablate-sublayer", "ext-hybrid",
 		"ext-latency", "ext-openmp", "ext-npb", "ext-cluster", "ext-scale",
-		"ablate-collectives", "ablate-migration",
+		"ablate-collectives", "ablate-migration", "numa-stream",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"multicore/internal/affinity"
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+// TestNumaStreamDistanceOrdering checks Bergstrom's first figure
+// qualitatively on a paper system and a modern multi-die machine: a
+// single thread's triad bandwidth strictly decreases as its pages move
+// to more distant nodes.
+func TestNumaStreamDistanceOrdering(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(context.Background(), Options{Parallelism: 4})
+	vec := 16.0 * units.MB
+	for _, sys := range numaStreamSystems() {
+		topo := sys.spec.Topo
+		if topo.NumSockets < 2 {
+			continue // hybrid16: single socket, no remote node to compare
+		}
+		core := topo.CoresOn(0)[0]
+		seen := map[int]int{} // hops -> node
+		for s := 0; s < topo.NumSockets; s++ {
+			h := topo.Hops(0, topology.SocketID(s))
+			if _, ok := seen[h]; !ok {
+				seen[h] = s
+			}
+		}
+		prevBW, prevHops := 0.0, -1
+		for h := 0; h < topo.NumSockets; h++ {
+			node, ok := seen[h]
+			if !ok {
+				continue
+			}
+			bw, err := numaStreamBW(r, sys, core, node, vec)
+			if err != nil {
+				t.Fatalf("%s: hops=%d: %v", sys.label, h, err)
+			}
+			if prevHops >= 0 && bw >= prevBW {
+				t.Errorf("%s: triad BW at %d hops (%.2f GB/s) should be below %d hops (%.2f GB/s)",
+					sys.label, h, bw, prevHops, prevBW)
+			}
+			prevBW, prevHops = bw, h
+		}
+	}
+}
+
+// TestNumaStreamSchemeOrdering checks Bergstrom's placement result on a
+// paper system and a modern machine: with one streaming rank per socket,
+// local allocation beats the migrating OS default, which beats both
+// wrong-node membind and all-node interleave.
+func TestNumaStreamSchemeOrdering(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(context.Background(), Options{Parallelism: 4})
+	vec := 16.0 * units.MB
+	for _, sys := range numaStreamSystems() {
+		if sys.spec.Topo.NumSockets < 2 {
+			continue // placement schemes coincide on a single node
+		}
+		bw := map[affinity.Scheme]float64{}
+		for _, scheme := range numaStreamSchemes {
+			v, err := numaStreamAggregate(r, sys, scheme, vec)
+			if err != nil {
+				t.Fatalf("%s: %v: %v", sys.label, scheme, err)
+			}
+			bw[scheme] = v
+		}
+		local, def := bw[affinity.OneMPILocalAlloc], bw[affinity.Default]
+		membind, inter := bw[affinity.OneMPIMembind], bw[affinity.Interleave]
+		if !(local > def) {
+			t.Errorf("%s: localalloc (%.2f) should beat the OS default (%.2f)", sys.label, local, def)
+		}
+		if !(def > membind) {
+			t.Errorf("%s: OS default (%.2f) should beat wrong-node membind (%.2f)", sys.label, def, membind)
+		}
+		if !(def > inter) {
+			t.Errorf("%s: OS default (%.2f) should beat interleave (%.2f)", sys.label, def, inter)
+		}
+	}
+}
+
+// TestNumaStreamHybridClasses checks the hybrid row split: the P-core
+// probe must not stream slower than the E-core probe (its issue path is
+// wider), and both rows must appear in the distance table.
+func TestNumaStreamHybridClasses(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(context.Background(), Options{Parallelism: 2})
+	vec := 16.0 * units.MB
+	var hybrid numaSystem
+	for _, sys := range numaStreamSystems() {
+		if len(sys.spec.Topo.Classes) > 0 {
+			hybrid = sys
+		}
+	}
+	if hybrid.spec == nil {
+		t.Fatal("no hybrid machine in the numa-stream system set")
+	}
+	cores := probeCores(hybrid.spec)
+	if len(cores) != 2 {
+		t.Fatalf("expected one probe core per class, got %v", cores)
+	}
+	pBW, err := numaStreamBW(r, hybrid, cores[0], 0, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBW, err := numaStreamBW(r, hybrid, cores[1], 0, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBW < eBW {
+		t.Errorf("P-core triad (%.2f GB/s) below E-core triad (%.2f GB/s)", pBW, eBW)
+	}
+}

@@ -1,0 +1,314 @@
+package machine
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multicore/internal/sim"
+	"multicore/internal/topology"
+)
+
+// TestRegistryNames checks the registry exposes every built-in plus the
+// modern pack, in sorted order.
+func TestRegistryNames(t *testing.T) {
+	got := strings.Join(Names(), ",")
+	want := "dmz,epyc2x4,hybrid16,longs,tiger"
+	if got != want {
+		t.Fatalf("Names() = %s, want %s", got, want)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range Names() {
+		s := Lookup(name)
+		if s == nil {
+			t.Fatalf("Lookup(%q) = nil", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("registered machine %q does not validate: %v", name, err)
+		}
+	}
+	if Lookup("TIGER") == nil {
+		t.Fatal("lookup should be case-insensitive")
+	}
+	if Lookup("nope") != nil {
+		t.Fatal("unknown names must return nil")
+	}
+}
+
+func TestResolveErrorListsNames(t *testing.T) {
+	_, err := Resolve("nope")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+func TestResolveSpecFile(t *testing.T) {
+	data, err := MarshalJSONSpec(Hybrid16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hyb.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Resolve("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Topo.NumCores() != 16 || len(spec.Classes) != 2 {
+		t.Fatalf("resolved spec wrong: %d cores, %d classes", spec.Topo.NumCores(), len(spec.Classes))
+	}
+}
+
+// TestSpecIDStable checks the content-hash id survives the ship path:
+// formatting changes, field reordering, and v1-vs-v2 phrasing of the
+// same machine must all hash identically, and registering a spec's
+// canonical bytes must reproduce its id.
+func TestSpecIDStable(t *testing.T) {
+	id, _, err := SpecID(Hybrid16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "sock:8p+8e@") || len(id) != len("sock:8p+8e@")+12 {
+		t.Fatalf("id format wrong: %q", id)
+	}
+	if strings.ContainsAny(id, "/ \t") {
+		t.Fatalf("id %q is not path-safe", id)
+	}
+
+	// Reformat: decode to a generic map and re-encode compactly.
+	canon, _ := MarshalJSONSpec(Hybrid16())
+	var m map[string]any
+	if err := json.Unmarshal(canon, &m); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := RegisterSpecJSON(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("reformatted spec hashed to %s, want %s", id2, id)
+	}
+
+	// Registering the canonical bytes is idempotent.
+	id3, _, err := RegisterSpecJSON(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id {
+		t.Fatalf("canonical bytes hashed to %s, want %s", id3, id)
+	}
+	raw, ok := CustomSpecJSON(id)
+	if !ok {
+		t.Fatalf("registered custom %s not retrievable", id)
+	}
+	id4, _, err := RegisterSpecJSON(raw)
+	if err != nil || id4 != id {
+		t.Fatalf("re-registering retrieved bytes: id %s err %v, want %s", id4, err, id)
+	}
+}
+
+// TestSpecIDV1V2Agree: a v1 file auto-upgrades — its canonical form
+// declares schema 2 — and its content hash is idempotent: registering
+// the canonical bytes reproduces the id the v1 bytes produced. (The id
+// is defined over the decoded file, so v1 and v2 phrasings of the same
+// values agree; a Go-built Spec re-marshaled through unit conversions
+// is a different byte stream and may hash differently.)
+func TestSpecIDV1V2Agree(t *testing.T) {
+	v1 := []byte(`{
+		"topology": "ladder:2x2",
+		"freq_ghz": 2.2,
+		"flops_per_cycle": 2,
+		"mc_bandwidth_gbs": 6.4,
+		"core_issue_gbs": 4.0,
+		"cache_kib": 1088,
+		"line_bytes": 64,
+		"l2_bandwidth_gbs": 20,
+		"link_bandwidth_gbs": 4.0,
+		"local_latency_ns": 90,
+		"hop_latency_ns": 60,
+		"mlp_random": 4
+	}`)
+	id1, spec, err := RegisterSpecJSON(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Classes) != 0 || spec.Topo.NumDies() != 1 {
+		t.Fatalf("v1 spec grew hetero structure: %d classes, %d dies", len(spec.Classes), spec.Topo.NumDies())
+	}
+	canon, ok := CustomSpecJSON(id1)
+	if !ok {
+		t.Fatalf("registered v1 spec %s not retrievable", id1)
+	}
+	if !strings.Contains(string(canon), `"schema": 2`) {
+		t.Fatalf("canonical form is not schema 2:\n%s", canon)
+	}
+	id2, _, err := RegisterSpecJSON(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("v1 id %s != canonical re-registration id %s", id1, id2)
+	}
+}
+
+// TestSpecJSONHeteroRoundTrip: marshal → unmarshal must preserve every
+// per-class, die, fabric, and LLC parameter for the modern pack.
+func TestSpecJSONHeteroRoundTrip(t *testing.T) {
+	for _, build := range []func() *Spec{Hybrid16, EPYC2x4} {
+		orig := build()
+		data, err := MarshalJSONSpec(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalJSONSpec(data)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", orig.Topo.Name, err, data)
+		}
+		if got.Topo.Name != orig.Topo.Name ||
+			got.Topo.NumDies() != orig.Topo.NumDies() ||
+			len(got.Classes) != len(orig.Classes) ||
+			got.FabricBandwidth != orig.FabricBandwidth ||
+			got.FabricLatency != orig.FabricLatency ||
+			got.LLCBytes != orig.LLCBytes {
+			t.Fatalf("%s: round trip lost structure", orig.Topo.Name)
+		}
+		for c := 0; c < orig.Topo.NumCores(); c++ {
+			id := topology.CoreID(c)
+			if got.PeakFlopsOn(id) != orig.PeakFlopsOn(id) ||
+				got.IssueBWOn(id) != orig.IssueBWOn(id) ||
+				got.CacheBytesOn(id) != orig.CacheBytesOn(id) ||
+				got.L2BandwidthOn(id) != orig.L2BandwidthOn(id) {
+				t.Fatalf("%s: core %d parameters differ after round trip", orig.Topo.Name, c)
+			}
+		}
+		// And the round trip is byte-stable.
+		again, err := MarshalJSONSpec(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("%s: second marshal differs:\n%s\n---\n%s", orig.Topo.Name, data, again)
+		}
+	}
+}
+
+// TestSpecJSONV2Validation covers the schema-2 error paths: declared
+// schema mismatches, v2 fields under v1, and per-class field checks.
+func TestSpecJSONV2Validation(t *testing.T) {
+	base := func() map[string]any {
+		return map[string]any{
+			"schema": 2, "topology": "sock:2P+2E",
+			"freq_ghz": 2.0, "flops_per_cycle": 2.0, "mc_bandwidth_gbs": 6.0,
+			"core_issue_gbs": 4.0, "cache_kib": 1024.0, "line_bytes": 64.0,
+			"l2_bandwidth_gbs": 20.0, "link_bandwidth_gbs": 4.0,
+			"local_latency_ns": 90.0, "hop_latency_ns": 60.0, "mlp_random": 4.0,
+			"core_classes": []map[string]any{
+				{"name": "P", "cores_per_socket": 2.0, "freq_ghz": 2.5},
+				{"name": "E", "cores_per_socket": 2.0, "freq_ghz": 1.5},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(m map[string]any)
+		want string
+	}{
+		{"bad schema", func(m map[string]any) { m["schema"] = 3 }, "unsupported spec schema 3"},
+		{"v2 fields under v1", func(m map[string]any) { m["schema"] = 1 }, "schema-2 fields"},
+		{"negative class field", func(m map[string]any) {
+			m["core_classes"].([]map[string]any)[0]["freq_ghz"] = -1.0
+		}, `core_classes[0] field "freq_ghz"`},
+		{"class count mismatch", func(m map[string]any) {
+			m["core_classes"].([]map[string]any)[0]["cores_per_socket"] = 3.0
+		}, "core_classes"},
+		{"negative fabric", func(m map[string]any) { m["fabric_bandwidth_gbs"] = -1.0 }, `"fabric_bandwidth_gbs"`},
+		{"negative llc", func(m map[string]any) { m["llc_mib"] = -4.0 }, `"llc_mib"`},
+		{"dies mismatch", func(m map[string]any) {
+			m["topology"] = "sock:4"
+			delete(m, "core_classes")
+			m["dies_per_socket"] = 3.0
+		}, `dies`},
+		{"negative contention", func(m map[string]any) { m["contention_penalty"] = -0.1 }, `"contention_penalty"`},
+		{"mlp below 1", func(m map[string]any) { m["mlp_random"] = 0.5 }, `"mlp_random"`},
+		{"negative prefetch", func(m map[string]any) { m["prefetch_depth"] = -2.0 }, `"prefetch_depth"`},
+	}
+	for _, tc := range cases {
+		m := base()
+		tc.mut(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = UnmarshalJSONSpec(data)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// The unmutated base must parse.
+	data, _ := json.Marshal(base())
+	if _, err := UnmarshalJSONSpec(data); err != nil {
+		t.Fatalf("base v2 spec rejected: %v", err)
+	}
+}
+
+// TestHomogeneousAccessorsMatchFlatFields guards the byte-identity
+// contract: on the paper machines the per-core accessors must return the
+// exact flat-field expressions the pre-registry code used.
+func TestHomogeneousAccessorsMatchFlatFields(t *testing.T) {
+	for _, name := range []string{"tiger", "dmz", "longs"} {
+		s := Lookup(name)
+		for c := 0; c < s.Topo.NumCores(); c++ {
+			id := topology.CoreID(c)
+			if s.PeakFlopsOn(id) != s.PeakFlops() ||
+				s.FreqOn(id) != s.FreqHz ||
+				s.IssueBWOn(id) != s.CoreIssueBW ||
+				s.CacheBytesOn(id) != s.CacheBytes ||
+				s.L2BandwidthOn(id) != s.L2Bandwidth {
+				t.Fatalf("%s core %d: per-core accessor diverged from flat field", name, c)
+			}
+		}
+		for a := 0; a < s.Topo.NumSockets; a++ {
+			for b := 0; b < s.Topo.NumSockets; b++ {
+				want := s.LocalLatency + float64(s.Topo.Hops(topology.SocketID(a), topology.SocketID(b)))*s.HopLatency
+				if got := s.NodeRoundTrip(topology.SocketID(a), topology.SocketID(b)); got != want {
+					t.Fatalf("%s: NodeRoundTrip(%d,%d) = %v, want %v", name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestUtilizationsFabricRows: multi-die machines expose one fabric
+// resource per (socket, die); single-die machines expose none.
+func TestUtilizationsFabricRows(t *testing.T) {
+	m := New(sim.NewEngine(), EPYC2x4())
+	fabs := 0
+	for _, u := range m.Utilizations(1) {
+		if strings.Contains(u.Name, "/fab") {
+			fabs++
+		}
+	}
+	if want := 2 * 4; fabs != want {
+		t.Fatalf("epyc2x4 fabric rows = %d, want %d", fabs, want)
+	}
+	m = New(sim.NewEngine(), Lookup("dmz"))
+	for _, u := range m.Utilizations(1) {
+		if strings.Contains(u.Name, "/fab") {
+			t.Fatalf("dmz grew a fabric resource: %s", u.Name)
+		}
+	}
+}

@@ -45,6 +45,7 @@ type Machine struct {
 	issue  []*sim.Resource    // per-core load/store issue ports
 	l2     []*sim.Resource    // per-core cache-hit service
 	links  [][2]*sim.Resource // per topology link: [forward A->B, reverse B->A]
+	fabs   [][]*sim.Resource  // per-socket, per-die on-package fabric (multi-die only)
 	caches []*mem.Cache
 
 	// perturb, when non-nil, injects deterministic faults (OS noise on
@@ -61,16 +62,39 @@ func New(eng *sim.Engine, spec *Spec) *Machine {
 		m.mcs = append(m.mcs, sim.NewResource(fmt.Sprintf("%s/mc%d", topo.Name, s), spec.MCBandwidth))
 	}
 	for c := 0; c < topo.NumCores(); c++ {
-		m.issue = append(m.issue, sim.NewResource(fmt.Sprintf("%s/issue%d", topo.Name, c), spec.CoreIssueBW))
-		m.l2 = append(m.l2, sim.NewResource(fmt.Sprintf("%s/l2-%d", topo.Name, c), spec.L2Bandwidth))
-		m.caches = append(m.caches, mem.NewCache(c, spec.CacheBytes, spec.LineBytes))
+		id := topology.CoreID(c)
+		m.issue = append(m.issue, sim.NewResource(fmt.Sprintf("%s/issue%d", topo.Name, c), spec.IssueBWOn(id)))
+		m.l2 = append(m.l2, sim.NewResource(fmt.Sprintf("%s/l2-%d", topo.Name, c), spec.L2BandwidthOn(id)))
+		m.caches = append(m.caches, mem.NewCache(c, spec.CacheBytesOn(id), spec.LineBytes))
 	}
 	for i, l := range topo.Links {
 		fwd := sim.NewResource(fmt.Sprintf("%s/link%d:%d->%d", topo.Name, i, l.A, l.B), spec.LinkBandwidth)
 		rev := sim.NewResource(fmt.Sprintf("%s/link%d:%d->%d", topo.Name, i, l.B, l.A), spec.LinkBandwidth)
 		m.links = append(m.links, [2]*sim.Resource{fwd, rev})
 	}
+	if topo.NumDies() > 1 {
+		// Chiplet sockets: each die reaches the socket's IO hub (where
+		// the memory controller and inter-socket links live) over its own
+		// fabric link, shared by the die's cores. Monolithic sockets get
+		// none, keeping the paper systems' resource sets untouched.
+		for s := 0; s < topo.NumSockets; s++ {
+			dies := make([]*sim.Resource, topo.NumDies())
+			for d := range dies {
+				dies[d] = sim.NewResource(fmt.Sprintf("%s/fab%d.%d", topo.Name, s, d), spec.FabricBandwidth)
+			}
+			m.fabs = append(m.fabs, dies)
+		}
+	}
 	return m
+}
+
+// fabricFor returns the on-package fabric resource of core's die, nil on
+// monolithic sockets.
+func (m *Machine) fabricFor(core topology.CoreID) *sim.Resource {
+	if m.fabs == nil {
+		return nil
+	}
+	return m.fabs[m.Topo().SocketOf(core)][m.Topo().DieOf(core)]
 }
 
 // ApplyFaults installs a fault injector on the machine. It must be called
@@ -150,11 +174,15 @@ func (m *Machine) linkResources(route []topology.DirectedLink) []*sim.Resource {
 }
 
 // ReadPath is the resource path for data flowing from memory node `node`
-// to a core: the core's issue port, the links from node to the core's
-// socket, and the node's memory controller.
+// to a core: the core's issue port, its die's fabric link on chiplet
+// sockets, the links from node to the core's socket, and the node's
+// memory controller.
 func (m *Machine) ReadPath(core topology.CoreID, node topology.SocketID) []*sim.Resource {
 	sock := m.Topo().SocketOf(core)
 	path := []*sim.Resource{m.issue[core]}
+	if fab := m.fabricFor(core); fab != nil {
+		path = append(path, fab)
+	}
 	path = append(path, m.linkResources(m.Topo().Route(node, sock))...)
 	path = append(path, m.mcs[node])
 	return path
@@ -165,6 +193,9 @@ func (m *Machine) ReadPath(core topology.CoreID, node topology.SocketID) []*sim.
 func (m *Machine) WritePath(core topology.CoreID, node topology.SocketID) []*sim.Resource {
 	sock := m.Topo().SocketOf(core)
 	path := []*sim.Resource{m.issue[core]}
+	if fab := m.fabricFor(core); fab != nil {
+		path = append(path, fab)
+	}
 	path = append(path, m.linkResources(m.Topo().Route(sock, node))...)
 	path = append(path, m.mcs[node])
 	return path
@@ -177,6 +208,9 @@ func (m *Machine) WritePath(core topology.CoreID, node topology.SocketID) []*sim
 func (m *Machine) CopyPath(core topology.CoreID, src, dst topology.SocketID) []*sim.Resource {
 	sock := m.Topo().SocketOf(core)
 	path := []*sim.Resource{m.issue[core]}
+	if fab := m.fabricFor(core); fab != nil {
+		path = append(path, fab)
+	}
 	path = append(path, m.linkResources(m.Topo().Route(src, sock))...)
 	path = append(path, m.mcs[src])
 	if dst != src {
@@ -187,9 +221,10 @@ func (m *Machine) CopyPath(core topology.CoreID, src, dst topology.SocketID) []*
 }
 
 // RoundTrip returns the load-to-use latency from a core on socket s to
-// memory node n.
+// memory node n (on chiplet sockets this includes the fabric crossing;
+// see Spec.NodeRoundTrip).
 func (m *Machine) RoundTrip(s, n topology.SocketID) float64 {
-	return m.Spec.LocalLatency + float64(m.Topo().Hops(s, n))*m.Spec.HopLatency
+	return m.Spec.NodeRoundTrip(s, n)
 }
 
 // CPU is a workload's execution context on one core. All methods must be
@@ -246,7 +281,7 @@ func (c *CPU) Compute(flops, eff float64) {
 	if eff <= 0 || eff > 1 {
 		panic(fmt.Sprintf("machine: compute efficiency %g out of (0,1]", eff))
 	}
-	d := c.m.perturbedCompute(c.core, c.proc.Now(), flops/(c.m.Spec.PeakFlops()*eff))
+	d := c.m.perturbedCompute(c.core, c.proc.Now(), flops/(c.m.Spec.PeakFlopsOn(c.core)*eff))
 	c.ComputeSeconds += d
 	c.proc.Sleep(d)
 }
@@ -266,7 +301,7 @@ type accessPlan struct {
 func (c *CPU) flowSpecs(a mem.Access) accessPlan {
 	spec := c.m.Spec
 	tr := c.m.caches[c.core].Filter(a)
-	plan := accessPlan{hitTime: tr.HitBytes / spec.L2Bandwidth}
+	plan := accessPlan{hitTime: tr.HitBytes / spec.L2BandwidthOn(c.core)}
 
 	if tr.MemBytes <= 0 && tr.LatencyTouches <= 0 {
 		return plan
@@ -376,7 +411,7 @@ func (c *CPU) execute(label string, plans []accessPlan, flops, eff float64) {
 		if eff <= 0 || eff > 1 {
 			panic(fmt.Sprintf("machine: compute efficiency %g out of (0,1]", eff))
 		}
-		d := c.m.perturbedCompute(c.core, c.proc.Now(), flops/(c.m.Spec.PeakFlops()*eff)+hitTime)
+		d := c.m.perturbedCompute(c.core, c.proc.Now(), flops/(c.m.Spec.PeakFlopsOn(c.core)*eff)+hitTime)
 		c.ComputeSeconds += d
 		c.proc.Sleep(d)
 	} else if hitTime > 0 {
@@ -454,9 +489,10 @@ type ResourceUtil struct {
 }
 
 // Utilizations returns a utilization report for every modeled resource
-// (memory controllers, link directions, issue ports) at simulated time
-// `now`, in a stable order: controllers first, then links, then issue
-// ports.
+// (memory controllers, link directions, on-package fabric links, issue
+// ports) at simulated time `now`, in a stable order: controllers first,
+// then links, then fabric, then issue ports. Monolithic machines have
+// no fabric rows, so the paper systems' reports are unchanged.
 func (m *Machine) Utilizations(now float64) []ResourceUtil {
 	var out []ResourceUtil
 	add := func(r *sim.Resource) {
@@ -472,6 +508,11 @@ func (m *Machine) Utilizations(now float64) []ResourceUtil {
 	for _, pair := range m.links {
 		add(pair[0])
 		add(pair[1])
+	}
+	for _, dies := range m.fabs {
+		for _, fab := range dies {
+			add(fab)
+		}
 	}
 	for _, port := range m.issue {
 		add(port)

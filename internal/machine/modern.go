@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"multicore/internal/topology"
+	"multicore/internal/units"
+)
+
+// The modern pack: machines the 2006 paper could not measure, built
+// from the same effective-parameter calibration style as the paper
+// systems. Values are derated from datasheet peaks so that measured
+// behaviour (STREAM-class bandwidth, load-to-use latency) emerges from
+// the model, not the marketing numbers; MODEL.md §17 records the
+// rationale per parameter.
+
+// Hybrid16 is an i9-12900K-style hybrid desktop part (see the LIKWID
+// characterization in SNIPPETS.md): one socket carrying eight
+// performance cores at 5.2 GHz and eight efficiency cores at 3.9 GHz,
+// all sharing a 30 MiB last-level cache and a dual-channel DDR5
+// controller.
+func Hybrid16() *Spec {
+	topo, err := topology.Parse("sock:8P+8E")
+	if err != nil {
+		panic(err)
+	}
+	return &Spec{
+		Topo: topo,
+		// Flat fields hold the P-core values; the E class overrides.
+		FreqHz:        5.2e9,
+		FlopsPerCycle: 16, // AVX2: two 4-wide DP FMAs per cycle
+		MCBandwidth:   60 * units.Giga,
+		CoreIssueBW:   30 * units.Giga,
+		CacheBytes:    (48 + 1280) * units.KB,
+		LineBytes:     64,
+		L2Bandwidth:   80 * units.Giga,
+		// One socket: no inter-socket links exist, but the fields must
+		// stay physical for Validate and CopyCeiling.
+		LinkBandwidth:     50 * units.Giga,
+		LocalLatency:      80 * units.Nanosecond,
+		HopLatency:        40 * units.Nanosecond,
+		ContentionPenalty: 0.08,
+		MLPRandom:         12,
+		PrefetchDepth:     24,
+		Classes: []CoreClassSpec{
+			{
+				Name:          "P",
+				FreqHz:        5.2e9,
+				FlopsPerCycle: 16,
+				CoreIssueBW:   30 * units.Giga,
+				CacheBytes:    (48 + 1280) * units.KB,
+				L2Bandwidth:   80 * units.Giga,
+			},
+			{
+				Name:          "E",
+				FreqHz:        3.9e9,
+				FlopsPerCycle: 8, // Gracemont: one 4-wide DP FMA per cycle
+				CoreIssueBW:   20 * units.Giga,
+				CacheBytes:    (32 + 512) * units.KB, // quarter of a 2 MiB cluster L2
+				L2Bandwidth:   40 * units.Giga,
+			},
+		},
+		LLCBytes: 30 * 1024 * units.KB,
+	}
+}
+
+// EPYC2x4 is a two-socket EPYC-style chiplet server: each socket is
+// four 8-core dies behind an IO hub (Infinity-Fabric-style on-package
+// links), with a 32 MiB L3 slice per die and an 8-channel DDR4
+// controller on the hub; the sockets are joined by one xGMI-class link.
+func EPYC2x4() *Spec {
+	topo, err := topology.Parse("line:2x32/4")
+	if err != nil {
+		panic(err)
+	}
+	return &Spec{
+		Topo:          topo,
+		FreqHz:        3.4e9,
+		FlopsPerCycle: 16,
+		MCBandwidth:   130 * units.Giga,
+		CoreIssueBW:   22 * units.Giga,
+		CacheBytes:    (32 + 512) * units.KB,
+		LineBytes:     64,
+		L2Bandwidth:   60 * units.Giga,
+		LinkBandwidth: 36 * units.Giga,
+		LocalLatency:  95 * units.Nanosecond,
+		HopLatency:    55 * units.Nanosecond,
+		// Every DRAM access crosses die->IO-hub: the fabric link is
+		// what keeps a single die from monopolizing the socket's
+		// controller, and its latency is the chiplet tax on every miss.
+		FabricBandwidth:   45 * units.Giga,
+		FabricLatency:     25 * units.Nanosecond,
+		ContentionPenalty: 0.10,
+		MLPRandom:         10,
+		PrefetchDepth:     20,
+		LLCBytes:          32 * 1024 * units.KB,
+	}
+}
+
+func init() {
+	Register("hybrid16", Hybrid16)
+	Register("epyc2x4", EPYC2x4)
+}

@@ -52,10 +52,126 @@ type Spec struct {
 	// is what makes remote and interleaved streams slower for a single
 	// core even when aggregate controller bandwidth is available.
 	PrefetchDepth float64
+
+	// Classes, when non-empty, gives per-core-class parameter overrides
+	// for heterogeneous (hybrid) machines. Classes[i] corresponds to
+	// Topo.Classes[i]; a zero field inherits the flat value above. Empty
+	// means every core uses the flat fields — the paper systems.
+	Classes []CoreClassSpec
+
+	// Multi-die socket fabric (used when Topo.NumDies() > 1): every
+	// DRAM access from a chiplet crosses its die's link to the socket's
+	// IO hub, adding FabricLatency to the round trip and sharing
+	// FabricBandwidth with the die's other cores.
+	FabricBandwidth float64 // per-die link to the IO hub (B/s)
+	FabricLatency   float64 // extra round-trip latency per DRAM access (s)
+
+	// LLCBytes is a shared last-level cache per die (per socket on
+	// monolithic parts), split evenly across the die's cores on top of
+	// each core's private CacheBytes. Zero means no shared tier — the
+	// paper systems, whose Opteron L2 is private and already counted in
+	// CacheBytes.
+	LLCBytes float64
+}
+
+// CoreClassSpec overrides per-core performance parameters for one core
+// class of a heterogeneous machine. Zero fields inherit the spec's flat
+// value, so a class only states what differs.
+type CoreClassSpec struct {
+	Name          string
+	FreqHz        float64
+	FlopsPerCycle float64
+	CoreIssueBW   float64
+	CacheBytes    float64
+	L2Bandwidth   float64
 }
 
 // PeakFlops returns the peak double-precision flop rate of one core.
 func (s *Spec) PeakFlops() float64 { return s.FreqHz * s.FlopsPerCycle }
+
+// classFor returns the class overrides for core c, nil on homogeneous
+// specs (or when the topology declares more classes than the spec
+// parameterizes).
+func (s *Spec) classFor(c topology.CoreID) *CoreClassSpec {
+	if len(s.Classes) == 0 {
+		return nil
+	}
+	if i := s.Topo.ClassOf(c); i < len(s.Classes) {
+		return &s.Classes[i]
+	}
+	return nil
+}
+
+// FreqOn returns the clock of core c.
+func (s *Spec) FreqOn(c topology.CoreID) float64 {
+	if cl := s.classFor(c); cl != nil && cl.FreqHz > 0 {
+		return cl.FreqHz
+	}
+	return s.FreqHz
+}
+
+// FlopsPerCycleOn returns the per-cycle flop throughput of core c.
+func (s *Spec) FlopsPerCycleOn(c topology.CoreID) float64 {
+	if cl := s.classFor(c); cl != nil && cl.FlopsPerCycle > 0 {
+		return cl.FlopsPerCycle
+	}
+	return s.FlopsPerCycle
+}
+
+// PeakFlopsOn returns the peak flop rate of core c. On homogeneous
+// specs this is exactly PeakFlops() — same expression, same bits — so
+// the paper systems are unchanged by the per-core generalization.
+func (s *Spec) PeakFlopsOn(c topology.CoreID) float64 {
+	if cl := s.classFor(c); cl != nil {
+		return s.FreqOn(c) * s.FlopsPerCycleOn(c)
+	}
+	return s.FreqHz * s.FlopsPerCycle
+}
+
+// IssueBWOn returns the load/store issue bandwidth of core c.
+func (s *Spec) IssueBWOn(c topology.CoreID) float64 {
+	if cl := s.classFor(c); cl != nil && cl.CoreIssueBW > 0 {
+		return cl.CoreIssueBW
+	}
+	return s.CoreIssueBW
+}
+
+// L2BandwidthOn returns the cache-hit service rate of core c.
+func (s *Spec) L2BandwidthOn(c topology.CoreID) float64 {
+	if cl := s.classFor(c); cl != nil && cl.L2Bandwidth > 0 {
+		return cl.L2Bandwidth
+	}
+	return s.L2Bandwidth
+}
+
+// CacheBytesOn returns the effective cache capacity of core c: its
+// class's (or the flat) private capacity plus an even share of the
+// die's shared last-level cache. Homogeneous specs without an LLC tier
+// return CacheBytes untouched.
+func (s *Spec) CacheBytesOn(c topology.CoreID) float64 {
+	base := s.CacheBytes
+	cl := s.classFor(c)
+	if cl != nil && cl.CacheBytes > 0 {
+		base = cl.CacheBytes
+	}
+	if s.LLCBytes > 0 {
+		base += s.LLCBytes / float64(s.Topo.CoresPerDie())
+	}
+	return base
+}
+
+// NodeRoundTrip returns the load-to-use latency from a core on socket
+// sock to memory node n: the local DRAM round trip plus per-hop link
+// latency, plus the on-package fabric crossing on multi-die sockets.
+// For monolithic sockets the expression is identical to the original
+// two-term model, keeping the paper systems bit-exact.
+func (s *Spec) NodeRoundTrip(sock, n topology.SocketID) float64 {
+	rt := s.LocalLatency + float64(s.Topo.Hops(sock, n))*s.HopLatency
+	if s.Topo.NumDies() > 1 {
+		rt += s.FabricLatency
+	}
+	return rt
+}
 
 // CopyCeiling bounds the rate of a memory-to-memory copy whose path
 // crosses `hops` HT links: remote reads pay coherence probes, so a
@@ -141,19 +257,11 @@ func Longs() *Spec {
 	}
 }
 
-// ByName returns the spec of a paper system ("tiger", "dmz", "longs").
-// It returns nil for unknown names.
-func ByName(name string) *Spec {
-	switch name {
-	case "tiger", "Tiger":
-		return Tiger()
-	case "dmz", "DMZ":
-		return DMZ()
-	case "longs", "Longs":
-		return Longs()
-	}
-	return nil
-}
+// ByName returns the spec of a registered system ("tiger", "dmz",
+// "longs", the modern pack, content-hash ids of loaded custom specs).
+// It returns nil for unknown names; see Resolve for an error-reporting
+// variant that also accepts @FILE paths.
+func ByName(name string) *Spec { return Lookup(name) }
 
 // Validate checks a spec for physical plausibility; custom specs built in
 // code should be validated before use.
@@ -171,6 +279,33 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("machine: %s has bad latencies", s.Topo.Name)
 	case s.ContentionPenalty < 0 || s.MLPRandom < 1 || s.PrefetchDepth < 0:
 		return fmt.Errorf("machine: %s has bad contention/MLP parameters", s.Topo.Name)
+	case s.LLCBytes < 0:
+		return fmt.Errorf("machine: %s has negative shared-cache capacity", s.Topo.Name)
+	}
+	if len(s.Classes) > 0 {
+		if len(s.Classes) != len(s.Topo.Classes) {
+			return fmt.Errorf("machine: %s parameterizes %d core classes, topology declares %d",
+				s.Topo.Name, len(s.Classes), len(s.Topo.Classes))
+		}
+		for i, cl := range s.Classes {
+			if cl.Name != s.Topo.Classes[i].Name {
+				return fmt.Errorf("machine: %s class %d is %q, topology calls it %q",
+					s.Topo.Name, i, cl.Name, s.Topo.Classes[i].Name)
+			}
+			if cl.FreqHz < 0 || cl.FlopsPerCycle < 0 || cl.CoreIssueBW < 0 ||
+				cl.CacheBytes < 0 || cl.L2Bandwidth < 0 {
+				return fmt.Errorf("machine: %s class %q has negative parameters", s.Topo.Name, cl.Name)
+			}
+		}
+	}
+	if s.Topo.NumDies() > 1 {
+		if s.FabricBandwidth <= 0 {
+			return fmt.Errorf("machine: %s has %d dies per socket but no fabric bandwidth",
+				s.Topo.Name, s.Topo.NumDies())
+		}
+		if s.FabricLatency < 0 {
+			return fmt.Errorf("machine: %s has negative fabric latency", s.Topo.Name)
+		}
 	}
 	return nil
 }

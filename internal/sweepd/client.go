@@ -9,7 +9,26 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"multicore/internal/machine"
 )
+
+// attachSpecs fills req.Specs with the canonical schema-2 JSON of every
+// custom machine the grid references by content-hash id, so the
+// coordinator and its workers can resolve ids this client registered
+// locally (e.g. from a systems=@FILE grid entry).
+func attachSpecs(req *SweepRequest) {
+	for _, sys := range req.Grid.Systems {
+		raw, ok := machine.CustomSpecJSON(sys)
+		if !ok {
+			continue
+		}
+		if req.Specs == nil {
+			req.Specs = map[string]json.RawMessage{}
+		}
+		req.Specs[sys] = raw
+	}
+}
 
 // Submit posts a sweep to a coordinator and consumes the NDJSON result
 // stream, invoking onCell for every completed cell as it arrives (so
@@ -19,6 +38,7 @@ import (
 // silently producing a wrong table. Connection refusals are retried
 // briefly so clients can race a just-started coordinator.
 func Submit(ctx context.Context, coordinator string, req SweepRequest, onCell func(CellResult)) (*Summary, error) {
+	attachSpecs(&req)
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("sweepd: encoding sweep request: %v", err)

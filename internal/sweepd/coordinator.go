@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"multicore/internal/analytic"
+	"multicore/internal/machine"
 	"multicore/internal/schema"
 )
 
@@ -256,6 +257,11 @@ func (c *Coordinator) subscribe(req SweepRequest, cells []CellSpec, ch chan Cell
 				ID: id, Cell: cell,
 				Faults: req.Faults, FaultSeed: req.FaultSeed, Retries: req.Retries,
 			}}
+			// Custom machines travel inside the lease so a worker that has
+			// never seen this spec can still run the cell.
+			if raw, isCustom := machine.CustomSpecJSON(cell.System); isCustom {
+				st.asg.Spec = raw
+			}
 			c.cells[id] = st
 			c.queue = append(c.queue, id)
 			queued = true
@@ -318,6 +324,20 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Grid.Scale == "" {
 		http.Error(w, "sweepd: sweep grid has no scale", http.StatusBadRequest)
 		return
+	}
+	// Register shipped custom machines before grid validation so their
+	// content-hash ids resolve. An id that does not match its content is
+	// a client bug (or tampering) and rejects the whole sweep.
+	for id, raw := range req.Specs {
+		got, _, err := machine.RegisterSpecJSON(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("sweepd: custom spec %s: %v", id, err), http.StatusBadRequest)
+			return
+		}
+		if got != id {
+			http.Error(w, fmt.Sprintf("sweepd: custom spec id %s does not match its content (canonical id %s)", id, got), http.StatusBadRequest)
+			return
+		}
 	}
 	if err := req.Grid.Validate(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -44,7 +44,11 @@ import (
 type Grid struct {
 	// Workloads are registry specs in CLI form ("cg", "amber:JAC").
 	Workloads []string `json:"workloads"`
-	// Systems are simulated system names ("tiger", "dmz", "longs").
+	// Systems are registered machine names ("tiger", "dmz", "longs", the
+	// modern pack) or content-hash ids of loaded custom specs. ParseGrid
+	// also accepts "@FILE" entries, which it loads, registers, and
+	// replaces with their canonical id, so a grid that leaves the process
+	// (sweep submissions, table titles) never references a local path.
 	Systems []string `json:"systems"`
 	// Ranks are the MPI task counts to sweep.
 	Ranks []int `json:"ranks"`
@@ -84,6 +88,20 @@ func ParseGrid(s string) (Grid, error) {
 			g.Workloads = splitList(v)
 		case "systems":
 			g.Systems = splitList(v)
+			for i, sys := range g.Systems {
+				path, ok := strings.CutPrefix(sys, "@")
+				if !ok {
+					continue
+				}
+				id, _, err := machine.RegisterSpecFile(path)
+				if err != nil {
+					return Grid{}, fmt.Errorf("sweepd: system %q: %w", sys, err)
+				}
+				g.Systems[i] = id
+			}
+			// Two @FILEs with the same content collapse to one id:
+			// re-dedup so the expanded list keeps the grid contract.
+			g.Systems = splitList(strings.Join(g.Systems, ","))
 		case "ranks":
 			for _, rs := range splitList(v) {
 				ns, err := parseRanks(rs)
@@ -192,8 +210,9 @@ func (g Grid) Validate() error {
 		}
 	}
 	for _, sys := range g.Systems {
-		if machine.ByName(sys) == nil {
-			return fmt.Errorf("sweepd: unknown system %q (want tiger, dmz, or longs)", sys)
+		if machine.Lookup(sys) == nil {
+			return fmt.Errorf("sweepd: unknown system %q (registered: %s)",
+				sys, strings.Join(machine.Names(), ", "))
 		}
 	}
 	for _, w := range g.Workloads {

@@ -3,6 +3,7 @@ package sweepd
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strconv"
 )
@@ -53,6 +54,12 @@ type SweepRequest struct {
 	// UncertaintyBound promotes any cell whose model uncertainty exceeds
 	// it (0 = use the default).
 	UncertaintyBound float64 `json:"uncertainty_bound,omitempty"`
+	// Specs carries the canonical schema-2 JSON of every custom machine
+	// the grid references by content-hash id, keyed by that id. The
+	// coordinator registers them (verifying each id matches its content)
+	// before validating the grid, and ships the spec to workers inside
+	// the lease, so custom machines need no out-of-band distribution.
+	Specs map[string]json.RawMessage `json:"specs,omitempty"`
 }
 
 // CellResult is one completed cell, streamed to clients and reported by
@@ -157,6 +164,11 @@ type Assignment struct {
 	FaultSeed int64    `json:"fault_seed,omitempty"`
 	Retries   int      `json:"retries,omitempty"`
 	Attempt   int      `json:"attempt"`
+	// Spec is the canonical schema-2 JSON of the cell's machine when
+	// Cell.System is a custom content-hash id; the worker registers it
+	// (verifying the id) before resolving the cell. Empty for registered
+	// machine names.
+	Spec json.RawMessage `json:"spec,omitempty"`
 }
 
 // PollResponse carries at most one assignment; nil means "no work yet,

@@ -13,6 +13,7 @@ import (
 
 	"multicore/internal/experiments"
 	"multicore/internal/fault"
+	"multicore/internal/machine"
 	"multicore/internal/schema"
 	"multicore/internal/store"
 )
@@ -265,6 +266,20 @@ func (w *Worker) runAssignment(ctx context.Context, asg Assignment) {
 // than hit a memoized in-process failure. Resume is set so stored error
 // entries re-run when the coordinator explicitly re-leases a cell.
 func (w *Worker) executeCell(ctx context.Context, asg Assignment) (CellResult, bool) {
+	if len(asg.Spec) > 0 {
+		// A custom machine travels with the lease; registering it makes
+		// the cell's System id resolvable. The id must match the shipped
+		// content — a mismatch means the assignment is corrupt, and
+		// simulating under the wrong machine would poison the store.
+		id, _, err := machine.RegisterSpecJSON(asg.Spec)
+		if err != nil {
+			return resultFor(asg.Cell, 0, fmt.Errorf("sweepd: leased spec for %s: %w", asg.Cell.System, err)), false
+		}
+		if id != asg.Cell.System {
+			return resultFor(asg.Cell, 0, fmt.Errorf(
+				"sweepd: leased spec hashes to %s, cell wants system %s", id, asg.Cell.System)), false
+		}
+	}
 	spec, scheme, scale, err := resolveCell(asg.Cell)
 	if err != nil {
 		return resultFor(asg.Cell, 0, err), false

@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseHeteroClasses(t *testing.T) {
+	s, err := Parse("sock:8P+8E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSockets != 1 || s.CoresPerSock != 16 {
+		t.Fatalf("shape wrong: %d sockets, %d cores/socket", s.NumSockets, s.CoresPerSock)
+	}
+	if len(s.Classes) != 2 || s.Classes[0].Name != "P" || s.Classes[1].Name != "E" {
+		t.Fatalf("classes wrong: %+v", s.Classes)
+	}
+	// Class-major ordering: cores 0..7 are P, 8..15 are E.
+	for c := 0; c < 16; c++ {
+		want := 0
+		if c >= 8 {
+			want = 1
+		}
+		if got := s.ClassOf(CoreID(c)); got != want {
+			t.Fatalf("ClassOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if s.ClassName(0) != "P" || s.ClassName(1) != "E" {
+		t.Fatalf("class names wrong: %q, %q", s.ClassName(0), s.ClassName(1))
+	}
+}
+
+func TestParseHeteroMultiSocket(t *testing.T) {
+	s, err := Parse("line:2x4P+4E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSockets != 2 || s.CoresPerSock != 8 {
+		t.Fatalf("shape wrong: %d sockets, %d cores/socket", s.NumSockets, s.CoresPerSock)
+	}
+	// Class layout repeats per socket.
+	for sock := 0; sock < 2; sock++ {
+		cores := s.CoresOn(SocketID(sock))
+		for i, c := range cores {
+			want := 0
+			if i >= 4 {
+				want = 1
+			}
+			if s.ClassOf(c) != want {
+				t.Fatalf("socket %d core %d (id %d): class %d, want %d", sock, i, c, s.ClassOf(c), want)
+			}
+		}
+	}
+}
+
+func TestParseMultiDie(t *testing.T) {
+	s, err := Parse("line:2x32/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDies() != 4 || s.CoresPerDie() != 8 {
+		t.Fatalf("dies wrong: %d dies of %d cores", s.NumDies(), s.CoresPerDie())
+	}
+	// Dies are contiguous blocks within a socket and restart per socket.
+	if s.DieOf(0) != 0 || s.DieOf(7) != 0 || s.DieOf(8) != 1 || s.DieOf(31) != 3 {
+		t.Fatalf("die mapping wrong: %d %d %d %d", s.DieOf(0), s.DieOf(7), s.DieOf(8), s.DieOf(31))
+	}
+	if s.DieOf(32) != 0 || s.DieOf(63) != 3 {
+		t.Fatalf("second-socket die mapping wrong: %d %d", s.DieOf(32), s.DieOf(63))
+	}
+}
+
+func TestParseHomogeneousDefaults(t *testing.T) {
+	s, err := Parse("ladder:4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Classes) != 0 {
+		t.Fatalf("homogeneous parse grew classes: %+v", s.Classes)
+	}
+	if s.NumDies() != 1 || s.DieOf(5) != 0 {
+		t.Fatalf("homogeneous parse grew dies: %d", s.NumDies())
+	}
+	if s.NumClasses() != 1 || s.ClassOf(3) != 0 {
+		t.Fatalf("homogeneous class accessors wrong: %d classes, class %d", s.NumClasses(), s.ClassOf(3))
+	}
+}
+
+func TestParseHeteroRejects(t *testing.T) {
+	for _, bad := range []string{
+		"sock:8P+8P",     // duplicate class name
+		"sock:8+8",       // multiple classes need names
+		"sock:0P+8E",     // zero-count class
+		"sock:8P+8E/3",   // 16 cores not divisible into 3 dies
+		"sock:8P+8E/0",   // zero dies
+		"sock:8P+8E/-2",  // negative dies
+		"sock:8P+8E/x",   // non-numeric dies
+		"ladder:4P+4Ex2", // class list outside the cores position
+		"sock:",          // empty class list
+		"sock:P8",        // count must lead
+		"sock:8P++8E",    // empty class item
+		"line:2x32/64",   // more dies than cores
+		"sock:8Pé8E",     // non-ASCII class name
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDieErrorMentionsInput(t *testing.T) {
+	_, err := Parse("line:2x32/x")
+	if err == nil || !strings.Contains(err.Error(), "die count") {
+		t.Fatalf("want die-count error, got %v", err)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	base := New("flat", 2, 8, []Link{{A: 0, B: 1}})
+	s, err := base.Reshape([]CoreClass{{Name: "P", PerSocket: 4}, {Name: "E", PerSocket: 4}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDies() != 2 || len(s.Classes) != 2 {
+		t.Fatalf("reshape lost structure: %d dies, %d classes", s.NumDies(), len(s.Classes))
+	}
+	if base.NumDies() != 1 || len(base.Classes) != 0 {
+		t.Fatal("Reshape mutated its receiver")
+	}
+	if _, err := base.Reshape([]CoreClass{{Name: "P", PerSocket: 3}}, 1); err == nil {
+		t.Fatal("class counts not summing to cores/socket should fail")
+	}
+	if _, err := base.Reshape(nil, 3); err == nil {
+		t.Fatal("8 cores into 3 dies should fail")
+	}
+}
+
+func FuzzParseTopology(f *testing.F) {
+	for _, seed := range []string{
+		"ladder:4x2", "ring:6x1", "xbar:8", "line:4", "sock:2",
+		"sock:8P+8E", "line:2x32/4", "ladder:4x2x2", "ring:3x4P+4E",
+		"sock:8P+8E/2", "line:0", "xbar:1", "torus:4", "sock:8P\xffE",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		// Any accepted topology must be internally consistent.
+		if s.NumSockets < 1 || s.CoresPerSock < 1 {
+			t.Fatalf("Parse(%q): empty system %d/%d", in, s.NumSockets, s.CoresPerSock)
+		}
+		if s.CoresPerSock%s.NumDies() != 0 {
+			t.Fatalf("Parse(%q): %d cores/socket not divisible into %d dies", in, s.CoresPerSock, s.NumDies())
+		}
+		total := 0
+		for _, cl := range s.Classes {
+			if cl.Name == "" || cl.PerSocket < 1 {
+				t.Fatalf("Parse(%q): bad class %+v", in, cl)
+			}
+			total += cl.PerSocket
+		}
+		if len(s.Classes) > 0 && total != s.CoresPerSock {
+			t.Fatalf("Parse(%q): class counts sum to %d, want %d", in, total, s.CoresPerSock)
+		}
+		for c := 0; c < s.NumCores(); c++ {
+			id := CoreID(c)
+			if cl := s.ClassOf(id); cl < 0 || cl >= s.NumClasses() {
+				t.Fatalf("Parse(%q): ClassOf(%d) = %d out of range", in, c, cl)
+			}
+			if d := s.DieOf(id); d < 0 || d >= s.NumDies() {
+				t.Fatalf("Parse(%q): DieOf(%d) = %d out of range", in, c, d)
+			}
+		}
+		for a := 0; a < s.NumSockets; a++ {
+			for b := 0; b < s.NumSockets; b++ {
+				if len(s.Route(SocketID(a), SocketID(b))) != s.Hops(SocketID(a), SocketID(b)) {
+					t.Fatalf("Parse(%q): route/hops mismatch %d->%d", in, a, b)
+				}
+			}
+		}
+	})
+}

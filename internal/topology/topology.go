@@ -21,14 +21,34 @@ type Link struct {
 	A, B SocketID
 }
 
+// CoreClass is one class of cores present in every socket of a
+// heterogeneous system (e.g. performance vs efficiency cores on a hybrid
+// part). Homogeneous systems have no declared classes.
+type CoreClass struct {
+	Name      string
+	PerSocket int
+}
+
 // System is the static structure of one evaluated machine.
 type System struct {
 	Name         string
 	CoresPerSock int
 	NumSockets   int
 	Links        []Link
+
+	// Classes, when non-empty, partitions every socket's cores into
+	// named classes in declared order (class 0 gets the socket's lowest
+	// core ids). Empty means one anonymous homogeneous class.
+	Classes []CoreClass
+	// DiesPerSocket splits each socket into equal chiplets joined by an
+	// on-package fabric (Infinity-Fabric-style); 0 or 1 means a
+	// monolithic socket. Cores are assigned to dies in contiguous
+	// id blocks.
+	DiesPerSocket int
+
 	coreToSocket []SocketID
 	socketCores  [][]CoreID
+	coreClass    []int              // core id -> class index (nil when homogeneous)
 	routes       [][][]DirectedLink // [from][to] -> directed link sequence
 	hopCount     [][]int
 }
@@ -63,8 +83,162 @@ func New(name string, numSockets, coresPerSocket int, links []Link) *System {
 	return s
 }
 
+// NewHetero builds a heterogeneous and/or multi-die system: every socket
+// holds the declared core classes in order, split into diesPerSocket
+// equal chiplets. It panics on invalid layouts (use topology.Parse for
+// error-returning construction from untrusted strings). A single unnamed
+// class is normalized to the homogeneous representation, so
+// NewHetero(name, n, []CoreClass{{PerSocket: k}}, 1, links) is
+// equivalent to New(name, n, k, links).
+func NewHetero(name string, numSockets int, classes []CoreClass, diesPerSocket int, links []Link) *System {
+	if diesPerSocket < 1 {
+		diesPerSocket = 1
+	}
+	per := 0
+	for _, cl := range classes {
+		if cl.PerSocket <= 0 {
+			panic(fmt.Sprintf("topology: %s class %q has %d cores per socket", name, cl.Name, cl.PerSocket))
+		}
+		if len(classes) > 1 && cl.Name == "" {
+			panic(fmt.Sprintf("topology: %s has an unnamed core class among %d", name, len(classes)))
+		}
+		per += cl.PerSocket
+	}
+	for i := range classes {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[i].Name == classes[j].Name {
+				panic(fmt.Sprintf("topology: %s has duplicate core class %q", name, classes[i].Name))
+			}
+		}
+	}
+	if per == 0 {
+		panic(fmt.Sprintf("topology: %s has no core classes", name))
+	}
+	if per%diesPerSocket != 0 {
+		panic(fmt.Sprintf("topology: %s has %d cores per socket, not divisible into %d dies", name, per, diesPerSocket))
+	}
+	s := New(name, numSockets, per, links)
+	s.DiesPerSocket = diesPerSocket
+	if len(classes) == 1 && classes[0].Name == "" {
+		return s // homogeneous: keep the canonical class-free form
+	}
+	s.Classes = append([]CoreClass(nil), classes...)
+	s.coreClass = make([]int, s.NumCores())
+	for sock := 0; sock < numSockets; sock++ {
+		id := sock * per
+		for ci, cl := range classes {
+			for k := 0; k < cl.PerSocket; k++ {
+				s.coreClass[id] = ci
+				id++
+			}
+		}
+	}
+	return s
+}
+
+// Reshape returns a copy of s with the given core classes and die count
+// on the same socket/link fabric. It is the layering hook for machine
+// specs that declare classes or dies in JSON on top of a plain topology
+// string. Nil classes keeps the existing layout (likewise dies < 1); the
+// class counts must sum to the existing cores per socket.
+func (s *System) Reshape(classes []CoreClass, diesPerSocket int) (*System, error) {
+	if classes == nil {
+		classes = s.Classes
+	}
+	if classes == nil {
+		classes = []CoreClass{{PerSocket: s.CoresPerSock}}
+	}
+	if diesPerSocket < 1 {
+		diesPerSocket = s.NumDies()
+	}
+	per := 0
+	for _, cl := range classes {
+		if cl.PerSocket <= 0 {
+			return nil, fmt.Errorf("topology: class %q has %d cores per socket", cl.Name, cl.PerSocket)
+		}
+		if len(classes) > 1 && cl.Name == "" {
+			return nil, fmt.Errorf("topology: multi-class systems need named classes")
+		}
+		per += cl.PerSocket
+	}
+	if per != s.CoresPerSock {
+		return nil, fmt.Errorf("topology: %s has %d cores per socket, classes sum to %d", s.Name, s.CoresPerSock, per)
+	}
+	if per%diesPerSocket != 0 {
+		return nil, fmt.Errorf("topology: %s has %d cores per socket, not divisible into %d dies", s.Name, per, diesPerSocket)
+	}
+	for i := range classes {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[i].Name == classes[j].Name {
+				return nil, fmt.Errorf("topology: duplicate core class %q", classes[i].Name)
+			}
+		}
+	}
+	return NewHetero(s.Name, s.NumSockets, classes, diesPerSocket, s.Links), nil
+}
+
+// Renamed returns a shallow copy of s under a new name. The routing
+// tables and core maps are shared — they are immutable after
+// construction.
+func (s *System) Renamed(name string) *System {
+	c := *s
+	c.Name = name
+	return &c
+}
+
 // NumCores returns the total core count.
 func (s *System) NumCores() int { return len(s.coreToSocket) }
+
+// NumClasses returns the number of core classes (1 for homogeneous
+// systems).
+func (s *System) NumClasses() int {
+	if len(s.Classes) == 0 {
+		return 1
+	}
+	return len(s.Classes)
+}
+
+// ClassOf returns the class index of core c (always 0 on homogeneous
+// systems).
+func (s *System) ClassOf(c CoreID) int {
+	if int(c) < 0 || int(c) >= len(s.coreToSocket) {
+		panic(fmt.Sprintf("topology: core %d out of range on %s", c, s.Name))
+	}
+	if s.coreClass == nil {
+		return 0
+	}
+	return s.coreClass[c]
+}
+
+// ClassName returns the name of class i ("" for the single anonymous
+// class of a homogeneous system).
+func (s *System) ClassName(i int) string {
+	if len(s.Classes) == 0 {
+		return ""
+	}
+	return s.Classes[i].Name
+}
+
+// NumDies returns the dies per socket (1 for monolithic sockets).
+func (s *System) NumDies() int {
+	if s.DiesPerSocket < 1 {
+		return 1
+	}
+	return s.DiesPerSocket
+}
+
+// CoresPerDie returns the cores hosted by one die.
+func (s *System) CoresPerDie() int { return s.CoresPerSock / s.NumDies() }
+
+// DieOf returns the die (within its socket) hosting core c — always 0 on
+// monolithic sockets.
+func (s *System) DieOf(c CoreID) int {
+	if s.NumDies() == 1 {
+		return 0
+	}
+	sock := int(s.SocketOf(c))
+	return (int(c) - sock*s.CoresPerSock) / s.CoresPerDie()
+}
 
 // SocketOf returns the socket hosting core c.
 func (s *System) SocketOf(c CoreID) SocketID {
