@@ -7,7 +7,8 @@
 //	        [-store DIR] [-resume] [-timeout D] [-json FILE] [-delta FILE]
 //	        [-delta-tol F] [-settle N] [-faults PLAN] [-fault-seed N]
 //	        [-retries N] <id>...|all|list
-//	mcbench -sweep GRID [-remote URL] [-screen] [-promote-margin F]
+//	mcbench -sweep GRID [-remote URL] [-priority N] [-client ID]
+//	        [-screen] [-promote-margin F]
 //	        [-uncertainty-bound F] [-calibrate] [flags]
 //	mcbench -calibrate -store DIR
 //
@@ -19,7 +20,11 @@
 // a paper artifact and renders one makespan table. Adding -remote URL
 // submits the same grid to an mcsweepd coordinator and streams per-cell
 // results as workers complete them; the remote table is byte-identical
-// to the local serial one.
+// to the local serial one. Remote streams survive coordinator restarts:
+// the client reconnects with its resume token and replays only the
+// results it missed. -priority (0 bulk .. 9 interactive) weights the
+// coordinator's dequeue; -client names this submission for the
+// coordinator's per-client admission quota (429 + Retry-After past it).
 //
 // Adding -screen engages the two-tier executor: every cell is priced by
 // the analytic roofline model (internal/analytic) and only cells the
@@ -88,6 +93,8 @@ func main() {
 	retries := flag.Int("retries", 0, "re-attempts per cell that fails with a transient fault (0 = no retry)")
 	sweep := flag.String("sweep", "", `grid sweep instead of paper artifacts, e.g. "workloads=stream,cg;systems=tiger;ranks=1,2;schemes=default,localalloc" (systems take registered names or @FILE spec files)`)
 	remote := flag.String("remote", "", "with -sweep: submit the grid to this mcsweepd coordinator URL and stream results")
+	priority := flag.Int("priority", 0, "with -remote: sweep priority 0 (bulk) to 9 (interactive); the coordinator weights its dequeue (priority+1):1")
+	client := flag.String("client", "", "with -remote: client id for the coordinator's per-client admission quota (default: hostname)")
 	screen := flag.Bool("screen", false, "with -sweep: two-tier execution — price every cell analytically, simulate only promoted cells (scheme crossovers and high-uncertainty estimates)")
 	promoteMargin := flag.Float64("promote-margin", sweepd.DefaultPromoteMargin, "with -screen: fractional closeness of two schemes' estimates that promotes both to simulation")
 	uncBound := flag.Float64("uncertainty-bound", sweepd.DefaultUncertaintyBound, "with -screen: model uncertainty above which a cell promotes to simulation")
@@ -129,6 +136,16 @@ func main() {
 	}
 	if *screenBench != 0 && *jsonOut == "" {
 		fatalf("-screen-bench needs -json FILE (it records a benchmark)")
+	}
+	if *priority < 0 || *priority > sweepd.MaxPriority {
+		fatalf("-priority must be between 0 and %d", sweepd.MaxPriority)
+	}
+	if (*priority != 0 || *client != "") && *remote == "" {
+		fatalf("-priority and -client apply to remote sweeps (-remote URL)")
+	}
+	if *client == "" {
+		host, _ := os.Hostname()
+		*client = host
 	}
 	if *screenBench < 0 {
 		fatalf("-screen-bench must be non-negative")
@@ -189,7 +206,7 @@ func main() {
 			fatalf("-json applies to paper artifacts, not -sweep grids")
 		}
 		cfg := screenCfg{enabled: *screen, margin: *promoteMargin, bound: *uncBound, calibrate: *calibrate}
-		runSweep(ctx, *sweep, *remote, *scale, opts, render, *faults, *faultSeed, *retries, *jobs, *storeDir, cfg)
+		runSweep(ctx, *sweep, *remote, *scale, opts, render, *faults, *faultSeed, *retries, *jobs, *storeDir, cfg, *client, *priority)
 		return
 	}
 	if *remote != "" {
@@ -374,7 +391,8 @@ type screenCfg struct {
 // the coordinator, which screens the grid in-process and leases only
 // the promoted sliver to workers.
 func runSweep(ctx context.Context, gridStr, remote, scale string, opts experiments.Options,
-	render func(*report.Table) string, faults string, faultSeed int64, retries, jobs int, storeDir string, cfg screenCfg) {
+	render func(*report.Table) string, faults string, faultSeed int64, retries, jobs int, storeDir string, cfg screenCfg,
+	client string, priority int) {
 	g, err := sweepd.ParseGrid(gridStr)
 	if err != nil {
 		fatalf("%v", err)
@@ -395,6 +413,8 @@ func runSweep(ctx context.Context, gridStr, remote, scale string, opts experimen
 			Faults:        faults,
 			FaultSeed:     faultSeed,
 			Retries:       retries,
+			Client:        client,
+			Priority:      priority,
 		}
 		if cfg.enabled {
 			req.Screen = true
@@ -408,6 +428,10 @@ func runSweep(ctx context.Context, gridStr, remote, scale string, opts experimen
 			fmt.Fprintf(os.Stderr, "cell %d/%d %s: %s\n", len(results), total, res.Cell.Key(), res.Status)
 		})
 		if err != nil {
+			var qe *sweepd.QuotaError
+			if errors.As(err, &qe) {
+				fatalf("%v (retry in %s, or resubmit with a higher quota on the coordinator)", qe, qe.RetryAfter)
+			}
 			fatalf("%v", err)
 		}
 		if s != nil {

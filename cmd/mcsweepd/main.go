@@ -4,13 +4,26 @@
 // Coordinator mode shards submitted sweeps across registered workers and
 // streams per-cell results back to clients as NDJSON:
 //
-//	mcsweepd -serve 127.0.0.1:9141 [-lease 15s] [-max-attempts 5]
+//	mcsweepd -serve 127.0.0.1:9141 [-state DIR] [-lease 15s] [-quota N]
+//
+// With -state DIR the coordinator is durable: submissions, cell
+// finalizations, and lease attempts journal to DIR, so a coordinator
+// that is SIGKILL'd mid-sweep restarts to the exact queue state —
+// re-leasing only unfinished cells — and clients resume their result
+// streams by token without re-simulating anything. -quota caps one
+// client's in-flight cells (admission control, 429 past it); sweep
+// priorities weight the dequeue so interactive sweeps are not starved
+// by bulk submissions.
 //
 // Worker mode pulls cell leases, simulates them through the experiment
 // executor with the (shared) result store as a global cache, and reports
 // results; run any number against one coordinator:
 //
-//	mcsweepd -worker http://127.0.0.1:9141 -store /shared/cellstore [-j N]
+//	mcsweepd -worker http://127.0.0.1:9141 -store /shared/cellstore [-j N] [-domain rack1]
+//
+// -domain labels the worker's failure domain (host, rack, zone);
+// repeated lease expiries quarantine the whole domain with exponential
+// backoff instead of re-leasing cells into known-bad hardware.
 //
 // Clients submit sweeps with `mcbench -sweep GRID -remote URL`. Workers
 // heartbeat their leases; kill -9 a worker mid-cell and the coordinator
@@ -26,6 +39,13 @@
 // families without an analytic profile). A million-cell grid submission
 // streams back mostly "estimated" cells immediately and occupies the
 // worker fleet only with the contested sliver.
+//
+// Stress mode exercises the whole durable stack in one process —
+// screening tier, distributed service, chaos worker kills, and a
+// coordinator kill+restart — and fails unless the final table is
+// byte-identical to a serial run:
+//
+//	mcsweepd -stress -cells 1000000 [-seed 1] [-j N] [-store DIR] [-state DIR]
 package main
 
 import (
@@ -47,17 +67,30 @@ import (
 func main() {
 	serve := flag.String("serve", "", "coordinator mode: listen address, e.g. 127.0.0.1:9141")
 	worker := flag.String("worker", "", "worker mode: coordinator base URL, e.g. http://127.0.0.1:9141")
-	storeDir := flag.String("store", "", "worker mode: shared result-store directory (global cell cache)")
+	stress := flag.Bool("stress", false, "stress mode: screened chaos sweep with coordinator kill+restart, checked against serial")
+	storeDir := flag.String("store", "", "worker/stress mode: shared result-store directory (global cell cache)")
 	name := flag.String("name", "", "worker mode: label reported to the coordinator (default: hostname)")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker mode: cells simulated concurrently")
+	domain := flag.String("domain", "", "worker mode: failure-domain label (default: hostname)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker mode: cells simulated concurrently; stress mode: worker slots")
 	settle := flag.Int("settle", 0, "worker mode: per-cell parallel settle workers (see mcbench -settle)")
+	stateDir := flag.String("state", "", "coordinator/stress mode: durable state directory (journal + snapshot); empty = in-memory only")
 	lease := flag.Duration("lease", 15*time.Second, "coordinator mode: lease duration workers must heartbeat within")
 	maxAttempts := flag.Int("max-attempts", 5, "coordinator mode: lease assignments per cell before it fails")
+	quota := flag.Int("quota", 0, "coordinator mode: max in-flight cells per client (0 = unlimited)")
+	retention := flag.Duration("retention", 15*time.Minute, "coordinator mode: how long sweeps outlive their last client (resume window)")
+	cells := flag.Int("cells", 100000, "stress mode: approximate grid size")
+	seed := flag.Int64("seed", 1, "stress mode: chaos schedule seed")
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
 	flag.Parse()
 
-	if (*serve == "") == (*worker == "") {
-		fmt.Fprintln(os.Stderr, "mcsweepd: exactly one of -serve ADDR or -worker URL is required")
+	modes := 0
+	for _, on := range []bool{*serve != "", *worker != "", *stress} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "mcsweepd: exactly one of -serve ADDR, -worker URL, or -stress is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,17 +104,44 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *serve != "" {
-		coord := sweepd.NewCoordinator(sweepd.CoordinatorOptions{
-			Lease:       *lease,
-			MaxAttempts: *maxAttempts,
-			Logf:        logf,
+	if *stress {
+		rep, err := sweepd.Stress(ctx, sweepd.StressOptions{
+			Cells:    *cells,
+			Seed:     *seed,
+			Workers:  2,
+			Slots:    *jobs,
+			StoreDir: *storeDir,
+			StateDir: *stateDir,
+			Logf:     logf,
 		})
+		if err != nil {
+			fatalf("stress: %v", err)
+		}
+		log.Printf("mcsweepd: stress PASS: %s", rep)
+		return
+	}
+
+	if *serve != "" {
+		coord, err := sweepd.NewCoordinator(sweepd.CoordinatorOptions{
+			Lease:                *lease,
+			MaxAttempts:          *maxAttempts,
+			StateDir:             *stateDir,
+			MaxInflightPerClient: *quota,
+			SweepRetention:       *retention,
+			Logf:                 logf,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
 		defer coord.Close()
 		srv := &http.Server{Addr: *serve, Handler: coord.Handler()}
 		errc := make(chan error, 1)
 		go func() { errc <- srv.ListenAndServe() }()
-		log.Printf("mcsweepd: coordinating on %s (lease %s)", *serve, *lease)
+		durable := "in-memory"
+		if *stateDir != "" {
+			durable = "state " + *stateDir
+		}
+		log.Printf("mcsweepd: coordinating on %s (lease %s, %s)", *serve, *lease, durable)
 		select {
 		case err := <-errc:
 			fatalf("%v", err)
@@ -99,10 +159,15 @@ func main() {
 		host, _ := os.Hostname()
 		*name = host
 	}
+	if *domain == "" {
+		host, _ := os.Hostname()
+		*domain = host
+	}
 	w, err := sweepd.NewWorker(sweepd.WorkerOptions{
 		Coordinator:   *worker,
 		Store:         *storeDir,
 		Name:          *name,
+		Domain:        *domain,
 		Parallelism:   *jobs,
 		SettleWorkers: *settle,
 		Logf:          logf,
@@ -110,12 +175,12 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	log.Printf("mcsweepd: worker %q serving %s (store %q, %d slots)", *name, *worker, *storeDir, *jobs)
+	log.Printf("mcsweepd: worker %q serving %s (store %q, domain %q, %d slots)", *name, *worker, *storeDir, *domain, *jobs)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		fatalf("%v", err)
 	}
-	cells, hits := w.Stats()
-	log.Printf("mcsweepd: worker done: %d cells simulated, %d store hits", cells, hits)
+	cellsRun, hits := w.Stats()
+	log.Printf("mcsweepd: worker done: %d cells simulated, %d store hits", cellsRun, hits)
 }
 
 func fatalf(format string, args ...any) {

@@ -82,6 +82,13 @@ func iteration(r *mpi.Rank, p Params, mat, xseg, vecs *mem.Region, matBytes, vec
 		row := r.ID() / ncols
 		colIdx := r.ID() % ncols
 		for stage := 1; stage < ncols; stage <<= 1 {
+			// Non-power-of-two rows have holes in the butterfly: a
+			// colIdx^stage past the row simply sits the stage out. The
+			// skip is symmetric — XOR is an involution, so a partner
+			// inside the row never addresses a rank that skipped.
+			if colIdx^stage >= ncols {
+				continue
+			}
 			partner := row*ncols + (colIdx ^ stage)
 			r.Sendrecv(partner, vecLocal/float64(ncols), partner)
 		}

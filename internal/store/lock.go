@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+	"time"
 )
 
 // The advisory store lock serializes whole sweeps, not individual writes:
@@ -19,6 +20,44 @@ import (
 // it without forking.
 
 func (s *Store) lockPath() string { return filepath.Join(s.dir, ".lock") }
+
+// staleLockAge is how old a .lock file must be before Open considers
+// breaking it. Holders refresh the mtime on every acquisition, so an old
+// lock file means no process has (re)taken it in at least this long.
+const staleLockAge = time.Hour
+
+// breakStaleLock removes a .lock file orphaned by a crashed holder,
+// mirroring the put-*.tmp sweep: flock state dies with the process, but
+// the file itself lingers and — while harmless to correctness — reads as
+// a phantom holder to operators inspecting the directory. Removal is
+// double-gated: the file must be old (no recent acquisition) AND
+// currently unlocked (flock-NB succeeds, so no live holder). The unlink
+// happens while holding the lock, so a concurrent acquirer either beat
+// us to the flock (we leave the file) or opens the path after the
+// unlink and creates a fresh file. Best-effort: any error leaves the
+// file in place.
+func breakStaleLock(dir string) {
+	path := filepath.Join(dir, ".lock")
+	info, err := os.Stat(path)
+	if err != nil || time.Since(info.ModTime()) < staleLockAge {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) != nil {
+		return // a live holder: not stale after all
+	}
+	defer syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	// Re-check age under the lock: a holder that acquired and released
+	// between our Stat and Flock refreshed the mtime.
+	if info, err := os.Stat(path); err != nil || time.Since(info.ModTime()) < staleLockAge {
+		return
+	}
+	os.Remove(path)
+}
 
 // openLock opens (creating if needed) the lock file. Caller holds s.mu.
 func (s *Store) openLock() error {
@@ -48,7 +87,16 @@ func (s *Store) TryLock() (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("store: locking %s: %v", s.lockPath(), err)
 	}
+	s.touchLock()
 	return true, nil
+}
+
+// touchLock refreshes the lock file's mtime on acquisition so
+// breakStaleLock's age gate sees live holders as recent. Caller holds
+// s.mu and the flock.
+func (s *Store) touchLock() {
+	now := time.Now()
+	os.Chtimes(s.lockPath(), now, now)
 }
 
 // Lock acquires the store's advisory lock, blocking until the current
@@ -62,6 +110,7 @@ func (s *Store) Lock() error {
 	if err := syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_EX); err != nil {
 		return fmt.Errorf("store: locking %s: %v", s.lockPath(), err)
 	}
+	s.touchLock()
 	return nil
 }
 

@@ -14,3 +14,7 @@ func (s *Store) Lock() error { return nil }
 
 // Unlock is a no-op on platforms without advisory file locks.
 func (s *Store) Unlock() error { return nil }
+
+// breakStaleLock is a no-op without flock: there is no way to tell a
+// crashed holder's lock file from a live one, so leave it alone.
+func breakStaleLock(dir string) {}

@@ -1,0 +1,111 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// old backdates path far past staleLockAge.
+func backdate(t *testing.T, path string) {
+	t.Helper()
+	old := time.Now().Add(-2 * staleLockAge)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenBreaksStaleLock simulates the crash that motivates lock
+// breaking: a sweep takes the lock and dies (flock state vanishes with
+// the process, the file stays). Open must remove the orphan once it is
+// old and demonstrably unheld.
+func TestOpenBreaksStaleLock(t *testing.T) {
+	dir := t.TempDir()
+	// "Crashed" holder: acquire and abandon without Unlock. Closing the
+	// fd releases the flock exactly as process death would.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	s.lockFile.Close() // simulate SIGKILL: lock dropped, file left behind
+	s.lockFile = nil
+
+	lock := filepath.Join(dir, ".lock")
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("lock file missing before break: %v", err)
+	}
+	backdate(t, lock)
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("stale lock survived Open: stat err = %v", err)
+	}
+
+	// The directory still locks normally afterwards.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s2.TryLock(); err != nil || !ok {
+		t.Fatalf("TryLock after break = (%v, %v), want (true, nil)", ok, err)
+	}
+	if err := s2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenKeepsRecentLock: a young lock file is never touched, held or
+// not — a holder that just acquired may not be flock-visible through
+// every filesystem, and an hour of margin costs nothing.
+func TestOpenKeepsRecentLock(t *testing.T) {
+	dir := t.TempDir()
+	lock := filepath.Join(dir, ".lock")
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("recent unheld lock removed by Open: %v", err)
+	}
+}
+
+// TestOpenKeepsHeldLock: age alone must not break a lock — a live
+// holder (long sweep, backdated mtime notwithstanding) fails the
+// flock-NB probe and keeps its lock.
+func TestOpenKeepsHeldLock(t *testing.T) {
+	dir := t.TempDir()
+	holder, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Unlock()
+	lock := filepath.Join(dir, ".lock")
+	backdate(t, lock)
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("held lock removed by Open: %v", err)
+	}
+	// The holder's exclusion is intact.
+	other, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := other.TryLock(); err != nil || ok {
+		t.Fatalf("TryLock against live holder = (%v, %v), want (false, nil)", ok, err)
+	}
+}

@@ -115,12 +115,15 @@ type Store struct {
 // Open creates the directory if needed and returns a store over it.
 // Stale temp files — orphaned by a crash between temp-file creation and
 // the committing rename — are swept on open, age-gated so the temp files
-// of live concurrent writers are never touched.
+// of live concurrent writers are never touched. A .lock file orphaned by
+// a crashed sweep is likewise broken, but only when it is both old and
+// demonstrably unheld (see breakStaleLock).
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %v", dir, err)
 	}
 	sweepStaleTemps(dir)
+	breakStaleLock(dir)
 	return &Store{dir: dir, commit: os.Rename}, nil
 }
 

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"multicore/internal/machine"
@@ -30,84 +33,229 @@ func attachSpecs(req *SweepRequest) {
 	}
 }
 
+// QuotaError is a coordinator 429: the client is over its in-flight
+// cell quota. RetryAfter carries the coordinator's backoff hint.
+type QuotaError struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("sweepd: %s (retry after %s)", e.Message, e.RetryAfter)
+}
+
+// maxStreamResumes bounds reconnection attempts after a stream stalls
+// or drops mid-sweep; each attempt itself retries refused connections,
+// so a coordinator restart of several seconds is spanned comfortably.
+const maxStreamResumes = 8
+
+// permanentError marks a failure that reconnecting cannot fix (a
+// rejected request, a fingerprint mismatch, a coordinator-sent error).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// errUnknownResume marks a resume token the coordinator no longer
+// knows; the caller falls back to a fresh submission (completed cells
+// replay from the shared store, so nothing re-simulates).
+type unknownResumeError struct{ token string }
+
+func (e *unknownResumeError) Error() string {
+	return fmt.Sprintf("sweepd: coordinator does not know resume token %q", e.token)
+}
+
 // Submit posts a sweep to a coordinator and consumes the NDJSON result
 // stream, invoking onCell for every completed cell as it arrives (so
 // callers can render tables filling in live). Each received result's
 // fingerprint is recomputed locally — a mismatch means the wire mangled
 // a value (or a worker diverged) and fails the sweep rather than
-// silently producing a wrong table. Connection refusals are retried
-// briefly so clients can race a just-started coordinator.
+// silently producing a wrong table.
+//
+// The stream is watched with a keepalive deadline derived from the
+// coordinator's advertised ping interval: a coordinator that dies
+// mid-sweep (or a wedged connection) surfaces as a reconnect with the
+// sweep's resume token rather than blocking forever, and only after the
+// reconnect budget is exhausted does Submit return a structured error.
+// Cells replayed across a resume are deduplicated, so onCell sees each
+// cell exactly once. A 429 (admission control) returns *QuotaError with
+// the coordinator's Retry-After.
 func Submit(ctx context.Context, coordinator string, req SweepRequest, onCell func(CellResult)) (*Summary, error) {
 	attachSpecs(&req)
+	client := &http.Client{} // no overall timeout: the stream lasts as long as the sweep
+	seen := map[string]bool{}
+	resume := ""
+	var lastErr error
+	for attempt := 0; attempt <= maxStreamResumes; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(attempt) * 500 * time.Millisecond
+			if backoff > 3*time.Second {
+				backoff = 3 * time.Second
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		r := req
+		r.Resume = resume
+		sum, token, err := streamSweepOnce(ctx, client, coordinator, r, seen, onCell)
+		if sum != nil {
+			return sum, nil
+		}
+		if token != "" {
+			resume = token
+		}
+		if err == nil {
+			err = fmt.Errorf("sweepd: result stream ended before the sweep completed")
+		}
+		if pe, ok := err.(*permanentError); ok {
+			return nil, pe.err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if _, ok := err.(*unknownResumeError); ok {
+			// The coordinator lost the sweep (crash before the journal
+			// synced, or retention expired). Start over: finished cells are
+			// in the shared store, so workers replay rather than re-run.
+			resume = ""
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("sweepd: lost coordinator stream after %d attempts: %v", maxStreamResumes+1, lastErr)
+}
+
+// streamSweepOnce performs one sweep connection: submit (or resume),
+// then consume events until "done" or the stream breaks. It returns the
+// summary on completion, the latest resume token either way, and the
+// reason the stream ended otherwise. Results already in seen are not
+// re-delivered to onCell.
+func streamSweepOnce(ctx context.Context, client *http.Client, coordinator string, req SweepRequest, seen map[string]bool, onCell func(CellResult)) (*Summary, string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("sweepd: encoding sweep request: %v", err)
+		return nil, "", &permanentError{fmt.Errorf("sweepd: encoding sweep request: %v", err)}
 	}
-	client := &http.Client{} // no timeout: the stream lasts as long as the sweep
 	var resp *http.Response
+	// Connection refusals are retried briefly so clients can race a
+	// just-started (or just-restarted) coordinator.
 	for attempt := 0; ; attempt++ {
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+PathSweep, bytes.NewReader(body))
 		if err != nil {
-			return nil, err
+			return nil, "", &permanentError{err}
 		}
 		hreq.Header.Set("Content-Type", "application/json")
 		resp, err = client.Do(hreq)
 		if err == nil {
 			break
 		}
-		if ctx.Err() != nil || attempt >= 10 {
-			return nil, fmt.Errorf("sweepd: submitting sweep to %s: %v", coordinator, err)
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+		if attempt >= 10 {
+			return nil, "", fmt.Errorf("sweepd: submitting sweep to %s: %v", coordinator, err)
 		}
 		t := time.NewTimer(300 * time.Millisecond)
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		case <-t.C:
 		}
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("sweepd: coordinator rejected sweep: %s", bytes.TrimSpace(msg))
+		retry := 5 * time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return nil, "", &permanentError{&QuotaError{RetryAfter: retry, Message: string(bytes.TrimSpace(msg))}}
+	case resp.StatusCode == http.StatusNotFound && req.Resume != "":
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, "", &unknownResumeError{token: req.Resume}
+	case resp.StatusCode != http.StatusOK:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, "", &permanentError{fmt.Errorf("sweepd: coordinator rejected sweep: %s", bytes.TrimSpace(msg))}
 	}
 
+	// Keepalive watchdog: if no event (cells or pings) arrives within the
+	// deadline, force-close the body so the scanner unblocks — a dead
+	// coordinator must yield an error, not a hang. The deadline tracks
+	// the coordinator's advertised ping interval from the start event.
+	deadline := 30 * time.Second
+	var stalled atomic.Bool
+	watchdog := time.AfterFunc(deadline, func() {
+		stalled.Store(true)
+		resp.Body.Close()
+	})
+	defer watchdog.Stop()
+
+	token := req.Resume
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
+		watchdog.Reset(deadline)
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		var ev StreamEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("sweepd: decoding stream event: %v", err)
+			return nil, token, &permanentError{fmt.Errorf("sweepd: decoding stream event: %v", err)}
 		}
 		switch ev.Type {
+		case "start":
+			if ev.Token != "" {
+				token = ev.Token
+			}
+			if ev.PingMillis > 0 {
+				deadline = 4 * time.Duration(ev.PingMillis) * time.Millisecond
+				if deadline < 2*time.Second {
+					deadline = 2 * time.Second
+				}
+				watchdog.Reset(deadline)
+			}
+		case "ping":
+			// keepalive only; the watchdog reset above is the point
 		case "cell":
 			if ev.Cell == nil {
-				return nil, fmt.Errorf("sweepd: cell event without a cell")
+				return nil, token, &permanentError{fmt.Errorf("sweepd: cell event without a cell")}
 			}
 			if got := Fingerprint(*ev.Cell); got != ev.Cell.Fingerprint {
-				return nil, fmt.Errorf("sweepd: cell %s fingerprint mismatch: streamed %s, recomputed %s",
-					ev.Cell.Cell.Key(), ev.Cell.Fingerprint, got)
+				return nil, token, &permanentError{fmt.Errorf("sweepd: cell %s fingerprint mismatch: streamed %s, recomputed %s",
+					ev.Cell.Cell.Key(), ev.Cell.Fingerprint, got)}
 			}
-			if onCell != nil {
-				onCell(*ev.Cell)
+			if key := ev.Cell.Cell.Key(); !seen[key] {
+				seen[key] = true
+				if onCell != nil {
+					onCell(*ev.Cell)
+				}
 			}
 		case "done":
 			if ev.Summary == nil {
-				return nil, fmt.Errorf("sweepd: done event without a summary")
+				return nil, token, &permanentError{fmt.Errorf("sweepd: done event without a summary")}
 			}
-			return ev.Summary, nil
+			return ev.Summary, token, nil
 		case "error":
-			return nil, fmt.Errorf("sweepd: coordinator error: %s", ev.Message)
+			return nil, token, &permanentError{fmt.Errorf("sweepd: coordinator error: %s", ev.Message)}
 		default:
-			return nil, fmt.Errorf("sweepd: unknown stream event type %q", ev.Type)
+			return nil, token, &permanentError{fmt.Errorf("sweepd: unknown stream event type %q", ev.Type)}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sweepd: reading result stream: %v", err)
+	if stalled.Load() {
+		return nil, token, fmt.Errorf("sweepd: result stream stalled (no data or keepalive within %s)", deadline)
 	}
-	return nil, fmt.Errorf("sweepd: result stream ended before the sweep completed")
+	if err := sc.Err(); err != nil {
+		// Distinguish transport breakage (retryable via resume) from
+		// anything already classified above.
+		if strings.Contains(err.Error(), "use of closed") {
+			return nil, token, fmt.Errorf("sweepd: result stream closed mid-sweep")
+		}
+		return nil, token, fmt.Errorf("sweepd: reading result stream: %v", err)
+	}
+	return nil, token, fmt.Errorf("sweepd: result stream ended before the sweep completed")
 }

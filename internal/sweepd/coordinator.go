@@ -1,15 +1,20 @@
 package sweepd
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"multicore/internal/analytic"
 	"multicore/internal/machine"
 	"multicore/internal/schema"
+	"multicore/internal/sweepd/journal"
 )
 
 // CoordinatorOptions tunes the control plane. The zero value gives
@@ -26,6 +31,42 @@ type CoordinatorOptions struct {
 	PollWait time.Duration
 	// Logf receives coordinator events; nil discards them.
 	Logf func(format string, args ...any)
+
+	// StateDir, when non-empty, makes the coordinator durable: sweep
+	// submissions, cell finalizations, and lease attempts journal to
+	// StateDir, and NewCoordinator replays them so a SIGKILL'd
+	// coordinator restarts to the exact queue state — re-leasing only
+	// unfinished cells and resuming client streams by token.
+	StateDir string
+	// SyncEvery batches journal fsyncs: one per this many records
+	// (the janitor also syncs every tick). Default 64.
+	SyncEvery int
+	// SnapshotEvery compacts the journal into a snapshot after this many
+	// records. Default 4096.
+	SnapshotEvery int
+
+	// MaxInflightPerClient caps one client's outstanding (not yet
+	// finalized) simulated cells across its live sweeps; a submission
+	// that would exceed it is rejected with 429 and a Retry-After of
+	// RetryAfter. 0 means no quota.
+	MaxInflightPerClient int
+	// RetryAfter is the backoff hinted to quota-rejected clients.
+	// Default 5s.
+	RetryAfter time.Duration
+
+	// SweepRetention is how long a sweep outlives its last connected
+	// client before the janitor drops it (its resume window). Default
+	// 15m.
+	SweepRetention time.Duration
+	// PingEvery is the stream keepalive interval. Default 5s.
+	PingEvery time.Duration
+
+	// QuarantineAfter is how many consecutive lease expiries a failure
+	// domain absorbs before it is quarantined. Default 3.
+	QuarantineAfter int
+	// QuarantineBackoff is the first quarantine duration; it doubles per
+	// consecutive quarantine, capped at 16x. Default 30s.
+	QuarantineBackoff time.Duration
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -41,6 +82,27 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 4096
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 5 * time.Second
+	}
+	if o.SweepRetention <= 0 {
+		o.SweepRetention = 15 * time.Minute
+	}
+	if o.PingEvery <= 0 {
+		o.PingEvery = 5 * time.Second
+	}
+	if o.QuarantineAfter <= 0 {
+		o.QuarantineAfter = 3
+	}
+	if o.QuarantineBackoff <= 0 {
+		o.QuarantineBackoff = 30 * time.Second
+	}
 	return o
 }
 
@@ -54,25 +116,90 @@ const (
 // cellState is one deduplicated cell execution: however many concurrent
 // sweeps reference it (refs), it is queued, leased, and completed once.
 type cellState struct {
-	asg     Assignment // Attempt tracks the current lease generation
-	state   int
-	refs    int
-	worker  string
-	expiry  time.Time
-	result  *CellResult
-	waiters []chan<- CellResult
+	asg    Assignment // Attempt tracks the current lease generation
+	state  int
+	refs   int
+	prio   int // max priority across referencing sweeps
+	worker string
+	expiry time.Time
+	result *CellResult
+	sweeps []*sweepState // live sweeps awaiting this cell
 }
 
 // workerState is one registered worker.
 type workerState struct {
 	name     string
+	domain   string
 	lastSeen time.Time
+}
+
+// domainState tracks one failure domain's health. Consecutive lease
+// expiries anywhere in the domain quarantine it — polls are turned away
+// with a retry hint — for an exponentially growing backoff; any
+// successful completion from the domain resets both counter and
+// backoff.
+type domainState struct {
+	workers     int
+	expiries    int // consecutive, since the last success
+	until       time.Time
+	backoff     time.Duration
+	quarantines int
+}
+
+// sweepState is one submitted sweep, living server-side so its NDJSON
+// stream survives client disconnects: a reconnecting client resumes by
+// token and replays results. The janitor drops sweeps idle past
+// SweepRetention.
+type sweepState struct {
+	token   string
+	req     SweepRequest
+	prio    int
+	ids     []string     // unique dedup keys of the simulated (promoted) cells
+	settled []CellResult // screening-tier results, streamed on every (re)attach
+	results map[string]CellResult
+	sum     Summary
+	done    bool
+	subs    map[chan CellResult]bool
+	idle    time.Time // when the last subscriber detached; zero while attached
+}
+
+// journalRecord is one durable state transition. Types: "sweep" (a
+// submission: token + full request), "final" (a cell finalized),
+// "lease" (a cell leased at an attempt number, so restart preserves the
+// attempt budget), "done" (a sweep completed), "drop" (a sweep
+// retired). Replay over a snapshot is idempotent.
+type journalRecord struct {
+	T       string        `json:"t"`
+	Token   string        `json:"token,omitempty"`
+	Req     *SweepRequest `json:"req,omitempty"`
+	ID      string        `json:"id,omitempty"`
+	Attempt int           `json:"attempt,omitempty"`
+	Res     *CellResult   `json:"res,omitempty"`
+}
+
+// persistedState is the snapshot payload: everything needed to rebuild
+// the coordinator minus what is recomputed (screened results re-screen
+// deterministically; queue membership falls out of sweeps minus
+// finalized results).
+type persistedState struct {
+	Sweeps    []persistedSweep      `json:"sweeps"`
+	Results   map[string]CellResult `json:"results,omitempty"`
+	Attempts  map[string]int        `json:"attempts,omitempty"`
+	Finals    map[string]string     `json:"finals,omitempty"`
+	Divergent int                   `json:"divergent,omitempty"`
+	DoneCells int                   `json:"done_cells,omitempty"`
+}
+
+type persistedSweep struct {
+	Token string       `json:"token"`
+	Req   SweepRequest `json:"req"`
+	Done  bool         `json:"done,omitempty"`
 }
 
 // Coordinator shards sweep cells across registered workers. It is pure
 // control plane: results live in the workers' shared store (and
-// in-memory only while a sweep still needs them), so a coordinator
-// restart loses queue state but never completed results.
+// in-memory only while a sweep still needs them). With StateDir set it
+// is also durable — queue state survives SIGKILL via journal replay.
 type Coordinator struct {
 	opts CoordinatorOptions
 	// est screens grids submitted with Screen set; the estimator's
@@ -80,43 +207,260 @@ type Coordinator struct {
 	// concurrent use), so repeated screening submissions price cells
 	// from warm caches.
 	est *analytic.Estimator
+	jn  *journal.Journal // nil when not durable
+	// instance suffixes worker IDs in durable mode so IDs from before a
+	// restart can never alias freshly issued ones.
+	instance string
 
 	mu         sync.Mutex
 	cells      map[string]*cellState
-	queue      []string
+	queue      *fairQueue
+	sweeps     map[string]*sweepState
+	sweepOrder []string
 	workers    map[string]*workerState
+	domains    map[string]*domainState
 	nextWorker int
 	divergent  int
 	doneCells  int
 	finals     map[string]string // finalized cell id → fingerprint
 	wake       chan struct{}
+	unsynced   int
+	restoring  bool // suppress journal writes during replay
 
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
 // NewCoordinator builds a coordinator and starts its lease janitor
-// (stopped by Close).
-func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+// (stopped by Close). With opts.StateDir set it first replays the
+// journal there, restoring live sweeps and re-queueing every cell that
+// was not finalized before the previous process died.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c := &Coordinator{
 		opts:    opts.withDefaults(),
 		est:     analytic.New(),
 		cells:   map[string]*cellState{},
+		queue:   newFairQueue(),
+		sweeps:  map[string]*sweepState{},
 		workers: map[string]*workerState{},
+		domains: map[string]*domainState{},
 		finals:  map[string]string{},
 		wake:    make(chan struct{}),
 		stop:    make(chan struct{}),
 	}
+	if opts.StateDir != "" {
+		c.instance = randomHex(2)
+		jn, snapshot, records, err := journal.Open(opts.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		c.jn = jn
+		if err := c.restore(snapshot, records); err != nil {
+			jn.Close()
+			return nil, err
+		}
+	}
 	go c.janitor()
-	return c
+	return c, nil
 }
 
-// Close stops the lease janitor. In-flight HTTP requests are the
-// server's to drain.
-func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+func randomHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}
 
-// janitor re-queues expired leases even when no worker is polling, so a
-// sweep whose only worker died still completes once a worker returns.
+// Close stops the lease janitor and syncs the journal. In-flight HTTP
+// requests are the server's to drain.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		if c.jn != nil {
+			c.mu.Lock()
+			c.jn.Close()
+			c.jn = nil
+			c.mu.Unlock()
+		}
+	})
+}
+
+// crash abandons the coordinator without syncing or closing the
+// journal — the in-process equivalent of SIGKILL, used by crash-restart
+// tests and the stress harness. The journal file handle leaks until the
+// process exits, exactly as a kill would leave it.
+func (c *Coordinator) crash() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// restore rebuilds state from a snapshot plus journal records. Replay
+// is idempotent: records already reflected in the snapshot re-apply
+// harmlessly (the snapshot/truncate crash window leaves such records).
+func (c *Coordinator) restore(snapshot []byte, records [][]byte) error {
+	ps := persistedState{Results: map[string]CellResult{}, Finals: map[string]string{}, Attempts: map[string]int{}}
+	if len(snapshot) > 0 {
+		if err := json.Unmarshal(snapshot, &ps); err != nil {
+			return fmt.Errorf("sweepd: decoding snapshot: %v", err)
+		}
+		if ps.Results == nil {
+			ps.Results = map[string]CellResult{}
+		}
+		if ps.Finals == nil {
+			ps.Finals = map[string]string{}
+		}
+		if ps.Attempts == nil {
+			ps.Attempts = map[string]int{}
+		}
+	}
+	byToken := map[string]int{}
+	for i, sw := range ps.Sweeps {
+		byToken[sw.Token] = i
+	}
+	for _, raw := range records {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			continue // CRC passed but content unreadable: skip, don't abort recovery
+		}
+		switch rec.T {
+		case "sweep":
+			if _, ok := byToken[rec.Token]; !ok && rec.Req != nil {
+				byToken[rec.Token] = len(ps.Sweeps)
+				ps.Sweeps = append(ps.Sweeps, persistedSweep{Token: rec.Token, Req: *rec.Req})
+			}
+		case "final":
+			if rec.Res == nil {
+				continue
+			}
+			if _, ok := ps.Results[rec.ID]; !ok {
+				ps.DoneCells++
+			}
+			ps.Results[rec.ID] = *rec.Res
+			ps.Finals[rec.ID] = rec.Res.Fingerprint
+			delete(ps.Attempts, rec.ID)
+		case "lease":
+			if rec.Attempt > ps.Attempts[rec.ID] {
+				ps.Attempts[rec.ID] = rec.Attempt
+			}
+		case "done":
+			if i, ok := byToken[rec.Token]; ok {
+				ps.Sweeps[i].Done = true
+			}
+		case "drop":
+			if i, ok := byToken[rec.Token]; ok {
+				ps.Sweeps[i].Token = "" // tombstone; skipped below
+				delete(byToken, rec.Token)
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restoring = true
+	defer func() { c.restoring = false }()
+	c.finals = ps.Finals
+	c.divergent = ps.Divergent
+	c.doneCells = ps.DoneCells
+	restored := 0
+	for _, p := range ps.Sweeps {
+		if p.Token == "" {
+			continue
+		}
+		sw, err := c.buildSweepLocked(p.Token, p.Req, ps.Results)
+		if err != nil {
+			c.opts.Logf("restore: dropping sweep %s: %v", p.Token, err)
+			continue
+		}
+		if p.Done {
+			sw.done = true
+		}
+		sw.idle = time.Now() // retention clock runs until a client resumes
+		restored++
+	}
+	// Preserved attempt counts keep the lease budget honest across the
+	// restart: a cell that burned attempts before the crash does not get
+	// a fresh budget.
+	for id, at := range ps.Attempts {
+		if st, ok := c.cells[id]; ok && st.state == cellQueued && at > st.asg.Attempt {
+			st.asg.Attempt = at
+		}
+	}
+	if restored > 0 {
+		c.opts.Logf("restored %d sweeps from %s: %d cells done, %d queued",
+			restored, c.opts.StateDir, len(ps.Results), c.queue.len())
+	}
+	// Compact: the rebuilt state is the new snapshot; the journal restarts
+	// empty.
+	return c.snapshotLocked()
+}
+
+// journalLocked appends one record, batching fsyncs and compacting into
+// a snapshot past the configured thresholds. Callers hold c.mu. No-op
+// when not durable or while restoring.
+func (c *Coordinator) journalLocked(rec journalRecord) {
+	if c.jn == nil || c.restoring {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		c.opts.Logf("journal encode failed: %v", err)
+		return
+	}
+	if err := c.jn.Append(b); err != nil {
+		c.opts.Logf("journal append failed: %v", err)
+		return
+	}
+	c.unsynced++
+	if c.unsynced >= c.opts.SyncEvery {
+		if err := c.jn.Sync(); err != nil {
+			c.opts.Logf("journal sync failed: %v", err)
+		}
+		c.unsynced = 0
+	}
+	if c.jn.Records() >= c.opts.SnapshotEvery {
+		if err := c.snapshotLocked(); err != nil {
+			c.opts.Logf("snapshot failed: %v", err)
+		}
+	}
+}
+
+// snapshotLocked compacts current state into the snapshot file and
+// truncates the journal. Callers hold c.mu.
+func (c *Coordinator) snapshotLocked() error {
+	if c.jn == nil {
+		return nil
+	}
+	ps := persistedState{
+		Finals:    c.finals,
+		Divergent: c.divergent,
+		DoneCells: c.doneCells,
+		Results:   map[string]CellResult{},
+		Attempts:  map[string]int{},
+	}
+	for _, token := range c.sweepOrder {
+		sw, ok := c.sweeps[token]
+		if !ok {
+			continue
+		}
+		ps.Sweeps = append(ps.Sweeps, persistedSweep{Token: token, Req: sw.req, Done: sw.done})
+	}
+	for id, st := range c.cells {
+		if st.state == cellDone && st.result != nil {
+			ps.Results[id] = *st.result
+		} else if st.asg.Attempt > 0 {
+			ps.Attempts[id] = st.asg.Attempt
+		}
+	}
+	b, err := json.Marshal(ps)
+	if err != nil {
+		return fmt.Errorf("sweepd: encoding snapshot: %v", err)
+	}
+	if err := c.jn.Snapshot(b); err != nil {
+		return err
+	}
+	c.unsynced = 0
+	return nil
+}
+
+// janitor re-queues expired leases even when no worker is polling (so a
+// sweep whose only worker died still completes once a worker returns),
+// drops sweeps idle past retention, and syncs the journal.
 func (c *Coordinator) janitor() {
 	interval := c.opts.Lease / 4
 	if interval < 10*time.Millisecond {
@@ -131,6 +475,11 @@ func (c *Coordinator) janitor() {
 		case <-t.C:
 			c.mu.Lock()
 			c.reapExpiredLocked()
+			c.gcSweepsLocked()
+			if c.jn != nil && c.unsynced > 0 {
+				c.jn.Sync()
+				c.unsynced = 0
+			}
 			c.mu.Unlock()
 		}
 	}
@@ -143,7 +492,8 @@ func (c *Coordinator) signalLocked() {
 }
 
 // reapExpiredLocked re-queues (or, past the attempt budget, fails) every
-// leased cell whose worker stopped heartbeating. Callers hold c.mu.
+// leased cell whose worker stopped heartbeating, charging the expiry to
+// the worker's failure domain. Callers hold c.mu.
 func (c *Coordinator) reapExpiredLocked() {
 	now := time.Now()
 	woke := false
@@ -152,6 +502,7 @@ func (c *Coordinator) reapExpiredLocked() {
 			continue
 		}
 		c.opts.Logf("lease expired: cell %s attempt %d on worker %s", id, st.asg.Attempt, st.worker)
+		c.chargeDomainLocked(st.worker, now)
 		if st.asg.Attempt >= c.opts.MaxAttempts {
 			res := resultFor(st.asg.Cell, 0, fmt.Errorf(
 				"sweepd: cell lease expired %d times (last worker %s); giving up", st.asg.Attempt, st.worker))
@@ -161,7 +512,7 @@ func (c *Coordinator) reapExpiredLocked() {
 		}
 		st.state = cellQueued
 		st.worker = ""
-		c.queue = append(c.queue, id)
+		c.queue.push(id, st.prio)
 		woke = true
 	}
 	if woke {
@@ -169,20 +520,141 @@ func (c *Coordinator) reapExpiredLocked() {
 	}
 }
 
-// finalizeLocked completes a cell: records the result, notifies every
-// waiting sweep, and evicts the state once no sweep references it.
+// maxQuarantineBackoff caps the exponential quarantine growth at 16x
+// the base.
+const maxQuarantineDoublings = 4
+
+// chargeDomainLocked attributes one lease expiry to the worker's
+// failure domain, quarantining it once expiries hit the threshold.
 // Callers hold c.mu.
+func (c *Coordinator) chargeDomainLocked(worker string, now time.Time) {
+	ws, ok := c.workers[worker]
+	if !ok {
+		return
+	}
+	ds := c.domains[ws.domain]
+	if ds == nil {
+		return
+	}
+	ds.expiries++
+	if ds.expiries < c.opts.QuarantineAfter {
+		return
+	}
+	ds.expiries = 0
+	if ds.backoff <= 0 {
+		ds.backoff = c.opts.QuarantineBackoff
+	} else if ds.backoff < c.opts.QuarantineBackoff<<maxQuarantineDoublings {
+		ds.backoff *= 2
+	}
+	ds.until = now.Add(ds.backoff)
+	ds.quarantines++
+	c.opts.Logf("QUARANTINE domain %s for %s (%d consecutive lease expiries, quarantine #%d)",
+		ws.domain, ds.backoff, c.opts.QuarantineAfter, ds.quarantines)
+}
+
+// gcSweepsLocked retires sweeps whose last client detached more than
+// SweepRetention ago, releasing their cell references. Callers hold
+// c.mu.
+func (c *Coordinator) gcSweepsLocked() {
+	now := time.Now()
+	for token, sw := range c.sweeps {
+		if len(sw.subs) > 0 || sw.idle.IsZero() || now.Sub(sw.idle) < c.opts.SweepRetention {
+			continue
+		}
+		c.dropSweepLocked(token, sw)
+	}
+}
+
+// dropSweepLocked removes a sweep and its cell references: unreferenced
+// queued cells are dequeued (nobody wants them), unreferenced done
+// cells evicted (the store has them), leased cells left to complete
+// (the worker will persist to the store either way). Callers hold c.mu.
+func (c *Coordinator) dropSweepLocked(token string, sw *sweepState) {
+	c.opts.Logf("dropping sweep %s (idle past retention, %d/%d cells done)",
+		token, len(sw.results), len(sw.ids))
+	c.journalLocked(journalRecord{T: "drop", Token: token})
+	delete(c.sweeps, token)
+	for i, t := range c.sweepOrder {
+		if t == token {
+			c.sweepOrder = append(c.sweepOrder[:i], c.sweepOrder[i+1:]...)
+			break
+		}
+	}
+	for _, id := range sw.ids {
+		st, ok := c.cells[id]
+		if !ok {
+			continue
+		}
+		st.refs--
+		for i, s := range st.sweeps {
+			if s == sw {
+				st.sweeps = append(st.sweeps[:i], st.sweeps[i+1:]...)
+				break
+			}
+		}
+		if st.refs <= 0 {
+			switch st.state {
+			case cellQueued:
+				c.queue.remove(id)
+				delete(c.cells, id)
+			case cellDone:
+				delete(c.cells, id)
+			}
+		}
+	}
+}
+
+// finalizeLocked completes a cell: records the result, journals it,
+// notifies every referencing sweep, and evicts the state once no sweep
+// references it. Callers hold c.mu.
 func (c *Coordinator) finalizeLocked(id string, st *cellState, res CellResult) {
 	st.state = cellDone
 	st.result = &res
 	c.doneCells++
 	c.rememberFinalLocked(id, res.Fingerprint)
-	for _, w := range st.waiters {
-		w <- res
+	c.journalLocked(journalRecord{T: "final", ID: id, Res: &res})
+	for _, sw := range st.sweeps {
+		c.adoptLocked(sw, id, res)
 	}
-	st.waiters = nil
+	st.sweeps = nil
 	if st.refs <= 0 {
 		delete(c.cells, id)
+	}
+}
+
+// adoptLocked delivers a finalized result into one sweep: records it,
+// updates the sweep summary, fans it out to attached subscribers, and
+// completes the sweep when the grid is full. Callers hold c.mu.
+func (c *Coordinator) adoptLocked(sw *sweepState, id string, res CellResult) {
+	if sw.done {
+		return
+	}
+	if _, ok := sw.results[id]; ok {
+		return
+	}
+	// Every leased cell of a screened sweep is there because the
+	// screening tier promoted it.
+	res.Promoted = sw.req.Screen
+	sw.results[id] = res
+	switch res.Status {
+	case StatusInfeasible:
+		sw.sum.Infeasible++
+	case StatusError:
+		sw.sum.Errors++
+	}
+	if res.Simulated {
+		sw.sum.Simulated++
+	} else if res.Status != StatusError {
+		sw.sum.StoreHits++
+	}
+	for ch := range sw.subs {
+		ch <- res // buffered for every cell; never blocks
+	}
+	if len(sw.results) == len(sw.ids) {
+		sw.done = true
+		c.journalLocked(journalRecord{T: "done", Token: sw.token})
+		c.opts.Logf("sweep %s complete: %d cells, %d simulated, %d store hits, %d errors",
+			sw.token, sw.sum.Cells, sw.sum.Simulated, sw.sum.StoreHits, sw.sum.Errors)
 	}
 }
 
@@ -200,16 +672,6 @@ func (c *Coordinator) rememberFinalLocked(id, fingerprint string) {
 		c.finals = map[string]string{}
 	}
 	c.finals[id] = fingerprint
-}
-
-// removeQueuedLocked drops id from the pending queue. Callers hold c.mu.
-func (c *Coordinator) removeQueuedLocked(id string) {
-	for i, q := range c.queue {
-		if q == id {
-			c.queue = append(c.queue[:i], c.queue[i+1:]...)
-			return
-		}
-	}
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -240,81 +702,190 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// subscribe registers one sweep's cells: existing executions gain a
-// reference, new cells are queued. Already-completed results are
-// delivered immediately on ch, which must have capacity for every cell.
-func (c *Coordinator) subscribe(req SweepRequest, cells []CellSpec, ch chan CellResult) []string {
-	ids := make([]string, len(cells))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	queued := false
-	for i, cell := range cells {
+// buildSweepLocked validates a request, screens it if asked, registers
+// it under token, and attaches its cells: existing executions gain a
+// reference, already-finalized ones adopt immediately, new ones queue
+// at the sweep's priority. finals, when non-nil (restore), supplies
+// pre-crash results for cells this sweep should see as done. Callers
+// hold c.mu.
+func (c *Coordinator) buildSweepLocked(token string, req SweepRequest, finals map[string]CellResult) (*sweepState, error) {
+	for id, raw := range req.Specs {
+		got, _, err := machine.RegisterSpecJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sweepd: custom spec %s: %v", id, err)
+		}
+		if got != id {
+			return nil, fmt.Errorf("sweepd: custom spec id %s does not match its content (canonical id %s)", id, got)
+		}
+	}
+	if err := req.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	cells := req.Grid.Cells()
+	sw := &sweepState{
+		token:   token,
+		req:     req,
+		prio:    clampPriority(req.Priority),
+		results: map[string]CellResult{},
+		subs:    map[chan CellResult]bool{},
+	}
+	sw.sum.Cells = len(cells)
+
+	// Screening tier: price the whole grid in-process and lease only the
+	// promoted cells. ScreenGrid is deterministic, so a restore replays
+	// it instead of journaling a million settled results.
+	if req.Screen {
+		decisions := ScreenGrid(c.est, req.Grid, ScreenOptions{
+			PromoteMargin:    req.PromoteMargin,
+			UncertaintyBound: req.UncertaintyBound,
+		})
+		cells = cells[:0]
+		for _, d := range decisions {
+			if d.Promote {
+				cells = append(cells, d.Cell)
+				continue
+			}
+			sw.settled = append(sw.settled, d.Result)
+			switch d.Result.Status {
+			case StatusInfeasible:
+				sw.sum.Infeasible++
+			case StatusError:
+				sw.sum.Errors++
+			}
+		}
+		sw.sum.Screened = len(sw.settled)
+		sw.sum.Promoted = len(cells)
+	}
+
+	// Fix the full id set before adopting any result: adoption checks
+	// len(results) against len(ids) for sweep completion, so ids must be
+	// complete first.
+	seen := map[string]bool{}
+	uniq := cells[:0]
+	for _, cell := range cells {
 		id := dedupKey(cell, req.Faults, req.FaultSeed, req.Retries)
-		ids[i] = id
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		sw.ids = append(sw.ids, id)
+		uniq = append(uniq, cell)
+	}
+	queued := false
+	for i, cell := range uniq {
+		id := sw.ids[i]
 		st, ok := c.cells[id]
 		if !ok {
 			st = &cellState{asg: Assignment{
 				ID: id, Cell: cell,
 				Faults: req.Faults, FaultSeed: req.FaultSeed, Retries: req.Retries,
-			}}
+			}, prio: sw.prio}
 			// Custom machines travel inside the lease so a worker that has
 			// never seen this spec can still run the cell.
 			if raw, isCustom := machine.CustomSpecJSON(cell.System); isCustom {
 				st.asg.Spec = raw
 			}
 			c.cells[id] = st
-			c.queue = append(c.queue, id)
-			queued = true
+			if res, done := finals[id]; done {
+				st.state = cellDone
+				st.result = &res
+			} else {
+				c.queue.push(id, sw.prio)
+				queued = true
+			}
 		}
 		st.refs++
 		if st.state == cellDone {
-			ch <- *st.result
+			res := *st.result
+			if finals == nil {
+				// This sweep did not cause the simulation; for its summary the
+				// cell is a cache hit, exactly as if a worker had served it
+				// from the shared store.
+				res.Simulated = false
+			}
+			c.adoptLocked(sw, id, res)
 		} else {
-			st.waiters = append(st.waiters, ch)
+			st.sweeps = append(st.sweeps, sw)
+			if st.state == cellQueued && sw.prio > st.prio {
+				c.queue.promote(id, st.prio, sw.prio)
+			}
+			if sw.prio > st.prio {
+				st.prio = sw.prio
+			}
 		}
 	}
+	if len(sw.ids) == 0 && !sw.done {
+		sw.done = true
+		c.journalLocked(journalRecord{T: "done", Token: token})
+	}
+	c.sweeps[token] = sw
+	c.sweepOrder = append(c.sweepOrder, token)
 	if queued {
 		c.signalLocked()
 	}
-	return ids
+	return sw, nil
 }
 
-// release drops one sweep's references: unreferenced queued cells are
-// removed (nobody wants them), unreferenced done cells evicted (the
-// store has them), leased cells left to complete (the worker will
-// persist to the store either way).
-func (c *Coordinator) release(ids []string, ch chan CellResult) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, id := range ids {
-		st, ok := c.cells[id]
-		if !ok {
+// inflightLocked sums a client's outstanding (unfinalized) cells across
+// its live sweeps. Callers hold c.mu.
+func (c *Coordinator) inflightLocked(client string) int {
+	n := 0
+	for _, sw := range c.sweeps {
+		if sw.done || sw.req.Client != client {
 			continue
 		}
-		st.refs--
-		for i, w := range st.waiters {
-			if w == ch {
-				st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
-				break
-			}
-		}
-		if st.refs <= 0 {
-			switch st.state {
-			case cellQueued:
-				c.removeQueuedLocked(id)
-				delete(c.cells, id)
-			case cellDone:
-				delete(c.cells, id)
-			}
-		}
+		n += len(sw.ids) - len(sw.results)
+	}
+	return n
+}
+
+// attachLocked registers a new subscriber stream on a sweep, returning
+// the already-finalized results to replay and how many more to expect.
+// The channel is buffered for every cell so finalization never blocks.
+// Callers hold c.mu.
+func (c *Coordinator) attachLocked(sw *sweepState) (replay []CellResult, remaining int, ch chan CellResult) {
+	ch = make(chan CellResult, len(sw.ids))
+	sw.subs[ch] = true
+	sw.idle = time.Time{}
+	replay = make([]CellResult, 0, len(sw.results))
+	for _, res := range sw.results {
+		replay = append(replay, res)
+	}
+	return replay, len(sw.ids) - len(replay), ch
+}
+
+// detach removes a subscriber; the last one out starts the retention
+// clock.
+func (c *Coordinator) detach(sw *sweepState, ch chan CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(sw.subs, ch)
+	if len(sw.subs) == 0 {
+		sw.idle = time.Now()
 	}
 }
 
-// handleSweep validates a submission, subscribes to its cells, and
-// streams completions as NDJSON until the grid is full.
+// handleSweep validates a submission (or a resume), attaches a stream,
+// and sends NDJSON events until the grid is full: "start" with the
+// resume token, the replay, live completions with "ping" keepalives,
+// then "done".
 func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.Resume != "" {
+		c.mu.Lock()
+		sw, ok := c.sweeps[req.Resume]
+		if !ok {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("sweepd: unknown resume token %q", req.Resume), http.StatusNotFound)
+			return
+		}
+		replay, remaining, ch := c.attachLocked(sw)
+		c.mu.Unlock()
+		c.opts.Logf("sweep %s resumed: replaying %d results, %d outstanding", sw.token, len(replay), remaining)
+		c.streamSweep(w, r, sw, replay, remaining, ch)
 		return
 	}
 	if err := schema.Check("sweep request", req.SchemaVersion); err != nil {
@@ -325,9 +896,14 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "sweepd: sweep grid has no scale", http.StatusBadRequest)
 		return
 	}
-	// Register shipped custom machines before grid validation so their
-	// content-hash ids resolve. An id that does not match its content is
-	// a client bug (or tampering) and rejects the whole sweep.
+	if req.Screen && req.Faults != "" {
+		http.Error(w, "sweepd: screening estimates cannot price fault plans (drop -faults or screening)", http.StatusBadRequest)
+		return
+	}
+	// Register shipped custom machines and validate the grid before
+	// admission control touches it. An id that does not match its
+	// content is a client bug (or tampering) and rejects the whole
+	// sweep. buildSweepLocked repeats both checks for the restore path.
 	for id, raw := range req.Specs {
 		got, _, err := machine.RegisterSpecJSON(raw)
 		if err != nil {
@@ -343,46 +919,66 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if req.Screen && req.Faults != "" {
-		http.Error(w, "sweepd: screening estimates cannot price fault plans (drop -faults or screening)", http.StatusBadRequest)
+
+	c.mu.Lock()
+	// Admission control: reject before building any state, counting the
+	// promoted cells this sweep would add. Screened grids admit by their
+	// post-screen footprint, so a million-cell screened sweep with a
+	// small promoted set passes a small quota.
+	if max := c.opts.MaxInflightPerClient; max > 0 {
+		have := c.inflightLocked(req.Client)
+		add := len(req.Grid.Cells()) // pre-screen upper bound
+		if have+add > max && req.Screen {
+			// Screening is deterministic and cheap; price it to get the
+			// real footprint before rejecting.
+			add = 0
+			for _, d := range ScreenGrid(c.est, req.Grid, ScreenOptions{
+				PromoteMargin:    req.PromoteMargin,
+				UncertaintyBound: req.UncertaintyBound,
+			}) {
+				if d.Promote {
+					add++
+				}
+			}
+		}
+		if have+add > max {
+			c.mu.Unlock()
+			secs := int(c.opts.RetryAfter.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, fmt.Sprintf(
+				"sweepd: client %q over in-flight cell quota (%d in flight + %d requested > %d)",
+				req.Client, have, add, max), http.StatusTooManyRequests)
+			return
+		}
+	}
+	token := "s" + randomHex(6)
+	c.journalLocked(journalRecord{T: "sweep", Token: token, Req: &req})
+	sw, err := c.buildSweepLocked(token, req, nil)
+	if err != nil {
+		c.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cells := req.Grid.Cells()
-	var sum Summary
-	sum.Cells = len(cells)
+	replay, remaining, ch := c.attachLocked(sw)
+	c.mu.Unlock()
 
-	// Screening tier: price the whole grid in-process and lease only the
-	// promoted cells. The settled tier-A results stream first, so a
-	// million-cell submission fills most of its table before the first
-	// worker lease.
-	var settled []CellResult
 	if req.Screen {
-		decisions := ScreenGrid(c.est, req.Grid, ScreenOptions{
-			PromoteMargin:    req.PromoteMargin,
-			UncertaintyBound: req.UncertaintyBound,
-		})
-		cells = cells[:0]
-		for _, d := range decisions {
-			if d.Promote {
-				cells = append(cells, d.Cell)
-				continue
-			}
-			settled = append(settled, d.Result)
-		}
-		sum.Screened = len(settled)
-		sum.Promoted = len(cells)
-		c.opts.Logf("sweep screened: %d cells settled analytically, %d promoted to simulation (%s)",
-			sum.Screened, sum.Promoted, req.Grid)
+		c.opts.Logf("sweep %s screened: %d cells settled analytically, %d promoted to simulation (%s)",
+			token, sw.sum.Screened, sw.sum.Promoted, req.Grid)
 	} else {
-		c.opts.Logf("sweep submitted: %d cells (%s)", len(cells), req.Grid)
+		c.opts.Logf("sweep %s submitted: %d cells (%s)", token, sw.sum.Cells, req.Grid)
 	}
+	c.streamSweep(w, r, sw, replay, remaining, ch)
+}
 
-	// Cell keys can repeat inside one grid only via aliased specs; the
-	// channel is sized for every subscription so finalize never blocks.
-	ch := make(chan CellResult, len(cells))
-	ids := c.subscribe(req, cells, ch)
-	defer c.release(ids, ch)
-
+// streamSweep owns one client connection: start event, settled results,
+// replay, then live completions and pings until the sweep is full or
+// the client leaves.
+func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, sw *sweepState, replay []CellResult, remaining int, ch chan CellResult) {
+	defer c.detach(sw, ch)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -396,49 +992,41 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		return true
 	}
-
-	for i := range settled {
-		res := settled[i]
-		switch res.Status {
-		case StatusInfeasible:
-			sum.Infeasible++
-		case StatusError:
-			sum.Errors++
-		}
-		if !emit(StreamEvent{Type: "cell", Cell: &res}) {
+	if !emit(StreamEvent{Type: "start", Token: sw.token, PingMillis: c.opts.PingEvery.Milliseconds()}) {
+		return
+	}
+	for i := range sw.settled {
+		if !emit(StreamEvent{Type: "cell", Cell: &sw.settled[i]}) {
 			return
 		}
 	}
-	for n := 0; n < len(cells); n++ {
+	for i := range replay {
+		if !emit(StreamEvent{Type: "cell", Cell: &replay[i]}) {
+			return
+		}
+	}
+	ping := time.NewTicker(c.opts.PingEvery)
+	defer ping.Stop()
+	for remaining > 0 {
 		select {
 		case res := <-ch:
-			switch res.Status {
-			case StatusInfeasible:
-				sum.Infeasible++
-			case StatusError:
-				sum.Errors++
-			}
-			if res.Simulated {
-				sum.Simulated++
-			} else if res.Status != StatusError {
-				sum.StoreHits++
-			}
-			// Every leased cell of a screened sweep is there because the
-			// screening tier promoted it.
-			res.Promoted = req.Screen
+			remaining--
 			if !emit(StreamEvent{Type: "cell", Cell: &res}) {
-				return // client gone; release via defer
+				return // client gone; the sweep stays resumable
+			}
+		case <-ping.C:
+			if !emit(StreamEvent{Type: "ping"}) {
+				return
 			}
 		case <-r.Context().Done():
 			return
 		}
 	}
 	c.mu.Lock()
+	sum := sw.sum
 	sum.Divergent = c.divergent
 	c.mu.Unlock()
 	emit(StreamEvent{Type: "done", Summary: &sum})
-	c.opts.Logf("sweep complete: %d cells, %d simulated, %d store hits, %d errors",
-		sum.Cells, sum.Simulated, sum.StoreHits, sum.Errors)
 }
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -450,12 +1038,28 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	domain := req.Domain
+	if domain == "" {
+		domain = "default"
+	}
 	c.mu.Lock()
 	c.nextWorker++
 	id := fmt.Sprintf("w%d", c.nextWorker)
-	c.workers[id] = &workerState{name: req.Name, lastSeen: time.Now()}
+	if c.instance != "" {
+		// Durable coordinators suffix worker IDs with the process
+		// incarnation so a zombie worker from before a restart can never
+		// be mistaken for a freshly registered one.
+		id += "-" + c.instance
+	}
+	c.workers[id] = &workerState{name: req.Name, domain: domain, lastSeen: time.Now()}
+	ds := c.domains[domain]
+	if ds == nil {
+		ds = &domainState{}
+		c.domains[domain] = ds
+	}
+	ds.workers++
 	c.mu.Unlock()
-	c.opts.Logf("worker registered: %s (%s)", id, req.Name)
+	c.opts.Logf("worker registered: %s (%s, domain %s)", id, req.Name, domain)
 	writeJSON(w, RegisterResponse{Worker: id, LeaseMillis: c.opts.Lease.Milliseconds()})
 }
 
@@ -474,11 +1078,29 @@ func (c *Coordinator) knownWorker(w http.ResponseWriter, id string) bool {
 	return ok
 }
 
-// popLocked leases the queue head to a worker. Callers hold c.mu.
+// quarantinedLocked reports how long the worker's domain remains
+// quarantined (0 = not quarantined). Callers hold c.mu.
+func (c *Coordinator) quarantinedLocked(worker string, now time.Time) time.Duration {
+	ws, ok := c.workers[worker]
+	if !ok {
+		return 0
+	}
+	ds := c.domains[ws.domain]
+	if ds == nil || now.After(ds.until) {
+		return 0
+	}
+	return ds.until.Sub(now)
+}
+
+// popLocked leases the weighted-fair queue's next cell to a worker,
+// journaling the attempt so a restart preserves the lease budget.
+// Callers hold c.mu.
 func (c *Coordinator) popLocked(worker string) *Assignment {
-	for len(c.queue) > 0 {
-		id := c.queue[0]
-		c.queue = c.queue[1:]
+	for {
+		id, ok := c.queue.pop()
+		if !ok {
+			return nil
+		}
 		st, ok := c.cells[id]
 		if !ok || st.state != cellQueued {
 			continue // evicted or already handled
@@ -487,10 +1109,10 @@ func (c *Coordinator) popLocked(worker string) *Assignment {
 		st.worker = worker
 		st.expiry = time.Now().Add(c.opts.Lease)
 		st.asg.Attempt++
+		c.journalLocked(journalRecord{T: "lease", ID: id, Attempt: st.asg.Attempt})
 		asg := st.asg
 		return &asg
 	}
-	return nil
 }
 
 func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -509,6 +1131,11 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	for {
 		c.mu.Lock()
 		c.reapExpiredLocked()
+		if q := c.quarantinedLocked(req.Worker, time.Now()); q > 0 {
+			c.mu.Unlock()
+			writeJSON(w, PollResponse{RetryAfterMillis: q.Milliseconds() + 1})
+			return
+		}
 		asg := c.popLocked(req.Worker)
 		wake := c.wake
 		c.mu.Unlock()
@@ -545,6 +1172,14 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Any completed cell is evidence the domain works; reset its expiry
+	// streak and backoff.
+	if ws, ok := c.workers[req.Worker]; ok {
+		if ds := c.domains[ws.domain]; ds != nil {
+			ds.expiries = 0
+			ds.backoff = 0
+		}
+	}
 	st, ok := c.cells[req.ID]
 	if !ok {
 		// State evicted (sweep finished or abandoned); the worker already
@@ -580,7 +1215,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		c.opts.Logf("transient failure on cell %s attempt %d (%s); re-queueing", req.ID, req.Attempt, res.Error)
 		st.state = cellQueued
 		st.worker = ""
-		c.queue = append(c.queue, req.ID)
+		c.queue.push(req.ID, st.prio)
 		c.signalLocked()
 		writeJSON(w, struct{}{})
 		return
@@ -612,8 +1247,9 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
 	c.mu.Lock()
-	st := Status{Workers: len(c.workers), Divergent: c.divergent, Done: c.doneCells}
+	st := Status{Workers: len(c.workers), Divergent: c.divergent, Done: c.doneCells, Sweeps: len(c.sweeps)}
 	for _, cs := range c.cells {
 		switch cs.state {
 		case cellQueued:
@@ -621,6 +1257,20 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		case cellLeased:
 			st.Leased++
 		}
+	}
+	names := make([]string, 0, len(c.domains))
+	for name := range c.domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := c.domains[name]
+		d := DomainStatus{Domain: name, Workers: ds.workers, Quarantines: ds.quarantines}
+		if now.Before(ds.until) {
+			d.Quarantined = true
+			d.RetryAfterMillis = ds.until.Sub(now).Milliseconds()
+		}
+		st.Domains = append(st.Domains, d)
 	}
 	c.mu.Unlock()
 	writeJSON(w, st)

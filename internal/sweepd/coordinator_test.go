@@ -20,7 +20,10 @@ import (
 
 func startCoordinator(t *testing.T, opts CoordinatorOptions) (*Coordinator, *httptest.Server) {
 	t.Helper()
-	c := NewCoordinator(opts)
+	c, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(c.Handler())
 	t.Cleanup(func() { srv.Close(); c.Close() })
 	return c, srv

@@ -1,0 +1,120 @@
+package sweepd
+
+// fairQueue is the coordinator's pending-cell queue with weighted-fair
+// dequeue across sweep priorities (stride scheduling). Each priority
+// level is one class with weight priority+1: a priority-4 sweep drains
+// five cells for every one a priority-0 sweep drains, but the low
+// class always makes progress — a million-cell background submission
+// cannot starve an interactive sweep, and vice versa. Within a class,
+// cells dequeue FIFO, preserving submission order. Not safe for
+// concurrent use; the coordinator guards it with its mutex.
+type fairQueue struct {
+	classes map[int]*fairClass
+	n       int
+}
+
+type fairClass struct {
+	ids    []string
+	pass   float64 // virtual time consumed; min-pass class dequeues next
+	stride float64 // 1/weight
+}
+
+// MaxPriority caps sweep priorities; higher submissions clamp to it.
+const MaxPriority = 9
+
+func clampPriority(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > MaxPriority {
+		return MaxPriority
+	}
+	return p
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{classes: map[int]*fairClass{}}
+}
+
+func (q *fairQueue) len() int { return q.n }
+
+// push enqueues id at priority prio. A class waking from empty starts at
+// the current minimum pass so it competes fairly from now on instead of
+// burning accumulated credit in a burst.
+func (q *fairQueue) push(id string, prio int) {
+	prio = clampPriority(prio)
+	cl := q.classes[prio]
+	if cl == nil {
+		cl = &fairClass{stride: 1 / float64(prio+1)}
+		q.classes[prio] = cl
+	}
+	if len(cl.ids) == 0 {
+		if m, ok := q.minPass(); ok && cl.pass < m {
+			cl.pass = m
+		}
+	}
+	cl.ids = append(cl.ids, id)
+	q.n++
+}
+
+func (q *fairQueue) minPass() (float64, bool) {
+	min, ok := 0.0, false
+	for _, cl := range q.classes {
+		if len(cl.ids) == 0 {
+			continue
+		}
+		if !ok || cl.pass < min {
+			min, ok = cl.pass, true
+		}
+	}
+	return min, ok
+}
+
+// pop dequeues from the non-empty class with the lowest pass (ties break
+// toward the higher priority, deterministically).
+func (q *fairQueue) pop() (string, bool) {
+	var best *fairClass
+	bestPrio := -1
+	for prio, cl := range q.classes {
+		if len(cl.ids) == 0 {
+			continue
+		}
+		if best == nil || cl.pass < best.pass || (cl.pass == best.pass && prio > bestPrio) {
+			best, bestPrio = cl, prio
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	id := best.ids[0]
+	best.ids = best.ids[1:]
+	best.pass += best.stride
+	q.n--
+	return id, true
+}
+
+// remove drops id wherever it is queued; reports whether it was found.
+func (q *fairQueue) remove(id string) bool {
+	for _, cl := range q.classes {
+		for i, qid := range cl.ids {
+			if qid == id {
+				cl.ids = append(cl.ids[:i], cl.ids[i+1:]...)
+				q.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// promote moves an already-queued id to a higher-priority class (a
+// second sweep referencing the same pending cell at higher priority).
+// No-op if the cell is not queued or the new priority is not higher.
+func (q *fairQueue) promote(id string, from, to int) {
+	if clampPriority(to) <= clampPriority(from) {
+		return
+	}
+	if q.remove(id) {
+		q.push(id, to)
+	}
+}

@@ -1,0 +1,120 @@
+package sweepd
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFairQueueFIFOWithinClass(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 5; i++ {
+		q.push(fmt.Sprintf("c%d", i), 0)
+	}
+	for i := 0; i < 5; i++ {
+		id, ok := q.pop()
+		if !ok || id != fmt.Sprintf("c%d", i) {
+			t.Fatalf("pop %d = %q ok=%v, want c%d", i, id, ok, i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Error("pop from empty queue succeeded")
+	}
+}
+
+// TestFairQueueWeightedInterleave checks the stride property: with a
+// priority-4 class (weight 5) and a priority-0 class (weight 1) both
+// backlogged, dequeues interleave roughly 5:1 — neither class starves.
+func TestFairQueueWeightedInterleave(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 100; i++ {
+		q.push(fmt.Sprintf("hi%d", i), 4)
+		q.push(fmt.Sprintf("lo%d", i), 0)
+	}
+	hi, lo := 0, 0
+	for i := 0; i < 60; i++ {
+		id, ok := q.pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		if id[:2] == "hi" {
+			hi++
+		} else {
+			lo++
+		}
+		// The low class must never fall further behind than the weight
+		// ratio allows (one extra dequeue of slack for startup).
+		if hi > 5*(lo+1) {
+			t.Fatalf("after %d pops: hi=%d lo=%d, low class starved", i+1, hi, lo)
+		}
+	}
+	if lo == 0 {
+		t.Fatal("low-priority class never dequeued")
+	}
+	if hi < 4*lo {
+		t.Errorf("hi=%d lo=%d, want roughly 5:1 interleave", hi, lo)
+	}
+}
+
+func TestFairQueueLateArrivalNoBurst(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 50; i++ {
+		q.push(fmt.Sprintf("lo%d", i), 0)
+	}
+	// Drain some low-priority work first, accumulating pass.
+	for i := 0; i < 20; i++ {
+		q.pop()
+	}
+	// A high-priority class arriving late starts at the current virtual
+	// time: it dominates per its weight but does not monopolize.
+	for i := 0; i < 50; i++ {
+		q.push(fmt.Sprintf("hi%d", i), 4)
+	}
+	lo := 0
+	for i := 0; i < 12; i++ {
+		id, _ := q.pop()
+		if id[:2] == "lo" {
+			lo++
+		}
+	}
+	if lo == 0 {
+		t.Error("low class starved after high-priority arrival")
+	}
+}
+
+func TestFairQueueRemoveAndPromote(t *testing.T) {
+	q := newFairQueue()
+	q.push("a", 0)
+	q.push("b", 0)
+	q.push("c", 0)
+	if !q.remove("b") {
+		t.Fatal("remove(b) failed")
+	}
+	if q.remove("b") {
+		t.Fatal("remove(b) twice succeeded")
+	}
+	if q.len() != 2 {
+		t.Fatalf("len = %d, want 2", q.len())
+	}
+	// Promote c above a: with weight 10 vs 1 it dequeues first.
+	q.promote("c", 0, 9)
+	id, _ := q.pop()
+	if id != "c" {
+		t.Errorf("after promote, pop = %q, want c", id)
+	}
+	// Demotion is a no-op.
+	q.promote("a", 5, 2)
+	if id, _ := q.pop(); id != "a" {
+		t.Errorf("pop = %q, want a", id)
+	}
+	if q.len() != 0 {
+		t.Errorf("len = %d, want 0", q.len())
+	}
+}
+
+func TestClampPriority(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-3, 0}, {0, 0}, {5, 5}, {9, 9}, {42, 9}} {
+		if got := clampPriority(tc.in); got != tc.want {
+			t.Errorf("clampPriority(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

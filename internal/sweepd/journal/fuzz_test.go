@@ -1,0 +1,44 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrames checks the journal decoder's crash-tolerance
+// invariants on arbitrary bytes: it never panics, the valid prefix it
+// reports is within bounds, re-encoding the decoded payloads reproduces
+// that prefix byte-for-byte (the round-trip invariant), and appending a
+// fresh frame to the prefix decodes to exactly one more record — i.e. a
+// torn or corrupt tail is discarded without poisoning later appends.
+func FuzzDecodeFrames(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(nil, []byte("seed")))
+	f.Add(EncodeFrame(EncodeFrame(nil, []byte(`{"t":"sweep","token":"s1"}`)), nil))
+	half := EncodeFrame(nil, []byte("torn"))
+	f.Add(append(EncodeFrame(nil, []byte("ok")), half[:len(half)-2]...))
+	f.Add([]byte{0x80, 0x00, 0, 0, 0, 0}) // non-canonical varint length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, valid := DecodeFrames(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid prefix %d out of bounds for %d bytes", valid, len(data))
+		}
+		var re []byte
+		for _, p := range payloads {
+			re = EncodeFrame(re, p)
+		}
+		if !bytes.Equal(re, data[:valid]) {
+			t.Fatalf("re-encoding %d payloads does not reproduce the valid prefix", len(payloads))
+		}
+		appended := EncodeFrame(append([]byte(nil), data[:valid]...), []byte("appended"))
+		got, n := DecodeFrames(appended)
+		if n != len(appended) || len(got) != len(payloads)+1 {
+			t.Fatalf("append over truncated tail: %d records in %d/%d bytes, want %d",
+				len(got), n, len(appended), len(payloads)+1)
+		}
+		if string(got[len(got)-1]) != "appended" {
+			t.Fatalf("appended record decoded as %q", got[len(got)-1])
+		}
+	})
+}

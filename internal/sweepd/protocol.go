@@ -48,6 +48,19 @@ type SweepRequest struct {
 	FaultSeed     int64  `json:"fault_seed,omitempty"`
 	Retries       int    `json:"retries,omitempty"`
 	Screen        bool   `json:"screen,omitempty"`
+	// Client identifies the submitter for admission control: the
+	// coordinator's per-client in-flight cell quota sums over live sweeps
+	// with the same Client string (empty is itself one shared identity).
+	Client string `json:"client,omitempty"`
+	// Priority (0..MaxPriority, clamped) weights this sweep's cells in
+	// the coordinator's weighted-fair dequeue: weight priority+1.
+	Priority int `json:"priority,omitempty"`
+	// Resume re-attaches to a live sweep by the token carried in the
+	// stream's "start" event instead of submitting a new one: the
+	// coordinator replays every result finalized so far and streams the
+	// rest. All other fields are ignored on resume. An unknown token
+	// (coordinator lost the sweep) returns 404.
+	Resume string `json:"resume,omitempty"`
 	// PromoteMargin is the fractional closeness at which two schemes'
 	// estimates count as a potential ranking flip (0 = use the default).
 	PromoteMargin float64 `json:"promote_margin,omitempty"`
@@ -104,15 +117,22 @@ func Fingerprint(res CellResult) string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
-// StreamEvent is one NDJSON line of a sweep response stream: "cell"
-// events as results complete (any order — the client indexes by cell
-// key), then exactly one "done" event with the sweep summary. An
-// "error" event aborts the stream.
+// StreamEvent is one NDJSON line of a sweep response stream: first a
+// "start" event carrying the sweep's resume token and ping interval,
+// then "cell" events as results complete (any order — the client
+// indexes by cell key), with "ping" keepalives while the stream idles,
+// then exactly one "done" event with the sweep summary. An "error"
+// event aborts the stream. A client that loses the connection (or stops
+// seeing pings) re-submits with Resume set to the token and receives
+// the full result replay plus the remainder live.
 type StreamEvent struct {
 	Type    string      `json:"type"`
 	Cell    *CellResult `json:"cell,omitempty"`
 	Summary *Summary    `json:"summary,omitempty"`
 	Message string      `json:"message,omitempty"`
+	// Token and PingMillis ride the "start" event.
+	Token      string `json:"token,omitempty"`
+	PingMillis int64  `json:"ping_millis,omitempty"`
 }
 
 // Summary totals one sweep's outcomes as streamed to one client.
@@ -134,10 +154,15 @@ type Summary struct {
 	Promoted int `json:"promoted,omitempty"`
 }
 
-// RegisterRequest announces a worker to the coordinator.
+// RegisterRequest announces a worker to the coordinator. Domain labels
+// the failure domain the worker shares fate with (host, rack, zone):
+// repeated lease expiries across a domain's workers quarantine the
+// whole domain with exponential backoff instead of re-leasing cells
+// into it. Empty means the shared "default" domain.
 type RegisterRequest struct {
 	SchemaVersion int    `json:"schema_version"`
 	Name          string `json:"name,omitempty"`
+	Domain        string `json:"domain,omitempty"`
 }
 
 // RegisterResponse assigns the worker its ID and the lease duration it
@@ -172,9 +197,11 @@ type Assignment struct {
 }
 
 // PollResponse carries at most one assignment; nil means "no work yet,
-// poll again".
+// poll again". RetryAfterMillis, when set, means the worker's failure
+// domain is quarantined: the worker must not poll again for that long.
 type PollResponse struct {
-	Assignment *Assignment `json:"assignment,omitempty"`
+	Assignment       *Assignment `json:"assignment,omitempty"`
+	RetryAfterMillis int64       `json:"retry_after_millis,omitempty"`
 }
 
 // CompleteRequest reports a finished cell.
@@ -205,6 +232,22 @@ type Status struct {
 	Leased    int `json:"leased"`
 	Done      int `json:"done"`
 	Divergent int `json:"divergent"`
+	// Sweeps counts live (retained) sweeps; Domains reports per-domain
+	// quarantine state, sorted by domain name.
+	Sweeps  int            `json:"sweeps"`
+	Domains []DomainStatus `json:"domains,omitempty"`
+}
+
+// DomainStatus is one failure domain's health as surfaced by /status.
+type DomainStatus struct {
+	Domain  string `json:"domain"`
+	Workers int    `json:"workers"`
+	// Quarantined means polls from this domain are being turned away;
+	// RetryAfterMillis is how much of the backoff remains. Quarantines
+	// counts how many times the domain has been quarantined in total.
+	Quarantined      bool  `json:"quarantined,omitempty"`
+	RetryAfterMillis int64 `json:"retry_after_millis,omitempty"`
+	Quarantines      int   `json:"quarantines,omitempty"`
 }
 
 // dedupKey joins a cell's identity with the sweep-level parameters that

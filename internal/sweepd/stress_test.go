@@ -1,0 +1,27 @@
+package sweepd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestStressSmoke runs a scaled-down million-cell stress configuration:
+// same screening tier, coordinator, worker fleet, and chaos schedule as
+// `mcsweepd -stress -cells 1000000`, over a grid small enough for CI.
+// The harness itself asserts the byte-identical-to-serial property.
+func TestStressSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress smoke takes seconds")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rep, err := Stress(ctx, StressOptions{Cells: 200, Seed: 42, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("stress: %v", err)
+	}
+	if rep.Cells < 200 {
+		t.Errorf("stress grid held %d cells, want >= 200", rep.Cells)
+	}
+	t.Logf("stress smoke: %s", rep)
+}

@@ -30,6 +30,10 @@ type WorkerOptions struct {
 	Store string
 	// Name labels the worker in coordinator logs.
 	Name string
+	// Domain is the failure domain this worker shares fate with (host,
+	// rack, zone). The coordinator quarantines a domain whose workers
+	// repeatedly let leases expire. Empty joins the "default" domain.
+	Domain string
 	// Parallelism is how many cells this worker runs concurrently;
 	// < 1 means 1.
 	Parallelism int
@@ -141,7 +145,7 @@ func (w *Worker) register(ctx context.Context) error {
 	backoff := 200 * time.Millisecond
 	for {
 		var resp RegisterResponse
-		err := w.post(ctx, PathRegister, RegisterRequest{SchemaVersion: schema.Version, Name: w.opts.Name}, &resp)
+		err := w.post(ctx, PathRegister, RegisterRequest{SchemaVersion: schema.Version, Name: w.opts.Name, Domain: w.opts.Domain}, &resp)
 		if err == nil {
 			w.id = resp.Worker
 			w.leaseMillis = resp.LeaseMillis
@@ -218,6 +222,19 @@ func (w *Worker) slotLoop(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		}
+		if resp.RetryAfterMillis > 0 {
+			// Our failure domain is quarantined: back off instead of
+			// hammering the coordinator with polls it will refuse.
+			w.logf("domain quarantined; backing off %dms", resp.RetryAfterMillis)
+			t := time.NewTimer(time.Duration(resp.RetryAfterMillis) * time.Millisecond)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
 			}
 			continue
 		}
